@@ -1,0 +1,161 @@
+// Section 6: the GFW's blocking module.
+//
+// Paper findings reproduced:
+//   * despite intensive probing, few probed servers are ever blocked
+//     (3 of 63 vantage points) — the human-factor gate;
+//   * blocking rises sharply in politically sensitive periods;
+//   * blocks are by port or by whole IP, and only the server-to-client
+//     direction is dropped;
+//   * no recheck probes precede unblocking; servers return after a week+.
+#include "bench_common.h"
+
+using namespace gfwsim;
+
+namespace {
+
+struct FleetResult {
+  int blocked = 0;
+  int by_ip = 0;
+  int by_port = 0;
+};
+
+FleetResult run_fleet(int servers, bool sensitive, std::uint64_t seed) {
+  FleetResult result;
+  for (int i = 0; i < servers; ++i) {
+    gfw::CampaignConfig config = gfwsim::bench::standard_campaign(10);
+    config.gfw.blocking.confirmation_threshold = 5.0;
+    gfw::Campaign campaign(config, gfwsim::bench::browsing_traffic(),
+                           seed + static_cast<std::uint64_t>(i));
+    campaign.gfw().blocking().set_sensitive_period(sensitive);
+    campaign.run();
+    const auto& history = campaign.gfw().blocking().history();
+    if (!history.empty()) {
+      ++result.blocked;
+      if (history[0].port.has_value()) {
+        ++result.by_port;
+      } else {
+        ++result.by_ip;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(std::cout, "Section 6: blocking behaviour");
+
+  constexpr int kFleet = 24;
+  std::cout << "Running a fleet of " << kFleet
+            << " probed OutlineVPN servers, normal period...\n";
+  const FleetResult normal = run_fleet(kFleet, false, 0xB10C0);
+  std::cout << "Running the same fleet during a sensitive period...\n";
+  const FleetResult sensitive = run_fleet(kFleet, true, 0xB10C0);
+
+  analysis::TextTable table({"period", "servers", "blocked", "by port", "by IP"});
+  table.add_row({"normal", std::to_string(kFleet), std::to_string(normal.blocked),
+                 std::to_string(normal.by_port), std::to_string(normal.by_ip)});
+  table.add_row({"sensitive", std::to_string(kFleet), std::to_string(sensitive.blocked),
+                 std::to_string(sensitive.by_port), std::to_string(sensitive.by_ip)});
+  table.print(std::cout);
+
+  std::cout << "\n";
+  bench::paper_vs_measured("servers blocked despite intensive probing (normal)",
+                           "3 of 63 vantage points over months",
+                           std::to_string(normal.blocked) + " of " + std::to_string(kFleet));
+  bench::paper_vs_measured("blocking during politically sensitive periods",
+                           "reported waves (sec. 2.2)",
+                           std::to_string(sensitive.blocked) + " of " +
+                               std::to_string(kFleet));
+
+  // --- Section 6's implementation split ------------------------------------
+  // "All three servers that got blocked were running ShadowsocksR or
+  // Shadowsocks-python" — implementations without replay filters, which
+  // hand the prober DATA confirmations. Model the GFW requiring strong
+  // (DATA-grade) evidence before the human gate is even consulted:
+  std::cout << "\nMixed fleet under hypothesis 2 (confirmation requires DATA "
+               "responses):\n";
+  struct FleetArm {
+    probesim::ServerSetup::Impl impl;
+    const char* cipher;
+  };
+  const std::vector<FleetArm> fleet_arms = {
+      {probesim::ServerSetup::Impl::kLibevOld, "aes-256-ctr"},
+      {probesim::ServerSetup::Impl::kLibevNew, "aes-256-gcm"},
+      {probesim::ServerSetup::Impl::kOutline107, "chacha20-ietf-poly1305"},
+      {probesim::ServerSetup::Impl::kSsr, "aes-256-cfb"},
+      {probesim::ServerSetup::Impl::kSsPython, "aes-256-cfb"},
+  };
+
+  analysis::TextTable fleet_table(
+      {"implementation", "probes", "DATA confirmations", "evidence", "blocked"});
+  std::uint64_t fleet_seed = 0xB10C9;
+  for (const FleetArm& arm : fleet_arms) {
+    gfw::CampaignConfig config = bench::standard_campaign(10);
+    config.server.impl = arm.impl;
+    config.server.cipher = arm.cipher;
+    // DATA-graded evidence: reactions that any non-proxy server could
+    // produce carry almost no weight.
+    config.gfw.evidence_rst = 0.01;
+    config.gfw.evidence_fin = 0.01;
+    config.gfw.evidence_timeout = 0.0;
+    config.gfw.blocking.confirmation_threshold = 20.0;
+    config.gfw.blocking.block_probability = 0.9;
+    gfw::Campaign campaign(config, bench::browsing_traffic(), ++fleet_seed);
+    campaign.run();
+
+    int data_confirmations = 0;
+    for (const auto& record : campaign.log().records()) {
+      data_confirmations += record.reaction == probesim::Reaction::kData;
+    }
+    fleet_table.add_row(
+        {std::string(probesim::impl_name(arm.impl)),
+         std::to_string(campaign.log().size()), std::to_string(data_confirmations),
+         analysis::format_double(
+             campaign.gfw().blocking().evidence(campaign.server_endpoint()), 1),
+         campaign.gfw().blocking().history().empty() ? "no" : "YES"});
+  }
+  fleet_table.print(std::cout);
+  bench::paper_vs_measured(
+      "which implementations end up blocked",
+      "the blocked servers ran ShadowsocksR / Shadowsocks-python (and "
+      "replay-serving implementations generally confirm themselves)",
+      "see table: only servers answering replays with DATA accumulate "
+      "blockable evidence");
+
+  // --- Unidirectionality + unblock timing, one forced block ---------------
+  std::cout << "\nForcing one block to inspect its mechanics:\n";
+  gfw::CampaignConfig config = bench::standard_campaign(7);
+  config.gfw.blocking.block_probability = 1.0;
+  config.gfw.blocking.confirmation_threshold = 1.0;
+  config.gfw.blocking.block_by_ip_fraction = 0.0;
+  gfw::Campaign campaign(config, bench::browsing_traffic(), 0xB10C7);
+  campaign.run();
+
+  const auto server = campaign.server_endpoint();
+  const bool blocked = campaign.gfw().blocking().is_blocked(server);
+  std::cout << "  server blocked: " << (blocked ? "yes" : "no") << "\n";
+  if (blocked) {
+    // Client -> server segments pass, server -> client dropped.
+    net::Segment c2s, s2c;
+    c2s.src = {net::Ipv4(116, 28, 5, 7), 40000};
+    c2s.dst = server;
+    s2c.src = server;
+    s2c.dst = c2s.src;
+    bench::paper_vs_measured(
+        "drop direction", "only server-to-client is null-routed",
+        std::string("client->server dropped: ") +
+            (campaign.gfw().blocking().should_drop(c2s) ? "yes" : "no") +
+            ", server->client dropped: " +
+            (campaign.gfw().blocking().should_drop(s2c) ? "yes" : "no"));
+    const auto& entry = campaign.gfw().blocking().history()[0];
+    bench::paper_vs_measured(
+        "unblock policy", "no recheck probes; unblocked after a week or more",
+        "scheduled after " +
+            analysis::format_double(net::to_hours(entry.unblock_at - entry.blocked_at) /
+                                    24.0, 1) +
+            " days, no recheck");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared setup for the bench harnesses that regenerate the paper's tables
+// and figures. Each bench binary prints a banner, the simulated
+// measurement, and the paper's reported value next to it.
+//
+// Scale note: the paper's Shadowsocks experiment ran four months across
+// eleven servers and logged 51,837 probes. The benches run a compressed
+// campaign (weeks, one server) with the classifier trigger rate scaled up
+// so probe counts stay statistically useful; every *distributional shape*
+// (who wins, ratios, CDF knees, remainder classes) is what the benches
+// compare against the paper.
+#pragma once
+
+#include <iostream>
+
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "gfw/campaign.h"
+
+namespace gfwsim::bench {
+
+// The standard measurement campaign: browsing traffic through an
+// OutlineVPN v1.0.7 server (the implementation whose DATA responses
+// unlock stage 2, so all seven probe types appear — as in the paper's
+// OutlineVPN experiment).
+inline gfw::CampaignConfig standard_campaign(int days = 21) {
+  gfw::CampaignConfig config;
+  config.server.impl = probesim::ServerSetup::Impl::kOutline107;
+  config.server.cipher = "chacha20-ietf-poly1305";
+  config.duration = net::hours(24 * days);
+  config.connection_interval = net::seconds(60);
+  config.classifier_base_rate = 0.35;
+  return config;
+}
+
+inline std::unique_ptr<client::TrafficModel> browsing_traffic() {
+  return std::make_unique<client::BrowsingTraffic>(client::BrowsingTraffic::paper_sites());
+}
+
+inline void paper_vs_measured(const std::string& metric, const std::string& paper,
+                              const std::string& measured) {
+  std::cout << "  " << metric << "\n    paper:    " << paper
+            << "\n    measured: " << measured << "\n";
+}
+
+}  // namespace gfwsim::bench

@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) for the crypto substrate: the cost
+// of the primitives behind every simulated connection and probe.
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha20_poly1305.h"
+#include "crypto/entropy.h"
+#include "crypto/gcm.h"
+#include "crypto/hkdf.h"
+#include "crypto/kdf.h"
+#include "crypto/md5.h"
+#include "crypto/rng.h"
+#include "crypto/sha1.h"
+#include "proxy/wire.h"
+
+namespace {
+
+using namespace gfwsim;
+
+void BM_Md5(benchmark::State& state) {
+  crypto::Rng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Md5::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(64)->Arg(1500)->Arg(16384);
+
+void BM_Sha1(benchmark::State& state) {
+  crypto::Rng rng(2);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(1500)->Arg(16384);
+
+void BM_AesGcmSeal(benchmark::State& state) {
+  crypto::Rng rng(3);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  crypto::AesGcm gcm(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.seal(nonce, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(64)->Arg(1500)->Arg(16384);
+
+void BM_ChaChaPolySeal(benchmark::State& state) {
+  crypto::Rng rng(4);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  crypto::ChaCha20Poly1305 aead(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead.seal(nonce, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ChaChaPolySeal)->Arg(64)->Arg(1500)->Arg(16384);
+
+void BM_EvpBytesToKey(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::evp_bytes_to_key("correct horse battery staple", 32));
+  }
+}
+BENCHMARK(BM_EvpBytesToKey);
+
+void BM_SsSubkey(benchmark::State& state) {
+  crypto::Rng rng(5);
+  const Bytes master = rng.bytes(32);
+  const Bytes salt = rng.bytes(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ss_subkey(master, salt));
+  }
+}
+BENCHMARK(BM_SsSubkey);
+
+void BM_FirstPacketBuild(benchmark::State& state) {
+  crypto::Rng rng(6);
+  const auto* spec = proxy::find_cipher("chacha20-ietf-poly1305");
+  const Bytes key = proxy::master_key(*spec, "pw");
+  const auto target = proxy::TargetSpec::hostname("www.wikipedia.org", 443);
+  const Bytes data(300, 0x42);
+  for (auto _ : state) {
+    proxy::Encryptor enc(*spec, key, rng);
+    benchmark::DoNotOptimize(proxy::build_first_packet(enc, target, data, false));
+  }
+}
+BENCHMARK(BM_FirstPacketBuild);
+
+void BM_ShannonEntropy(benchmark::State& state) {
+  crypto::Rng rng(7);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::shannon_entropy(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ShannonEntropy)->Arg(594)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Figure 11: the intensity of active probing diminishes when brdgrd is
+// active (section 7.1), plus the limitation sweep (small windows break
+// strict stream-cipher servers).
+#include "bench_common.h"
+#include "client/ss_client.h"
+#include "servers/ss_libev.h"
+#include "servers/upstream.h"
+
+using namespace gfwsim;
+
+int main() {
+  analysis::print_banner(std::cout,
+                         "Figure 11: probing intensity with brdgrd toggled on/off");
+
+  // One campaign with brdgrd toggled: off 0-100 h, on 100-250 h,
+  // off 250-300 h, on 300-400 h — mirroring the paper's toggle pattern.
+  // The server is shadowsocks-libev (replay-filtering), like the paper's
+  // brdgrd experiment: replays never earn DATA, so no stage-2 engine
+  // keeps probing alive once the classifier is starved.
+  gfw::CampaignConfig config = bench::standard_campaign();
+  config.server.impl = probesim::ServerSetup::Impl::kLibevNew;
+  config.server.cipher = "aes-256-gcm";
+  config.use_brdgrd = true;
+  config.connection_interval = net::seconds(40);
+  gfw::Campaign campaign(config, bench::browsing_traffic(), 0xF16011);
+
+  struct PhaseRow {
+    const char* label;
+    int from_h, to_h;
+    bool brdgrd_on;
+  };
+  const std::vector<PhaseRow> phases = {
+      {"0 - 100 h: brdgrd OFF", 0, 100, false},
+      {"100 - 250 h: brdgrd ON", 100, 250, true},
+      {"250 - 300 h: brdgrd OFF", 250, 300, false},
+      {"300 - 400 h: brdgrd ON", 300, 400, true},
+  };
+
+  for (const PhaseRow& phase : phases) {
+    if (phase.brdgrd_on) {
+      campaign.brdgrd()->enable();
+    } else {
+      campaign.brdgrd()->disable();
+    }
+    campaign.run_for(net::hours(phase.to_h - phase.from_h));
+  }
+  campaign.loop().run_until(campaign.loop().now() + net::hours(2));
+
+  // Report in fine windows so the decay within ON phases is visible: the
+  // classifier stops flagging immediately, while delayed replays of
+  // already-recorded payloads drain out over the heavy-tailed schedule (the
+  // paper saw a few more probes up to 40+ hours after activation).
+  struct Window {
+    const char* label;
+    int from_h, to_h;
+  };
+  const std::vector<Window> windows = {
+      {"0 - 100 h: brdgrd OFF", 0, 100},
+      {"100 - 150 h: brdgrd ON (early: replay-tail draining)", 100, 150},
+      {"150 - 250 h: brdgrd ON (late)", 150, 250},
+      {"250 - 300 h: brdgrd OFF", 250, 300},
+      {"300 - 350 h: brdgrd ON (early: replay-tail draining)", 300, 350},
+      {"350 - 400 h: brdgrd ON (late)", 350, 400},
+  };
+  analysis::TextTable table({"window", "probe SYNs", "probes/hour"});
+  for (const Window& window : windows) {
+    std::size_t probes = 0;
+    for (const auto& record : campaign.log().records()) {
+      const double h = net::to_hours(record.sent_at);
+      if (h >= window.from_h && h < window.to_h) ++probes;
+    }
+    table.add_row({window.label, std::to_string(probes),
+                   analysis::format_double(static_cast<double>(probes) /
+                                           (window.to_h - window.from_h))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  bench::paper_vs_measured(
+      "probing while brdgrd is active",
+      "drops to ~zero within hours of activation; resumes when disabled",
+      "see probes/hour column (ON phases retain only residual replays of "
+      "earlier recordings)");
+
+  // --- Limitation 3: windows too small break strict servers ---------------
+  std::cout << "\n--- limitation sweep: clamp size vs client success (strict "
+               "stream server) ---\n";
+  analysis::TextTable sweep({"clamp window (bytes)", "fetches OK", "fetches broken"});
+  for (const std::uint32_t window : {8u, 16u, 24u, 48u, 96u}) {
+    net::EventLoop loop;
+    net::Network network(loop);
+    servers::SimulatedInternet internet{crypto::Rng(3)};
+    internet.add_site("example.com", servers::fixed_http_responder(256));
+    net::Host& client_host = network.add_host(net::Ipv4(116, 1, 1, 1));
+    net::Host& server_host = network.add_host(net::Ipv4(203, 0, 113, 10));
+
+    servers::ServerConfig server_config{proxy::find_cipher("aes-256-ctr"),
+                                        "correct horse battery staple", net::seconds(60)};
+    servers::SsLibevServer server(loop, server_config, &internet,
+                                  servers::LibevVersion::kV3_1_3, 4);
+    server.set_strict_first_read(true);  // the implementations brdgrd breaks
+
+    defense::BrdgrdConfig brdgrd_config;
+    brdgrd_config.min_window = window;
+    brdgrd_config.max_window = window;
+    defense::Brdgrd guard(loop, brdgrd_config, 5);
+    guard.install(server_host, 8388, server.acceptor());
+
+    client::ClientConfig client_config;
+    client_config.cipher = proxy::find_cipher("aes-256-ctr");
+    client_config.password = "correct horse battery staple";
+    client::SsClient ss(client_host, {server_host.addr(), 8388}, client_config);
+
+    int ok = 0, broken = 0;
+    for (int i = 0; i < 12; ++i) {
+      auto fetch = ss.fetch(proxy::TargetSpec::hostname("example.com", 80),
+                            to_bytes("GET / HTTP/1.1\r\n\r\n"));
+      loop.run_until(loop.now() + net::seconds(30));
+      (fetch->state() == client::Fetch::State::kDone ? ok : broken) += 1;
+      fetch->close();
+    }
+    sweep.add_row({std::to_string(window), std::to_string(ok), std::to_string(broken)});
+  }
+  sweep.print(std::cout);
+  std::cout << "Paper: \"It is not rare for brdgrd to chop the packets into such\n"
+               "small pieces, triggering an immediate RST\" — windows below the\n"
+               "IV+spec size break strict servers; larger clamps are safe.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 4: overlap in prober source IP addresses across independently
+// collected datasets.
+//
+// Paper: the Shadowsocks prober set (12,300 addresses) overlaps only
+// slightly with Dunna et al.'s 2018 Tor prober set (934) and Ensafi et
+// al.'s 2010-2015 set (~22,000): 128 + 21 + 1167 + 34 shared, with high
+// churn explaining the small intersections.
+//
+// Simulation: three campaigns run with independently seeded prober pools
+// standing in for measurement campaigns years apart (the pool's address
+// churn is the mechanism; different seeds model different eras).
+#include "bench_common.h"
+
+using namespace gfwsim;
+
+namespace {
+
+std::vector<std::uint32_t> campaign_prober_ips(std::uint64_t seed, int days) {
+  gfw::CampaignConfig config = gfwsim::bench::standard_campaign(days);
+  gfw::Campaign campaign(config, gfwsim::bench::browsing_traffic(), seed);
+  campaign.run();
+  std::vector<std::uint32_t> out;
+  for (const auto& [ip, count] : campaign.gfw().pool().probes_per_address()) {
+    out.push_back(ip.value);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  analysis::print_banner(
+      std::cout, "Figure 4: prober source address overlap across datasets");
+
+  const auto shadowsocks_2020 = campaign_prober_ips(0xF16004, 21);
+  const auto tor_2018 = campaign_prober_ips(0x7042018, 4);      // smaller, older set
+  const auto ensafi_2015 = campaign_prober_ips(0xE52015, 28);   // larger set
+
+  const analysis::Overlap3 overlap =
+      analysis::overlap3(shadowsocks_2020, tor_2018, ensafi_2015);
+
+  analysis::TextTable table({"Region", "Addresses"});
+  table.add_row({"Shadowsocks only", std::to_string(overlap.only_a)});
+  table.add_row({"Tor-2018 only", std::to_string(overlap.only_b)});
+  table.add_row({"2010-2015 only", std::to_string(overlap.only_c)});
+  table.add_row({"Shadowsocks & Tor", std::to_string(overlap.ab)});
+  table.add_row({"Shadowsocks & 2010-2015", std::to_string(overlap.ac)});
+  table.add_row({"Tor & 2010-2015", std::to_string(overlap.bc)});
+  table.add_row({"all three", std::to_string(overlap.abc)});
+  table.print(std::cout);
+
+  const std::size_t ss_total = shadowsocks_2020.size();
+  const std::size_t ss_shared = overlap.ab + overlap.ac + overlap.abc;
+  bench::paper_vs_measured(
+      "fraction of Shadowsocks prober addresses seen in past datasets",
+      "~10% ((128+1167+34)/12300) — churn keeps overlap small",
+      analysis::format_percent(ss_total == 0 ? 0.0
+                                             : static_cast<double>(ss_shared) /
+                                                   static_cast<double>(ss_total)));
+  return 0;
+}

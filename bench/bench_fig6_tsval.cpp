@@ -1,0 +1,58 @@
+// Figure 6: non-independent processes revealed by common TCP timestamp
+// sequences.
+//
+// Paper: despite thousands of source addresses, probe TSvals fall on at
+// least seven shared counter sequences — six at almost exactly 250 Hz
+// (one of them stamping the great majority of probes) and a small 22-probe
+// cluster near 1000 Hz; two sequences wrapped past 2^32. Centralized
+// control made visible at the network layer.
+#include "analysis/tsval.h"
+#include "bench_common.h"
+
+using namespace gfwsim;
+
+int main() {
+  analysis::print_banner(std::cout,
+                         "Figure 6: shared TCP-timestamp sequences across probers");
+
+  gfw::Campaign campaign(bench::standard_campaign(28), bench::browsing_traffic(), 0xF16006);
+  campaign.run();
+
+  std::vector<analysis::TsvalPoint> points;
+  std::set<std::uint32_t> addresses;
+  for (const auto& record : campaign.log().records()) {
+    points.push_back({record.sent_at, record.tsval});
+    addresses.insert(record.src_ip.value);
+  }
+
+  const auto clusters = analysis::cluster_tsval_sequences(points);
+
+  analysis::TextTable table({"process", "probes", "slope (Hz)", "wraps past 2^32"});
+  std::size_t significant = 0;
+  std::size_t wrapped = 0;
+  double dominant_share = 0.0;
+  bool found_1000hz = false;
+  int index = 0;
+  for (const auto& cluster : clusters) {
+    if (cluster.count < 3) continue;
+    ++significant;
+    wrapped += cluster.wraparounds > 0;
+    if (index == 0) dominant_share = static_cast<double>(cluster.count) / points.size();
+    if (std::abs(cluster.rate_hz - 1000.0) < 30.0) found_1000hz = true;
+    table.add_row({"#" + std::to_string(++index), std::to_string(cluster.count),
+                   analysis::format_double(cluster.rate_hz, 1),
+                   std::to_string(cluster.wraparounds)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nprobes analyzed: " << points.size()
+            << ", distinct source addresses: " << addresses.size() << "\n";
+  bench::paper_vs_measured("distinct counter processes", "at least 7",
+                           std::to_string(significant));
+  bench::paper_vs_measured("dominant process share", "the great majority of probes",
+                           analysis::format_percent(dominant_share));
+  bench::paper_vs_measured("counter rates", "250 Hz (six processes) and 1000 Hz (one)",
+                           found_1000hz ? "250 Hz clusters plus a 1000 Hz cluster"
+                                        : "250 Hz clusters only (1000 Hz not sampled)");
+  return 0;
+}

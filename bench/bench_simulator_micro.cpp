@@ -1,0 +1,76 @@
+// Microbenchmarks (google-benchmark) for the discrete-event simulator:
+// how fast campaigns run, which bounds how long the figure benches take.
+#include <benchmark/benchmark.h>
+
+#include "gfw/campaign.h"
+#include "probesim/probesim.h"
+
+namespace {
+
+using namespace gfwsim;
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    net::EventLoop loop;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_at(net::milliseconds(i), [&counter] { ++counter; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_ConnectionHandshakeAndData(benchmark::State& state) {
+  for (auto _ : state) {
+    net::EventLoop loop;
+    net::Network network(loop);
+    net::Host& a = network.add_host(net::Ipv4(10, 0, 0, 1));
+    net::Host& b = network.add_host(net::Ipv4(10, 0, 0, 2));
+    std::vector<std::shared_ptr<net::Connection>> sessions;
+    b.listen(80, [&](std::shared_ptr<net::Connection> conn) {
+      sessions.push_back(conn);
+      conn->set_callbacks({});
+    });
+    auto conn = a.connect({b.addr(), 80}, {});
+    loop.run();
+    conn->send(Bytes(500, 1));
+    loop.run();
+    benchmark::DoNotOptimize(sessions.size());
+  }
+}
+BENCHMARK(BM_ConnectionHandshakeAndData);
+
+void BM_SingleProbeExchange(benchmark::State& state) {
+  probesim::ServerSetup setup;
+  setup.impl = probesim::ServerSetup::Impl::kLibevOld;
+  setup.cipher = "aes-256-ctr";
+  probesim::ProbeLab lab(setup, 0xbe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lab.prober().send_random_probe(40));
+  }
+}
+BENCHMARK(BM_SingleProbeExchange);
+
+void BM_CampaignDay(benchmark::State& state) {
+  for (auto _ : state) {
+    gfw::CampaignConfig config;
+    config.server.impl = probesim::ServerSetup::Impl::kOutline107;
+    config.duration = net::hours(24);
+    config.connection_interval = net::seconds(120);
+    config.classifier_base_rate = 0.3;
+    gfw::Campaign campaign(config,
+                           std::make_unique<client::BrowsingTraffic>(
+                               client::BrowsingTraffic::paper_sites()),
+                           0xDA4);
+    campaign.run();
+    benchmark::DoNotOptimize(campaign.log().size());
+  }
+}
+BENCHMARK(BM_CampaignDay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

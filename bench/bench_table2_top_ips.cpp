@@ -1,0 +1,39 @@
+// Table 2: the most common prober IP addresses and their probe counts.
+//
+// Paper: top address 175.42.1.21 with 44 probes, tenth with 31 — a
+// shallow head, unlike the single dominant prober (202.108.181.70) of
+// earlier studies.
+#include "bench_common.h"
+
+using namespace gfwsim;
+
+int main() {
+  analysis::print_banner(std::cout, "Table 2: most common prober IP addresses");
+
+  gfw::Campaign campaign(bench::standard_campaign(), bench::browsing_traffic(), 0x7AB1E2);
+  campaign.run();
+
+  std::map<net::Ipv4, int> per_ip;
+  for (const auto& record : campaign.log().records()) ++per_ip[record.src_ip];
+
+  std::vector<std::pair<net::Ipv4, int>> sorted(per_ip.begin(), per_ip.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  analysis::TextTable table({"Prober IP address", "Count", "AS"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, sorted.size()); ++i) {
+    table.add_row({sorted[i].first.to_string(), std::to_string(sorted[i].second),
+                   "AS" + std::to_string(campaign.gfw().pool().asn_of(sorted[i].first))});
+  }
+  table.print(std::cout);
+
+  if (!sorted.empty()) {
+    const double head_ratio =
+        static_cast<double>(sorted[0].second) / std::max(1.0, static_cast<double>(
+            campaign.log().size()));
+    bench::paper_vs_measured("top address share of all probes",
+                             "44 / 51837 = 0.08% (shallow head, no mega-prober)",
+                             analysis::format_percent(head_ratio, 2));
+  }
+  return 0;
+}

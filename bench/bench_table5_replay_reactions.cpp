@@ -1,0 +1,76 @@
+// Table 5: server reactions to identical (R1) and byte-changed (R2-R5)
+// replays, by implementation and construction.
+//
+// Paper:
+//   ss-libev v3.0.8-v3.2.5:  stream R1 -> R, R2-R5 -> R/T/F; AEAD -> R/R
+//   ss-libev v3.3.1, v3.3.3: stream R1 -> T, R2-R5 -> T/F;   AEAD -> T/T
+//   OutlineVPN (<= 1.0.8):   AEAD R1 -> D (data!), R2-R5 -> T
+#include <iostream>
+
+#include "analysis/report.h"
+#include "probesim/probesim.h"
+
+using namespace gfwsim;
+
+namespace {
+
+std::string battery_summary(const std::map<probesim::ProbeType, probesim::ReactionTally>& b,
+                            probesim::ProbeType type) {
+  return b.at(type).label();
+}
+
+std::string changed_summary(const std::map<probesim::ProbeType, probesim::ReactionTally>& b) {
+  probesim::ReactionTally merged;
+  for (const auto type : {probesim::ProbeType::kR2, probesim::ProbeType::kR3,
+                          probesim::ProbeType::kR4, probesim::ProbeType::kR5}) {
+    const auto& tally = b.at(type);
+    merged.timeout += tally.timeout;
+    merged.rst += tally.rst;
+    merged.fin += tally.fin;
+    merged.data += tally.data;
+  }
+  return merged.label();
+}
+
+}  // namespace
+
+int main() {
+  using Impl = probesim::ServerSetup::Impl;
+  analysis::print_banner(std::cout, "Table 5: reactions to replay-based probes");
+
+  const auto target = proxy::TargetSpec::hostname("www.wikipedia.org", 443);
+  const Bytes request = to_bytes("GET / HTTP/1.1\r\nHost: www.wikipedia.org\r\n\r\n");
+
+  struct Row {
+    Impl impl;
+    const char* cipher;
+    const char* mode;
+    const char* paper;
+  };
+  const std::vector<Row> rows = {
+      {Impl::kLibevOld, "aes-256-ctr", "Stream", "R1: R, changed: R/T/F"},
+      {Impl::kLibevOld, "aes-256-gcm", "AEAD", "R1: R, changed: R"},
+      {Impl::kLibevNew, "aes-256-ctr", "Stream", "R1: T, changed: T/F"},
+      {Impl::kLibevNew, "aes-256-gcm", "AEAD", "R1: T, changed: T"},
+      {Impl::kOutline107, "chacha20-ietf-poly1305", "AEAD", "R1: D, changed: T"},
+      {Impl::kOutline110, "chacha20-ietf-poly1305", "AEAD", "(post-fix) R1: T"},
+      {Impl::kHardened, "chacha20-ietf-poly1305", "AEAD", "(defense) all: T"},
+  };
+
+  analysis::TextTable table({"Implementation", "Mode", "Identical (R1)",
+                             "Byte-changed (R2-R5)", "Paper"});
+  std::uint64_t seed = 0x7AB1E5;
+  for (const Row& row : rows) {
+    probesim::ServerSetup setup;
+    setup.impl = row.impl;
+    setup.cipher = row.cipher;
+    probesim::ProbeLab lab(setup, seed++);
+    const Bytes recorded = lab.establish_legitimate_connection(target, request);
+    const auto battery = lab.prober().replay_battery(recorded, 12);
+    table.add_row({std::string(probesim::impl_name(row.impl)), row.mode,
+                   battery_summary(battery, probesim::ProbeType::kR1),
+                   changed_summary(battery), row.paper});
+  }
+  table.print(std::cout);
+  return 0;
+}

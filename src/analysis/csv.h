@@ -1,0 +1,42 @@
+// CSV series export: the figure benches print human-readable tables AND
+// drop machine-readable data files (under ./bench_data by default) so the
+// paper's plots can be regenerated with any plotting tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace gfwsim::analysis {
+
+class CsvWriter {
+ public:
+  // Creates/overwrites `<directory>/<name>.csv`. The directory is created
+  // if missing. A failed open degrades to a no-op (benches still print).
+  CsvWriter(const std::string& directory, const std::string& name,
+            std::vector<std::string> columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<std::string>& values);
+
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  bool ok_ = false;
+  void* file_ = nullptr;  // FILE*
+};
+
+// Dumps a CDF as (x, cumulative_fraction) pairs, one row per sample.
+void write_cdf_csv(const std::string& directory, const std::string& name, const Cdf& cdf);
+
+// Dumps a histogram as (bucket, count) rows.
+void write_histogram_csv(const std::string& directory, const std::string& name,
+                         const Histogram& histogram);
+
+}  // namespace gfwsim::analysis

@@ -1,0 +1,81 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace gfwsim::analysis {
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i])) << row[i] << " | ";
+    }
+    os << "\n";
+  };
+
+  print_row(headers_);
+  os << "|";
+  for (const std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_histogram(std::ostream& os, const Histogram& histogram, const std::string& title,
+                     int max_bar_width) {
+  os << title << "\n";
+  std::int64_t peak = 1;
+  for (const auto& [key, count] : histogram.buckets()) peak = std::max(peak, count);
+  for (const auto& [key, count] : histogram.buckets()) {
+    const int bar = static_cast<int>(count * max_bar_width / peak);
+    os << "  " << std::setw(8) << key << " | " << std::string(static_cast<std::size_t>(bar), '#')
+       << " " << count << "\n";
+  }
+}
+
+void print_cdf(std::ostream& os, const Cdf& cdf, const std::string& title,
+               const std::vector<double>& thresholds, const std::string& unit) {
+  os << title << " (n=" << cdf.size() << ")\n";
+  if (cdf.empty()) {
+    os << "  (no samples)\n";
+    return;
+  }
+  os << "  min=" << format_double(cdf.min()) << unit
+     << "  p25=" << format_double(cdf.quantile(0.25)) << unit
+     << "  p50=" << format_double(cdf.quantile(0.50)) << unit
+     << "  p75=" << format_double(cdf.quantile(0.75)) << unit
+     << "  max=" << format_double(cdf.max()) << unit << "\n";
+  for (const double threshold : thresholds) {
+    os << "  P(x <= " << format_double(threshold) << unit
+       << ") = " << format_percent(cdf.fraction_below(threshold)) << "\n";
+  }
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_double(fraction * 100.0, precision) + "%";
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n" << std::string(72, '=') << "\n" << title << "\n"
+     << std::string(72, '=') << "\n";
+}
+
+}  // namespace gfwsim::analysis

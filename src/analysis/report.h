@@ -1,0 +1,41 @@
+// Plain-text table/figure rendering for the bench harnesses, which print
+// the same rows and series the paper reports.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace gfwsim::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "len=221  ############ 1530" style horizontal bar chart.
+void print_histogram(std::ostream& os, const Histogram& histogram, const std::string& title,
+                     int max_bar_width = 48);
+
+// Prints selected CDF points: "P50: ..." plus custom thresholds.
+void print_cdf(std::ostream& os, const Cdf& cdf, const std::string& title,
+               const std::vector<double>& thresholds, const std::string& unit);
+
+std::string format_double(double value, int precision = 2);
+std::string format_percent(double fraction, int precision = 1);
+
+// Section header for bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace gfwsim::analysis

@@ -1,0 +1,107 @@
+#include "analysis/stats.h"
+
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace gfwsim::analysis {
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::quantile(double p) const {
+  if (samples_.empty()) throw std::logic_error("Cdf::quantile on empty CDF");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("Cdf::quantile: p out of range");
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(samples_.size() - 1));
+  return samples_[rank];
+}
+
+double Cdf::fraction_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double Cdf::min() const {
+  if (samples_.empty()) throw std::logic_error("Cdf::min on empty CDF");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Cdf::max() const {
+  if (samples_.empty()) throw std::logic_error("Cdf::max on empty CDF");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) throw std::logic_error("Cdf::mean on empty CDF");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::int64_t Histogram::total() const {
+  std::int64_t sum = 0;
+  for (const auto& [key, count] : counts_) sum += count;
+  return sum;
+}
+
+std::int64_t RemainderProfile::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::int64_t{0});
+}
+
+int RemainderProfile::dominant() const {
+  int best = 0;
+  for (int r = 1; r < modulus_; ++r) {
+    if (counts_[static_cast<std::size_t>(r)] > counts_[static_cast<std::size_t>(best)]) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+double RemainderProfile::fraction(int remainder) const {
+  const auto sum = total();
+  if (sum == 0) return 0.0;
+  return static_cast<double>(count(remainder)) / static_cast<double>(sum);
+}
+
+Overlap3 overlap3(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b,
+                  const std::vector<std::uint32_t>& c) {
+  const std::set<std::uint32_t> sa(a.begin(), a.end());
+  const std::set<std::uint32_t> sb(b.begin(), b.end());
+  const std::set<std::uint32_t> sc(c.begin(), c.end());
+
+  Overlap3 out;
+  std::set<std::uint32_t> all;
+  all.insert(sa.begin(), sa.end());
+  all.insert(sb.begin(), sb.end());
+  all.insert(sc.begin(), sc.end());
+  for (const std::uint32_t v : all) {
+    const bool in_a = sa.count(v) > 0, in_b = sb.count(v) > 0, in_c = sc.count(v) > 0;
+    if (in_a && in_b && in_c) {
+      ++out.abc;
+    } else if (in_a && in_b) {
+      ++out.ab;
+    } else if (in_a && in_c) {
+      ++out.ac;
+    } else if (in_b && in_c) {
+      ++out.bc;
+    } else if (in_a) {
+      ++out.only_a;
+    } else if (in_b) {
+      ++out.only_b;
+    } else {
+      ++out.only_c;
+    }
+  }
+  return out;
+}
+
+}  // namespace gfwsim::analysis

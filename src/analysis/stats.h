@@ -1,0 +1,85 @@
+// Small measurement-statistics toolkit used to regenerate the paper's
+// tables and figures from simulation logs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gfwsim::analysis {
+
+// Empirical CDF over double samples.
+class Cdf {
+ public:
+  void add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // p in [0,1]; nearest-rank quantile.
+  double quantile(double p) const;
+  // Fraction of samples <= x.
+  double fraction_below(double x) const;
+  double min() const;
+  double max() const;
+  double mean() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Integer-keyed histogram (probe lengths, ports, counts-per-IP, ...).
+class Histogram {
+ public:
+  void add(std::int64_t key, std::int64_t weight = 1) { counts_[key] += weight; }
+
+  std::int64_t count(std::int64_t key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  std::int64_t total() const;
+  const std::map<std::int64_t, std::int64_t>& buckets() const { return counts_; }
+  bool empty() const { return counts_.empty(); }
+
+ private:
+  std::map<std::int64_t, std::int64_t> counts_;
+};
+
+// Counts how often each remainder of `value % modulus` occurs; used for
+// the Figure 8 stair-step analysis.
+class RemainderProfile {
+ public:
+  explicit RemainderProfile(int modulus = 16) : modulus_(modulus), counts_(modulus, 0) {}
+
+  void add(std::int64_t value) { ++counts_[static_cast<std::size_t>(value % modulus_)]; }
+
+  int modulus() const { return modulus_; }
+  std::int64_t count(int remainder) const { return counts_[static_cast<std::size_t>(remainder)]; }
+  std::int64_t total() const;
+  // The remainder with the highest count (ties: smallest remainder).
+  int dominant() const;
+  double fraction(int remainder) const;
+
+ private:
+  int modulus_;
+  std::vector<std::int64_t> counts_;
+};
+
+// Three-set overlap counts (Figure 4's Venn diagram).
+struct Overlap3 {
+  std::size_t only_a = 0, only_b = 0, only_c = 0;
+  std::size_t ab = 0, ac = 0, bc = 0;
+  std::size_t abc = 0;
+};
+
+Overlap3 overlap3(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b,
+                  const std::vector<std::uint32_t>& c);
+
+}  // namespace gfwsim::analysis

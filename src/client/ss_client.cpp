@@ -1,0 +1,95 @@
+#include "client/ss_client.h"
+
+#include <stdexcept>
+
+#include "servers/hardened.h"
+
+namespace gfwsim::client {
+
+SsClient::SsClient(net::Host& host, net::Endpoint server, ClientConfig config,
+                   std::uint64_t rng_seed)
+    : host_(host), server_(server), config_(std::move(config)), rng_(rng_seed) {
+  if (config_.cipher == nullptr) {
+    throw std::invalid_argument("SsClient: cipher must be set");
+  }
+  key_ = proxy::master_key(*config_.cipher, config_.password);
+}
+
+std::shared_ptr<Fetch> SsClient::fetch(const proxy::TargetSpec& target,
+                                       ByteSpan initial_data) {
+  auto fetch = std::make_shared<Fetch>();
+  proxy::Encryptor encryptor(*config_.cipher, key_, rng_);
+  fetch->response_decryptor_ = std::make_unique<proxy::Decryptor>(*config_.cipher, key_);
+
+  net::ConnectionCallbacks cb;
+  Fetch* raw_fetch = fetch.get();
+  const bool merge = config_.merge_header_and_data;
+  const bool embed_ts = config_.embed_timestamp;
+  Bytes initial(initial_data.begin(), initial_data.end());
+  auto enc = std::make_shared<proxy::Encryptor>(std::move(encryptor));
+
+  cb.on_connected = [raw_fetch, enc, target, initial, merge, embed_ts] {
+    auto& loop = raw_fetch->conn_->loop();
+    raw_fetch->connected_at_ = loop.now();
+    Bytes packet;
+    if (embed_ts) {
+      Bytes payload = servers::hardened_timestamp_prefix(loop.now());
+      append(payload, proxy::encode_target(target));
+      append(payload, initial);
+      packet = enc->encrypt(payload);
+    } else {
+      packet = proxy::build_first_packet(*enc, target, initial, merge);
+    }
+    raw_fetch->first_packet_ = packet;
+    raw_fetch->conn_->send(packet);
+    raw_fetch->state_ = Fetch::State::kAwaitingResponse;
+  };
+  cb.on_data = [raw_fetch](ByteSpan data) {
+    Bytes plain;
+    const auto status = raw_fetch->response_decryptor_->feed(data, plain);
+    append(raw_fetch->response_plain_, plain);
+    if (status == proxy::Decryptor::Status::kAuthError) {
+      raw_fetch->state_ = Fetch::State::kFailed;
+      raw_fetch->conn_->abort();
+    } else if (!raw_fetch->response_plain_.empty()) {
+      raw_fetch->state_ = Fetch::State::kDone;
+    }
+  };
+  cb.on_rst = [raw_fetch] { raw_fetch->state_ = Fetch::State::kFailed; };
+  cb.on_fin = [raw_fetch] {
+    if (raw_fetch->state_ != Fetch::State::kDone) {
+      raw_fetch->state_ = Fetch::State::kFailed;
+    }
+  };
+
+  fetch->conn_ = host_.connect(server_, std::move(cb));
+  return fetch;
+}
+
+std::shared_ptr<Fetch> SsClient::send_raw(Bytes payload) {
+  auto fetch = std::make_shared<Fetch>();
+  Fetch* raw_fetch = fetch.get();
+
+  net::ConnectionCallbacks cb;
+  cb.on_connected = [raw_fetch, payload = std::move(payload)] {
+    raw_fetch->connected_at_ = raw_fetch->conn_->loop().now();
+    raw_fetch->first_packet_ = payload;
+    raw_fetch->conn_->send(payload);
+    raw_fetch->state_ = Fetch::State::kAwaitingResponse;
+  };
+  cb.on_data = [raw_fetch](ByteSpan data) {
+    append(raw_fetch->response_plain_, data);
+    raw_fetch->state_ = Fetch::State::kDone;
+  };
+  cb.on_rst = [raw_fetch] { raw_fetch->state_ = Fetch::State::kFailed; };
+  cb.on_fin = [raw_fetch] {
+    if (raw_fetch->state_ != Fetch::State::kDone) {
+      raw_fetch->state_ = Fetch::State::kFailed;
+    }
+  };
+
+  fetch->conn_ = host_.connect(server_, std::move(cb));
+  return fetch;
+}
+
+}  // namespace gfwsim::client

@@ -1,0 +1,75 @@
+// Shadowsocks client: opens tunnel connections, sends the first flight,
+// and decrypts server responses.
+#pragma once
+
+#include <memory>
+
+#include "crypto/rng.h"
+#include "net/network.h"
+#include "proxy/wire.h"
+
+namespace gfwsim::client {
+
+struct ClientConfig {
+  const proxy::CipherSpec* cipher = nullptr;
+  std::string password;
+  // July 2020 OutlineVPN change: put target spec and initial data in one
+  // AEAD chunk so first-packet lengths vary (paper section 11).
+  bool merge_header_and_data = false;
+  // Hardened protocol (section 7.2 defense): embed an 8-byte timestamp at
+  // the start of the tunneled payload.
+  bool embed_timestamp = false;
+};
+
+// One proxied request/response exchange. Drive the event loop and then
+// inspect the state.
+class Fetch {
+ public:
+  enum class State { kConnecting, kAwaitingResponse, kDone, kFailed };
+
+  State state() const { return state_; }
+  const Bytes& response() const { return response_plain_; }
+  // The encrypted first packet as it went on the wire (useful for tests
+  // and for the GFW's replay store cross-checks).
+  const Bytes& first_packet() const { return first_packet_; }
+  net::TimePoint connected_at() const { return connected_at_; }
+
+  // Gracefully closes the underlying connection.
+  void close() {
+    if (conn_) conn_->close();
+  }
+
+ private:
+  friend class SsClient;
+  State state_ = State::kConnecting;
+  Bytes response_plain_;
+  Bytes first_packet_;
+  net::TimePoint connected_at_{};
+  std::shared_ptr<net::Connection> conn_;
+  std::unique_ptr<proxy::Decryptor> response_decryptor_;
+};
+
+class SsClient {
+ public:
+  SsClient(net::Host& host, net::Endpoint server, ClientConfig config,
+           std::uint64_t rng_seed = 0xC11E);
+
+  // Starts a proxied exchange: connect, send [IV/salt + target + data],
+  // collect and decrypt whatever the server returns.
+  std::shared_ptr<Fetch> fetch(const proxy::TargetSpec& target, ByteSpan initial_data);
+
+  // Raw variant used by the Table 4 experiments: sends exactly `payload`
+  // as the first data packet with no Shadowsocks framing at all.
+  std::shared_ptr<Fetch> send_raw(Bytes payload);
+
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  net::Host& host_;
+  net::Endpoint server_;
+  ClientConfig config_;
+  Bytes key_;
+  crypto::Rng rng_;
+};
+
+}  // namespace gfwsim::client

@@ -1,0 +1,93 @@
+#include "client/traffic.h"
+
+#include <stdexcept>
+
+namespace gfwsim::client {
+
+BrowsingTraffic::BrowsingTraffic(std::vector<Site> sites) : sites_(std::move(sites)) {
+  if (sites_.empty()) throw std::invalid_argument("BrowsingTraffic: empty site list");
+  weights_.reserve(sites_.size());
+  for (const auto& site : sites_) weights_.push_back(site.weight);
+}
+
+BrowsingTraffic BrowsingTraffic::paper_sites() {
+  // Section 3.1: curl against these three, plus a nod to the Alexa-driven
+  // Firefox workload of the OutlineVPN experiment.
+  return BrowsingTraffic({
+      {"www.wikipedia.org", true, 3.0},
+      {"example.com", false, 2.0},
+      {"gfw.report", true, 2.0},
+      {"www.alexa-top-site.net", true, 3.0},
+  });
+}
+
+Flow BrowsingTraffic::next(crypto::Rng& rng) {
+  const auto& site = sites_[rng.weighted_index(weights_)];
+  Flow flow;
+  flow.target = proxy::TargetSpec::hostname(site.hostname,
+                                            static_cast<std::uint16_t>(site.https ? 443 : 80));
+  flow.first_payload = site.https ? synthetic_client_hello(site.hostname, rng)
+                                  : synthetic_http_get(site.hostname, rng);
+  return flow;
+}
+
+Bytes synthetic_client_hello(const std::string& hostname, crypto::Rng& rng) {
+  // Record header + handshake framing + jittered extension block. Typical
+  // browser ClientHellos land around 250-600 bytes.
+  const std::size_t extensions = 150 + rng.uniform(0, 300);
+  const std::size_t body_len = 4 + 2 + 32 + 1 + 32 + 2 + 32 + 2 + extensions;
+  Bytes hello;
+  hello.reserve(5 + body_len);
+  hello.push_back(0x16);  // handshake
+  hello.push_back(0x03);
+  hello.push_back(0x01);
+  hello.push_back(static_cast<std::uint8_t>(body_len >> 8));
+  hello.push_back(static_cast<std::uint8_t>(body_len));
+  // client_random and key shares dominate the content: random bytes.
+  Bytes body = rng.bytes(body_len);
+  // Embed the SNI so lengths track hostname size like real stacks.
+  const std::size_t sni_at = std::min<std::size_t>(80, body.size());
+  for (std::size_t i = 0; i < hostname.size() && sni_at + i < body.size(); ++i) {
+    body[sni_at + i] = static_cast<std::uint8_t>(hostname[i]);
+  }
+  append(hello, body);
+  return hello;
+}
+
+Bytes synthetic_http_get(const std::string& hostname, crypto::Rng& rng) {
+  std::string request = "GET / HTTP/1.1\r\nHost: " + hostname +
+                        "\r\nUser-Agent: curl/7." + std::to_string(rng.uniform(40, 79)) +
+                        ".0\r\nAccept: */*\r\n";
+  if (rng.bernoulli(0.5)) request += "Accept-Encoding: gzip, deflate\r\n";
+  if (rng.bernoulli(0.3)) request += "Connection: keep-alive\r\n";
+  request += "\r\n";
+  return to_bytes(request);
+}
+
+RandomDataTraffic::RandomDataTraffic(std::size_t min_len, std::size_t max_len,
+                                     double min_entropy, double max_entropy)
+    : min_len_(min_len), max_len_(max_len), min_entropy_(min_entropy),
+      max_entropy_(max_entropy) {
+  if (min_len_ == 0 || min_len_ > max_len_) {
+    throw std::invalid_argument("RandomDataTraffic: bad length range");
+  }
+  if (min_entropy_ < 0 || max_entropy_ > 8.0 || min_entropy_ > max_entropy_) {
+    throw std::invalid_argument("RandomDataTraffic: bad entropy range");
+  }
+}
+
+Flow RandomDataTraffic::next(crypto::Rng& rng) {
+  const std::size_t len = rng.uniform(min_len_, max_len_);
+  const double entropy = rng.uniform_real(min_entropy_, max_entropy_);
+  Flow flow;
+  flow.target = proxy::TargetSpec::ipv4(net::Ipv4(0, 0, 0, 0), 0);  // unused: raw TCP
+  if (entropy >= 7.99) {
+    flow.first_payload = rng.bytes(len);
+  } else {
+    crypto::EntropySource source(entropy, rng);
+    flow.first_payload = source.generate(len, rng);
+  }
+  return flow;
+}
+
+}  // namespace gfwsim::client

@@ -1,0 +1,84 @@
+// Workload generators: what a Shadowsocks client tunnels, and what the
+// random-data experiment clients (paper Table 4) send.
+//
+// The GFW's passive detector sees only the *encrypted* first packet, so
+// its observable features are the payload length (target spec + first
+// application data + AEAD framing overhead) and its entropy (ciphertext:
+// ~8 bits/byte). Workload realism therefore means realistic *lengths* of
+// first application writes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "crypto/entropy.h"
+#include "crypto/rng.h"
+#include "proxy/target.h"
+
+namespace gfwsim::client {
+
+struct Flow {
+  proxy::TargetSpec target;
+  Bytes first_payload;  // first application write through the tunnel
+};
+
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+  virtual Flow next(crypto::Rng& rng) = 0;
+};
+
+// Browsing workload: HTTP GETs and HTTPS ClientHellos to a site list,
+// approximating the curl/Firefox drivers of section 3.1.
+class BrowsingTraffic : public TrafficModel {
+ public:
+  struct Site {
+    std::string hostname;
+    bool https = true;
+    double weight = 1.0;
+  };
+
+  explicit BrowsingTraffic(std::vector<Site> sites);
+
+  // The paper's experiment site list.
+  static BrowsingTraffic paper_sites();
+
+  Flow next(crypto::Rng& rng) override;
+
+ private:
+  std::vector<Site> sites_;
+  std::vector<double> weights_;
+};
+
+// Synthetic TLS ClientHello of a plausible size (SNI, key shares, GREASE
+// jitter); contents only matter for length/entropy statistics.
+Bytes synthetic_client_hello(const std::string& hostname, crypto::Rng& rng);
+
+// Plausible HTTP/1.1 GET with jittered header lengths.
+Bytes synthetic_http_get(const std::string& hostname, crypto::Rng& rng);
+
+// The Table 4 random-data workloads: raw TCP payloads (no Shadowsocks
+// framing) of controlled length and entropy.
+class RandomDataTraffic : public TrafficModel {
+ public:
+  // Lengths uniform in [min_len, max_len]; per-connection source entropy
+  // uniform in [min_entropy, max_entropy] bits/byte.
+  RandomDataTraffic(std::size_t min_len, std::size_t max_len, double min_entropy,
+                    double max_entropy);
+
+  // The four experiment rows of Table 4.
+  static RandomDataTraffic exp1() { return {1, 1000, 7.0, 8.0}; }   // entropy > 7
+  static RandomDataTraffic exp2() { return {1, 1000, 0.0, 2.0}; }   // entropy < 2
+  static RandomDataTraffic exp3() { return {1, 2000, 0.0, 8.0}; }   // full sweep
+
+  Flow next(crypto::Rng& rng) override;
+
+ private:
+  std::size_t min_len_;
+  std::size_t max_len_;
+  double min_entropy_;
+  double max_entropy_;
+};
+
+}  // namespace gfwsim::client

@@ -1,0 +1,95 @@
+// AES block cipher (FIPS 197), encryption direction only.
+//
+// Every AES mode Shadowsocks uses (CTR, CFB, GCM) needs only the forward
+// block transform, so the inverse cipher is deliberately not implemented.
+// This is a portable table-free byte-oriented implementation; throughput is
+// adequate for simulation workloads (see bench_crypto_micro).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "crypto/bytes.h"
+
+namespace gfwsim::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  // Key must be 16, 24, or 32 bytes (AES-128/192/256).
+  explicit Aes(ByteSpan key);
+
+  void encrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const;
+
+  Block encrypt_block(const Block& in) const {
+    Block out;
+    encrypt_block(in.data(), out.data());
+    return out;
+  }
+
+  int rounds() const { return rounds_; }
+
+ private:
+  void expand_key(ByteSpan key);
+
+  // Round keys: (rounds_ + 1) * 16 bytes.
+  std::array<std::uint8_t, 15 * 16> round_keys_{};
+  int rounds_ = 0;
+};
+
+// AES in CTR mode with a big-endian counter over the full 16-byte block,
+// matching OpenSSL's behaviour for the "aes-*-ctr" Shadowsocks methods.
+// Stateful: successive calls continue the keystream.
+class AesCtr {
+ public:
+  AesCtr(ByteSpan key, ByteSpan iv);
+
+  // XORs `data` into `out` (in == out allowed). Encryption == decryption.
+  void transform(ByteSpan data, std::uint8_t* out);
+
+  Bytes transform(ByteSpan data) {
+    Bytes out(data.size());
+    transform(data, out.data());
+    return out;
+  }
+
+ private:
+  void refill();
+
+  Aes aes_;
+  Aes::Block counter_{};
+  Aes::Block keystream_{};
+  std::size_t used_ = Aes::kBlockSize;
+};
+
+// AES in 128-bit CFB mode (OpenSSL "aes-*-cfb"), stateful across calls.
+// Unlike CTR, encryption and decryption differ.
+class AesCfb {
+ public:
+  AesCfb(ByteSpan key, ByteSpan iv);
+
+  void encrypt(ByteSpan plaintext, std::uint8_t* out);
+  void decrypt(ByteSpan ciphertext, std::uint8_t* out);
+
+  Bytes encrypt(ByteSpan plaintext) {
+    Bytes out(plaintext.size());
+    encrypt(plaintext, out.data());
+    return out;
+  }
+  Bytes decrypt(ByteSpan ciphertext) {
+    Bytes out(ciphertext.size());
+    decrypt(ciphertext, out.data());
+    return out;
+  }
+
+ private:
+  Aes aes_;
+  Aes::Block shift_register_{};
+  Aes::Block keystream_{};
+  std::size_t used_ = Aes::kBlockSize;
+};
+
+}  // namespace gfwsim::crypto

@@ -1,0 +1,114 @@
+// Byte-buffer utilities shared across the project.
+//
+// Every protocol layer in this repository works on raw octets; this header
+// defines the canonical owning buffer (`Bytes`), the canonical view
+// (`ByteSpan`), and small helpers (hex codecs, endian load/store,
+// constant-time comparison) that the crypto and wire-format code builds on.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gfwsim {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+// Builds an owning buffer from a string literal / std::string payload.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(ByteSpan b) {
+  return std::string(b.begin(), b.end());
+}
+
+// Lower-case hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string hex_encode(ByteSpan data);
+
+// Strict decoder: returns nullopt on odd length or non-hex characters.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+// Constant-time equality; mismatched lengths compare unequal (length is
+// not secret for any use in this project).
+bool ct_equal(ByteSpan a, ByteSpan b);
+
+inline void append(Bytes& out, ByteSpan more) {
+  out.insert(out.end(), more.begin(), more.end());
+}
+
+inline Bytes concat(ByteSpan a, ByteSpan b) {
+  Bytes out(a.begin(), a.end());
+  append(out, b);
+  return out;
+}
+
+// ---- Endian helpers -------------------------------------------------------
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_le32(p)) |
+         (static_cast<std::uint64_t>(load_le32(p + 4)) << 32);
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(load_be32(p)) << 32) |
+         static_cast<std::uint64_t>(load_be32(p + 4));
+}
+
+inline std::uint16_t load_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+inline void store_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline std::uint32_t rotl32(std::uint32_t v, int n) {
+  return (v << n) | (v >> (32 - n));
+}
+
+inline std::uint32_t rotr32(std::uint32_t v, int n) {
+  return (v >> n) | (v << (32 - n));
+}
+
+}  // namespace gfwsim

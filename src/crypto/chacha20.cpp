@@ -1,0 +1,79 @@
+#include "crypto/chacha20.h"
+
+namespace gfwsim::crypto {
+
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+void core(const std::array<std::uint32_t, 16>& input, std::uint8_t out[64]) {
+  std::array<std::uint32_t, 16> x = input;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) store_le32(out + 4 * i, x[i] + input[i]);
+}
+
+constexpr std::uint32_t kSigma[4] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574};
+
+}  // namespace
+
+ChaCha20::ChaCha20(ByteSpan key, ByteSpan nonce, std::uint64_t initial_counter) {
+  if (key.size() != kKeySize) throw std::invalid_argument("ChaCha20: key must be 32 bytes");
+  for (int i = 0; i < 4; ++i) state_[i] = kSigma[i];
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+
+  if (nonce.size() == 12) {
+    ietf_ = true;
+    state_[12] = static_cast<std::uint32_t>(initial_counter);
+    state_[13] = load_le32(nonce.data());
+    state_[14] = load_le32(nonce.data() + 4);
+    state_[15] = load_le32(nonce.data() + 8);
+  } else if (nonce.size() == 8) {
+    ietf_ = false;
+    state_[12] = static_cast<std::uint32_t>(initial_counter);
+    state_[13] = static_cast<std::uint32_t>(initial_counter >> 32);
+    state_[14] = load_le32(nonce.data());
+    state_[15] = load_le32(nonce.data() + 4);
+  } else {
+    throw std::invalid_argument("ChaCha20: nonce must be 8 or 12 bytes");
+  }
+}
+
+void ChaCha20::refill() {
+  core(state_, keystream_.data());
+  if (ietf_) {
+    ++state_[12];
+  } else {
+    if (++state_[12] == 0) ++state_[13];
+  }
+  used_ = 0;
+}
+
+void ChaCha20::transform(ByteSpan data, std::uint8_t* out) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (used_ == 64) refill();
+    out[i] = data[i] ^ keystream_[used_++];
+  }
+}
+
+std::array<std::uint8_t, 64> ChaCha20::block(ByteSpan key, ByteSpan nonce,
+                                             std::uint64_t counter) {
+  ChaCha20 c(key, nonce, counter);
+  c.refill();
+  return c.keystream_;
+}
+
+}  // namespace gfwsim::crypto

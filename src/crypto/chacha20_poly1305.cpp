@@ -1,0 +1,70 @@
+#include "crypto/chacha20_poly1305.h"
+
+#include <stdexcept>
+
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+
+namespace gfwsim::crypto {
+
+namespace {
+
+// MAC input: aad || pad16 || ciphertext || pad16 || le64(len aad) || le64(len ct).
+Poly1305::Tag compute_tag(ByteSpan poly_key, ByteSpan aad, ByteSpan ciphertext) {
+  Poly1305 mac(poly_key);
+  static constexpr std::uint8_t kZeros[16] = {};
+  mac.update(aad);
+  if (aad.size() % 16 != 0) mac.update(ByteSpan(kZeros, 16 - aad.size() % 16));
+  mac.update(ciphertext);
+  if (ciphertext.size() % 16 != 0) mac.update(ByteSpan(kZeros, 16 - ciphertext.size() % 16));
+  std::uint8_t lengths[16];
+  store_le64(lengths, aad.size());
+  store_le64(lengths + 8, ciphertext.size());
+  mac.update(ByteSpan(lengths, 16));
+  return mac.finish();
+}
+
+}  // namespace
+
+ChaCha20Poly1305::ChaCha20Poly1305(ByteSpan key) : key_(key.begin(), key.end()) {
+  if (key.size() != kKeySize) {
+    throw std::invalid_argument("ChaCha20Poly1305: key must be 32 bytes");
+  }
+}
+
+Bytes ChaCha20Poly1305::seal(ByteSpan nonce, ByteSpan plaintext, ByteSpan aad) const {
+  if (nonce.size() != kNonceSize) {
+    throw std::invalid_argument("ChaCha20Poly1305: nonce must be 12 bytes");
+  }
+  // Poly1305 one-time key = first 32 bytes of the counter-0 keystream block.
+  const auto block0 = ChaCha20::block(key_, nonce, 0);
+  const ByteSpan poly_key(block0.data(), 32);
+
+  Bytes out(plaintext.size() + kTagSize);
+  ChaCha20 stream(key_, nonce, 1);
+  stream.transform(plaintext, out.data());
+
+  const auto tag = compute_tag(poly_key, aad, ByteSpan(out.data(), plaintext.size()));
+  std::memcpy(out.data() + plaintext.size(), tag.data(), kTagSize);
+  return out;
+}
+
+std::optional<Bytes> ChaCha20Poly1305::open(ByteSpan nonce, ByteSpan sealed,
+                                            ByteSpan aad) const {
+  if (nonce.size() != kNonceSize || sealed.size() < kTagSize) return std::nullopt;
+  const std::size_t ct_len = sealed.size() - kTagSize;
+  const ByteSpan ciphertext = sealed.subspan(0, ct_len);
+  const ByteSpan tag = sealed.subspan(ct_len);
+
+  const auto block0 = ChaCha20::block(key_, nonce, 0);
+  const ByteSpan poly_key(block0.data(), 32);
+  const auto expected = compute_tag(poly_key, aad, ciphertext);
+  if (!ct_equal(ByteSpan(expected.data(), expected.size()), tag)) return std::nullopt;
+
+  Bytes plaintext(ct_len);
+  ChaCha20 stream(key_, nonce, 1);
+  stream.transform(ciphertext, plaintext.data());
+  return plaintext;
+}
+
+}  // namespace gfwsim::crypto

@@ -1,0 +1,130 @@
+#include "crypto/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+namespace gfwsim::crypto {
+
+double shannon_entropy(ByteSpan data) {
+  if (data.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (std::uint8_t b : data) ++counts[b];
+  const double n = static_cast<double>(data.size());
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double normalized_entropy(ByteSpan data) {
+  if (data.size() <= 1) return data.empty() ? 0.0 : 1.0;
+  const double max_bits = std::log2(static_cast<double>(std::min<std::size_t>(256, data.size())));
+  if (max_bits <= 0.0) return 1.0;
+  return std::min(1.0, shannon_entropy(data) / max_bits);
+}
+
+double expected_uniform_entropy(std::size_t len) {
+  if (len <= 1) return 0.0;
+  // Deterministic Monte-Carlo expectation, memoized. Classifiers use this
+  // as a "looks like ciphertext" reference curve, so accuracy matters more
+  // than closed form (analytic bias corrections are poor when the sample
+  // size is comparable to the alphabet size).
+  static std::map<std::size_t, double> cache;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = cache.find(len);
+  if (it != cache.end()) return it->second;
+
+  Rng rng(0xe47a11ce00000000ull ^ static_cast<std::uint64_t>(len));
+  constexpr int kTrials = 48;
+  double sum = 0.0;
+  for (int t = 0; t < kTrials; ++t) sum += shannon_entropy(rng.bytes(len));
+  const double expected = sum / kTrials;
+  cache.emplace(len, expected);
+  return expected;
+}
+
+namespace {
+
+// Source entropy of the "uniform over k-1 values with weight q each, plus
+// one value with weight 1-(k-1)q" distribution.
+double mixture_entropy(std::size_t k, double q) {
+  if (k == 1) return 0.0;
+  const double rest = 1.0 - static_cast<double>(k - 1) * q;
+  double h = 0.0;
+  if (q > 0.0) h -= static_cast<double>(k - 1) * q * std::log2(q);
+  if (rest > 0.0) h -= rest * std::log2(rest);
+  return h;
+}
+
+}  // namespace
+
+EntropySource::EntropySource(double bits, Rng& rng) : target_bits_(bits) {
+  if (bits < 0.0 || bits > 8.0) {
+    throw std::invalid_argument("EntropySource: bits must be in [0, 8]");
+  }
+
+  // Random permutation of byte values so that the support set varies.
+  std::vector<std::uint8_t> perm(256);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = perm.size() - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.uniform(0, i)]);
+  }
+
+  // Smallest alphabet that can reach the target: K = ceil(2^bits), then
+  // tilt the last symbol's probability and bisect on q.
+  const std::size_t k = std::min<std::size_t>(
+      256, static_cast<std::size_t>(std::ceil(std::exp2(bits))) + (bits == 0.0 ? 0 : 1));
+  const std::size_t alphabet_size = std::max<std::size_t>(1, k);
+  alphabet_.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(alphabet_size));
+
+  if (alphabet_size == 1 || bits == 0.0) {
+    alphabet_.resize(1);
+    probabilities_ = {1.0};
+    return;
+  }
+
+  // H is monotone increasing in q on (0, 1/k]; bisection converges fast.
+  double lo = 0.0;
+  double hi = 1.0 / static_cast<double>(alphabet_size);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mixture_entropy(alphabet_size, mid) < bits) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double q = 0.5 * (lo + hi);
+  probabilities_.assign(alphabet_size, q);
+  probabilities_.back() = 1.0 - static_cast<double>(alphabet_size - 1) * q;
+}
+
+Bytes EntropySource::generate(std::size_t len, Rng& rng) const {
+  Bytes out(len);
+  if (alphabet_.size() == 1) {
+    std::fill(out.begin(), out.end(), alphabet_[0]);
+    return out;
+  }
+  // Build a cumulative table once per call; alphabets are small.
+  std::vector<double> cumulative(probabilities_.size());
+  std::partial_sum(probabilities_.begin(), probabilities_.end(), cumulative.begin());
+  for (auto& b : out) {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const std::size_t idx =
+        std::min<std::size_t>(static_cast<std::size_t>(it - cumulative.begin()),
+                              alphabet_.size() - 1);
+    b = alphabet_[idx];
+  }
+  return out;
+}
+
+}  // namespace gfwsim::crypto

@@ -1,0 +1,140 @@
+#include "crypto/gcm.h"
+
+namespace gfwsim::crypto {
+
+namespace {
+
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
+
+U128 load_block(const std::uint8_t* p) {
+  return {load_be64(p), load_be64(p + 8)};
+}
+
+void store_block(std::uint8_t* p, U128 v) {
+  store_be64(p, v.hi);
+  store_be64(p + 8, v.lo);
+}
+
+// Multiplication in GF(2^128) with the GCM bit order: X * Y where bit 0 is
+// the most significant bit and the reduction polynomial is
+// x^128 + x^7 + x^2 + x + 1 (R = 0xE1 << 120).
+U128 gf_mul(U128 x, U128 y) {
+  U128 z{};
+  U128 v = x;
+  for (int half = 0; half < 2; ++half) {
+    const std::uint64_t bits = half == 0 ? y.hi : y.lo;
+    for (int i = 63; i >= 0; --i) {
+      if ((bits >> i) & 1) {
+        z.hi ^= v.hi;
+        z.lo ^= v.lo;
+      }
+      const bool carry = (v.lo & 1) != 0;
+      v.lo = (v.lo >> 1) | (v.hi << 63);
+      v.hi >>= 1;
+      if (carry) v.hi ^= 0xe100000000000000ull;
+    }
+  }
+  return z;
+}
+
+void inc32(Aes::Block& counter) {
+  std::uint32_t c = load_be32(counter.data() + 12);
+  store_be32(counter.data() + 12, c + 1);
+}
+
+}  // namespace
+
+AesGcm::AesGcm(ByteSpan key) : aes_(key) {
+  const Block zero{};
+  h_ = aes_.encrypt_block(zero);
+}
+
+AesGcm::Block AesGcm::ghash(ByteSpan aad, ByteSpan ciphertext) const {
+  const U128 h = load_block(h_.data());
+  U128 y{};
+
+  const auto absorb = [&](ByteSpan data) {
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      std::uint8_t block[16] = {};
+      const std::size_t take = std::min<std::size_t>(16, data.size() - offset);
+      std::memcpy(block, data.data() + offset, take);
+      const U128 x = load_block(block);
+      y.hi ^= x.hi;
+      y.lo ^= x.lo;
+      y = gf_mul(y, h);
+      offset += take;
+    }
+  };
+
+  absorb(aad);
+  absorb(ciphertext);
+
+  U128 lengths{static_cast<std::uint64_t>(aad.size()) * 8,
+               static_cast<std::uint64_t>(ciphertext.size()) * 8};
+  y.hi ^= lengths.hi;
+  y.lo ^= lengths.lo;
+  y = gf_mul(y, h);
+
+  Block out{};
+  store_block(out.data(), y);
+  return out;
+}
+
+void AesGcm::gctr(Block counter, ByteSpan in, std::uint8_t* out) const {
+  std::size_t offset = 0;
+  while (offset < in.size()) {
+    const Block keystream = aes_.encrypt_block(counter);
+    inc32(counter);
+    const std::size_t take = std::min<std::size_t>(16, in.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) out[offset + i] = in[offset + i] ^ keystream[i];
+    offset += take;
+  }
+}
+
+Bytes AesGcm::seal(ByteSpan nonce, ByteSpan plaintext, ByteSpan aad) const {
+  if (nonce.size() != kNonceSize) {
+    throw std::invalid_argument("AesGcm: nonce must be 12 bytes");
+  }
+  Block j0{};
+  std::memcpy(j0.data(), nonce.data(), nonce.size());
+  j0[15] = 1;
+
+  Bytes out(plaintext.size() + kTagSize);
+  Block counter = j0;
+  inc32(counter);
+  gctr(counter, plaintext, out.data());
+
+  const Block s = ghash(aad, ByteSpan(out.data(), plaintext.size()));
+  std::uint8_t tag[kTagSize];
+  gctr(j0, ByteSpan(s.data(), s.size()), tag);
+  std::memcpy(out.data() + plaintext.size(), tag, kTagSize);
+  return out;
+}
+
+std::optional<Bytes> AesGcm::open(ByteSpan nonce, ByteSpan sealed, ByteSpan aad) const {
+  if (nonce.size() != kNonceSize || sealed.size() < kTagSize) return std::nullopt;
+  const std::size_t ct_len = sealed.size() - kTagSize;
+  const ByteSpan ciphertext = sealed.subspan(0, ct_len);
+  const ByteSpan tag = sealed.subspan(ct_len);
+
+  Block j0{};
+  std::memcpy(j0.data(), nonce.data(), nonce.size());
+  j0[15] = 1;
+
+  const Block s = ghash(aad, ciphertext);
+  std::uint8_t expected_tag[kTagSize];
+  gctr(j0, ByteSpan(s.data(), s.size()), expected_tag);
+  if (!ct_equal(ByteSpan(expected_tag, kTagSize), tag)) return std::nullopt;
+
+  Bytes plaintext(ct_len);
+  Block counter = j0;
+  inc32(counter);
+  gctr(counter, ciphertext, plaintext.data());
+  return plaintext;
+}
+
+}  // namespace gfwsim::crypto

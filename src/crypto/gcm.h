@@ -1,0 +1,39 @@
+// AES-GCM (NIST SP 800-38D) authenticated encryption.
+//
+// Shadowsocks AEAD methods "aes-128-gcm", "aes-192-gcm", and "aes-256-gcm"
+// use a 12-byte nonce and 16-byte tag; seal/open below implement exactly
+// that profile (96-bit IV fast path, tag appended to the ciphertext).
+#pragma once
+
+#include <optional>
+
+#include "crypto/aes.h"
+#include "crypto/bytes.h"
+
+namespace gfwsim::crypto {
+
+class AesGcm {
+ public:
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kTagSize = 16;
+
+  explicit AesGcm(ByteSpan key);
+
+  // Returns ciphertext || 16-byte tag.
+  Bytes seal(ByteSpan nonce, ByteSpan plaintext, ByteSpan aad = {}) const;
+
+  // Input is ciphertext || tag; returns plaintext, or nullopt if the tag
+  // (or input framing) is invalid.
+  std::optional<Bytes> open(ByteSpan nonce, ByteSpan sealed, ByteSpan aad = {}) const;
+
+ private:
+  using Block = Aes::Block;
+
+  Block ghash(ByteSpan aad, ByteSpan ciphertext) const;
+  void gctr(Block counter, ByteSpan in, std::uint8_t* out) const;
+
+  Aes aes_;
+  Block h_{};  // GHASH subkey: E(K, 0^128)
+};
+
+}  // namespace gfwsim::crypto

@@ -1,0 +1,67 @@
+// HMAC (RFC 2104), generic over the hash implementations in this library.
+//
+// A hash type H must expose kDigestSize, kBlockSize, Digest, reset(),
+// update(ByteSpan), and finish().
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace gfwsim::crypto {
+
+template <typename H>
+class Hmac {
+ public:
+  static constexpr std::size_t kDigestSize = H::kDigestSize;
+  using Digest = typename H::Digest;
+
+  explicit Hmac(ByteSpan key) {
+    std::array<std::uint8_t, H::kBlockSize> block{};
+    if (key.size() > H::kBlockSize) {
+      H kh;
+      kh.update(key);
+      const auto digest = kh.finish();
+      std::memcpy(block.data(), digest.data(), digest.size());
+    } else {
+      std::memcpy(block.data(), key.data(), key.size());
+    }
+    for (auto& b : ipad_) b = 0x36;
+    for (auto& b : opad_) b = 0x5c;
+    for (std::size_t i = 0; i < H::kBlockSize; ++i) {
+      ipad_[i] ^= block[i];
+      opad_[i] ^= block[i];
+    }
+    reset();
+  }
+
+  void reset() {
+    inner_.reset();
+    inner_.update(ByteSpan(ipad_.data(), ipad_.size()));
+  }
+
+  void update(ByteSpan data) { inner_.update(data); }
+
+  Digest finish() {
+    const auto inner_digest = inner_.finish();
+    H outer;
+    outer.update(ByteSpan(opad_.data(), opad_.size()));
+    outer.update(ByteSpan(inner_digest.data(), inner_digest.size()));
+    reset();
+    return outer.finish();
+  }
+
+  static Digest mac(ByteSpan key, ByteSpan data) {
+    Hmac h(key);
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  H inner_;
+  std::array<std::uint8_t, H::kBlockSize> ipad_{};
+  std::array<std::uint8_t, H::kBlockSize> opad_{};
+};
+
+}  // namespace gfwsim::crypto

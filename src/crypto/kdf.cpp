@@ -1,0 +1,24 @@
+#include "crypto/kdf.h"
+
+#include "crypto/md5.h"
+
+namespace gfwsim::crypto {
+
+Bytes evp_bytes_to_key(std::string_view password, std::size_t key_len) {
+  const Bytes pw = to_bytes(password);
+  Bytes key;
+  key.reserve(key_len);
+  Bytes previous;
+  while (key.size() < key_len) {
+    Md5 h;
+    h.update(previous);
+    h.update(pw);
+    const auto digest = h.finish();
+    previous.assign(digest.begin(), digest.end());
+    const std::size_t take = std::min(previous.size(), key_len - key.size());
+    key.insert(key.end(), previous.begin(), previous.begin() + take);
+  }
+  return key;
+}
+
+}  // namespace gfwsim::crypto

@@ -1,0 +1,15 @@
+// Password-to-key derivation used by Shadowsocks: OpenSSL's EVP_BytesToKey
+// with MD5 and no salt.
+//
+//   D_1 = MD5(password)
+//   D_i = MD5(D_{i-1} || password)
+//   key = leftmost key_len bytes of D_1 || D_2 || ...
+#pragma once
+
+#include "crypto/bytes.h"
+
+namespace gfwsim::crypto {
+
+Bytes evp_bytes_to_key(std::string_view password, std::size_t key_len);
+
+}  // namespace gfwsim::crypto

@@ -1,0 +1,50 @@
+// MD5 message digest (RFC 1321).
+//
+// MD5 is cryptographically broken but remains part of the Shadowsocks wire
+// protocol: the stream-cipher master key is derived from the password with
+// OpenSSL's EVP_BytesToKey (an MD5 chain), and the "rc4-md5" method re-keys
+// RC4 with MD5(key || IV) per connection. We therefore need a faithful
+// implementation, not a secure one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace gfwsim::crypto {
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Md5() { reset(); }
+
+  void reset();
+  void update(ByteSpan data);
+  Digest finish();
+
+  // One-shot convenience.
+  static Digest hash(ByteSpan data) {
+    Md5 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+inline Bytes md5(ByteSpan data) {
+  const auto d = Md5::hash(data);
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace gfwsim::crypto

@@ -1,0 +1,137 @@
+#include "crypto/poly1305.h"
+
+#include <stdexcept>
+
+namespace gfwsim::crypto {
+
+Poly1305::Poly1305(ByteSpan key) {
+  if (key.size() != kKeySize) throw std::invalid_argument("Poly1305: key must be 32 bytes");
+  // Clamp r (RFC 8439 2.5.1) and split into 26-bit limbs.
+  const std::uint32_t t0 = load_le32(key.data());
+  const std::uint32_t t1 = load_le32(key.data() + 4);
+  const std::uint32_t t2 = load_le32(key.data() + 8);
+  const std::uint32_t t3 = load_le32(key.data() + 12);
+  r_[0] = t0 & 0x03ffffff;
+  r_[1] = ((t0 >> 26) | (t1 << 6)) & 0x03ffff03;
+  r_[2] = ((t1 >> 20) | (t2 << 12)) & 0x03ffc0ff;
+  r_[3] = ((t2 >> 14) | (t3 << 18)) & 0x03f03fff;
+  r_[4] = (t3 >> 8) & 0x000fffff;
+  std::memcpy(s_, key.data() + 16, 16);
+}
+
+void Poly1305::process_block(const std::uint8_t block[16], std::uint8_t pad_bit) {
+  const std::uint32_t t0 = load_le32(block);
+  const std::uint32_t t1 = load_le32(block + 4);
+  const std::uint32_t t2 = load_le32(block + 8);
+  const std::uint32_t t3 = load_le32(block + 12);
+
+  // h += message block (with the 2^128 pad bit).
+  h_[0] += t0 & 0x03ffffff;
+  h_[1] += ((t0 >> 26) | (t1 << 6)) & 0x03ffffff;
+  h_[2] += ((t1 >> 20) | (t2 << 12)) & 0x03ffffff;
+  h_[3] += ((t2 >> 14) | (t3 << 18)) & 0x03ffffff;
+  h_[4] += (t3 >> 8) | (static_cast<std::uint32_t>(pad_bit) << 24);
+
+  // h *= r (mod 2^130 - 5), schoolbook with 5*r folding.
+  const std::uint64_t r0 = r_[0], r1 = r_[1], r2 = r_[2], r3 = r_[3], r4 = r_[4];
+  const std::uint64_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+  const std::uint64_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+  std::uint64_t d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+  std::uint64_t d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+  std::uint64_t d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+  std::uint64_t d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+  std::uint64_t d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+  // Carry propagation.
+  std::uint64_t c;
+  c = d0 >> 26; d0 &= 0x03ffffff; d1 += c;
+  c = d1 >> 26; d1 &= 0x03ffffff; d2 += c;
+  c = d2 >> 26; d2 &= 0x03ffffff; d3 += c;
+  c = d3 >> 26; d3 &= 0x03ffffff; d4 += c;
+  c = d4 >> 26; d4 &= 0x03ffffff; d0 += c * 5;
+  c = d0 >> 26; d0 &= 0x03ffffff; d1 += c;
+
+  h_[0] = static_cast<std::uint32_t>(d0);
+  h_[1] = static_cast<std::uint32_t>(d1);
+  h_[2] = static_cast<std::uint32_t>(d2);
+  h_[3] = static_cast<std::uint32_t>(d3);
+  h_[4] = static_cast<std::uint32_t>(d4);
+}
+
+void Poly1305::update(ByteSpan data) {
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min<std::size_t>(16 - buffer_len_, data.size());
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 16) {
+      process_block(buffer_, 1);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 16 <= data.size()) {
+    process_block(data.data() + offset, 1);
+    offset += 16;
+  }
+  if (offset < data.size()) {
+    buffer_len_ = data.size() - offset;
+    std::memcpy(buffer_, data.data() + offset, buffer_len_);
+  }
+}
+
+Poly1305::Tag Poly1305::finish() {
+  if (buffer_len_ > 0) {
+    // Final partial block: append 0x01 then zero-pad; no 2^128 bit.
+    std::uint8_t block[16] = {};
+    std::memcpy(block, buffer_, buffer_len_);
+    block[buffer_len_] = 1;
+    process_block(block, 0);
+    buffer_len_ = 0;
+  }
+
+  // Full carry, then compute h + -p and select.
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+  std::uint32_t c;
+  c = h1 >> 26; h1 &= 0x03ffffff; h2 += c;
+  c = h2 >> 26; h2 &= 0x03ffffff; h3 += c;
+  c = h3 >> 26; h3 &= 0x03ffffff; h4 += c;
+  c = h4 >> 26; h4 &= 0x03ffffff; h0 += c * 5;
+  c = h0 >> 26; h0 &= 0x03ffffff; h1 += c;
+
+  std::uint32_t g0 = h0 + 5; c = g0 >> 26; g0 &= 0x03ffffff;
+  std::uint32_t g1 = h1 + c; c = g1 >> 26; g1 &= 0x03ffffff;
+  std::uint32_t g2 = h2 + c; c = g2 >> 26; g2 &= 0x03ffffff;
+  std::uint32_t g3 = h3 + c; c = g3 >> 26; g3 &= 0x03ffffff;
+  std::uint32_t g4 = h4 + c - (1u << 26);
+
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // Serialize to 128 bits and add s.
+  const std::uint32_t w0 = h0 | (h1 << 26);
+  const std::uint32_t w1 = (h1 >> 6) | (h2 << 20);
+  const std::uint32_t w2 = (h2 >> 12) | (h3 << 14);
+  const std::uint32_t w3 = (h3 >> 18) | (h4 << 8);
+
+  std::uint64_t f;
+  Tag tag{};
+  f = static_cast<std::uint64_t>(w0) + load_le32(s_);
+  store_le32(tag.data(), static_cast<std::uint32_t>(f));
+  f = static_cast<std::uint64_t>(w1) + load_le32(s_ + 4) + (f >> 32);
+  store_le32(tag.data() + 4, static_cast<std::uint32_t>(f));
+  f = static_cast<std::uint64_t>(w2) + load_le32(s_ + 8) + (f >> 32);
+  store_le32(tag.data() + 8, static_cast<std::uint32_t>(f));
+  f = static_cast<std::uint64_t>(w3) + load_le32(s_ + 12) + (f >> 32);
+  store_le32(tag.data() + 12, static_cast<std::uint32_t>(f));
+
+  std::memset(h_, 0, sizeof(h_));
+  return tag;
+}
+
+}  // namespace gfwsim::crypto

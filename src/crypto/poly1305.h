@@ -1,0 +1,39 @@
+// Poly1305 one-time authenticator (RFC 8439 section 2.5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace gfwsim::crypto {
+
+class Poly1305 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kTagSize = 16;
+  using Tag = std::array<std::uint8_t, kTagSize>;
+
+  explicit Poly1305(ByteSpan key);
+
+  void update(ByteSpan data);
+  Tag finish();
+
+  static Tag mac(ByteSpan key, ByteSpan data) {
+    Poly1305 p(key);
+    p.update(data);
+    return p.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t block[16], std::uint8_t pad_bit);
+
+  // 26-bit limb representation of the accumulator and clamped r.
+  std::uint32_t r_[5]{};
+  std::uint32_t h_[5]{};
+  std::uint8_t s_[16]{};
+  std::uint8_t buffer_[16]{};
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace gfwsim::crypto

@@ -1,0 +1,31 @@
+// RC4 stream cipher, needed for the deprecated-but-still-deployed
+// "rc4-md5" Shadowsocks method, which keys RC4 with MD5(key || IV) per
+// connection so that the keystream differs across sessions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace gfwsim::crypto {
+
+class Rc4 {
+ public:
+  explicit Rc4(ByteSpan key);
+
+  void transform(ByteSpan data, std::uint8_t* out);
+
+  Bytes transform(ByteSpan data) {
+    Bytes out(data.size());
+    transform(data, out.data());
+    return out;
+  }
+
+ private:
+  std::array<std::uint8_t, 256> s_{};
+  std::uint8_t i_ = 0;
+  std::uint8_t j_ = 0;
+};
+
+}  // namespace gfwsim::crypto

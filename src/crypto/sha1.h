@@ -1,0 +1,46 @@
+// SHA-1 (FIPS 180-4).
+//
+// Shadowsocks AEAD session keys are derived with HKDF-SHA1 (the protocol
+// whitepaper fixes the hash), so SHA-1 is required for wire compatibility.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace gfwsim::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(ByteSpan data);
+  Digest finish();
+
+  static Digest hash(ByteSpan data) {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+inline Bytes sha1(ByteSpan data) {
+  const auto d = Sha1::hash(data);
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace gfwsim::crypto

@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used by the hardened defense server (nonce/timestamp replay filter keys)
+// and by the HKDF test vectors; the Shadowsocks wire format itself only
+// needs SHA-1, but a credible release ships the modern hash too.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace gfwsim::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteSpan data);
+  Digest finish();
+
+  static Digest hash(ByteSpan data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+inline Bytes sha256(ByteSpan data) {
+  const auto d = Sha256::hash(data);
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace gfwsim::crypto

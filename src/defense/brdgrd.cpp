@@ -1,0 +1,39 @@
+#include "defense/brdgrd.h"
+
+namespace gfwsim::defense {
+
+Brdgrd::Brdgrd(net::EventLoop& loop, BrdgrdConfig config, std::uint64_t seed)
+    : loop_(loop), config_(config), rng_(seed) {}
+
+std::uint32_t Brdgrd::pick_window() {
+  if (config_.randomize_window) {
+    return static_cast<std::uint32_t>(rng_.uniform(config_.min_window, config_.max_window));
+  }
+  // Sticky mode: one choice per period, mitigating the "inconsistent
+  // window announcements are themselves a fingerprint" problem.
+  if (sticky_window_ == 0 || loop_.now() >= sticky_until_) {
+    sticky_window_ =
+        static_cast<std::uint32_t>(rng_.uniform(config_.min_window, config_.max_window));
+    sticky_until_ = loop_.now() + config_.sticky_period;
+  }
+  return sticky_window_;
+}
+
+net::Host::Acceptor Brdgrd::wrap(net::Host::Acceptor inner) {
+  return [this, inner = std::move(inner)](std::shared_ptr<net::Connection> conn) {
+    if (enabled_) {
+      ++clamped_;
+      conn->set_recv_window(pick_window());
+      // Restore the window once the fragmented first flight is through.
+      std::weak_ptr<net::Connection> weak = conn;
+      loop_.schedule_after(config_.restore_after, [weak, restored = config_.restored_window] {
+        if (auto alive = weak.lock(); alive && alive->established()) {
+          alive->set_recv_window(restored);
+        }
+      });
+    }
+    inner(std::move(conn));
+  };
+}
+
+}  // namespace gfwsim::defense

@@ -1,0 +1,60 @@
+#include "gfw/blocking.h"
+
+namespace gfwsim::gfw {
+
+BlockingModule::BlockingModule(net::EventLoop& loop, BlockingConfig config,
+                               std::uint64_t seed)
+    : loop_(loop), config_(config), rng_(seed) {}
+
+void BlockingModule::add_evidence(net::Endpoint server, double weight) {
+  double& score = evidence_[server];
+  score += weight;
+  if (score < config_.confirmation_threshold) return;
+  if (decided_[server]) return;  // the human gate rolls once per server
+  decided_[server] = true;
+
+  const double p =
+      sensitive_ ? config_.sensitive_block_probability : config_.block_probability;
+  if (rng_.bernoulli(p)) install_block(server);
+}
+
+void BlockingModule::install_block(net::Endpoint server) {
+  const bool whole_ip = rng_.bernoulli(config_.block_by_ip_fraction);
+  const std::uint16_t port_key = whole_ip ? 0 : server.port;
+
+  const double span_hours = rng_.uniform_real(net::to_hours(config_.min_block_duration),
+                                              net::to_hours(config_.max_block_duration));
+  const net::TimePoint unblock_at =
+      loop_.now() + net::from_seconds(span_hours * 3600.0);
+
+  active_[{server.addr, port_key}] = unblock_at;
+  history_.push_back(BlockEntry{server.addr,
+                                whole_ip ? std::nullopt : std::make_optional(server.port),
+                                loop_.now(), unblock_at});
+
+  // Unblocking is a timer, not a recheck: the paper observed no probes
+  // preceding an unblock (section 6).
+  loop_.schedule_at(unblock_at, [this, key = std::make_pair(server.addr, port_key)] {
+    active_.erase(key);
+  });
+}
+
+bool BlockingModule::should_drop(const net::Segment& segment) const {
+  if (active_.empty()) return false;
+  // Only the server-to-client direction is null-routed: match the
+  // segment's *source* against the block rules.
+  if (active_.count({segment.src.addr, 0}) > 0) return true;
+  return active_.count({segment.src.addr, segment.src.port}) > 0;
+}
+
+bool BlockingModule::is_blocked(net::Endpoint server) const {
+  return active_.count({server.addr, 0}) > 0 ||
+         active_.count({server.addr, server.port}) > 0;
+}
+
+double BlockingModule::evidence(net::Endpoint server) const {
+  const auto it = evidence_.find(server);
+  return it == evidence_.end() ? 0.0 : it->second;
+}
+
+}  // namespace gfwsim::gfw

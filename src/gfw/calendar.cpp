@@ -1,0 +1,64 @@
+#include "gfw/calendar.h"
+
+#include <stdexcept>
+
+namespace gfwsim::gfw {
+
+namespace {
+
+constexpr int kDaysPerYear = 365;
+constexpr int kCumulativeDays[12] = {0,   31,  59,  90,  120, 151,
+                                     181, 212, 243, 273, 304, 334};
+
+int day_of_year_for(int month, int day) {
+  if (month < 1 || month > 12 || day < 1 || day > 31) {
+    throw std::invalid_argument("SensitiveCalendar: bad date");
+  }
+  return kCumulativeDays[month - 1] + (day - 1);
+}
+
+}  // namespace
+
+std::vector<SensitiveWindow> default_sensitive_windows() {
+  return {
+      {6, 1, 8, "Tiananmen anniversary (June 4)"},
+      {9, 25, 14, "National Day period (Oct 1)"},
+      {10, 25, 8, "plenary session window"},
+      {3, 3, 10, "Two Sessions"},
+  };
+}
+
+SensitiveCalendar::SensitiveCalendar(int start_month, int start_day,
+                                     std::vector<SensitiveWindow> windows)
+    : start_day_of_year_(day_of_year_for(start_month, start_day)) {
+  for (auto& window : windows) {
+    const int start = day_of_year_for(window.month, window.day);
+    window_ranges_.emplace_back(start, start + window.duration_days);
+    labels_.push_back(std::move(window.label));
+  }
+}
+
+int SensitiveCalendar::day_of_year(net::TimePoint at) const {
+  const auto days_elapsed =
+      static_cast<std::int64_t>(net::to_seconds(at) / 86400.0);
+  return static_cast<int>((start_day_of_year_ + days_elapsed) % kDaysPerYear);
+}
+
+bool SensitiveCalendar::is_sensitive(net::TimePoint at) const {
+  return !active_window(at).empty();
+}
+
+std::string SensitiveCalendar::active_window(net::TimePoint at) const {
+  const int doy = day_of_year(at);
+  for (std::size_t i = 0; i < window_ranges_.size(); ++i) {
+    const auto [start, end] = window_ranges_[i];
+    // Windows may wrap the year boundary.
+    const bool inside = end <= kDaysPerYear
+                            ? (doy >= start && doy < end)
+                            : (doy >= start || doy < end - kDaysPerYear);
+    if (inside) return labels_[i];
+  }
+  return {};
+}
+
+}  // namespace gfwsim::gfw

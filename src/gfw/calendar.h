@@ -1,0 +1,51 @@
+// Politically sensitive periods (paper section 2.2).
+//
+// Reported Shadowsocks blocking waves cluster around recurring events:
+// the June 4 Tiananmen anniversary, the October 1 National Day (the 70th
+// anniversary in 2019), and party congresses / plenary sessions. This
+// calendar maps simulated time — anchored at a configurable start date —
+// to a sensitivity flag that campaigns feed into the blocking module's
+// human-factor gate, reproducing the waves-of-blocking pattern.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/time.h"
+
+namespace gfwsim::gfw {
+
+struct SensitiveWindow {
+  int month = 1;       // 1-12
+  int day = 1;         // 1-31
+  int duration_days = 7;
+  std::string label;
+};
+
+// The recurring windows section 2.2 names.
+std::vector<SensitiveWindow> default_sensitive_windows();
+
+class SensitiveCalendar {
+ public:
+  // `start_month`/`start_day`: the calendar date at simulation time zero.
+  // Year structure is simplified to a fixed 365-day year (the events the
+  // paper ties blocking to are annual).
+  SensitiveCalendar(int start_month, int start_day,
+                    std::vector<SensitiveWindow> windows = default_sensitive_windows());
+
+  // Is the simulated instant inside any sensitive window?
+  bool is_sensitive(net::TimePoint at) const;
+
+  // The label of the active window, or empty.
+  std::string active_window(net::TimePoint at) const;
+
+  // Day-of-year [0, 365) for a simulated instant.
+  int day_of_year(net::TimePoint at) const;
+
+ private:
+  int start_day_of_year_ = 0;
+  std::vector<std::pair<int, int>> window_ranges_;  // [start_doy, end_doy)
+  std::vector<std::string> labels_;
+};
+
+}  // namespace gfwsim::gfw

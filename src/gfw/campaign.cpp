@@ -1,0 +1,128 @@
+#include "gfw/campaign.h"
+
+namespace gfwsim::gfw {
+
+namespace {
+
+// Is an address "inside China" for the purposes of the border middlebox?
+// The campaign places the client (and the prober pool prefixes) in
+// Chinese-looking space and the default server/control hosts outside.
+bool default_is_domestic(net::Ipv4 ip) {
+  switch (ip.value >> 24) {
+    case 58: case 112: case 113: case 116: case 117: case 120:
+    case 124: case 175: case 202: case 218: case 221: case 223:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Campaign::Campaign(CampaignConfig config, std::unique_ptr<client::TrafficModel> traffic,
+                   std::uint64_t seed)
+    : config_(std::move(config)),
+      traffic_(std::move(traffic)),
+      rng_(seed),
+      internet_(crypto::Rng(seed ^ 0x1e7)) {
+  // Latency: ~100 ms across the border, like the Beijing<->UK/US paths of
+  // the paper's experiments.
+  net_.set_default_latency(net::milliseconds(50));
+
+  internet_.add_site("www.wikipedia.org", servers::fixed_http_responder(4096));
+  internet_.add_site("example.com", servers::fixed_http_responder(1024));
+  internet_.add_site("gfw.report", servers::fixed_http_responder(2048));
+  internet_.add_site("www.alexa-top-site.net", servers::fixed_http_responder(8192));
+
+  // Hosts. The client sits on the opposite side of the border from the
+  // server: the usual inside-client/outside-server, or the section 4.2
+  // outside-to-inside arrangement when server_inside_china is set.
+  net::Host& client_host = net_.add_host(config_.server_inside_china
+                                             ? net::Ipv4(198, 51, 100, 4)  // outside
+                                             : net::Ipv4(116, 28, 5, 7));  // inside
+  const net::Ipv4 server_ip = config_.server_inside_china
+                                  ? net::Ipv4(113, 54, 22, 9)            // inside
+                                  : net::Ipv4(203, 0, 113, 10);          // outside
+  net::Host& server_host = net_.add_host(server_ip);
+  net::Host& control_host = net_.add_host(net::Ipv4(203, 0, 113, 77));   // never used
+  server_endpoint_ = {server_ip, 8388};
+  control_endpoint_ = {control_host.addr(), 8388};
+
+  // Control host: listens but is never contacted by our client; any
+  // arriving segment is counted.
+  control_host.listen(8388, [this](std::shared_ptr<net::Connection> conn) {
+    ++control_contacts_;
+    conn->set_callbacks({});
+  });
+
+  // Server under test, optionally behind brdgrd.
+  server_ = probesim::make_server(config_.server, loop_, &internet_, seed ^ 0x5e4);
+  if (config_.use_brdgrd) {
+    brdgrd_ = std::make_unique<defense::Brdgrd>(loop_, config_.brdgrd, seed ^ 0xb6d);
+    brdgrd_->install(server_host, server_endpoint_.port, server_->acceptor());
+  } else {
+    server_->install(server_host, server_endpoint_.port);
+  }
+
+  // GFW on the path.
+  GfwConfig gfw_config = config_.gfw;
+  if (!gfw_config.is_domestic) gfw_config.is_domestic = default_is_domestic;
+  gfw_config.classifier.base_rate = config_.classifier_base_rate;
+  gfw_ = std::make_unique<Gfw>(net_, std::move(gfw_config), seed ^ 0x6f3);
+  net_.add_middlebox(gfw_.get());
+
+  // Client.
+  client::ClientConfig client_config = config_.client;
+  if (client_config.cipher == nullptr) {
+    client_config.cipher = proxy::find_cipher(config_.server.cipher);
+  }
+  if (client_config.password.empty()) client_config.password = config_.server.password;
+  client_ = std::make_unique<client::SsClient>(client_host, server_endpoint_,
+                                               client_config, seed ^ 0xc11);
+}
+
+Campaign::~Campaign() {
+  if (gfw_) net_.remove_middlebox(gfw_.get());
+}
+
+void Campaign::launch_connection() {
+  ++connections_launched_;
+  client::Flow flow = traffic_->next(rng_);
+  std::shared_ptr<client::Fetch> fetch;
+  if (config_.raw_traffic) {
+    fetch = client_->send_raw(std::move(flow.first_payload));
+  } else {
+    fetch = client_->fetch(flow.target, flow.first_payload);
+  }
+  fetches_.push_back(fetch);
+
+  // Client closes after a response window, like a curl run finishing.
+  loop_.schedule_after(net::seconds(20), [fetch] { fetch->close(); });
+  // Bound memory across long campaigns.
+  while (fetches_.size() > 256) fetches_.pop_front();
+}
+
+void Campaign::pump_traffic() {
+  if (loop_.now() >= traffic_until_) return;
+  launch_connection();
+  // Jittered pacing around the configured interval.
+  const double jitter = 0.5 + rng_.uniform01();
+  loop_.schedule_after(
+      net::from_seconds(net::to_seconds(config_.connection_interval) * jitter),
+      [this] { pump_traffic(); });
+}
+
+void Campaign::run_for(net::Duration span) {
+  traffic_until_ = loop_.now() + span;
+  pump_traffic();
+  loop_.run_until(traffic_until_);
+}
+
+void Campaign::run() {
+  run_for(config_.duration);
+  // Drain: let scheduled probes (heavy-tailed delays!) within a grace
+  // window finish so reaction stats are complete.
+  loop_.run_until(loop_.now() + net::hours(2));
+}
+
+}  // namespace gfwsim::gfw

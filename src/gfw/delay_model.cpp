@@ -1,0 +1,26 @@
+#include "gfw/delay_model.h"
+
+namespace gfwsim::gfw {
+
+ReplayDelayModel::ReplayDelayModel() {
+  // Piecewise mixture hitting the Figure 7 quantiles:
+  //   P(d < 1s) ~ 0.22, P(d < 60s) ~ 0.55, P(d < 900s) ~ 0.78, rest tail.
+  bands_ = {
+      {0.22, kMinDelaySeconds, 1.0, false},
+      {0.33, 1.0, 60.0, true},
+      {0.23, 60.0, 900.0, true},
+      {0.22, 900.0, kMaxDelaySeconds, true},
+  };
+  weights_.reserve(bands_.size());
+  for (const auto& band : bands_) weights_.push_back(band.probability);
+}
+
+net::Duration ReplayDelayModel::sample(crypto::Rng& rng) const {
+  const auto& band = bands_[rng.weighted_index(weights_)];
+  const double seconds = band.log_uniform
+                             ? rng.log_uniform(band.min_seconds, band.max_seconds)
+                             : rng.uniform_real(band.min_seconds, band.max_seconds);
+  return net::from_seconds(seconds);
+}
+
+}  // namespace gfwsim::gfw

@@ -1,0 +1,33 @@
+// Replay-delay model matched to the paper's Figure 7 CDF:
+//   >20% of first replays within 1 second (minimum observed 0.28 s),
+//   >50% within 1 minute, >75% within 15 minutes, heavy tail out to
+//   569.55 hours (~2.05e6 seconds).
+#pragma once
+
+#include "crypto/rng.h"
+#include "net/time.h"
+
+namespace gfwsim::gfw {
+
+class ReplayDelayModel {
+ public:
+  struct Band {
+    double probability;
+    double min_seconds;
+    double max_seconds;
+    bool log_uniform;
+  };
+
+  ReplayDelayModel();
+
+  net::Duration sample(crypto::Rng& rng) const;
+
+  static constexpr double kMinDelaySeconds = 0.28;
+  static constexpr double kMaxDelaySeconds = 2.05e6;  // ~569.55 hours
+
+ private:
+  std::vector<Band> bands_;
+  std::vector<double> weights_;
+};
+
+}  // namespace gfwsim::gfw

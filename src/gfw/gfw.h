@@ -1,0 +1,145 @@
+// The Great Firewall model: passive classification on path, staged active
+// probing from the prober pool, and the blocking module.
+//
+// Pipeline (paper Figure 1 + section 4):
+//   1. The middlebox watches every border-crossing TCP flow and runs the
+//      passive classifier on the FIRST data-carrying packet (segment) of
+//      each connection. This is per-segment, not per-stream — the reason
+//      brdgrd-style window clamping defeats it.
+//   2. A flagged connection's payload is recorded, and stage-1 probes are
+//      scheduled against the server with the heavy-tailed delay model of
+//      Figure 7: identical replays (R1), byte-0-changed replays (R2), and
+//      221-byte random probes (NR2). Payloads may be replayed many times
+//      (up to 47 observed in the paper).
+//   3. Stage 2 unlocks only when the server RESPONDS WITH DATA to a
+//      stage-1 probe (section 4.2): replays with other byte changes (R3,
+//      R4, rarely R5) and the NR1 random-length battery, trickled a few
+//      per hour. R1/R2 continue as well.
+//   4. Probe reactions accumulate evidence; the blocking module applies
+//      its human-factor gate and, if it blocks, null-routes the
+//      server->client direction by port or by IP.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "gfw/blocking.h"
+#include "gfw/classifier.h"
+#include "gfw/delay_model.h"
+#include "gfw/probe_log.h"
+#include "gfw/prober_pool.h"
+#include "net/network.h"
+#include "probesim/probesim.h"
+
+namespace gfwsim::gfw {
+
+struct GfwConfig {
+  // Which addresses are "inside" the censored network. Flows with exactly
+  // one inside endpoint are inspected (direction does not matter,
+  // section 4.2).
+  std::function<bool(net::Ipv4)> is_domestic;
+
+  ClassifierConfig classifier;
+  BlockingConfig blocking;
+  ProberPoolConfig pool;
+
+  bool enable_active_probing = true;
+  // Ablation arm: when false, stage-2 probes are sent unconditionally
+  // alongside stage 1 (contradicting the observed gating).
+  bool enable_staging = true;
+
+  // The GFW's own probe timeout ("usually less than 10 seconds").
+  net::Duration probe_timeout = net::seconds(8);
+
+  // Stage-1 plan per flagged connection.
+  double extra_r1_probability = 0.5;   // chance of each additional R1
+  int max_replays_per_payload = 47;
+  double r2_probability = 0.55;        // chance stage 1 includes an R2
+  double nr2_probability = 0.75;       // chance stage 1 includes an NR2
+
+  // Stage-2 cadence: a few probes per hour while the window is open.
+  net::Duration stage2_interval = net::minutes(25);
+  int stage2_batch_min = 1;
+  int stage2_batch_max = 3;
+  net::Duration stage2_duration = net::hours(48);
+
+  // Evidence weights by reaction.
+  double evidence_data = 2.0;
+  double evidence_rst = 0.30;
+  double evidence_fin = 0.30;
+  double evidence_timeout = 0.05;
+};
+
+class Gfw : public net::Middlebox {
+ public:
+  Gfw(net::Network& net, GfwConfig config, std::uint64_t seed = 0x6f17);
+  ~Gfw() override;
+
+  Gfw(const Gfw&) = delete;
+  Gfw& operator=(const Gfw&) = delete;
+
+  net::Verdict on_segment(const net::Segment& segment) override;
+
+  // Injects a suspicion directly (tests/benches that bypass the
+  // classifier's randomness).
+  void flag_connection(net::Endpoint server, Bytes first_payload);
+
+  const ProbeLog& log() const { return log_; }
+  ProberPool& pool() { return pool_; }
+  BlockingModule& blocking() { return blocking_; }
+  const PassiveClassifier& classifier() const { return classifier_; }
+  const ReplayDelayModel& delay_model() const { return delay_model_; }
+
+  std::size_t flows_inspected() const { return flows_inspected_; }
+  std::size_t flows_flagged() const { return flows_flagged_; }
+  std::size_t probes_in_flight() const { return in_flight_; }
+  std::size_t servers_in_stage2() const;
+
+ private:
+  struct FlowState {
+    net::Endpoint initiator;
+    bool data_seen = false;
+  };
+
+  struct StoredPayload {
+    Bytes payload;
+    net::TimePoint recorded_at{};
+    int replays_sent = 0;
+  };
+
+  struct ServerState {
+    std::vector<StoredPayload> payloads;  // replay store (bounded)
+    bool stage2 = false;
+    net::TimePoint stage2_until{};
+    bool responded_with_data = false;
+  };
+
+  void schedule_stage1(net::Endpoint server, std::size_t payload_index);
+  void schedule_probe(net::Endpoint server, probesim::ProbeType type,
+                      net::Duration delay, std::size_t payload_index);
+  void launch_probe(net::Endpoint server, probesim::ProbeType type,
+                    std::size_t payload_index);
+  void enter_stage2(net::Endpoint server);
+  void stage2_tick(net::Endpoint server);
+  void handle_probe_result(net::Endpoint server, const ProbeRecord& record);
+
+  net::Network& net_;
+  GfwConfig config_;
+  crypto::Rng rng_;
+  PassiveClassifier classifier_;
+  ProberPool pool_;
+  BlockingModule blocking_;
+  ReplayDelayModel delay_model_;
+  ProbeLog log_;
+
+  std::map<std::pair<net::Endpoint, net::Endpoint>, FlowState> flows_;
+  std::map<net::Endpoint, ServerState> servers_;
+  std::set<Bytes> replayed_payload_fingerprints_;
+  std::size_t flows_inspected_ = 0;
+  std::size_t flows_flagged_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace gfwsim::gfw

@@ -1,0 +1,40 @@
+#include "net/addr.h"
+
+#include <charconv>
+
+namespace gfwsim::net {
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value >> shift) & 0xff);
+    if (shift != 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view dotted) {
+  std::uint32_t result = 0;
+  const char* p = dotted.data();
+  const char* end = p + dotted.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    const auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255 || next == p) return std::nullopt;
+    result = (result << 8) | value;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4(result);
+}
+
+std::string Endpoint::to_string() const {
+  return addr.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace gfwsim::net

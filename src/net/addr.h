@@ -1,0 +1,50 @@
+// IPv4 addresses and endpoints for the simulated network.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace gfwsim::net {
+
+struct Ipv4 {
+  std::uint32_t value = 0;  // host byte order
+
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t v) : value(v) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value((static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  auto operator<=>(const Ipv4&) const = default;
+
+  std::string to_string() const;
+  static std::optional<Ipv4> parse(std::string_view dotted);
+};
+
+struct Endpoint {
+  Ipv4 addr;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  std::string to_string() const;
+};
+
+}  // namespace gfwsim::net
+
+template <>
+struct std::hash<gfwsim::net::Ipv4> {
+  std::size_t operator()(const gfwsim::net::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value);
+  }
+};
+
+template <>
+struct std::hash<gfwsim::net::Endpoint> {
+  std::size_t operator()(const gfwsim::net::Endpoint& ep) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(ep.addr.value) << 16) | ep.port);
+  }
+};

@@ -1,0 +1,98 @@
+// One endpoint's view of a simulated TCP connection.
+//
+// Applications interact with a Connection through callbacks (installed at
+// accept/connect time) and the send/close/abort methods. Segmentation
+// honours the peer's advertised receive window, which is what makes the
+// brdgrd defense (section 7.1 of the paper) expressible: a server that
+// clamps its window forces the client's first payload to arrive as several
+// small data segments, defeating first-packet length classification.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "crypto/bytes.h"
+#include "net/addr.h"
+#include "net/segment.h"
+#include "net/time.h"
+
+namespace gfwsim::net {
+
+class Network;
+class EventLoop;
+
+struct ConnectionCallbacks {
+  // Handshake complete (client: SYN/ACK received; server: fires right
+  // after the acceptor installs callbacks).
+  std::function<void()> on_connected;
+  // A data segment's payload arrived.
+  std::function<void(ByteSpan)> on_data;
+  // Peer closed cleanly (FIN).
+  std::function<void()> on_fin;
+  // Peer aborted (RST), or the connection was refused.
+  std::function<void()> on_rst;
+};
+
+// Generates the fingerprintable header fields for outgoing segments of one
+// connection. Hosts install defaults; the GFW prober pool installs its own
+// (shared TSval processes, TTL 46-50, Linux ephemeral ports...).
+struct HeaderProfile {
+  std::uint8_t ttl = 64;
+  std::function<std::uint32_t(TimePoint)> tsval;  // may be null -> 0
+  std::function<std::uint16_t()> ip_id;           // may be null -> 0
+};
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  enum class State { kConnecting, kEstablished, kFinSent, kClosed, kReset };
+
+  Endpoint local() const { return local_; }
+  Endpoint remote() const { return remote_; }
+  State state() const { return state_; }
+  bool established() const { return state_ == State::kEstablished || state_ == State::kFinSent; }
+  bool can_send() const {
+    return state_ == State::kEstablished || state_ == State::kFinSent;
+  }
+
+  void set_callbacks(ConnectionCallbacks cb) { cb_ = std::move(cb); }
+
+  // Queues payload; it is segmented per min(MSS, peer window) and
+  // delivered with path latency. No-op if the connection cannot send.
+  void send(ByteSpan data);
+
+  // Graceful close: emits FIN (with any semantics the peer applies).
+  void close();
+
+  // Abortive close: emits RST.
+  void abort();
+
+  // Sets the receive window advertised to the peer. Takes effect on the
+  // SYN/ACK for not-yet-accepted connections, or via a window-update ACK.
+  void set_recv_window(std::uint32_t bytes);
+
+  std::uint32_t recv_window() const { return recv_window_; }
+  std::uint32_t peer_window() const { return peer_window_; }
+  std::size_t bytes_received() const { return bytes_received_; }
+  std::size_t bytes_sent() const { return bytes_sent_; }
+
+  EventLoop& loop();
+
+ private:
+  friend class Network;
+  friend class Host;
+
+  Network* net_ = nullptr;
+  Endpoint local_;
+  Endpoint remote_;
+  HeaderProfile header_;
+  ConnectionCallbacks cb_;
+  std::weak_ptr<Connection> peer_;
+  State state_ = State::kConnecting;
+  std::uint32_t recv_window_ = 65535;
+  std::uint32_t peer_window_ = 65535;
+  std::uint32_t mss_ = 1448;
+  std::size_t bytes_received_ = 0;
+  std::size_t bytes_sent_ = 0;
+};
+
+}  // namespace gfwsim::net

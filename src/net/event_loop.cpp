@@ -1,0 +1,51 @@
+#include "net/event_loop.h"
+
+#include <stdexcept>
+
+namespace gfwsim::net {
+
+TimerId EventLoop::schedule_at(TimePoint when, Callback fn) {
+  if (when < now_) when = now_;  // never schedule into the past
+  const TimerId id = next_id_++;
+  queue_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::cancel(TimerId id) {
+  callbacks_.erase(id);  // stale heap entries are skipped on pop
+}
+
+bool EventLoop::pop_one(TimePoint limit) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    const auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    if (top.at > limit) return false;
+    queue_.pop();
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.at;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (processed < max_events && pop_one(TimePoint::max())) ++processed;
+  return processed;
+}
+
+std::size_t EventLoop::run_until(TimePoint until) {
+  std::size_t processed = 0;
+  while (pop_one(until)) ++processed;
+  if (now_ < until) now_ = until;
+  return processed;
+}
+
+}  // namespace gfwsim::net

@@ -1,0 +1,62 @@
+// Discrete-event scheduler driving the virtual clock.
+//
+// Events scheduled for the same instant run in FIFO order (a strictly
+// increasing sequence number breaks ties), which makes every simulation
+// fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "net/time.h"
+
+namespace gfwsim::net {
+
+using TimerId = std::uint64_t;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  TimePoint now() const { return now_; }
+
+  TimerId schedule_at(TimePoint when, Callback fn);
+  TimerId schedule_after(Duration delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending timer; no-op if it already fired or was cancelled.
+  void cancel(TimerId id);
+
+  // Runs events until the queue is empty (or `max_events` processed).
+  // Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  // Runs all events with timestamp <= `until`, then advances the clock to
+  // `until` even if idle. Returns the number of events processed.
+  std::size_t run_until(TimePoint until);
+
+  std::size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    TimerId id;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+
+  bool pop_one(TimePoint limit);
+
+  TimePoint now_{0};
+  TimerId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<TimerId, Callback> callbacks_;
+};
+
+}  // namespace gfwsim::net

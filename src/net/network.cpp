@@ -1,0 +1,306 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+namespace gfwsim::net {
+
+namespace {
+
+std::pair<Ipv4, Ipv4> ordered(Ipv4 a, Ipv4 b) {
+  return a.value <= b.value ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+// ---- Segment --------------------------------------------------------------
+
+std::string Segment::flags_to_string() const {
+  std::string out;
+  if (has(TcpFlag::kSyn)) out += "SYN|";
+  if (has(TcpFlag::kRst)) out += "RST|";
+  if (has(TcpFlag::kFin)) out += "FIN|";
+  if (has(TcpFlag::kPsh)) out += "PSH|";
+  if (has(TcpFlag::kAck)) out += "ACK|";
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+// ---- Connection ------------------------------------------------------------
+
+EventLoop& Connection::loop() { return net_->loop(); }
+
+void Connection::send(ByteSpan data) {
+  if (!can_send() || data.empty()) return;
+  // Segment per min(MSS, peer receive window); brdgrd-style clamping by
+  // the peer shows up here as many small data segments.
+  const std::size_t chunk_limit =
+      std::max<std::size_t>(1, std::min<std::size_t>(mss_, peer_window_));
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t take = std::min(chunk_limit, data.size() - offset);
+    Bytes chunk(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                data.begin() + static_cast<std::ptrdiff_t>(offset + take));
+    bytes_sent_ += take;
+    net_->transmit(*this, TcpFlag::kPsh | TcpFlag::kAck, std::move(chunk));
+    offset += take;
+  }
+}
+
+void Connection::close() {
+  switch (state_) {
+    case State::kEstablished:
+      state_ = State::kFinSent;
+      net_->transmit(*this, TcpFlag::kFin | TcpFlag::kAck, {});
+      break;
+    case State::kConnecting:
+      state_ = State::kClosed;
+      net_->unregister_connection(*this);
+      break;
+    default:
+      break;
+  }
+}
+
+void Connection::abort() {
+  if (state_ == State::kClosed || state_ == State::kReset) return;
+  const bool was_connecting = state_ == State::kConnecting;
+  state_ = State::kReset;
+  if (!was_connecting) {
+    net_->transmit(*this, static_cast<std::uint8_t>(TcpFlag::kRst), {});
+  }
+  net_->unregister_connection(*this);
+}
+
+void Connection::set_recv_window(std::uint32_t bytes) {
+  recv_window_ = bytes;
+  if (state_ == State::kEstablished || state_ == State::kFinSent) {
+    // Window-update ACK so the peer learns the new value.
+    net_->transmit(*this, static_cast<std::uint8_t>(TcpFlag::kAck), {});
+  }
+}
+
+// ---- Host -------------------------------------------------------------------
+
+Host::Host(Network* net, Ipv4 addr) : net_(net), addr_(addr) {
+  // Plausible default host fingerprint: Linux-ish 1000 Hz TCP timestamps
+  // and a sequential IP ID, both offset by the host address so hosts do
+  // not share counters (the GFW prober pool deliberately overrides this).
+  const std::uint32_t salt = addr.value * 2654435761u;
+  default_header_.ttl = 64;
+  default_header_.tsval = [salt](TimePoint now) {
+    return salt + static_cast<std::uint32_t>(now.count() / 1000000);  // 1000 Hz
+  };
+  ip_id_counter_ = static_cast<std::uint16_t>(salt);
+  default_header_.ip_id = [this] { return ++ip_id_counter_; };
+}
+
+void Host::listen(std::uint16_t port, Acceptor acceptor) {
+  if (!acceptor) throw std::invalid_argument("Host::listen: null acceptor");
+  listeners_[port] = std::move(acceptor);
+}
+
+void Host::stop_listening(std::uint16_t port) { listeners_.erase(port); }
+
+std::uint16_t Host::allocate_ephemeral_port() {
+  // Linux default ephemeral range; wraps within it.
+  if (next_ephemeral_ < 32768 || next_ephemeral_ >= 61000) next_ephemeral_ = 32768;
+  return next_ephemeral_++;
+}
+
+std::shared_ptr<Connection> Host::connect(Endpoint remote, ConnectionCallbacks callbacks,
+                                          ConnectOptions options) {
+  auto conn = std::shared_ptr<Connection>(new Connection());
+  conn->net_ = net_;
+  conn->local_ = Endpoint{addr_, options.src_port != 0 ? options.src_port
+                                                       : allocate_ephemeral_port()};
+  conn->remote_ = remote;
+  conn->header_ = options.header.value_or(default_header_);
+  conn->cb_ = std::move(callbacks);
+  if (options.recv_window) conn->recv_window_ = *options.recv_window;
+  conn->state_ = Connection::State::kConnecting;
+
+  net_->register_connection(conn);
+  net_->transmit(*conn, static_cast<std::uint8_t>(TcpFlag::kSyn), {});
+  return conn;
+}
+
+// ---- Network ----------------------------------------------------------------
+
+Host& Network::add_host(Ipv4 addr) {
+  auto& slot = hosts_[addr];
+  if (!slot) slot = std::unique_ptr<Host>(new Host(this, addr));
+  return *slot;
+}
+
+Host* Network::host(Ipv4 addr) {
+  const auto it = hosts_.find(addr);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+void Network::set_latency(Ipv4 a, Ipv4 b, Duration latency) {
+  latency_overrides_[ordered(a, b)] = latency;
+}
+
+Duration Network::latency(Ipv4 a, Ipv4 b) const {
+  const auto it = latency_overrides_.find(ordered(a, b));
+  return it == latency_overrides_.end() ? default_latency_ : it->second;
+}
+
+void Network::remove_middlebox(Middlebox* box) {
+  std::erase(middleboxes_, box);
+}
+
+std::shared_ptr<Connection> Network::find_connection(const Endpoint& local,
+                                                     const Endpoint& remote) {
+  const auto it = connections_.find({local, remote});
+  if (it == connections_.end()) return nullptr;
+  auto conn = it->second.lock();
+  if (!conn) connections_.erase(it);
+  return conn;
+}
+
+void Network::register_connection(const std::shared_ptr<Connection>& conn) {
+  connections_[{conn->local_, conn->remote_}] = conn;
+}
+
+void Network::unregister_connection(const Connection& conn) {
+  connections_.erase({conn.local_, conn.remote_});
+}
+
+void Network::transmit(Connection& from, std::uint8_t flags, Bytes payload) {
+  Segment segment;
+  segment.src = from.local_;
+  segment.dst = from.remote_;
+  segment.flags = flags;
+  segment.payload = std::move(payload);
+  segment.ttl = from.header_.ttl;
+  segment.tsval = from.header_.tsval ? from.header_.tsval(loop_.now()) : 0;
+  segment.ip_id = from.header_.ip_id ? from.header_.ip_id() : 0;
+  segment.window = from.recv_window_;
+  transmit_segment(std::move(segment));
+}
+
+void Network::transmit_segment(Segment segment) {
+  segment.sent_at = loop_.now();
+  ++segments_transmitted_;
+
+  Verdict verdict = Verdict::kPass;
+  for (Middlebox* box : middleboxes_) {
+    if (box->on_segment(segment) == Verdict::kDrop) {
+      verdict = Verdict::kDrop;
+      break;
+    }
+  }
+
+  const Duration path_latency = latency(segment.src.addr, segment.dst.addr);
+  SegmentRecord record{segment, segment.sent_at + path_latency,
+                       verdict == Verdict::kDrop};
+  if (tap_) tap_(record);
+
+  if (verdict == Verdict::kDrop) {
+    ++segments_dropped_;
+    return;
+  }
+  loop_.schedule_at(record.arrive_at,
+                    [this, seg = std::move(segment)] { deliver(seg); });
+}
+
+void Network::send_rst_to(const Segment& offending) {
+  Segment rst;
+  rst.src = offending.dst;
+  rst.dst = offending.src;
+  rst.flags = TcpFlag::kRst | TcpFlag::kAck;
+  if (Host* h = host(offending.dst.addr)) {
+    rst.ttl = h->default_header_.ttl;
+    rst.ip_id = h->default_header_.ip_id ? h->default_header_.ip_id() : 0;
+    // RFC 7323: RSTs carry no timestamp option (tsval stays 0).
+  }
+  transmit_segment(std::move(rst));
+}
+
+void Network::handle_syn(const Segment& segment) {
+  Host* h = host(segment.dst.addr);
+  if (h == nullptr) return;  // address routes nowhere: silent drop
+  const auto listener = h->listeners_.find(segment.dst.port);
+  if (listener == h->listeners_.end()) {
+    send_rst_to(segment);  // connection refused
+    return;
+  }
+  if (find_connection(segment.dst, segment.src)) return;  // duplicate SYN
+
+  auto conn = std::shared_ptr<Connection>(new Connection());
+  conn->net_ = this;
+  conn->local_ = segment.dst;
+  conn->remote_ = segment.src;
+  conn->header_ = h->default_header_;
+  conn->state_ = Connection::State::kConnecting;
+  conn->peer_window_ = segment.window;
+  register_connection(conn);
+
+  // Acceptor installs callbacks (and possibly a clamped window) before
+  // the SYN/ACK goes out, so the very first advertised window is already
+  // the clamped one — exactly how brdgrd operates.
+  listener->second(conn);
+  transmit(*conn, TcpFlag::kSyn | TcpFlag::kAck, {});
+}
+
+void Network::deliver(const Segment& segment) {
+  if (segment.has(TcpFlag::kSyn) && !segment.has(TcpFlag::kAck)) {
+    handle_syn(segment);
+    return;
+  }
+
+  auto conn = find_connection(segment.dst, segment.src);
+  if (!conn) {
+    // Late segment to a vanished connection; RSTs answer data, the rest
+    // is ignored.
+    if (segment.is_data()) send_rst_to(segment);
+    return;
+  }
+
+  conn->peer_window_ = segment.window;
+
+  if (segment.has(TcpFlag::kRst)) {
+    conn->state_ = Connection::State::kReset;
+    unregister_connection(*conn);
+    if (conn->cb_.on_rst) conn->cb_.on_rst();
+    return;
+  }
+
+  if (segment.has(TcpFlag::kSyn) && segment.has(TcpFlag::kAck)) {
+    if (conn->state_ == Connection::State::kConnecting) {
+      conn->state_ = Connection::State::kEstablished;
+      transmit(*conn, static_cast<std::uint8_t>(TcpFlag::kAck), {});  // handshake ACK
+      if (conn->cb_.on_connected) conn->cb_.on_connected();
+    }
+    return;
+  }
+
+  if (conn->state_ == Connection::State::kConnecting) {
+    // Server side: the handshake ACK completes establishment. Data may
+    // ride on it (or arrive immediately after).
+    conn->state_ = Connection::State::kEstablished;
+    if (conn->cb_.on_connected) conn->cb_.on_connected();
+  }
+
+  if (segment.is_data()) {
+    conn->bytes_received_ += segment.payload.size();
+    if (conn->cb_.on_data) conn->cb_.on_data(segment.payload);
+    // `conn` may have been closed by the callback; stop processing.
+    return;
+  }
+
+  if (segment.has(TcpFlag::kFin)) {
+    if (conn->state_ == Connection::State::kFinSent) {
+      conn->state_ = Connection::State::kClosed;
+      unregister_connection(*conn);
+    } else if (conn->state_ == Connection::State::kEstablished) {
+      conn->state_ = Connection::State::kClosed;
+      unregister_connection(*conn);
+    }
+    if (conn->cb_.on_fin) conn->cb_.on_fin();
+    return;
+  }
+}
+
+}  // namespace gfwsim::net

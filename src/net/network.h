@@ -1,0 +1,134 @@
+// The simulated network: hosts, routing, latency, middlebox taps.
+//
+// Topology model: a full mesh of hosts with configurable one-way latency
+// (global default plus per-pair overrides). Every transmitted segment
+// passes through the registered middleboxes in order — this is where the
+// GFW sits on the path, observing and (when blocking) dropping segments —
+// and is then delivered to the destination connection after the path
+// latency. A tap callback observes every segment together with its
+// routing outcome, acting as the experiment's packet capture.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/segment.h"
+
+namespace gfwsim::net {
+
+enum class Verdict { kPass, kDrop };
+
+// On-path observer/filter (the GFW's passive side implements this).
+class Middlebox {
+ public:
+  virtual ~Middlebox() = default;
+  virtual Verdict on_segment(const Segment& segment) = 0;
+};
+
+struct ConnectOptions {
+  std::uint16_t src_port = 0;  // 0 = allocate ephemeral
+  std::optional<HeaderProfile> header;
+  std::optional<std::uint32_t> recv_window;
+};
+
+class Network;
+
+class Host {
+ public:
+  using Acceptor = std::function<void(std::shared_ptr<Connection>)>;
+
+  Ipv4 addr() const { return addr_; }
+
+  // Installs a listener; incoming SYNs to `port` create server-side
+  // connections handed to `acceptor`, which must install callbacks (and
+  // may clamp the receive window) before the SYN/ACK is emitted.
+  void listen(std::uint16_t port, Acceptor acceptor);
+  void stop_listening(std::uint16_t port);
+  bool listening(std::uint16_t port) const { return listeners_.count(port) > 0; }
+
+  std::shared_ptr<Connection> connect(Endpoint remote, ConnectionCallbacks callbacks,
+                                      ConnectOptions options = {});
+
+  // Default header fields stamped on this host's segments (overridable
+  // per connection via ConnectOptions::header).
+  HeaderProfile& default_header() { return default_header_; }
+
+ private:
+  friend class Network;
+  Host(Network* net, Ipv4 addr);
+
+  std::uint16_t allocate_ephemeral_port();
+
+  Network* net_;
+  Ipv4 addr_;
+  HeaderProfile default_header_;
+  std::unordered_map<std::uint16_t, Acceptor> listeners_;
+  std::uint16_t next_ephemeral_ = 32768;
+  std::uint16_t ip_id_counter_ = 0;
+};
+
+class Network {
+ public:
+  explicit Network(EventLoop& loop) : loop_(loop) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Host& add_host(Ipv4 addr);
+  Host* host(Ipv4 addr);
+
+  EventLoop& loop() { return loop_; }
+
+  void set_default_latency(Duration latency) { default_latency_ = latency; }
+  // Symmetric per-pair override.
+  void set_latency(Ipv4 a, Ipv4 b, Duration latency);
+  Duration latency(Ipv4 a, Ipv4 b) const;
+
+  // Middleboxes see segments at transmission time, in registration order;
+  // the first kDrop verdict wins. The caller retains ownership.
+  void add_middlebox(Middlebox* box) { middleboxes_.push_back(box); }
+  void remove_middlebox(Middlebox* box);
+
+  // Observes every segment with its outcome (the "pcap").
+  void set_tap(std::function<void(const SegmentRecord&)> tap) { tap_ = std::move(tap); }
+
+  std::size_t segments_transmitted() const { return segments_transmitted_; }
+  std::size_t segments_dropped() const { return segments_dropped_; }
+
+ private:
+  friend class Host;
+  friend class Connection;
+
+  using ConnKey = std::pair<Endpoint, Endpoint>;  // (local, remote)
+
+  // Builds a segment from a connection's state and routes it.
+  void transmit(Connection& from, std::uint8_t flags, Bytes payload);
+  // Routes a fully-formed segment (used for synthesized RSTs).
+  void transmit_segment(Segment segment);
+  void deliver(const Segment& segment);
+  void handle_syn(const Segment& segment);
+
+  std::shared_ptr<Connection> find_connection(const Endpoint& local, const Endpoint& remote);
+  void register_connection(const std::shared_ptr<Connection>& conn);
+  void unregister_connection(const Connection& conn);
+  void send_rst_to(const Segment& offending);
+
+  EventLoop& loop_;
+  Duration default_latency_ = milliseconds(50);
+  std::map<std::pair<Ipv4, Ipv4>, Duration> latency_overrides_;
+  std::unordered_map<Ipv4, std::unique_ptr<Host>> hosts_;
+  std::map<ConnKey, std::weak_ptr<Connection>> connections_;
+  std::vector<Middlebox*> middleboxes_;
+  std::function<void(const SegmentRecord&)> tap_;
+  std::size_t segments_transmitted_ = 0;
+  std::size_t segments_dropped_ = 0;
+};
+
+}  // namespace gfwsim::net

@@ -1,0 +1,65 @@
+// Simulated TCP segment.
+//
+// The model is deliberately simplified — reliable in-order delivery, no
+// sequence numbers or retransmission — but carries exactly the header
+// fields the paper fingerprints on the GFW's probes (section 3.4): IP ID,
+// IP TTL, TCP source port, and TCP timestamp (TSval), plus the advertised
+// receive window that brdgrd manipulates (section 7.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "net/addr.h"
+#include "net/time.h"
+
+namespace gfwsim::net {
+
+enum class TcpFlag : std::uint8_t {
+  kSyn = 1 << 0,
+  kAck = 1 << 1,
+  kPsh = 1 << 2,
+  kFin = 1 << 3,
+  kRst = 1 << 4,
+};
+
+constexpr std::uint8_t operator|(TcpFlag a, TcpFlag b) {
+  return static_cast<std::uint8_t>(static_cast<std::uint8_t>(a) |
+                                   static_cast<std::uint8_t>(b));
+}
+constexpr std::uint8_t operator|(std::uint8_t a, TcpFlag b) {
+  return static_cast<std::uint8_t>(a | static_cast<std::uint8_t>(b));
+}
+
+struct Segment {
+  Endpoint src;
+  Endpoint dst;
+  std::uint8_t flags = 0;
+  Bytes payload;
+
+  // Fingerprintable header fields.
+  std::uint16_t ip_id = 0;
+  std::uint8_t ttl = 64;
+  std::uint32_t tsval = 0;
+  std::uint32_t window = 65535;
+
+  TimePoint sent_at{};
+
+  bool has(TcpFlag f) const {
+    return (flags & static_cast<std::uint8_t>(f)) != 0;
+  }
+  bool is_data() const { return !payload.empty(); }
+
+  std::string flags_to_string() const;
+};
+
+// A captured segment plus routing outcome, as recorded by network taps
+// ("the pcap" of an experiment).
+struct SegmentRecord {
+  Segment segment;
+  TimePoint arrive_at{};
+  bool dropped = false;  // eaten by a middlebox (e.g. GFW null routing)
+};
+
+}  // namespace gfwsim::net

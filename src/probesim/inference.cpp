@@ -1,0 +1,143 @@
+#include "probesim/inference.h"
+
+#include <sstream>
+
+namespace gfwsim::probesim {
+
+namespace {
+
+double fraction(int part, int total) {
+  return total == 0 ? 0.0 : static_cast<double>(part) / total;
+}
+
+}  // namespace
+
+std::string ServerProfile::describe() const {
+  std::ostringstream out;
+  if (!distinguishable) {
+    out << "probe-resistant: every probe timed out; indistinguishable from a "
+           "dead port";
+    return out.str();
+  }
+  switch (construction) {
+    case Construction::kStream: out << "stream construction"; break;
+    case Construction::kAead: out << "AEAD construction"; break;
+    case Construction::kUnknown: out << "unknown construction"; break;
+  }
+  if (iv_or_salt_len) {
+    out << ", " << (construction == Construction::kAead ? "salt " : "IV ")
+        << *iv_or_salt_len << " bytes";
+  }
+  if (cipher_hint) out << " (cipher: " << *cipher_hint << ")";
+  if (atyp_masked.has_value()) {
+    out << (*atyp_masked ? ", address type masked (ss-libev 3/16 rate)"
+                         : ", strict address type (3/256 rate)");
+  }
+  out << (generation == Generation::kErrorRevealing ? ", error-revealing generation"
+                                                    : ", probe-resistant error paths");
+  if (outline_v106_signature) out << ", OutlineVPN v1.0.6 FIN@50 signature";
+  if (replay_filter_suspected) out << ", replay filter suspected";
+  return out.str();
+}
+
+ServerProfile infer_server_profile(ProberSimulator& prober, const InferenceBudget& budget) {
+  ServerProfile profile;
+
+  // --- Pass 1: coarse length sweep to find reaction boundaries. ----------
+  std::vector<std::size_t> lengths;
+  for (std::size_t len = 1; len <= budget.max_probe_length; ++len) lengths.push_back(len);
+  const auto sweep = prober.random_length_sweep(lengths, budget.trials_short);
+
+  std::optional<std::size_t> first_rst, first_fin, fin_at_50_only;
+  bool fin_at_50 = false;
+  for (const auto& [len, tally] : sweep) {
+    if (tally.rst > 0 && !first_rst) first_rst = len;
+    if (tally.fin > 0 && !first_fin) first_fin = len;
+    if (len == 50 && tally.fin == tally.total()) fin_at_50 = true;
+  }
+
+  // --- Pass 2: statistics at length 221 (the GFW's own NR2 choice). ------
+  ReactionTally long_tally;
+  for (int t = 0; t < budget.trials_statistical; ++t) {
+    long_tally.add(prober.send_random_probe(kNr2Length).reaction);
+  }
+  const double f_rst = fraction(long_tally.rst, long_tally.total());
+  const double f_fin = fraction(long_tally.fin, long_tally.total());
+
+  // --- Pass 3: replay-filter double-send (section 5.3). ------------------
+  int differing_pairs = 0;
+  for (int round = 0; round < budget.double_send_rounds; ++round) {
+    if (prober.detect_replay_filter(kNr2Length).filter_suspected()) ++differing_pairs;
+  }
+  profile.replay_filter_suspected = differing_pairs >= 2;
+
+  // --- Classification ------------------------------------------------------
+  if (f_rst > 0.97) {
+    // Pure RST above a boundary: AEAD authentication failure (old
+    // ss-libev: boundary = salt + 35) or OutlineVPN v1.0.6
+    // (boundary = salt + 19 = 51, with the FIN/ACK cell at exactly 50).
+    profile.distinguishable = true;
+    profile.construction = ServerProfile::Construction::kAead;
+    profile.generation = ServerProfile::Generation::kErrorRevealing;
+    if (first_rst) {
+      if (fin_at_50 && *first_rst == 51) {
+        profile.outline_v106_signature = true;
+        profile.iv_or_salt_len = 32;
+        profile.cipher_hint = "chacha20-ietf-poly1305";
+      } else if (*first_rst >= 35) {
+        const std::size_t salt = *first_rst - 35;
+        if (salt == 16 || salt == 24 || salt == 32) profile.iv_or_salt_len = salt;
+      }
+    }
+    return profile;
+  }
+
+  if (f_rst > 0.5) {
+    // RST ~13/16 mixed with timeouts/FINs: the old ss-libev stream
+    // signature, boundary at IV + 1.
+    profile.distinguishable = true;
+    profile.construction = ServerProfile::Construction::kStream;
+    profile.generation = ServerProfile::Generation::kErrorRevealing;
+    profile.atyp_masked = f_rst < 0.93;  // 13/16 = 0.81 vs 253/256 = 0.99
+    if (first_rst && *first_rst >= 1) profile.iv_or_salt_len = *first_rst - 1;
+  } else if (f_fin > 0.9) {
+    // Near-certain FIN on garbage: Shadowsocks-python's clean close on a
+    // strict (unmasked) invalid address type, boundary at IV + 1.
+    profile.distinguishable = true;
+    profile.construction = ServerProfile::Construction::kStream;
+    profile.generation = ServerProfile::Generation::kErrorRevealing;
+    profile.atyp_masked = false;
+    if (first_fin && *first_fin >= 1) profile.iv_or_salt_len = *first_fin - 1;
+  } else if (f_fin > 0.03) {
+    // Occasional FINs only: a stream server whose errors are silent but
+    // whose *successful* garbage parses (3/16, masked) still dial random
+    // targets and fail fast — ss-libev v3.3.1+. Complete IPv4 specs need
+    // IV + 7 bytes, so the earliest possible FIN sits there.
+    profile.distinguishable = true;
+    profile.construction = ServerProfile::Construction::kStream;
+    profile.generation = ServerProfile::Generation::kProbeResistant;
+    profile.atyp_masked = f_fin > 0.05;  // 3/16-scale vs 3/256-scale
+    if (first_fin && *first_fin >= 7) profile.iv_or_salt_len = *first_fin - 7;
+  } else if (f_fin > 0.0 || first_fin.has_value()) {
+    // A rare FIN (3/256-scale): strict stream parser with silent errors —
+    // the ShadowsocksR profile.
+    profile.distinguishable = true;
+    profile.construction = ServerProfile::Construction::kStream;
+    profile.generation = ServerProfile::Generation::kProbeResistant;
+    profile.atyp_masked = false;
+    if (first_fin && *first_fin >= 7) profile.iv_or_salt_len = *first_fin - 7;
+  } else if (profile.replay_filter_suspected) {
+    profile.distinguishable = true;  // behavioural filter tell only
+  } else {
+    profile.distinguishable = false;  // nothing but timeouts
+  }
+
+  if (profile.iv_or_salt_len == 12 &&
+      profile.construction == ServerProfile::Construction::kStream) {
+    // The only stream method with a 12-byte IV (section 5.2.2).
+    profile.cipher_hint = "chacha20-ietf";
+  }
+  return profile;
+}
+
+}  // namespace gfwsim::probesim

@@ -1,0 +1,69 @@
+// Server-profile inference — the paper's section 5.2.2, made concrete.
+//
+// "An attacker can identify a Shadowsocks server with high confidence
+// using statistical analysis of its reactions to random probes", and can
+// go further: infer the construction (stream vs AEAD), the IV/salt
+// length (a 12-byte IV even pins the exact cipher, chacha20-ietf),
+// whether the address-type byte is masked (ss-libev's 3/16 vs 3/256
+// valid rate), the implementation generation (RST-on-error = old,
+// read-forever = probe-resistant), and whether a replay filter exists
+// (the double-send timing trick of section 5.3).
+//
+// infer_server_profile() runs those batteries through a ProberSimulator
+// and returns the verdict — which the tests then check against the
+// ground-truth server model, closing the paper's loop.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "probesim/probesim.h"
+
+namespace gfwsim::probesim {
+
+struct ServerProfile {
+  enum class Construction { kUnknown, kStream, kAead };
+  enum class Generation {
+    kUnknown,
+    kErrorRevealing,   // RST/FIN on errors (old ss-libev, Outline <= 1.0.6,
+                       // ss-python)
+    kProbeResistant,   // reads forever (ss-libev 3.3.1+, Outline 1.0.7+,
+                       // hardened)
+  };
+
+  Construction construction = Construction::kUnknown;
+  Generation generation = Generation::kUnknown;
+
+  // Stream: IV length; AEAD: salt length (inferred from the reaction
+  // boundary). Empty when the server never reacts.
+  std::optional<std::size_t> iv_or_salt_len;
+  // "chacha20-ietf" when a 12-byte IV is inferred — the only method with
+  // one (section 5.2.2).
+  std::optional<std::string> cipher_hint;
+  // Stream only: true when the invalid-address-type rate fits 13/16
+  // (masked, ss-libev) rather than 253/256 (strict).
+  std::optional<bool> atyp_masked;
+  // Double-send behavioural difference observed (section 5.3)?
+  bool replay_filter_suspected = false;
+  // Outline v1.0.6's unique FIN/ACK-at-exactly-50 cell?
+  bool outline_v106_signature = false;
+
+  // Was anything fingerprintable at all? Probe-resistant servers that
+  // always time out are indistinguishable from a dead port — the paper's
+  // recommended end state.
+  bool distinguishable = false;
+
+  std::string describe() const;
+};
+
+struct InferenceBudget {
+  std::size_t max_probe_length = 80;  // sweep 1..max plus 221
+  int trials_short = 6;               // per length below the boundary hunt
+  int trials_statistical = 96;        // for the 13/16-vs-253/256 test
+  int double_send_rounds = 24;        // replay-filter detection
+};
+
+ServerProfile infer_server_profile(ProberSimulator& prober,
+                                   const InferenceBudget& budget = {});
+
+}  // namespace gfwsim::probesim

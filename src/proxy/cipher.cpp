@@ -1,0 +1,48 @@
+#include "proxy/cipher.h"
+
+#include <array>
+
+namespace gfwsim::proxy {
+
+namespace {
+
+constexpr std::array kCiphers = {
+    // Stream ciphers (deprecated but widely deployed in 2019/2020).
+    CipherSpec{"rc4-md5", CipherKind::kStream, CipherAlgo::kRc4Md5, 16, 16},
+    CipherSpec{"aes-128-ctr", CipherKind::kStream, CipherAlgo::kAesCtr, 16, 16},
+    CipherSpec{"aes-192-ctr", CipherKind::kStream, CipherAlgo::kAesCtr, 24, 16},
+    CipherSpec{"aes-256-ctr", CipherKind::kStream, CipherAlgo::kAesCtr, 32, 16},
+    CipherSpec{"aes-128-cfb", CipherKind::kStream, CipherAlgo::kAesCfb, 16, 16},
+    CipherSpec{"aes-192-cfb", CipherKind::kStream, CipherAlgo::kAesCfb, 24, 16},
+    CipherSpec{"aes-256-cfb", CipherKind::kStream, CipherAlgo::kAesCfb, 32, 16},
+    // The only supported cipher with a 12-byte IV; the paper notes that an
+    // attacker inferring a 12-byte IV therefore learns the exact method.
+    CipherSpec{"chacha20-ietf", CipherKind::kStream, CipherAlgo::kChaCha20Ietf, 32, 12},
+    CipherSpec{"chacha20", CipherKind::kStream, CipherAlgo::kChaCha20, 32, 8},
+    // AEAD ciphers (the 2017 protocol revision).
+    CipherSpec{"aes-128-gcm", CipherKind::kAead, CipherAlgo::kAesGcm, 16, 16},
+    CipherSpec{"aes-192-gcm", CipherKind::kAead, CipherAlgo::kAesGcm, 24, 24},
+    CipherSpec{"aes-256-gcm", CipherKind::kAead, CipherAlgo::kAesGcm, 32, 32},
+    CipherSpec{"chacha20-ietf-poly1305", CipherKind::kAead, CipherAlgo::kChaCha20Poly1305, 32,
+               32},
+};
+
+}  // namespace
+
+const CipherSpec* find_cipher(std::string_view name) {
+  for (const auto& spec : kCiphers) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const std::vector<const CipherSpec*>& all_ciphers() {
+  static const std::vector<const CipherSpec*> list = [] {
+    std::vector<const CipherSpec*> out;
+    for (const auto& spec : kCiphers) out.push_back(&spec);
+    return out;
+  }();
+  return list;
+}
+
+}  // namespace gfwsim::proxy

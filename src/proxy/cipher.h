@@ -1,0 +1,43 @@
+// Registry of Shadowsocks encryption methods.
+//
+// Shadowsocks has two wire constructions (whitepaper [46] of the paper):
+//   * stream ciphers: [IV][ciphertext...] with no integrity, deprecated;
+//   * AEAD ciphers:   [salt][len][tag][payload][tag]... via HKDF-SHA1.
+// The paper's Figure 10 groups server behaviour by construction and by
+// IV/salt length, so the registry records both.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace gfwsim::proxy {
+
+enum class CipherKind { kStream, kAead };
+
+enum class CipherAlgo {
+  kAesCtr,
+  kAesCfb,
+  kRc4Md5,
+  kChaCha20,       // legacy 8-byte nonce
+  kChaCha20Ietf,   // 12-byte nonce
+  kAesGcm,
+  kChaCha20Poly1305,
+};
+
+struct CipherSpec {
+  std::string_view name;
+  CipherKind kind;
+  CipherAlgo algo;
+  std::size_t key_len;
+  std::size_t iv_len;  // stream: IV length; AEAD: salt length
+  std::size_t tag_len() const { return kind == CipherKind::kAead ? 16 : 0; }
+};
+
+// Returns nullptr for unknown method names.
+const CipherSpec* find_cipher(std::string_view name);
+
+// All supported methods, stream ciphers first.
+const std::vector<const CipherSpec*>& all_ciphers();
+
+}  // namespace gfwsim::proxy

@@ -1,0 +1,127 @@
+#include "proxy/ota.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "crypto/sha1.h"
+
+namespace gfwsim::proxy {
+
+namespace {
+
+Bytes truncated_hmac(ByteSpan key, ByteSpan data) {
+  const auto tag = crypto::Hmac<crypto::Sha1>::mac(key, data);
+  return Bytes(tag.begin(), tag.begin() + kOtaTagLen);
+}
+
+}  // namespace
+
+Bytes ota_header_tag(ByteSpan iv, ByteSpan master_key, ByteSpan header_plaintext) {
+  return truncated_hmac(concat(iv, master_key), header_plaintext);
+}
+
+Bytes ota_chunk_tag(ByteSpan iv, std::uint32_t chunk_index, ByteSpan data) {
+  Bytes key(iv.begin(), iv.end());
+  std::uint8_t index_be[4];
+  store_be32(index_be, chunk_index);
+  append(key, ByteSpan(index_be, 4));
+  return truncated_hmac(key, data);
+}
+
+OtaWriter::OtaWriter(const CipherSpec& spec, ByteSpan master_key, ByteSpan iv)
+    : master_key_(master_key.begin(), master_key.end()),
+      iv_(iv.begin(), iv.end()),
+      encryptor_(spec, master_key, iv, StreamSession::Direction::kEncrypt) {
+  if (spec.kind != CipherKind::kStream) {
+    throw std::invalid_argument("OtaWriter: OTA applies to the stream construction");
+  }
+}
+
+Bytes OtaWriter::first_packet(const TargetSpec& target, ByteSpan initial_data) {
+  if (header_sent_) throw std::logic_error("OtaWriter: first_packet already sent");
+  header_sent_ = true;
+
+  Bytes header = encode_target(target);
+  header[0] |= kOtaFlag;
+  append(header, ota_header_tag(iv_, master_key_, header));
+
+  Bytes out = iv_;
+  append(out, encryptor_.process(header));
+  if (!initial_data.empty()) append(out, chunk(initial_data));
+  return out;
+}
+
+Bytes OtaWriter::chunk(ByteSpan data) {
+  if (!header_sent_) throw std::logic_error("OtaWriter: header not sent yet");
+  Bytes frame(2);
+  store_be16(frame.data(), static_cast<std::uint16_t>(data.size()));
+  append(frame, ota_chunk_tag(iv_, chunk_index_++, data));
+  append(frame, data);
+  return encryptor_.process(frame);
+}
+
+OtaReader::OtaReader(const CipherSpec& spec, ByteSpan master_key, ByteSpan iv,
+                     ByteSpan already_decrypted)
+    : master_key_(master_key.begin(), master_key.end()), iv_(iv.begin(), iv.end()) {
+  if (spec.kind != CipherKind::kStream) {
+    throw std::invalid_argument("OtaReader: OTA applies to the stream construction");
+  }
+  buffer_.assign(already_decrypted.begin(), already_decrypted.end());
+}
+
+std::size_t OtaReader::pending_need() const {
+  if (!header_done_) return 1;  // at least the rest of the header
+  if (pending_len_) return kOtaTagLen + *pending_len_ - std::min(buffer_.size(),
+                                                                 kOtaTagLen + *pending_len_);
+  return 2;
+}
+
+OtaReader::Status OtaReader::feed(ByteSpan plaintext, Bytes& out) {
+  append(buffer_, plaintext);
+
+  if (!header_done_) {
+    // The header keeps its OTA flag for tag computation; parse with the
+    // ss-libev mask (which is exactly what the 0x10 flag rides on).
+    const auto parsed = parse_target(buffer_, /*mask_atyp=*/true);
+    if (parsed.status == ParseStatus::kInvalid) return Status::kAuthError;
+    if (parsed.status == ParseStatus::kNeedMore) return Status::kNeedMore;
+    if ((buffer_[0] & kOtaFlag) == 0) return Status::kAuthError;  // not OTA
+    if (buffer_.size() < parsed.consumed + kOtaTagLen) return Status::kNeedMore;
+
+    const ByteSpan header(buffer_.data(), parsed.consumed);
+    const ByteSpan tag(buffer_.data() + parsed.consumed, kOtaTagLen);
+    if (!ct_equal(ota_header_tag(iv_, master_key_, header), tag)) {
+      return Status::kAuthError;
+    }
+    target_ = parsed.spec;
+    header_done_ = true;
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(parsed.consumed + kOtaTagLen));
+    return Status::kHeaderOk;
+  }
+
+  bool produced = false;
+  for (;;) {
+    if (!pending_len_) {
+      if (buffer_.size() < 2) break;
+      // The unauthenticated length field — the OTA design flaw.
+      pending_len_ = load_be16(buffer_.data());
+      buffer_.erase(buffer_.begin(), buffer_.begin() + 2);
+    }
+    const std::size_t need = kOtaTagLen + *pending_len_;
+    if (buffer_.size() < need) break;  // stall here on a tampered length
+    const ByteSpan tag(buffer_.data(), kOtaTagLen);
+    const ByteSpan data(buffer_.data() + kOtaTagLen, *pending_len_);
+    if (!ct_equal(ota_chunk_tag(iv_, chunk_index_, data), tag)) {
+      return Status::kAuthError;
+    }
+    ++chunk_index_;
+    append(out, data);
+    produced = true;
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(need));
+    pending_len_.reset();
+  }
+  return produced ? Status::kData : Status::kNeedMore;
+}
+
+}  // namespace gfwsim::proxy

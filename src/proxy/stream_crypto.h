@@ -1,0 +1,40 @@
+// The Shadowsocks "stream cipher" construction:
+//   [IV (8, 12 or 16 bytes)][continuous ciphertext ...]
+// keyed by EVP_BytesToKey(password); client and server share the key but
+// use independent IVs per direction. No integrity whatsoever — ciphertext
+// is malleable, which probe types R2-R5 exploit.
+#pragma once
+
+#include <memory>
+
+#include "crypto/bytes.h"
+#include "crypto/rng.h"
+#include "proxy/cipher.h"
+
+namespace gfwsim::proxy {
+
+// One direction of one connection (encrypt XOR decrypt; construct one of
+// each for a bidirectional session).
+class StreamSession {
+ public:
+  enum class Direction { kEncrypt, kDecrypt };
+
+  // `spec.kind` must be kStream; `key` length must equal spec.key_len;
+  // `iv` length must equal spec.iv_len.
+  StreamSession(const CipherSpec& spec, ByteSpan key, ByteSpan iv, Direction direction);
+  ~StreamSession();
+  StreamSession(StreamSession&&) noexcept;
+  StreamSession& operator=(StreamSession&&) noexcept;
+
+  // Stateful: successive calls continue the cipher stream.
+  Bytes process(ByteSpan data);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Derives the master key for a method from the shared password.
+Bytes stream_master_key(const CipherSpec& spec, std::string_view password);
+
+}  // namespace gfwsim::proxy

@@ -1,0 +1,84 @@
+#include "proxy/target.h"
+
+namespace gfwsim::proxy {
+
+std::string TargetSpec::to_string() const {
+  std::string out;
+  switch (type()) {
+    case AddrType::kIpv4:
+      out = std::get<net::Ipv4>(address).to_string();
+      break;
+    case AddrType::kHostname:
+      out = std::get<std::string>(address);
+      break;
+    case AddrType::kIpv6: {
+      const auto& a = std::get<std::array<std::uint8_t, 16>>(address);
+      out = "[" + hex_encode(ByteSpan(a.data(), a.size())) + "]";
+      break;
+    }
+  }
+  return out + ":" + std::to_string(port);
+}
+
+Bytes encode_target(const TargetSpec& spec) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(spec.type()));
+  switch (spec.type()) {
+    case AddrType::kIpv4: {
+      std::uint8_t buf[4];
+      store_be32(buf, std::get<net::Ipv4>(spec.address).value);
+      append(out, ByteSpan(buf, 4));
+      break;
+    }
+    case AddrType::kHostname: {
+      const auto& host = std::get<std::string>(spec.address);
+      out.push_back(static_cast<std::uint8_t>(host.size()));
+      append(out, to_bytes(host));
+      break;
+    }
+    case AddrType::kIpv6: {
+      const auto& a = std::get<std::array<std::uint8_t, 16>>(spec.address);
+      append(out, ByteSpan(a.data(), a.size()));
+      break;
+    }
+  }
+  std::uint8_t port_buf[2];
+  store_be16(port_buf, spec.port);
+  append(out, ByteSpan(port_buf, 2));
+  return out;
+}
+
+ParseResult parse_target(ByteSpan data, bool mask_atyp) {
+  if (data.empty()) return {ParseStatus::kNeedMore, {}, 0};
+
+  std::uint8_t atyp = data[0];
+  if (mask_atyp) atyp &= 0x0f;
+
+  switch (atyp) {
+    case static_cast<std::uint8_t>(AddrType::kIpv4): {
+      if (data.size() < 7) return {ParseStatus::kNeedMore, {}, 0};
+      const net::Ipv4 addr(load_be32(data.data() + 1));
+      return {ParseStatus::kOk, TargetSpec::ipv4(addr, load_be16(data.data() + 5)), 7};
+    }
+    case static_cast<std::uint8_t>(AddrType::kHostname): {
+      if (data.size() < 2) return {ParseStatus::kNeedMore, {}, 0};
+      const std::size_t host_len = data[1];
+      const std::size_t total = 2 + host_len + 2;
+      if (data.size() < total) return {ParseStatus::kNeedMore, {}, 0};
+      std::string host(reinterpret_cast<const char*>(data.data()) + 2, host_len);
+      return {ParseStatus::kOk,
+              TargetSpec::hostname(std::move(host), load_be16(data.data() + 2 + host_len)),
+              total};
+    }
+    case static_cast<std::uint8_t>(AddrType::kIpv6): {
+      if (data.size() < 19) return {ParseStatus::kNeedMore, {}, 0};
+      std::array<std::uint8_t, 16> addr;
+      std::memcpy(addr.data(), data.data() + 1, 16);
+      return {ParseStatus::kOk, TargetSpec::ipv6(addr, load_be16(data.data() + 17)), 19};
+    }
+    default:
+      return {ParseStatus::kInvalid, {}, 0};
+  }
+}
+
+}  // namespace gfwsim::proxy

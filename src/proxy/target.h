@@ -1,0 +1,72 @@
+// SOCKS-style target specification, the first plaintext a Shadowsocks
+// client sends through the tunnel (paper section 2):
+//   [0x01][4-byte IPv4][2-byte port]
+//   [0x03][1-byte length][hostname][2-byte port]
+//   [0x04][16-byte IPv6][2-byte port]
+//
+// Server parsing behaviour around this header is exactly what the GFW's
+// random probes exploit; parse() therefore reports "need more" versus
+// "invalid" separately, and supports the ss-libev quirk of masking the
+// address-type byte with 0x0F (a one-time-auth leftover that raises the
+// valid-type probability from 3/256 to 3/16 — paper section 5.2.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "crypto/bytes.h"
+#include "net/addr.h"
+
+namespace gfwsim::proxy {
+
+enum class AddrType : std::uint8_t {
+  kIpv4 = 0x01,
+  kHostname = 0x03,
+  kIpv6 = 0x04,
+};
+
+struct TargetSpec {
+  std::variant<net::Ipv4, std::string, std::array<std::uint8_t, 16>> address;
+  std::uint16_t port = 0;
+
+  AddrType type() const {
+    switch (address.index()) {
+      case 0: return AddrType::kIpv4;
+      case 1: return AddrType::kHostname;
+      default: return AddrType::kIpv6;
+    }
+  }
+
+  static TargetSpec ipv4(net::Ipv4 addr, std::uint16_t port) { return {addr, port}; }
+  static TargetSpec hostname(std::string host, std::uint16_t port) {
+    return {std::move(host), port};
+  }
+  static TargetSpec ipv6(std::array<std::uint8_t, 16> addr, std::uint16_t port) {
+    return {addr, port};
+  }
+
+  std::string to_string() const;
+  bool operator==(const TargetSpec&) const = default;
+};
+
+Bytes encode_target(const TargetSpec& spec);
+
+enum class ParseStatus {
+  kOk,        // complete spec parsed
+  kNeedMore,  // valid so far, but incomplete
+  kInvalid,   // address type byte is not 0x01/0x03/0x04 (after masking)
+};
+
+struct ParseResult {
+  ParseStatus status = ParseStatus::kInvalid;
+  TargetSpec spec;
+  std::size_t consumed = 0;  // bytes of `data` forming the spec (kOk only)
+};
+
+// `mask_atyp`: apply the ss-libev `& 0x0F` to the address-type byte before
+// validating it.
+ParseResult parse_target(ByteSpan data, bool mask_atyp);
+
+}  // namespace gfwsim::proxy

@@ -1,0 +1,76 @@
+#include "servers/replay_filter.h"
+
+#include "crypto/sha1.h"
+
+namespace gfwsim::servers {
+
+BloomReplayFilter::BloomReplayFilter(std::size_t capacity, std::size_t bits_per_entry)
+    : capacity_(capacity),
+      bit_count_(std::max<std::size_t>(64, capacity * bits_per_entry)),
+      hash_count_(7) {
+  current_.bits.assign((bit_count_ + 63) / 64, 0);
+  previous_.bits.assign((bit_count_ + 63) / 64, 0);
+}
+
+std::vector<std::size_t> BloomReplayFilter::positions(ByteSpan nonce) const {
+  // Kirsch-Mitzenmacher double hashing from a SHA-1 of the nonce.
+  const auto digest = crypto::Sha1::hash(nonce);
+  const std::uint64_t h1 = load_le64(digest.data());
+  const std::uint64_t h2 = load_le64(digest.data() + 8) | 1;  // odd
+  std::vector<std::size_t> out(static_cast<std::size_t>(hash_count_));
+  for (int i = 0; i < hash_count_; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>((h1 + static_cast<std::uint64_t>(i) * h2) % bit_count_);
+  }
+  return out;
+}
+
+bool BloomReplayFilter::contains(ByteSpan nonce) const {
+  const auto pos = positions(nonce);
+  const auto all_set = [&](const Generation& g) {
+    for (const std::size_t p : pos) {
+      if (!g.get(p)) return false;
+    }
+    return true;
+  };
+  return all_set(current_) || all_set(previous_);
+}
+
+void BloomReplayFilter::insert(ByteSpan nonce) {
+  if (count_current_ >= capacity_) {
+    previous_ = current_;
+    current_.bits.assign(current_.bits.size(), 0);
+    count_current_ = 0;
+  }
+  for (const std::size_t p : positions(nonce)) current_.set(p);
+  ++count_current_;
+}
+
+bool BloomReplayFilter::check_and_insert(ByteSpan nonce) {
+  const bool seen = contains(nonce);
+  if (!seen) insert(nonce);
+  return seen;
+}
+
+bool NonceTimeReplayFilter::accept(ByteSpan nonce, net::TimePoint claimed_time,
+                                   net::TimePoint now) {
+  prune(now);
+  const net::Duration skew =
+      claimed_time > now ? claimed_time - now : now - claimed_time;
+  if (skew > window_) return false;
+
+  std::string key(nonce.begin(), nonce.end());
+  if (by_nonce_.count(key) > 0) return false;
+  expiry_queue_.emplace_back(now + window_, key);
+  by_nonce_.insert(std::move(key));
+  return true;
+}
+
+void NonceTimeReplayFilter::prune(net::TimePoint now) {
+  while (!expiry_queue_.empty() && expiry_queue_.front().first <= now) {
+    by_nonce_.erase(expiry_queue_.front().second);
+    expiry_queue_.pop_front();
+  }
+}
+
+}  // namespace gfwsim::servers

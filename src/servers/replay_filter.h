@@ -1,0 +1,82 @@
+// Replay defenses.
+//
+// BloomReplayFilter models shadowsocks-libev's "ppbloom": a pair of
+// alternating Bloom filters remembering the IVs/salts of past connections.
+// When the active filter fills up, the older one is dropped — so very old
+// entries are eventually forgotten, which is exactly the asymmetry the
+// paper's section 7.2 criticizes (the GFW can replay after 570 hours; a
+// nonce-only filter must remember forever to stop that).
+//
+// NonceTimeReplayFilter is the paper's recommended fix (VMess-style):
+// remember nonces only within a freshness window and reject anything
+// whose embedded timestamp falls outside it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "net/time.h"
+
+namespace gfwsim::servers {
+
+class BloomReplayFilter {
+ public:
+  // `capacity`: entries per generation; `bits_per_entry` controls the
+  // false-positive rate (10 bits -> ~1%).
+  explicit BloomReplayFilter(std::size_t capacity = 100000, std::size_t bits_per_entry = 10);
+
+  // Returns true if `nonce` was (probably) seen before. Does not insert.
+  bool contains(ByteSpan nonce) const;
+
+  // Inserts `nonce`, rotating generations when the current one is full.
+  void insert(ByteSpan nonce);
+
+  // contains() + insert() in one step; returns the contains() result.
+  bool check_and_insert(ByteSpan nonce);
+
+  std::size_t inserted_current() const { return count_current_; }
+
+ private:
+  struct Generation {
+    std::vector<std::uint64_t> bits;
+    void set(std::size_t i) { bits[i / 64] |= (1ull << (i % 64)); }
+    bool get(std::size_t i) const { return (bits[i / 64] >> (i % 64)) & 1; }
+  };
+
+  std::vector<std::size_t> positions(ByteSpan nonce) const;
+
+  std::size_t capacity_;
+  std::size_t bit_count_;
+  int hash_count_;
+  Generation current_;
+  Generation previous_;
+  std::size_t count_current_ = 0;
+};
+
+class NonceTimeReplayFilter {
+ public:
+  // `window`: how far a connection's timestamp may deviate from the
+  // server clock and how long nonces are remembered.
+  explicit NonceTimeReplayFilter(net::Duration window = net::seconds(120))
+      : window_(window) {}
+
+  // Accepts the connection iff `claimed_time` is within the window of
+  // `now` and the nonce was not seen inside the window. Accepted nonces
+  // are remembered; expired ones are pruned.
+  bool accept(ByteSpan nonce, net::TimePoint claimed_time, net::TimePoint now);
+
+  std::size_t remembered() const { return by_nonce_.size(); }
+  net::Duration window() const { return window_; }
+
+ private:
+  void prune(net::TimePoint now);
+
+  net::Duration window_;
+  std::unordered_set<std::string> by_nonce_;
+  std::deque<std::pair<net::TimePoint, std::string>> expiry_queue_;
+};
+
+}  // namespace gfwsim::servers

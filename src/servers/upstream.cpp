@@ -1,0 +1,48 @@
+#include "servers/upstream.h"
+
+namespace gfwsim::servers {
+
+UpstreamOutcome SimulatedInternet::connect(const proxy::TargetSpec& target,
+                                           ByteSpan initial_data) {
+  switch (target.type()) {
+    case proxy::AddrType::kHostname: {
+      const auto& host = std::get<std::string>(target.address);
+      const auto it = sites_by_name_.find(host);
+      if (it != sites_by_name_.end()) {
+        return {UpstreamOutcome::Kind::kConnected, connect_delay, it->second(initial_data)};
+      }
+      // Garbage hostnames fail DNS resolution quickly.
+      return {UpstreamOutcome::Kind::kFailFast, dns_failure_delay, {}};
+    }
+    case proxy::AddrType::kIpv4: {
+      const auto addr = std::get<net::Ipv4>(target.address);
+      const auto it = sites_by_ip_.find(addr);
+      if (it != sites_by_ip_.end()) {
+        return {UpstreamOutcome::Kind::kConnected, connect_delay, it->second(initial_data)};
+      }
+      if (rng_.bernoulli(unknown_ip_fail_fast_prob)) {
+        return {UpstreamOutcome::Kind::kFailFast, refuse_delay, {}};
+      }
+      return {UpstreamOutcome::Kind::kHang, {}, {}};
+    }
+    case proxy::AddrType::kIpv6:
+      // No IPv6 sites in the simulation; same unknown-IP policy.
+      if (rng_.bernoulli(unknown_ip_fail_fast_prob)) {
+        return {UpstreamOutcome::Kind::kFailFast, refuse_delay, {}};
+      }
+      return {UpstreamOutcome::Kind::kHang, {}, {}};
+  }
+  return {UpstreamOutcome::Kind::kHang, {}, {}};
+}
+
+SimulatedInternet::Responder fixed_http_responder(std::size_t body_size) {
+  return [body_size](ByteSpan) {
+    Bytes response = to_bytes(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: " +
+        std::to_string(body_size) + "\r\n\r\n");
+    response.resize(response.size() + body_size, 'x');
+    return response;
+  };
+}
+
+}  // namespace gfwsim::servers

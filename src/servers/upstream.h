@@ -1,0 +1,74 @@
+// Simulated upstream internet, as seen from a Shadowsocks server.
+//
+// After parsing a target specification, a real server resolves/connects to
+// the target. The *timing and nature of that failure* is a reaction the
+// GFW observes (paper section 5.2.1): garbage specs decrypted from random
+// probes point at essentially random hosts, which either fail fast (the
+// server then closes with FIN/ACK) or hang in SYN retransmission (the
+// prober times out first). Known sites — the targets of genuine replayed
+// connections — succeed and return data, which is how servers without
+// replay protection betray themselves (reaction "D" in Table 5).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/bytes.h"
+#include "crypto/rng.h"
+#include "net/time.h"
+#include "proxy/target.h"
+
+namespace gfwsim::servers {
+
+struct UpstreamOutcome {
+  enum class Kind {
+    kFailFast,   // refused / DNS failure -> server closes (FIN/ACK)
+    kHang,       // unresponsive target -> server waits (prober times out)
+    kConnected,  // target reached; `response` answers the initial data
+  };
+  Kind kind = Kind::kHang;
+  net::Duration delay{};  // until failure or until the response is ready
+  Bytes response;
+};
+
+class Upstream {
+ public:
+  virtual ~Upstream() = default;
+  virtual UpstreamOutcome connect(const proxy::TargetSpec& target, ByteSpan initial_data) = 0;
+};
+
+class SimulatedInternet : public Upstream {
+ public:
+  using Responder = std::function<Bytes(ByteSpan initial_data)>;
+
+  explicit SimulatedInternet(crypto::Rng rng) : rng_(rng) {}
+
+  void add_site(const std::string& hostname, Responder responder) {
+    sites_by_name_[hostname] = std::move(responder);
+  }
+  void add_site(net::Ipv4 addr, Responder responder) {
+    sites_by_ip_[addr] = std::move(responder);
+  }
+
+  UpstreamOutcome connect(const proxy::TargetSpec& target, ByteSpan initial_data) override;
+
+  // Tuning knobs (defaults are plausible for a datacenter server).
+  net::Duration dns_failure_delay = net::milliseconds(150);
+  net::Duration connect_delay = net::milliseconds(80);
+  net::Duration refuse_delay = net::milliseconds(200);
+  // Unknown IPv4/IPv6 targets: probability the connection is refused
+  // quickly rather than hanging in SYN retransmission.
+  double unknown_ip_fail_fast_prob = 0.5;
+
+ private:
+  crypto::Rng rng_;
+  std::unordered_map<std::string, Responder> sites_by_name_;
+  std::unordered_map<net::Ipv4, Responder> sites_by_ip_;
+};
+
+// An HTTP-ish responder with a fixed body size (consistent response
+// lengths per target are themselves a fingerprint the paper mentions).
+SimulatedInternet::Responder fixed_http_responder(std::size_t body_size);
+
+}  // namespace gfwsim::servers

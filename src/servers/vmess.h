@@ -1,0 +1,68 @@
+// VMess-lite: a simplified model of V2Ray's VMess protocol, the paper's
+// explicitly named future-work target (section 9: random data triggers
+// probes, VMess also fully encrypts its traffic, and in June 2020 VMess
+// was disclosed to be vulnerable to active probing [2, 33, 35]).
+//
+// Modeled protocol (faithful where it matters to probing):
+//   first packet = [16-byte auth][AES-128-CFB encrypted command]
+//   auth = HMAC-MD5(user id, 8-byte big-endian UTC seconds)
+//   The server accepts timestamps within +-120 s — the nonce+time scheme
+//   the paper's section 7.2 recommends Shadowsocks adopt.
+//
+// Two server variants:
+//   * kVulnerable (pre-disclosure): an invalid auth closes the connection
+//     as soon as exactly 16 bytes arrived — a crisp length oracle — and
+//     the handshake has no replay cache, so a replay within the time
+//     window is served (DATA);
+//   * kPatched (post-disclosure): invalid auth reads forever, and a
+//     sessionId/nonce cache rejects in-window replays silently.
+#pragma once
+
+#include <array>
+
+#include "servers/base.h"
+#include "servers/replay_filter.h"
+
+namespace gfwsim::servers {
+
+inline constexpr std::size_t kVmessAuthLen = 16;
+inline constexpr net::Duration kVmessTimeWindow = net::seconds(120);
+
+using VmessUserId = std::array<std::uint8_t, 16>;
+
+// auth = HMAC-MD5(user id, BE64 seconds).
+Bytes vmess_auth(const VmessUserId& user, net::TimePoint at);
+
+// Builds a client first packet: auth + encrypted command carrying the
+// target spec and initial data (command crypto is modeled as the keyed
+// stream it is; its exact layout does not affect probing behaviour).
+Bytes vmess_first_packet(const VmessUserId& user, net::TimePoint at,
+                         const proxy::TargetSpec& target, ByteSpan initial_data);
+
+enum class VmessVariant { kVulnerable, kPatched };
+
+class VmessServer : public ProxyServerBase {
+ public:
+  // `config.cipher`/`config.password` are unused by VMess; the user id is
+  // the credential. A registry cipher is still required by the base.
+  VmessServer(net::EventLoop& loop, ServerConfig config, Upstream* upstream,
+              VmessUserId user, VmessVariant variant, std::uint64_t rng_seed = 0x4e55);
+
+  VmessVariant variant() const { return variant_; }
+
+ protected:
+  std::unique_ptr<SessionBase> make_session() override;
+  void handle_data(SessionBase& session) override;
+
+ private:
+  struct Session;
+
+  // Checks the 16-byte auth against every second in the +-window.
+  bool auth_valid(ByteSpan auth, net::TimePoint* matched_at) const;
+
+  VmessUserId user_;
+  VmessVariant variant_;
+  NonceTimeReplayFilter replay_filter_{kVmessTimeWindow};
+};
+
+}  // namespace gfwsim::servers

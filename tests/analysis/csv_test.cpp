@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/csv.h"
+
+namespace gfwsim::analysis {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct CsvFixture : ::testing::Test {
+  std::string dir = (std::filesystem::temp_directory_path() / "gfwsim_csv_test").string();
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+TEST_F(CsvFixture, WriterEmitsHeaderAndRows) {
+  CsvWriter writer(dir, "basic", {"a", "b"});
+  ASSERT_TRUE(writer.ok());
+  writer.row({"1", "2"});
+  writer.row({"3", "4"});
+  const std::string expected_path = dir + "/basic.csv";
+  EXPECT_EQ(writer.path(), expected_path);
+  // Writer flushes on destruction.
+  {
+    CsvWriter done(dir, "done", {"x"});
+  }
+  EXPECT_EQ(slurp(dir + "/done.csv"), "x\n");
+}
+
+TEST_F(CsvFixture, CdfCsvIsMonotone) {
+  Cdf cdf;
+  for (int i = 100; i >= 1; --i) cdf.add(i);
+  write_cdf_csv(dir, "cdf", cdf);
+  std::ifstream in(dir + "/cdf.csv");
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,cdf");
+  double prev_x = -1, prev_p = -1;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    const auto comma = line.find(',');
+    const double x = std::stod(line.substr(0, comma));
+    const double p = std::stod(line.substr(comma + 1));
+    EXPECT_GE(x, prev_x);
+    EXPECT_GE(p, prev_p);
+    prev_x = x;
+    prev_p = p;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 100);
+}
+
+TEST_F(CsvFixture, HistogramCsvMatchesBuckets) {
+  Histogram h;
+  h.add(8, 3);
+  h.add(221, 7);
+  write_histogram_csv(dir, "hist", h);
+  EXPECT_EQ(slurp(dir + "/hist.csv"), "bucket,count\n8,3\n221,7\n");
+}
+
+TEST_F(CsvFixture, UnwritableDirectoryDegradesToNoOp) {
+  CsvWriter writer("/proc/definitely/not/writable", "x", {"a"});
+  EXPECT_FALSE(writer.ok());
+  writer.row({"ignored"});  // must not crash
+}
+
+}  // namespace
+}  // namespace gfwsim::analysis

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/report.h"
+
+namespace gfwsim::analysis {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"AS", "Count"});
+  table.add_row({"AS4837", "6262"});
+  table.add_row({"AS4134", "5188"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("AS4837"), std::string::npos);
+  EXPECT_NE(out.find("6262"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(table.print(os));
+}
+
+TEST(PrintHistogram, ScalesBars) {
+  Histogram h;
+  h.add(8, 100);
+  h.add(221, 300);
+  std::ostringstream os;
+  print_histogram(os, h, "probe lengths", 30);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("probe lengths"), std::string::npos);
+  EXPECT_NE(out.find("221"), std::string::npos);
+  // The 300-count bar is the longest (30 hashes).
+  EXPECT_NE(out.find(std::string(30, '#')), std::string::npos);
+}
+
+TEST(PrintCdf, ShowsQuantilesAndThresholds) {
+  Cdf cdf;
+  for (int i = 1; i <= 1000; ++i) cdf.add(i * 0.1);
+  std::ostringstream os;
+  print_cdf(os, cdf, "delay", {1.0, 60.0}, "s");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("p50"), std::string::npos);
+  EXPECT_NE(out.find("P(x <= 1.00s)"), std::string::npos);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_percent(0.725), "72.5%");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Figure 2");
+  EXPECT_NE(os.str().find("Figure 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gfwsim::analysis

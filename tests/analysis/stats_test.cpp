@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "analysis/stats.h"
+
+namespace gfwsim::analysis {
+namespace {
+
+TEST(Cdf, QuantilesAndFractions) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 100.0);
+  EXPECT_NEAR(cdf.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(cdf.quantile(0.25), 25.0, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(1000.0), 1.0);
+  EXPECT_NEAR(cdf.mean(), 50.5, 1e-9);
+}
+
+TEST(Cdf, InterleavedAddAndQuery) {
+  Cdf cdf;
+  cdf.add(10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 10.0);
+  cdf.add(20.0);
+  cdf.add(0.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(15.0), 2.0 / 3.0);
+}
+
+TEST(Cdf, ErrorsOnEmptyOrBadInput) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+  EXPECT_THROW(cdf.min(), std::logic_error);
+  cdf.add(1.0);
+  EXPECT_THROW(cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, CountsAndTotal) {
+  Histogram h;
+  h.add(221);
+  h.add(221);
+  h.add(8);
+  EXPECT_EQ(h.count(221), 2);
+  EXPECT_EQ(h.count(8), 1);
+  EXPECT_EQ(h.count(999), 0);
+  EXPECT_EQ(h.total(), 3);
+  h.add(8, 10);
+  EXPECT_EQ(h.count(8), 11);
+}
+
+TEST(RemainderProfile, DominantRemainder) {
+  RemainderProfile profile(16);
+  for (int i = 0; i < 72; ++i) profile.add(16 * i + 9);
+  for (int i = 0; i < 28; ++i) profile.add(16 * i + 3);
+  EXPECT_EQ(profile.dominant(), 9);
+  EXPECT_NEAR(profile.fraction(9), 0.72, 1e-9);
+  EXPECT_EQ(profile.total(), 100);
+}
+
+TEST(Overlap3, CountsAllRegions) {
+  const std::vector<std::uint32_t> a = {1, 2, 3, 4, 7};
+  const std::vector<std::uint32_t> b = {3, 4, 5, 7};
+  const std::vector<std::uint32_t> c = {4, 6, 7};
+  const Overlap3 overlap = overlap3(a, b, c);
+  EXPECT_EQ(overlap.only_a, 2u);  // 1, 2
+  EXPECT_EQ(overlap.only_b, 1u);  // 5
+  EXPECT_EQ(overlap.only_c, 1u);  // 6
+  EXPECT_EQ(overlap.ab, 1u);      // 3
+  EXPECT_EQ(overlap.ac, 0u);
+  EXPECT_EQ(overlap.bc, 0u);
+  EXPECT_EQ(overlap.abc, 2u);     // 4, 7
+}
+
+TEST(Overlap3, DuplicatesCollapse) {
+  const std::vector<std::uint32_t> a = {1, 1, 1};
+  const Overlap3 overlap = overlap3(a, {}, {});
+  EXPECT_EQ(overlap.only_a, 1u);
+}
+
+}  // namespace
+}  // namespace gfwsim::analysis

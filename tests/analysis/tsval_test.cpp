@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "analysis/tsval.h"
+#include "crypto/rng.h"
+
+namespace gfwsim::analysis {
+namespace {
+
+std::vector<TsvalPoint> make_process(double rate_hz, std::uint32_t offset,
+                                     const std::vector<double>& times) {
+  std::vector<TsvalPoint> out;
+  for (const double t : times) {
+    out.push_back({net::from_seconds(t),
+                   offset + static_cast<std::uint32_t>(
+                                static_cast<std::uint64_t>(t * rate_hz))});
+  }
+  return out;
+}
+
+TEST(TsvalCluster, SingleProcessRecoversRate) {
+  std::vector<double> times;
+  for (int i = 0; i < 200; ++i) times.push_back(i * 30.0);
+  const auto points = make_process(250.0, 12345, times);
+  const auto clusters = cluster_tsval_sequences(points);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].count, 200u);
+  EXPECT_NEAR(clusters[0].rate_hz, 250.0, 1.0);
+}
+
+TEST(TsvalCluster, TwoProcessesSeparate) {
+  crypto::Rng rng(1);
+  std::vector<TsvalPoint> points;
+  std::vector<double> times_a, times_b;
+  for (int i = 0; i < 150; ++i) {
+    times_a.push_back(i * 40.0 + rng.uniform01());
+    times_b.push_back(i * 40.0 + 20.0 + rng.uniform01());
+  }
+  // Offsets far apart so the sequences cannot be confused.
+  auto a = make_process(250.0, 0x10000000, times_a);
+  auto b = make_process(1000.0, 0xA0000000, times_b);
+  points.insert(points.end(), a.begin(), a.end());
+  points.insert(points.end(), b.begin(), b.end());
+
+  const auto clusters = cluster_tsval_sequences(points);
+  ASSERT_GE(clusters.size(), 2u);
+  // Find each process by rate.
+  bool saw250 = false, saw1000 = false;
+  for (const auto& cluster : clusters) {
+    if (cluster.count < 50) continue;
+    if (std::abs(cluster.rate_hz - 250.0) < 5.0) saw250 = true;
+    if (std::abs(cluster.rate_hz - 1000.0) < 20.0) saw1000 = true;
+  }
+  EXPECT_TRUE(saw250);
+  EXPECT_TRUE(saw1000);
+}
+
+TEST(TsvalCluster, HandlesWraparound) {
+  // Start near 2^32 so the counter wraps mid-sequence (the paper saw two
+  // such wraps in Figure 6).
+  std::vector<double> times;
+  for (int i = 0; i < 300; ++i) times.push_back(i * 1000.0);
+  const std::uint32_t offset = 0xFFFFF000u;
+  const auto points = make_process(250.0, offset, times);
+  const auto clusters = cluster_tsval_sequences(points);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].count, 300u);
+  EXPECT_NEAR(clusters[0].rate_hz, 250.0, 1.0);
+  EXPECT_GE(clusters[0].wraparounds, 1u);
+}
+
+TEST(TsvalCluster, UnrelatedPointsDoNotMerge) {
+  // Random tsvals at random times: no linear structure, so clusters stay
+  // small rather than absorbing everything.
+  crypto::Rng rng(2);
+  std::vector<TsvalPoint> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({net::from_seconds(static_cast<double>(i)), rng.next_u32()});
+  }
+  const auto clusters = cluster_tsval_sequences(points);
+  // Expect fragmentation, not one mega-cluster.
+  ASSERT_FALSE(clusters.empty());
+  EXPECT_LT(clusters[0].count, 50u);
+}
+
+TEST(TsvalCluster, EmptyInput) {
+  EXPECT_TRUE(cluster_tsval_sequences({}).empty());
+}
+
+}  // namespace
+}  // namespace gfwsim::analysis

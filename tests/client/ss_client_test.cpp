@@ -1,0 +1,132 @@
+// Client <-> server interop over the simulated network.
+#include <gtest/gtest.h>
+
+#include "client/ss_client.h"
+#include "probesim/probesim.h"
+#include "servers/upstream.h"
+
+namespace gfwsim::client {
+namespace {
+
+struct ClientFixture : ::testing::Test {
+  net::EventLoop loop;
+  net::Network net{loop};
+  servers::SimulatedInternet internet{crypto::Rng(42)};
+  net::Host& client_host = net.add_host(net::Ipv4(116, 1, 1, 1));
+  net::Host& server_host = net.add_host(net::Ipv4(203, 0, 113, 10));
+  net::Endpoint server_ep{server_host.addr(), 8388};
+  std::unique_ptr<servers::ProxyServerBase> server;
+
+  void install(probesim::ServerSetup::Impl impl, const std::string& cipher) {
+    internet.add_site("example.com", servers::fixed_http_responder(256));
+    probesim::ServerSetup setup;
+    setup.impl = impl;
+    setup.cipher = cipher;
+    server = probesim::make_server(setup, loop, &internet, 7);
+    server->install(server_host, 8388);
+  }
+
+  ClientConfig client_config(const std::string& cipher) {
+    ClientConfig config;
+    config.cipher = proxy::find_cipher(cipher);
+    config.password = "correct horse battery staple";
+    return config;
+  }
+};
+
+class ClientServerMatrix
+    : public ClientFixture,
+      public ::testing::WithParamInterface<std::pair<probesim::ServerSetup::Impl,
+                                                     const char*>> {};
+
+TEST_P(ClientServerMatrix, FetchRoundTrip) {
+  const auto [impl, cipher] = GetParam();
+  install(impl, cipher);
+  SsClient client(client_host, server_ep, client_config(cipher));
+
+  auto fetch = client.fetch(proxy::TargetSpec::hostname("example.com", 80),
+                            to_bytes("GET / HTTP/1.1\r\n\r\n"));
+  loop.run_until(net::seconds(30));
+
+  ASSERT_EQ(fetch->state(), Fetch::State::kDone);
+  EXPECT_EQ(to_string(ByteSpan(fetch->response().data(), 15)), "HTTP/1.1 200 OK");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ClientServerMatrix,
+    ::testing::Values(
+        std::make_pair(probesim::ServerSetup::Impl::kLibevOld, "aes-256-cfb"),
+        std::make_pair(probesim::ServerSetup::Impl::kLibevOld, "rc4-md5"),
+        std::make_pair(probesim::ServerSetup::Impl::kLibevOld, "chacha20"),
+        std::make_pair(probesim::ServerSetup::Impl::kLibevOld, "aes-128-gcm"),
+        std::make_pair(probesim::ServerSetup::Impl::kLibevNew, "aes-256-ctr"),
+        std::make_pair(probesim::ServerSetup::Impl::kLibevNew, "aes-256-gcm"),
+        std::make_pair(probesim::ServerSetup::Impl::kOutline106, "chacha20-ietf-poly1305"),
+        std::make_pair(probesim::ServerSetup::Impl::kOutline107, "chacha20-ietf-poly1305"),
+        std::make_pair(probesim::ServerSetup::Impl::kOutline110, "chacha20-ietf-poly1305")));
+
+TEST_F(ClientFixture, WrongPasswordFailsAgainstAead) {
+  install(probesim::ServerSetup::Impl::kOutline107, "chacha20-ietf-poly1305");
+  ClientConfig config = client_config("chacha20-ietf-poly1305");
+  config.password = "wrong password";
+  SsClient client(client_host, server_ep, config);
+
+  auto fetch = client.fetch(proxy::TargetSpec::hostname("example.com", 80),
+                            to_bytes("GET /"));
+  loop.run_until(net::seconds(30));
+  EXPECT_NE(fetch->state(), Fetch::State::kDone);
+  EXPECT_TRUE(fetch->response().empty());
+}
+
+TEST_F(ClientFixture, HardenedClientTalksToHardenedServer) {
+  install(probesim::ServerSetup::Impl::kHardened, "chacha20-ietf-poly1305");
+  ClientConfig config = client_config("chacha20-ietf-poly1305");
+  config.embed_timestamp = true;
+  SsClient client(client_host, server_ep, config);
+
+  auto fetch = client.fetch(proxy::TargetSpec::hostname("example.com", 80),
+                            to_bytes("GET /"));
+  loop.run_until(net::seconds(30));
+  ASSERT_EQ(fetch->state(), Fetch::State::kDone);
+}
+
+TEST_F(ClientFixture, MergedHeaderChangesFirstPacketSize) {
+  install(probesim::ServerSetup::Impl::kOutline107, "chacha20-ietf-poly1305");
+
+  ClientConfig classic = client_config("chacha20-ietf-poly1305");
+  ClientConfig merged = classic;
+  merged.merge_header_and_data = true;
+
+  SsClient client_a(client_host, server_ep, classic, 1);
+  SsClient client_b(client_host, server_ep, merged, 2);
+
+  auto fetch_a = client_a.fetch(proxy::TargetSpec::hostname("example.com", 80),
+                                to_bytes("GET /"));
+  auto fetch_b = client_b.fetch(proxy::TargetSpec::hostname("example.com", 80),
+                                to_bytes("GET /"));
+  loop.run_until(net::seconds(30));
+
+  ASSERT_EQ(fetch_a->state(), Fetch::State::kDone);
+  ASSERT_EQ(fetch_b->state(), Fetch::State::kDone);
+  // Merging drops one chunk's framing overhead (2 + 16 + 16 bytes).
+  EXPECT_EQ(fetch_a->first_packet().size() - fetch_b->first_packet().size(), 34u);
+}
+
+TEST_F(ClientFixture, RawSendReachesSink) {
+  std::vector<std::shared_ptr<net::Connection>> conns;
+  Bytes seen;
+  server_host.listen(8388, [&](std::shared_ptr<net::Connection> conn) {
+    conns.push_back(conn);
+    net::ConnectionCallbacks cb;
+    cb.on_data = [&](ByteSpan data) { append(seen, data); };
+    conn->set_callbacks(std::move(cb));
+  });
+  SsClient client(client_host, server_ep, client_config("aes-256-gcm"));
+  auto fetch = client.send_raw(to_bytes("raw bytes, no framing"));
+  loop.run_until(net::seconds(10));
+  EXPECT_EQ(to_string(seen), "raw bytes, no framing");
+  EXPECT_EQ(fetch->state(), Fetch::State::kAwaitingResponse);
+}
+
+}  // namespace
+}  // namespace gfwsim::client

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "client/traffic.h"
+#include "crypto/entropy.h"
+
+namespace gfwsim::client {
+namespace {
+
+TEST(BrowsingTraffic, GeneratesHttpAndTls) {
+  auto traffic = BrowsingTraffic::paper_sites();
+  crypto::Rng rng(1);
+  bool saw_http = false, saw_tls = false;
+  for (int i = 0; i < 200; ++i) {
+    const Flow flow = traffic.next(rng);
+    EXPECT_FALSE(flow.first_payload.empty());
+    if (flow.target.port == 80) {
+      saw_http = true;
+      EXPECT_EQ(to_string(ByteSpan(flow.first_payload.data(), 3)), "GET");
+    } else {
+      saw_tls = true;
+      EXPECT_EQ(flow.first_payload[0], 0x16);  // TLS handshake record
+    }
+  }
+  EXPECT_TRUE(saw_http);
+  EXPECT_TRUE(saw_tls);
+}
+
+TEST(BrowsingTraffic, ClientHelloLengthsAreBrowserLike) {
+  auto traffic = BrowsingTraffic::paper_sites();
+  crypto::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Bytes hello = synthetic_client_hello("example.com", rng);
+    EXPECT_GE(hello.size(), 200u);
+    EXPECT_LE(hello.size(), 700u);
+  }
+}
+
+TEST(BrowsingTraffic, RejectsEmptySiteList) {
+  EXPECT_THROW(BrowsingTraffic({}), std::invalid_argument);
+}
+
+TEST(RandomDataTraffic, RespectsLengthRange) {
+  RandomDataTraffic traffic(10, 50, 7.0, 8.0);
+  crypto::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Flow flow = traffic.next(rng);
+    EXPECT_GE(flow.first_payload.size(), 10u);
+    EXPECT_LE(flow.first_payload.size(), 50u);
+  }
+}
+
+TEST(RandomDataTraffic, Exp1IsHighEntropy) {
+  auto traffic = RandomDataTraffic::exp1();
+  crypto::Rng rng(4);
+  double total = 0;
+  int counted = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Flow flow = traffic.next(rng);
+    if (flow.first_payload.size() >= 500) {
+      total += crypto::shannon_entropy(flow.first_payload);
+      ++counted;
+    }
+  }
+  ASSERT_GT(counted, 50);
+  EXPECT_GT(total / counted, 6.8);
+}
+
+TEST(RandomDataTraffic, Exp2IsLowEntropy) {
+  auto traffic = RandomDataTraffic::exp2();
+  crypto::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Flow flow = traffic.next(rng);
+    EXPECT_LT(crypto::shannon_entropy(flow.first_payload), 2.2);
+  }
+}
+
+TEST(RandomDataTraffic, Exp3SweepsTheFullEntropyRange) {
+  auto traffic = RandomDataTraffic::exp3();
+  crypto::Rng rng(6);
+  double min_h = 9, max_h = -1;
+  for (int i = 0; i < 400; ++i) {
+    const Flow flow = traffic.next(rng);
+    if (flow.first_payload.size() < 800) continue;
+    const double h = crypto::shannon_entropy(flow.first_payload);
+    min_h = std::min(min_h, h);
+    max_h = std::max(max_h, h);
+  }
+  EXPECT_LT(min_h, 1.5);
+  EXPECT_GT(max_h, 7.0);
+}
+
+TEST(RandomDataTraffic, ValidatesRanges) {
+  EXPECT_THROW(RandomDataTraffic(0, 10, 0, 8), std::invalid_argument);
+  EXPECT_THROW(RandomDataTraffic(10, 5, 0, 8), std::invalid_argument);
+  EXPECT_THROW(RandomDataTraffic(1, 10, 5, 3), std::invalid_argument);
+  EXPECT_THROW(RandomDataTraffic(1, 10, 0, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gfwsim::client

@@ -1,0 +1,186 @@
+// FIPS-197 AES vectors, NIST GCM vectors, CTR/CFB mode properties.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/bytes.h"
+#include "crypto/gcm.h"
+#include "crypto/rng.h"
+
+namespace gfwsim::crypto {
+namespace {
+
+Bytes unhex(std::string_view s) {
+  auto v = hex_decode(s);
+  EXPECT_TRUE(v.has_value()) << s;
+  return *v;
+}
+
+TEST(AesBlock, Fips197Appendix) {
+  const Bytes pt = unhex("00112233445566778899aabbccddeeff");
+  std::uint8_t out[16];
+
+  Aes aes128(unhex("000102030405060708090a0b0c0d0e0f"));
+  aes128.encrypt_block(pt.data(), out);
+  EXPECT_EQ(hex_encode(ByteSpan(out, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+
+  Aes aes192(unhex("000102030405060708090a0b0c0d0e0f1011121314151617"));
+  aes192.encrypt_block(pt.data(), out);
+  EXPECT_EQ(hex_encode(ByteSpan(out, 16)), "dda97ca4864cdfe06eaf70a0ec0d7191");
+
+  Aes aes256(unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  aes256.encrypt_block(pt.data(), out);
+  EXPECT_EQ(hex_encode(ByteSpan(out, 16)), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(AesBlock, RejectsBadKeySize) {
+  const Bytes key(17, 0);
+  EXPECT_THROW(Aes{ByteSpan(key)}, std::invalid_argument);
+}
+
+TEST(AesCtr, NistSp80038aVector) {
+  // SP 800-38A F.5.1 CTR-AES128.Encrypt.
+  const Bytes key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes iv = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = unhex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  AesCtr ctr(key, iv);
+  EXPECT_EQ(hex_encode(ctr.transform(pt)),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(AesCtr, StatefulStreamingMatchesOneShot) {
+  Rng rng(3);
+  const Bytes key = rng.bytes(32);
+  const Bytes iv = rng.bytes(16);
+  const Bytes msg = rng.bytes(123);
+
+  AesCtr one(key, iv);
+  const Bytes whole = one.transform(msg);
+
+  AesCtr chunked(key, iv);
+  Bytes pieces;
+  for (std::size_t i = 0; i < msg.size(); i += 10) {
+    const std::size_t take = std::min<std::size_t>(10, msg.size() - i);
+    append(pieces, chunked.transform(ByteSpan(msg.data() + i, take)));
+  }
+  EXPECT_EQ(pieces, whole);
+}
+
+TEST(AesCtr, EncryptionIsInvolution) {
+  Rng rng(4);
+  const Bytes key = rng.bytes(16);
+  const Bytes iv = rng.bytes(16);
+  const Bytes msg = rng.bytes(1000);
+  AesCtr enc(key, iv);
+  AesCtr dec(key, iv);
+  EXPECT_EQ(dec.transform(enc.transform(msg)), msg);
+}
+
+TEST(AesCfb, NistSp80038aVector) {
+  // SP 800-38A F.3.13 CFB128-AES128.Encrypt.
+  const Bytes key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes iv = unhex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = unhex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  AesCfb cfb(key, iv);
+  EXPECT_EQ(hex_encode(cfb.encrypt(pt)),
+            "3b3fd92eb72dad20333449f8e83cfb4a"
+            "c8a64537a0b3a93fcde3cdad9f1ce58b");
+}
+
+TEST(AesCfb, RoundTripWithPartialBlocks) {
+  Rng rng(5);
+  const Bytes key = rng.bytes(32);
+  const Bytes iv = rng.bytes(16);
+  const Bytes msg = rng.bytes(77);
+
+  AesCfb enc(key, iv);
+  AesCfb dec(key, iv);
+  Bytes ct;
+  append(ct, enc.encrypt(ByteSpan(msg.data(), 5)));
+  append(ct, enc.encrypt(ByteSpan(msg.data() + 5, 72)));
+  Bytes pt;
+  append(pt, dec.decrypt(ByteSpan(ct.data(), 40)));
+  append(pt, dec.decrypt(ByteSpan(ct.data() + 40, 37)));
+  EXPECT_EQ(pt, msg);
+}
+
+TEST(AesCfb, CiphertextMalleabilityFlipsPlaintext) {
+  // The stream-construction weakness the GFW exploits: flipping ciphertext
+  // byte i flips plaintext byte i of the *current* block.
+  Rng rng(6);
+  const Bytes key = rng.bytes(16);
+  const Bytes iv = rng.bytes(16);
+  const Bytes msg = to_bytes("attack-at-dawn!!");
+
+  AesCfb enc(key, iv);
+  Bytes ct = enc.encrypt(msg);
+  ct[0] ^= 0x01;
+  AesCfb dec(key, iv);
+  const Bytes tampered = dec.decrypt(ct);
+  EXPECT_EQ(tampered[0], msg[0] ^ 0x01);
+}
+
+TEST(AesGcm, NistCase1EmptyPlaintext) {
+  const Bytes key(16, 0x00);
+  const Bytes nonce(12, 0x00);
+  AesGcm gcm(key);
+  const Bytes sealed = gcm.seal(nonce, {});
+  EXPECT_EQ(hex_encode(sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(AesGcm, NistCase2SingleBlock) {
+  const Bytes key(16, 0x00);
+  const Bytes nonce(12, 0x00);
+  const Bytes pt(16, 0x00);
+  AesGcm gcm(key);
+  const Bytes sealed = gcm.seal(nonce, pt);
+  EXPECT_EQ(hex_encode(ByteSpan(sealed.data(), 16)), "0388dace60b6a392f328c2b971b2fe78")
+      << "ciphertext mismatch";
+  EXPECT_EQ(hex_encode(ByteSpan(sealed.data() + 16, 16)), "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(AesGcm, SealOpenRoundTrip) {
+  Rng rng(8);
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    const Bytes key = rng.bytes(key_len);
+    const Bytes nonce = rng.bytes(12);
+    const Bytes aad = rng.bytes(20);
+    const Bytes pt = rng.bytes(100);
+    AesGcm gcm(key);
+    const Bytes sealed = gcm.seal(nonce, pt, aad);
+    const auto opened = gcm.open(nonce, sealed, aad);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, pt);
+  }
+}
+
+TEST(AesGcm, TamperDetection) {
+  Rng rng(9);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes pt = rng.bytes(64);
+  AesGcm gcm(key);
+  Bytes sealed = gcm.seal(nonce, pt);
+
+  // Any single-bit flip anywhere (ciphertext or tag) must fail to open.
+  for (std::size_t pos : {0u, 31u, 63u, 64u, 79u}) {
+    Bytes corrupted = sealed;
+    corrupted[pos] ^= 0x80;
+    EXPECT_FALSE(gcm.open(nonce, corrupted).has_value()) << "pos=" << pos;
+  }
+  // Wrong AAD fails too.
+  EXPECT_FALSE(gcm.open(nonce, sealed, to_bytes("aad")).has_value());
+  // Truncated input fails.
+  EXPECT_FALSE(gcm.open(nonce, ByteSpan(sealed.data(), 15)).has_value());
+}
+
+}  // namespace
+}  // namespace gfwsim::crypto

@@ -1,0 +1,183 @@
+// Published-vector and property tests for MD5, SHA-1, SHA-256, HMAC, RC4.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/hmac.h"
+#include "crypto/md5.h"
+#include "crypto/rc4.h"
+#include "crypto/rng.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace gfwsim::crypto {
+namespace {
+
+std::string md5_hex(std::string_view msg) {
+  return hex_encode(md5(to_bytes(msg)));
+}
+std::string sha1_hex(std::string_view msg) {
+  return hex_encode(sha1(to_bytes(msg)));
+}
+std::string sha256_hex(std::string_view msg) {
+  return hex_encode(sha256(to_bytes(msg)));
+}
+
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(md5_hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5_hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5_hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5_hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5_hex("abcdefghijklmnopqrstuvwxyz"), "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(md5_hex("The quick brown fox jumps over the lazy dog"),
+            "9e107d9d372bb6826bd81d3542a419d6");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const std::string msg(1000, 'x');
+  Md5 h;
+  for (std::size_t i = 0; i < msg.size(); i += 7) {
+    const auto chunk = msg.substr(i, 7);
+    h.update(to_bytes(chunk));
+  }
+  EXPECT_EQ(hex_encode(h.finish()), md5_hex(msg));
+}
+
+TEST(Md5, BoundarySizedInputs) {
+  // Cross the 55/56/64-byte padding boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'q');
+    Md5 a;
+    a.update(to_bytes(msg));
+    Md5 b;
+    b.update(to_bytes(msg.substr(0, len / 2)));
+    b.update(to_bytes(msg.substr(len / 2)));
+    EXPECT_EQ(hex_encode(a.finish()), hex_encode(b.finish())) << "len=" << len;
+  }
+}
+
+TEST(Sha1, Fips180Vectors) {
+  EXPECT_EQ(sha1_hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(sha1_hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(sha1_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionA) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(to_bytes(chunk));
+  EXPECT_EQ(hex_encode(h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Hmac, Rfc2202Md5) {
+  const Bytes key(16, 0x0b);
+  const auto tag = Hmac<Md5>::mac(key, to_bytes("Hi There"));
+  EXPECT_EQ(hex_encode(ByteSpan(tag.data(), tag.size())),
+            "9294727a3638bb1c13f48ef8158bfc9d");
+
+  const auto tag2 = Hmac<Md5>::mac(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(hex_encode(ByteSpan(tag2.data(), tag2.size())),
+            "750c783e6ab0b503eaa86e310a5db738");
+}
+
+TEST(Hmac, Rfc2202Sha1) {
+  const Bytes key(20, 0x0b);
+  const auto tag = Hmac<Sha1>::mac(key, to_bytes("Hi There"));
+  EXPECT_EQ(hex_encode(ByteSpan(tag.data(), tag.size())),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+
+  const auto tag2 = Hmac<Sha1>::mac(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(hex_encode(ByteSpan(tag2.data(), tag2.size())),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(Hmac, Rfc4231Sha256) {
+  const Bytes key(20, 0x0b);
+  const auto tag = Hmac<Sha256>::mac(key, to_bytes("Hi There"));
+  EXPECT_EQ(hex_encode(ByteSpan(tag.data(), tag.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 2202 test 6: 80-byte key of 0xaa.
+  const Bytes key(80, 0xaa);
+  const auto tag = Hmac<Sha1>::mac(key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex_encode(ByteSpan(tag.data(), tag.size())),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(Hmac, StreamingMatchesOneShot) {
+  Rng rng(42);
+  const Bytes key = rng.bytes(32);
+  const Bytes msg = rng.bytes(301);
+  Hmac<Sha256> h(key);
+  h.update(ByteSpan(msg.data(), 100));
+  h.update(ByteSpan(msg.data() + 100, 201));
+  const auto streamed = h.finish();
+  const auto one_shot = Hmac<Sha256>::mac(key, msg);
+  EXPECT_EQ(hex_encode(ByteSpan(streamed.data(), streamed.size())),
+            hex_encode(ByteSpan(one_shot.data(), one_shot.size())));
+}
+
+TEST(Rc4, KnownVectors) {
+  // Classic test vectors (e.g. from the original posting / Wikipedia).
+  Rc4 a(to_bytes("Key"));
+  EXPECT_EQ(hex_encode(a.transform(to_bytes("Plaintext"))), "bbf316e8d940af0ad3");
+
+  Rc4 b(to_bytes("Wiki"));
+  EXPECT_EQ(hex_encode(b.transform(to_bytes("pedia"))), "1021bf0420");
+
+  Rc4 c(to_bytes("Secret"));
+  EXPECT_EQ(hex_encode(c.transform(to_bytes("Attack at dawn"))),
+            "45a01f645fc35b383552544b9bf5");
+}
+
+TEST(Rc4, RoundTrip) {
+  Rng rng(7);
+  const Bytes key = rng.bytes(16);
+  const Bytes msg = rng.bytes(500);
+  Rc4 enc(key);
+  Rc4 dec(key);
+  const Bytes ct = enc.transform(msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(dec.transform(ct), msg);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(64);
+  const auto decoded = hex_decode(hex_encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Bytes, HexDecodeRejectsMalformed) {
+  EXPECT_FALSE(hex_decode("abc").has_value());   // odd length
+  EXPECT_FALSE(hex_decode("zz").has_value());    // non-hex
+  EXPECT_TRUE(hex_decode("").has_value());       // empty ok
+  EXPECT_TRUE(hex_decode("AbCd").has_value());   // mixed case ok
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+}
+
+}  // namespace
+}  // namespace gfwsim::crypto

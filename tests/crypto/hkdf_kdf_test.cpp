@@ -1,0 +1,119 @@
+// RFC 5869 HKDF vectors and EVP_BytesToKey behaviour tests.
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.h"
+#include "crypto/hkdf.h"
+#include "crypto/kdf.h"
+#include "crypto/md5.h"
+#include "crypto/sha256.h"
+
+namespace gfwsim::crypto {
+namespace {
+
+Bytes unhex(std::string_view s) {
+  auto v = hex_decode(s);
+  EXPECT_TRUE(v.has_value()) << s;
+  return *v;
+}
+
+TEST(Hkdf, Rfc5869Sha256Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = unhex("000102030405060708090a0b0c");
+  const Bytes info = unhex("f0f1f2f3f4f5f6f7f8f9");
+
+  const Bytes prk = hkdf_extract<Sha256>(salt, ikm);
+  EXPECT_EQ(hex_encode(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+
+  const Bytes okm = hkdf_expand<Sha256>(prk, info, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Sha256Case3EmptySaltAndInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf<Sha256>(ikm, {}, {}, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, Rfc5869Sha1Case4) {
+  const Bytes ikm(11, 0x0b);
+  const Bytes salt = unhex("000102030405060708090a0b0c");
+  const Bytes info = unhex("f0f1f2f3f4f5f6f7f8f9");
+
+  const Bytes prk = hkdf_extract<Sha1>(salt, ikm);
+  EXPECT_EQ(hex_encode(prk), "9b6c18c432a7bf8f0e71c8eb88f4b30baa2ba243");
+
+  const Bytes okm = hkdf_expand<Sha1>(prk, info, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "085a01ea1b10f36933068b56efa5ad81a4f14b822f5b091568a9cdd4f155fda2"
+            "c22e422478d305f3f896");
+}
+
+TEST(Hkdf, ExpandLengthLimits) {
+  const Bytes prk(20, 0x11);
+  EXPECT_NO_THROW(hkdf_expand<Sha1>(prk, {}, 255 * 20));
+  EXPECT_THROW(hkdf_expand<Sha1>(prk, {}, 255 * 20 + 1), std::invalid_argument);
+}
+
+TEST(Hkdf, OutputIsPrefixConsistent) {
+  // RFC 5869: shorter outputs are prefixes of longer ones.
+  const Bytes ikm(32, 0x42);
+  const Bytes salt = to_bytes("salty");
+  const Bytes long_okm = hkdf<Sha1>(ikm, salt, to_bytes("info"), 64);
+  const Bytes short_okm = hkdf<Sha1>(ikm, salt, to_bytes("info"), 17);
+  EXPECT_EQ(Bytes(long_okm.begin(), long_okm.begin() + 17), short_okm);
+}
+
+TEST(SsSubkey, MatchesManualHkdfSha1) {
+  const Bytes master(32, 0xaa);
+  const Bytes salt(32, 0x55);
+  const Bytes expected = hkdf<Sha1>(master, salt, to_bytes("ss-subkey"), 32);
+  EXPECT_EQ(ss_subkey(master, salt), expected);
+}
+
+TEST(SsSubkey, DifferentSaltsGiveDifferentKeys) {
+  const Bytes master(32, 0xaa);
+  Bytes salt_a(32, 0x01), salt_b(32, 0x02);
+  EXPECT_NE(ss_subkey(master, salt_a), ss_subkey(master, salt_b));
+}
+
+TEST(EvpBytesToKey, MatchesMd5ChainDefinition) {
+  // key = MD5(pw) || MD5(MD5(pw) || pw) || ... truncated to key_len.
+  const std::string pw = "barfoo!baz";
+  const Bytes d1 = md5(to_bytes(pw));
+  const Bytes d2 = md5(concat(d1, to_bytes(pw)));
+  const Bytes d3 = md5(concat(d2, to_bytes(pw)));
+
+  EXPECT_EQ(evp_bytes_to_key(pw, 16), d1);
+
+  Bytes want32 = d1;
+  append(want32, d2);
+  EXPECT_EQ(evp_bytes_to_key(pw, 32), want32);
+
+  // Non-multiple-of-16 lengths truncate the last digest.
+  Bytes want24(want32.begin(), want32.begin() + 24);
+  EXPECT_EQ(evp_bytes_to_key(pw, 24), want24);
+
+  Bytes want40 = want32;
+  want40.insert(want40.end(), d3.begin(), d3.begin() + 8);
+  EXPECT_EQ(evp_bytes_to_key(pw, 40), want40);
+}
+
+TEST(EvpBytesToKey, KnownOpenSslAnswer) {
+  // Independently computable: MD5("test") is a fixed constant, so the
+  // 16-byte key for password "test" equals it.
+  EXPECT_EQ(hex_encode(evp_bytes_to_key("test", 16)),
+            "098f6bcd4621d373cade4e832627b4f6");
+}
+
+TEST(EvpBytesToKey, DeterministicAndDistinct) {
+  EXPECT_EQ(evp_bytes_to_key("pw1", 32), evp_bytes_to_key("pw1", 32));
+  EXPECT_NE(evp_bytes_to_key("pw1", 32), evp_bytes_to_key("pw2", 32));
+}
+
+}  // namespace
+}  // namespace gfwsim::crypto

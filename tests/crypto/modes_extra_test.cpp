@@ -1,0 +1,115 @@
+// Additional NIST SP 800-38A / 800-38D coverage for the AES modes, plus
+// cross-key-size properties.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/bytes.h"
+#include "crypto/gcm.h"
+#include "crypto/rng.h"
+
+namespace gfwsim::crypto {
+namespace {
+
+Bytes unhex(std::string_view s) {
+  auto v = hex_decode(s);
+  EXPECT_TRUE(v.has_value()) << s;
+  return *v;
+}
+
+const Bytes kSp38aPlaintext = *hex_decode(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710");
+
+TEST(AesCtr, NistSp80038aAes192) {
+  const Bytes key = unhex("8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b");
+  const Bytes iv = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  AesCtr ctr(key, iv);
+  EXPECT_EQ(hex_encode(ctr.transform(kSp38aPlaintext)),
+            "1abc932417521ca24f2b0459fe7e6e0b"
+            "090339ec0aa6faefd5ccc2c6f4ce8e94"
+            "1e36b26bd1ebc670d1bd1d665620abf7"
+            "4f78a7f6d29809585a97daec58c6b050");
+}
+
+TEST(AesCtr, NistSp80038aAes256) {
+  const Bytes key =
+      unhex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  const Bytes iv = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  AesCtr ctr(key, iv);
+  EXPECT_EQ(hex_encode(ctr.transform(kSp38aPlaintext)),
+            "601ec313775789a5b7a7f504bbf3d228"
+            "f443e3ca4d62b59aca84e990cacaf5c5"
+            "2b0930daa23de94ce87017ba2d84988d"
+            "dfc9c58db67aada613c2dd08457941a6");
+}
+
+TEST(AesCfb, NistSp80038aAes256FirstBlock) {
+  const Bytes key =
+      unhex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  const Bytes iv = unhex("000102030405060708090a0b0c0d0e0f");
+  AesCfb cfb(key, iv);
+  const Bytes ct = cfb.encrypt(ByteSpan(kSp38aPlaintext.data(), 16));
+  EXPECT_EQ(hex_encode(ct), "dc7e84bfda79164b7ecd8486985d3860");
+}
+
+TEST(AesCtr, CounterWrapsAcrossBlockBoundary) {
+  // IV of all-FF: the big-endian counter must wrap to zero for block 2.
+  const Bytes key(16, 0x01);
+  const Bytes iv(16, 0xff);
+  AesCtr a(key, iv);
+  const Bytes two_blocks = a.transform(Bytes(32, 0));
+
+  // Manually: block1 = E(ff..ff), block2 = E(00..00).
+  Aes aes(key);
+  Aes::Block ff_block, zero_block{};
+  ff_block.fill(0xff);
+  const auto k1 = aes.encrypt_block(ff_block);
+  const auto k2 = aes.encrypt_block(zero_block);
+  EXPECT_EQ(Bytes(two_blocks.begin(), two_blocks.begin() + 16),
+            Bytes(k1.begin(), k1.end()));
+  EXPECT_EQ(Bytes(two_blocks.begin() + 16, two_blocks.end()),
+            Bytes(k2.begin(), k2.end()));
+}
+
+TEST(AesGcm, AadOnlyRoundTrip) {
+  Rng rng(77);
+  for (const std::size_t key_len : {16u, 24u, 32u}) {
+    const Bytes key = rng.bytes(key_len);
+    const Bytes nonce = rng.bytes(12);
+    const Bytes aad = rng.bytes(37);
+    AesGcm gcm(key);
+    const Bytes sealed = gcm.seal(nonce, {}, aad);
+    EXPECT_EQ(sealed.size(), 16u);
+    EXPECT_TRUE(gcm.open(nonce, sealed, aad).has_value());
+    Bytes wrong_aad = aad;
+    wrong_aad[0] ^= 1;
+    EXPECT_FALSE(gcm.open(nonce, sealed, wrong_aad).has_value());
+  }
+}
+
+TEST(AesGcm, DistinctNoncesDistinctCiphertexts) {
+  Rng rng(78);
+  const Bytes key = rng.bytes(32);
+  AesGcm gcm(key);
+  const Bytes pt = rng.bytes(48);
+  const Bytes n1 = rng.bytes(12), n2 = rng.bytes(12);
+  EXPECT_NE(gcm.seal(n1, pt), gcm.seal(n2, pt));
+  // And ciphertexts never open under the wrong nonce.
+  EXPECT_FALSE(gcm.open(n2, gcm.seal(n1, pt)).has_value());
+}
+
+TEST(AesGcm, LargeMultiBlockPayload) {
+  Rng rng(79);
+  const Bytes key = rng.bytes(16);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes pt = rng.bytes(4096 + 5);  // non-multiple of 16
+  AesGcm gcm(key);
+  const auto opened = gcm.open(nonce, gcm.seal(nonce, pt));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+}  // namespace
+}  // namespace gfwsim::crypto

@@ -1,0 +1,168 @@
+// Determinism and statistical-sanity tests for Rng, plus entropy tooling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/bytes.h"
+#include "crypto/entropy.h"
+#include "crypto/rng.h"
+
+namespace gfwsim::crypto {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.uniform(7, 7), 7u);
+  EXPECT_THROW(rng.uniform(8, 7), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversRangeRoughlyEvenly) {
+  Rng rng(5);
+  std::array<int, 10> buckets{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.uniform(0, 9)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, LogUniformRespectsBoundsAndMedian) {
+  Rng rng(23);
+  double log_sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.log_uniform(1.0, 10000.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 10000.0);
+    log_sum += std::log(v);
+  }
+  // Mean of log should be the midpoint of [log 1, log 10000].
+  EXPECT_NEAR(log_sum / n, 0.5 * std::log(10000.0), 0.1);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(31);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0], n * 0.1, n * 0.02);
+  EXPECT_NEAR(counts[1], n * 0.3, n * 0.02);
+  EXPECT_NEAR(counts[2], n * 0.6, n * 0.02);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.fork();
+  // The child stream should not replicate the parent's continuation.
+  Rng parent_copy(77);
+  (void)parent_copy.next_u64();  // same draw the fork consumed
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += (child.next_u64() == parent_copy.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BytesAreDeterministicAndBalanced) {
+  Rng a(202), b(202);
+  const Bytes x = a.bytes(4096);
+  EXPECT_EQ(x, b.bytes(4096));
+  // Bit balance: each bit position should be ~50% set.
+  int ones = 0;
+  for (std::uint8_t byte : x) ones += __builtin_popcount(byte);
+  EXPECT_NEAR(ones, 4096 * 4, 400);
+}
+
+TEST(Entropy, KnownDistributions) {
+  EXPECT_DOUBLE_EQ(shannon_entropy({}), 0.0);
+  const Bytes constant(100, 0x41);
+  EXPECT_DOUBLE_EQ(shannon_entropy(constant), 0.0);
+
+  Bytes two_symbols(100);
+  for (std::size_t i = 0; i < two_symbols.size(); ++i) {
+    two_symbols[i] = (i % 2 == 0) ? 0x00 : 0xff;
+  }
+  EXPECT_NEAR(shannon_entropy(two_symbols), 1.0, 1e-9);
+
+  Bytes all_bytes(256);
+  for (int i = 0; i < 256; ++i) all_bytes[i] = static_cast<std::uint8_t>(i);
+  EXPECT_NEAR(shannon_entropy(all_bytes), 8.0, 1e-9);
+}
+
+TEST(Entropy, UniformRandomApproachesExpectedCurve) {
+  Rng rng(55);
+  for (std::size_t len : {64u, 256u, 1024u, 8192u}) {
+    const Bytes data = rng.bytes(len);
+    const double h = shannon_entropy(data);
+    const double expected = expected_uniform_entropy(len);
+    EXPECT_NEAR(h, expected, 0.35) << "len=" << len;
+  }
+}
+
+TEST(Entropy, NormalizedEntropyNearOneForRandomShortBuffers) {
+  Rng rng(56);
+  for (std::size_t len : {8u, 32u, 100u}) {
+    const Bytes data = rng.bytes(len);
+    EXPECT_GT(normalized_entropy(data), 0.8) << "len=" << len;
+  }
+  const Bytes constant(50, 1);
+  EXPECT_LT(normalized_entropy(constant), 0.05);
+}
+
+class EntropySourceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EntropySourceSweep, HitsTargetSourceEntropy) {
+  const double target = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(target * 16));
+  EntropySource src(target, rng);
+  // Large sample: empirical entropy converges to source entropy.
+  const Bytes sample = src.generate(200000, rng);
+  EXPECT_NEAR(shannon_entropy(sample), target, 0.06) << "target=" << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, EntropySourceSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 3.0, 4.5, 6.0, 7.0, 7.5, 8.0));
+
+TEST(EntropySource, RejectsOutOfRange) {
+  Rng rng(1);
+  EXPECT_THROW(EntropySource(-0.1, rng), std::invalid_argument);
+  EXPECT_THROW(EntropySource(8.1, rng), std::invalid_argument);
+}
+
+TEST(EntropySource, ZeroEntropyIsConstant) {
+  Rng rng(2);
+  EntropySource src(0.0, rng);
+  const Bytes data = src.generate(64, rng);
+  for (std::uint8_t b : data) EXPECT_EQ(b, data[0]);
+}
+
+}  // namespace
+}  // namespace gfwsim::crypto

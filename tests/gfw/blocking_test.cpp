@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "gfw/blocking.h"
+
+namespace gfwsim::gfw {
+namespace {
+
+net::Segment make_segment(net::Endpoint src, net::Endpoint dst) {
+  net::Segment segment;
+  segment.src = src;
+  segment.dst = dst;
+  return segment;
+}
+
+struct BlockingFixture : ::testing::Test {
+  net::EventLoop loop;
+  net::Endpoint server{net::Ipv4(203, 0, 113, 10), 8388};
+  net::Endpoint client{net::Ipv4(116, 28, 5, 7), 40000};
+};
+
+TEST_F(BlockingFixture, NoBlockBelowThreshold) {
+  BlockingConfig config;
+  config.confirmation_threshold = 3.0;
+  config.block_probability = 1.0;
+  BlockingModule blocking(loop, config, 1);
+
+  blocking.add_evidence(server, 2.9);
+  EXPECT_FALSE(blocking.is_blocked(server));
+  blocking.add_evidence(server, 0.2);
+  EXPECT_TRUE(blocking.is_blocked(server));
+}
+
+TEST_F(BlockingFixture, HumanGateRarelyBlocksNormally) {
+  BlockingConfig config;
+  config.block_probability = 0.02;
+  int blocked = 0;
+  for (int i = 0; i < 600; ++i) {
+    BlockingModule blocking(loop, config, 1000 + static_cast<std::uint64_t>(i));
+    blocking.add_evidence(server, 10.0);
+    blocked += blocking.is_blocked(server);
+  }
+  // Paper: only 3 of 63 probed servers were ever blocked.
+  EXPECT_GT(blocked, 0);
+  EXPECT_LT(blocked, 50);
+}
+
+TEST_F(BlockingFixture, SensitivePeriodsBlockMuchMore) {
+  BlockingConfig config;
+  int normal = 0, sensitive = 0;
+  for (int i = 0; i < 300; ++i) {
+    {
+      BlockingModule blocking(loop, config, 2000 + static_cast<std::uint64_t>(i));
+      blocking.add_evidence(server, 10.0);
+      normal += blocking.is_blocked(server);
+    }
+    {
+      BlockingModule blocking(loop, config, 2000 + static_cast<std::uint64_t>(i));
+      blocking.set_sensitive_period(true);
+      blocking.add_evidence(server, 10.0);
+      sensitive += blocking.is_blocked(server);
+    }
+  }
+  EXPECT_GT(sensitive, normal * 5);
+}
+
+TEST_F(BlockingFixture, DropIsUnidirectionalServerToClient) {
+  BlockingConfig config;
+  config.block_probability = 1.0;
+  config.block_by_ip_fraction = 0.0;  // by port
+  BlockingModule blocking(loop, config, 3);
+  blocking.add_evidence(server, 10.0);
+  ASSERT_TRUE(blocking.is_blocked(server));
+
+  // Server -> client: dropped. Client -> server: passes.
+  EXPECT_TRUE(blocking.should_drop(make_segment(server, client)));
+  EXPECT_FALSE(blocking.should_drop(make_segment(client, server)));
+}
+
+TEST_F(BlockingFixture, BlockByPortSparesOtherPorts) {
+  BlockingConfig config;
+  config.block_probability = 1.0;
+  config.block_by_ip_fraction = 0.0;
+  BlockingModule blocking(loop, config, 4);
+  blocking.add_evidence(server, 10.0);
+
+  net::Endpoint other_port{server.addr, 22};
+  EXPECT_TRUE(blocking.should_drop(make_segment(server, client)));
+  EXPECT_FALSE(blocking.should_drop(make_segment(other_port, client)));
+  EXPECT_FALSE(blocking.is_blocked(other_port));
+}
+
+TEST_F(BlockingFixture, BlockByIpCoversAllPorts) {
+  BlockingConfig config;
+  config.block_probability = 1.0;
+  config.block_by_ip_fraction = 1.0;
+  BlockingModule blocking(loop, config, 5);
+  blocking.add_evidence(server, 10.0);
+
+  net::Endpoint other_port{server.addr, 22};
+  EXPECT_TRUE(blocking.should_drop(make_segment(server, client)));
+  EXPECT_TRUE(blocking.should_drop(make_segment(other_port, client)));
+  ASSERT_EQ(blocking.history().size(), 1u);
+  EXPECT_FALSE(blocking.history()[0].port.has_value());
+}
+
+TEST_F(BlockingFixture, UnblocksAfterAWeekWithoutRecheck) {
+  BlockingConfig config;
+  config.block_probability = 1.0;
+  config.min_block_duration = net::hours(24 * 7);
+  config.max_block_duration = net::hours(24 * 8);
+  BlockingModule blocking(loop, config, 6);
+  blocking.add_evidence(server, 10.0);
+  ASSERT_TRUE(blocking.is_blocked(server));
+
+  loop.run_until(net::hours(24 * 6));
+  EXPECT_TRUE(blocking.is_blocked(server));
+  loop.run_until(net::hours(24 * 9));
+  EXPECT_FALSE(blocking.is_blocked(server));
+  // History is retained for analysis.
+  EXPECT_EQ(blocking.history().size(), 1u);
+}
+
+TEST_F(BlockingFixture, GateRollsOnlyOncePerServer) {
+  // A server that was spared by the human gate is not re-rolled on
+  // further evidence (matching servers that stayed unblocked for months
+  // under intensive probing).
+  BlockingConfig config;
+  config.block_probability = 0.5;
+  int flips = 0;
+  for (int i = 0; i < 100; ++i) {
+    BlockingModule blocking(loop, config, 4000 + static_cast<std::uint64_t>(i));
+    blocking.add_evidence(server, 10.0);
+    const bool first = blocking.is_blocked(server);
+    for (int j = 0; j < 50; ++j) blocking.add_evidence(server, 10.0);
+    if (blocking.is_blocked(server) != first) ++flips;
+  }
+  EXPECT_EQ(flips, 0);
+}
+
+}  // namespace
+}  // namespace gfwsim::gfw

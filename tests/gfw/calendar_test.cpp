@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "gfw/blocking.h"
+#include "gfw/calendar.h"
+
+namespace gfwsim::gfw {
+namespace {
+
+TEST(SensitiveCalendar, DayOfYearAdvancesFromAnchor) {
+  SensitiveCalendar calendar(5, 1);  // simulation starts May 1
+  EXPECT_EQ(calendar.day_of_year(net::TimePoint{0}), 120);
+  EXPECT_EQ(calendar.day_of_year(net::hours(24)), 121);
+  EXPECT_EQ(calendar.day_of_year(net::hours(24 * 365)), 120);  // wraps annually
+}
+
+TEST(SensitiveCalendar, June4WindowDetected) {
+  SensitiveCalendar calendar(5, 1);
+  // June 1 is 31 days after May 1.
+  EXPECT_FALSE(calendar.is_sensitive(net::hours(24 * 29)));
+  EXPECT_TRUE(calendar.is_sensitive(net::hours(24 * 32)));
+  EXPECT_NE(calendar.active_window(net::hours(24 * 34)).find("Tiananmen"),
+            std::string::npos);
+  EXPECT_FALSE(calendar.is_sensitive(net::hours(24 * 45)));
+}
+
+TEST(SensitiveCalendar, NationalDayWindowCoversSeptemberBoundary) {
+  // Sep 16, 2019 is when the paper's most recent blocking wave began;
+  // the National Day window (Sep 25 + 14 days) covers Oct 1-Oct 8.
+  SensitiveCalendar calendar(9, 20);
+  EXPECT_TRUE(calendar.is_sensitive(net::hours(24 * 6)));   // Sep 26
+  EXPECT_TRUE(calendar.is_sensitive(net::hours(24 * 12)));  // Oct 2
+  EXPECT_FALSE(calendar.is_sensitive(net::hours(24 * 25)));
+}
+
+TEST(SensitiveCalendar, RejectsBadDates) {
+  EXPECT_THROW(SensitiveCalendar(13, 1), std::invalid_argument);
+  EXPECT_THROW(SensitiveCalendar(0, 10), std::invalid_argument);
+}
+
+TEST(SensitiveCalendar, CustomWindowsWrapYearEnd) {
+  SensitiveCalendar calendar(12, 20, {{12, 28, 10, "year-end"}});
+  EXPECT_FALSE(calendar.is_sensitive(net::TimePoint{0}));       // Dec 20
+  EXPECT_TRUE(calendar.is_sensitive(net::hours(24 * 9)));       // Dec 29
+  EXPECT_TRUE(calendar.is_sensitive(net::hours(24 * 15)));      // Jan 4
+  EXPECT_FALSE(calendar.is_sensitive(net::hours(24 * 20)));     // Jan 9
+}
+
+TEST(SensitiveCalendar, DrivesBlockingWaves) {
+  // The section 2.2 pattern end-to-end: identical evidence arriving in
+  // and out of sensitive windows produces blocking concentrated inside
+  // them.
+  SensitiveCalendar calendar(5, 20);
+  net::EventLoop loop;
+  BlockingConfig config;
+  config.block_probability = 0.02;
+  config.sensitive_block_probability = 0.8;
+
+  int blocked_inside = 0, blocked_outside = 0;
+  int inside = 0, outside = 0;
+  for (int day = 0; day < 60; ++day) {
+    const auto at = net::hours(24 * day);
+    BlockingModule blocking(loop, config, 0x9000 + static_cast<std::uint64_t>(day));
+    blocking.set_sensitive_period(calendar.is_sensitive(at));
+    blocking.add_evidence({net::Ipv4(203, 0, 113, 10), 8388}, 10.0);
+    if (calendar.is_sensitive(at)) {
+      ++inside;
+      blocked_inside += blocking.active_blocks() > 0;
+    } else {
+      ++outside;
+      blocked_outside += blocking.active_blocks() > 0;
+    }
+  }
+  ASSERT_GT(inside, 5);
+  ASSERT_GT(outside, 5);
+  EXPECT_GT(static_cast<double>(blocked_inside) / inside,
+            5.0 * blocked_outside / outside + 0.2);
+}
+
+}  // namespace
+}  // namespace gfwsim::gfw

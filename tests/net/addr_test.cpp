@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/addr.h"
+
+namespace gfwsim::net {
+namespace {
+
+TEST(Ipv4, FormatAndParseRoundTrip) {
+  const Ipv4 ip(175, 42, 1, 21);
+  EXPECT_EQ(ip.to_string(), "175.42.1.21");
+  const auto parsed = Ipv4::parse("175.42.1.21");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ip);
+}
+
+TEST(Ipv4, ParseEdgeCases) {
+  EXPECT_EQ(Ipv4::parse("0.0.0.0")->value, 0u);
+  EXPECT_EQ(Ipv4::parse("255.255.255.255")->value, 0xffffffffu);
+  EXPECT_FALSE(Ipv4::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4::parse("").has_value());
+  EXPECT_FALSE(Ipv4::parse("1..2.3").has_value());
+}
+
+TEST(Ipv4, OrderingMatchesNumericValue) {
+  EXPECT_LT(Ipv4(1, 0, 0, 0), Ipv4(2, 0, 0, 0));
+  EXPECT_LT(Ipv4(1, 0, 0, 1), Ipv4(1, 0, 1, 0));
+}
+
+TEST(Endpoint, EqualityAndHash) {
+  const Endpoint a{Ipv4(10, 0, 0, 1), 8388};
+  const Endpoint b{Ipv4(10, 0, 0, 1), 8388};
+  const Endpoint c{Ipv4(10, 0, 0, 1), 8389};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  std::unordered_set<Endpoint> set{a, b, c};
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(a.to_string(), "10.0.0.1:8388");
+}
+
+}  // namespace
+}  // namespace gfwsim::net

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/event_loop.h"
+
+namespace gfwsim::net {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(seconds(3), [&] { order.push_back(3); });
+  loop.schedule_at(seconds(1), [&] { order.push_back(1); });
+  loop.schedule_at(seconds(2), [&] { order.push_back(2); });
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), seconds(3));
+}
+
+TEST(EventLoop, SameTimestampIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(seconds(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  TimePoint fired{};
+  loop.schedule_at(seconds(10), [&] {
+    loop.schedule_after(seconds(5), [&] { fired = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired, seconds(15));
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  const TimerId id = loop.schedule_at(seconds(1), [&] { fired = true; });
+  loop.cancel(id);
+  EXPECT_EQ(loop.run(), 0u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelFromWithinEarlierEvent) {
+  EventLoop loop;
+  bool fired = false;
+  const TimerId later = loop.schedule_at(seconds(2), [&] { fired = true; });
+  loop.schedule_at(seconds(1), [&] { loop.cancel(later); });
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(seconds(1), [&] { ++count; });
+  loop.schedule_at(seconds(2), [&] { ++count; });
+  loop.schedule_at(seconds(10), [&] { ++count; });
+
+  EXPECT_EQ(loop.run_until(seconds(5)), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.now(), seconds(5));  // idles forward
+  EXPECT_EQ(loop.pending(), 1u);
+
+  loop.run_until(seconds(10));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventLoop, EventsScheduledInPastRunNow) {
+  EventLoop loop;
+  loop.schedule_at(seconds(5), [] {});
+  loop.run();
+  TimePoint fired{};
+  loop.schedule_at(seconds(1), [&] { fired = loop.now(); });  // in the past
+  loop.run();
+  EXPECT_EQ(fired, seconds(5));
+}
+
+TEST(EventLoop, CascadingEventsAllRun) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) loop.schedule_after(milliseconds(1), recurse);
+  };
+  loop.schedule_at(TimePoint{0}, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.now(), milliseconds(99));
+}
+
+TEST(EventLoop, MaxEventsLimitsProcessing) {
+  EventLoop loop;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) loop.schedule_at(seconds(i), [&] { ++count; });
+  EXPECT_EQ(loop.run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(loop.pending(), 6u);
+}
+
+}  // namespace
+}  // namespace gfwsim::net

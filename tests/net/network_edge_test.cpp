@@ -1,0 +1,150 @@
+// Edge cases of the connection model: teardown orders, listener churn,
+// window extremes, port exhaustion behaviour.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace gfwsim::net {
+namespace {
+
+struct EdgeFixture : ::testing::Test {
+  EventLoop loop;
+  Network net{loop};
+  Host& client = net.add_host(Ipv4(10, 0, 0, 1));
+  Host& server = net.add_host(Ipv4(203, 0, 113, 5));
+  Endpoint server_ep{Ipv4(203, 0, 113, 5), 8388};
+  std::vector<std::shared_ptr<Connection>> sessions;
+
+  void listen_sink() {
+    server.listen(8388, [this](std::shared_ptr<Connection> conn) {
+      sessions.push_back(conn);
+      conn->set_callbacks({});
+    });
+  }
+};
+
+TEST_F(EdgeFixture, StopListeningRefusesNewConnections) {
+  listen_sink();
+  auto first = client.connect(server_ep, {});
+  loop.run();
+  EXPECT_EQ(first->state(), Connection::State::kEstablished);
+
+  server.stop_listening(8388);
+  bool rst = false;
+  ConnectionCallbacks cb;
+  cb.on_rst = [&] { rst = true; };
+  auto second = client.connect(server_ep, std::move(cb));
+  loop.run();
+  EXPECT_TRUE(rst);
+  // The established connection is unaffected.
+  EXPECT_EQ(first->state(), Connection::State::kEstablished);
+}
+
+TEST_F(EdgeFixture, DoubleCloseAndCloseAfterResetAreIdempotent) {
+  listen_sink();
+  auto conn = client.connect(server_ep, {});
+  loop.run();
+  conn->close();
+  conn->close();  // no-op
+  loop.run();
+  conn->abort();  // after close: no crash
+  SUCCEED();
+}
+
+TEST_F(EdgeFixture, AbortBeforeHandshakeCompletesQuietly) {
+  listen_sink();
+  auto conn = client.connect(server_ep, {});
+  conn->abort();  // SYN still in flight
+  loop.run();
+  EXPECT_EQ(conn->state(), Connection::State::kReset);
+}
+
+TEST_F(EdgeFixture, SimultaneousCloseBothSidesEndClosed) {
+  listen_sink();
+  auto conn = client.connect(server_ep, {});
+  loop.run();
+  ASSERT_EQ(sessions.size(), 1u);
+  conn->close();
+  sessions[0]->close();
+  loop.run();
+  EXPECT_EQ(conn->state(), Connection::State::kClosed);
+  EXPECT_EQ(sessions[0]->state(), Connection::State::kClosed);
+}
+
+TEST_F(EdgeFixture, SendAfterPeerFinIsHarmless) {
+  listen_sink();
+  auto conn = client.connect(server_ep, {});
+  loop.run();
+  sessions[0]->close();
+  loop.run();
+  conn->send(to_bytes("late data"));  // peer already gone
+  loop.run();
+  SUCCEED();
+}
+
+TEST_F(EdgeFixture, TinyWindowStillDeliversEverything) {
+  Bytes received;
+  server.listen(8388, [&](std::shared_ptr<Connection> conn) {
+    conn->set_recv_window(1);  // pathological clamp
+    sessions.push_back(conn);
+    ConnectionCallbacks cb;
+    cb.on_data = [&received](ByteSpan d) { append(received, d); };
+    conn->set_callbacks(std::move(cb));
+  });
+  auto conn = client.connect(server_ep, {});
+  loop.run();
+  conn->send(Bytes(100, 0x42));
+  loop.run();
+  EXPECT_EQ(received.size(), 100u);  // 100 one-byte segments
+}
+
+TEST_F(EdgeFixture, EphemeralPortsWrapWithinLinuxRange) {
+  listen_sink();
+  std::set<std::uint16_t> ports;
+  // Push the allocator past its wrap point.
+  std::vector<std::shared_ptr<Connection>> conns;
+  for (int i = 0; i < 300; ++i) {
+    auto conn = client.connect(server_ep, {});
+    EXPECT_GE(conn->local().port, 32768);
+    EXPECT_LT(conn->local().port, 61000);
+    ports.insert(conn->local().port);
+    conn->abort();
+  }
+  EXPECT_GT(ports.size(), 250u);
+}
+
+TEST_F(EdgeFixture, TapObservesDropsWithVerdict) {
+  struct DropData : Middlebox {
+    Verdict on_segment(const Segment& seg) override {
+      return seg.is_data() ? Verdict::kDrop : Verdict::kPass;
+    }
+  } box;
+  net.add_middlebox(&box);
+
+  int dropped = 0, passed = 0;
+  net.set_tap([&](const SegmentRecord& rec) { (rec.dropped ? dropped : passed) += 1; });
+
+  listen_sink();
+  auto conn = client.connect(server_ep, {});
+  loop.run();
+  conn->send(to_bytes("eaten"));
+  loop.run();
+  EXPECT_EQ(dropped, 1);
+  EXPECT_GE(passed, 3);  // handshake
+  EXPECT_EQ(sessions[0]->bytes_received(), 0u);
+  net.remove_middlebox(&box);
+}
+
+TEST_F(EdgeFixture, SegmentRecordCarriesArrivalTime) {
+  net.set_default_latency(milliseconds(25));
+  std::vector<SegmentRecord> pcap;
+  net.set_tap([&](const SegmentRecord& rec) { pcap.push_back(rec); });
+  listen_sink();
+  auto conn = client.connect(server_ep, {});
+  loop.run();
+  ASSERT_FALSE(pcap.empty());
+  EXPECT_EQ(pcap[0].arrive_at - pcap[0].segment.sent_at, milliseconds(25));
+}
+
+}  // namespace
+}  // namespace gfwsim::net

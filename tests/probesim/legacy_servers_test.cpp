@@ -1,0 +1,86 @@
+// Shadowsocks-python and ShadowsocksR models — the implementations the
+// paper's blocked servers ran (section 6).
+#include <gtest/gtest.h>
+
+#include "probesim/probesim.h"
+
+namespace gfwsim::probesim {
+namespace {
+
+const proxy::TargetSpec kTarget = proxy::TargetSpec::hostname("www.wikipedia.org", 443);
+const char kRequest[] = "GET / HTTP/1.1\r\nHost: www.wikipedia.org\r\n\r\n";
+
+ServerSetup setup_for(ServerSetup::Impl impl) {
+  ServerSetup setup;
+  setup.impl = impl;
+  setup.cipher = "aes-256-cfb";  // both predate/default to stream methods
+  return setup;
+}
+
+TEST(SsPython, GenuineClientServed) {
+  ProbeLab lab(setup_for(ServerSetup::Impl::kSsPython), 0x901);
+  const Bytes packet = lab.legitimate_first_packet(kTarget, to_bytes(kRequest));
+  EXPECT_EQ(lab.prober().send_probe(packet).reaction, Reaction::kData);
+}
+
+TEST(SsPython, InvalidAddressTypeClosesWithFin) {
+  // Strict parser (no 0x0F mask): ~253/256 of random probes are invalid
+  // and answered with a clean close.
+  ProbeLab lab(setup_for(ServerSetup::Impl::kSsPython), 0x902);
+  ReactionTally tally;
+  for (int t = 0; t < 64; ++t) tally.add(lab.prober().send_random_probe(40).reaction);
+  EXPECT_EQ(tally.rst, 0);
+  EXPECT_GT(tally.fin, 56);  // >= ~253/256
+}
+
+TEST(SsPython, NoReplayFilterMeansIdenticalReplayReturnsData) {
+  // The section 6 mechanism: these servers confirm themselves on a
+  // single R1 probe — which the paper's three blocked servers ran.
+  ProbeLab lab(setup_for(ServerSetup::Impl::kSsPython), 0x903);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  const auto result = lab.prober().send_probe(recorded);
+  EXPECT_EQ(result.reaction, Reaction::kData);
+  EXPECT_GT(result.response_bytes, 0u);
+}
+
+TEST(Ssr, SilentOnGarbageButServesReplays) {
+  ProbeLab lab(setup_for(ServerSetup::Impl::kSsr), 0x904);
+  // Random probes mostly idle out (strict parser, silent errors).
+  ReactionTally tally;
+  for (int t = 0; t < 48; ++t) tally.add(lab.prober().send_random_probe(40).reaction);
+  EXPECT_EQ(tally.rst, 0);
+  EXPECT_GT(tally.timeout, 40);
+
+  // ...but identical replays are served.
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  EXPECT_EQ(lab.prober().send_probe(recorded).reaction, Reaction::kData);
+}
+
+TEST(LegacyServers, DoubleSendShowsNoFilter) {
+  for (const auto impl : {ServerSetup::Impl::kSsPython, ServerSetup::Impl::kSsr}) {
+    ProbeLab lab(setup_for(impl), 0x905);
+    for (int t = 0; t < 12; ++t) {
+      EXPECT_FALSE(lab.prober().detect_replay_filter(221).filter_suspected())
+          << impl_name(impl);
+    }
+  }
+}
+
+TEST(LegacyServers, RejectAeadCiphers) {
+  ServerSetup setup = setup_for(ServerSetup::Impl::kSsPython);
+  setup.cipher = "aes-256-gcm";
+  EXPECT_THROW(ProbeLab lab(setup, 0x906), std::invalid_argument);
+}
+
+TEST(LegacyServers, ReplayOfReplayStillWorks) {
+  // No filter means the GFW can replay the same payload dozens of times
+  // and get DATA every time — maximal evidence accumulation.
+  ProbeLab lab(setup_for(ServerSetup::Impl::kSsPython), 0x907);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(lab.prober().send_probe(recorded).reaction, Reaction::kData) << i;
+  }
+}
+
+}  // namespace
+}  // namespace gfwsim::probesim

@@ -1,0 +1,113 @@
+// Unit tests for the prober simulator itself (mutations, batteries,
+// tallies).
+#include <gtest/gtest.h>
+
+#include "probesim/probesim.h"
+
+namespace gfwsim::probesim {
+namespace {
+
+TEST(MutateReplay, R1IsIdentical) {
+  crypto::Rng rng(1);
+  const Bytes payload = rng.bytes(100);
+  EXPECT_EQ(mutate_replay(payload, ProbeType::kR1, rng), payload);
+}
+
+TEST(MutateReplay, R2ChangesExactlyByteZero) {
+  crypto::Rng rng(2);
+  const Bytes payload = rng.bytes(100);
+  const Bytes mutated = mutate_replay(payload, ProbeType::kR2, rng);
+  ASSERT_EQ(mutated.size(), payload.size());
+  EXPECT_NE(mutated[0], payload[0]);
+  EXPECT_EQ(Bytes(mutated.begin() + 1, mutated.end()),
+            Bytes(payload.begin() + 1, payload.end()));
+}
+
+TEST(MutateReplay, R3ChangesBytes0To7And62To63) {
+  crypto::Rng rng(3);
+  const Bytes payload = rng.bytes(100);
+  const Bytes mutated = mutate_replay(payload, ProbeType::kR3, rng);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    const bool should_change = i <= 7 || i == 62 || i == 63;
+    if (should_change) {
+      EXPECT_NE(mutated[i], payload[i]) << i;
+    } else {
+      EXPECT_EQ(mutated[i], payload[i]) << i;
+    }
+  }
+}
+
+TEST(MutateReplay, R4ChangesByte16AndR5Bytes6And16) {
+  crypto::Rng rng(4);
+  const Bytes payload = rng.bytes(64);
+  const Bytes r4 = mutate_replay(payload, ProbeType::kR4, rng);
+  EXPECT_NE(r4[16], payload[16]);
+  EXPECT_EQ(r4[15], payload[15]);
+  EXPECT_EQ(r4[17], payload[17]);
+
+  const Bytes r5 = mutate_replay(payload, ProbeType::kR5, rng);
+  EXPECT_NE(r5[6], payload[6]);
+  EXPECT_NE(r5[16], payload[16]);
+  EXPECT_EQ(r5[7], payload[7]);
+}
+
+TEST(MutateReplay, OffsetsBeyondPayloadAreSkipped) {
+  crypto::Rng rng(5);
+  const Bytes tiny = rng.bytes(10);  // bytes 16, 62, 63 do not exist
+  const Bytes r4 = mutate_replay(tiny, ProbeType::kR4, rng);
+  EXPECT_EQ(r4, tiny);
+  const Bytes r3 = mutate_replay(tiny, ProbeType::kR3, rng);
+  for (std::size_t i = 0; i <= 7; ++i) EXPECT_NE(r3[i], tiny[i]);
+  EXPECT_EQ(r3[8], tiny[8]);
+}
+
+TEST(MutateReplay, NrTypesRejected) {
+  crypto::Rng rng(6);
+  const Bytes payload = rng.bytes(10);
+  EXPECT_THROW(mutate_replay(payload, ProbeType::kNR1, rng), std::invalid_argument);
+  EXPECT_THROW(mutate_replay(payload, ProbeType::kNR2, rng), std::invalid_argument);
+}
+
+TEST(Nr1Lengths, ExactTrioSet) {
+  const auto& lengths = nr1_lengths();
+  EXPECT_EQ(lengths.size(), 21u);
+  const std::set<std::size_t> set(lengths.begin(), lengths.end());
+  for (const std::size_t n : {8u, 12u, 16u, 22u, 33u, 41u, 49u}) {
+    EXPECT_TRUE(set.count(n - 1));
+    EXPECT_TRUE(set.count(n));
+    EXPECT_TRUE(set.count(n + 1));
+  }
+}
+
+TEST(ReactionNames, AllDistinct) {
+  EXPECT_EQ(reaction_name(Reaction::kTimeout), "TIMEOUT");
+  EXPECT_EQ(reaction_code(Reaction::kData), 'D');
+  EXPECT_EQ(probe_type_name(ProbeType::kNR2), "NR2");
+}
+
+TEST(ProbeLab, RefusedPortYieldsRst) {
+  // A ProbeLab whose server listens on 8388; probing something else on
+  // the same host is refused.
+  ServerSetup setup;
+  setup.impl = ServerSetup::Impl::kOutline107;
+  ProbeLab lab(setup, 99);
+  ProberSimulator other(lab.network(), *lab.network().host(net::Ipv4(202, 96, 0, 99)),
+                        net::Endpoint{lab.server_endpoint().addr, 9999}, 100);
+  EXPECT_EQ(other.send_random_probe(50).reaction, Reaction::kRst);
+}
+
+TEST(ProbeLab, SweepIsDeterministicPerSeed) {
+  ServerSetup setup;
+  setup.impl = ServerSetup::Impl::kLibevOld;
+  setup.cipher = "aes-256-ctr";
+  const auto run = [&](std::uint64_t seed) {
+    ProbeLab lab(setup, seed);
+    const auto sweep = lab.prober().random_length_sweep({20, 40}, 16);
+    return std::make_tuple(sweep.at(20).rst, sweep.at(40).rst, sweep.at(40).fin);
+  };
+  EXPECT_EQ(run(123), run(123));
+  EXPECT_NE(run(123), run(456));  // with overwhelming probability
+}
+
+}  // namespace
+}  // namespace gfwsim::probesim

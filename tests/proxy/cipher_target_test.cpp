@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+#include "proxy/cipher.h"
+#include "proxy/target.h"
+
+namespace gfwsim::proxy {
+namespace {
+
+TEST(CipherRegistry, KnownMethodsResolve) {
+  const auto* rc4 = find_cipher("rc4-md5");
+  ASSERT_NE(rc4, nullptr);
+  EXPECT_EQ(rc4->kind, CipherKind::kStream);
+  EXPECT_EQ(rc4->key_len, 16u);
+  EXPECT_EQ(rc4->iv_len, 16u);
+
+  const auto* chacha = find_cipher("chacha20-ietf-poly1305");
+  ASSERT_NE(chacha, nullptr);
+  EXPECT_EQ(chacha->kind, CipherKind::kAead);
+  EXPECT_EQ(chacha->key_len, 32u);
+  EXPECT_EQ(chacha->iv_len, 32u);
+  EXPECT_EQ(chacha->tag_len(), 16u);
+
+  EXPECT_EQ(find_cipher("not-a-cipher"), nullptr);
+}
+
+TEST(CipherRegistry, PaperIvLengthCoverage) {
+  // The paper says stream IVs may be 8, 12, or 16 bytes and AEAD salts
+  // 16, 24, or 32 (section 2); the registry must cover all six classes.
+  bool iv8 = false, iv12 = false, iv16 = false;
+  bool salt16 = false, salt24 = false, salt32 = false;
+  for (const auto* spec : all_ciphers()) {
+    if (spec->kind == CipherKind::kStream) {
+      iv8 |= spec->iv_len == 8;
+      iv12 |= spec->iv_len == 12;
+      iv16 |= spec->iv_len == 16;
+    } else {
+      salt16 |= spec->iv_len == 16;
+      salt24 |= spec->iv_len == 24;
+      salt32 |= spec->iv_len == 32;
+    }
+  }
+  EXPECT_TRUE(iv8 && iv12 && iv16);
+  EXPECT_TRUE(salt16 && salt24 && salt32);
+}
+
+TEST(CipherRegistry, OnlyChaCha20IetfHas12ByteIv) {
+  // Paper section 5.2.2: inferring a 12-byte IV identifies the method.
+  for (const auto* spec : all_ciphers()) {
+    if (spec->kind == CipherKind::kStream && spec->iv_len == 12) {
+      EXPECT_EQ(spec->name, "chacha20-ietf");
+    }
+  }
+}
+
+TEST(TargetSpec, EncodeIpv4) {
+  const auto spec = TargetSpec::ipv4(net::Ipv4(93, 184, 216, 34), 443);
+  const Bytes wire = encode_target(spec);
+  ASSERT_EQ(wire.size(), 7u);
+  EXPECT_EQ(wire[0], 0x01);
+  EXPECT_EQ(hex_encode(ByteSpan(wire.data() + 1, 4)), "5db8d822");
+  EXPECT_EQ(wire[5], 0x01);  // 443 = 0x01bb
+  EXPECT_EQ(wire[6], 0xbb);
+}
+
+TEST(TargetSpec, EncodeHostname) {
+  const auto spec = TargetSpec::hostname("example.com", 80);
+  const Bytes wire = encode_target(spec);
+  ASSERT_EQ(wire.size(), 1u + 1 + 11 + 2);
+  EXPECT_EQ(wire[0], 0x03);
+  EXPECT_EQ(wire[1], 11);
+  EXPECT_EQ(to_string(ByteSpan(wire.data() + 2, 11)), "example.com");
+}
+
+TEST(TargetSpec, EncodeParseRoundTrip) {
+  const std::vector<TargetSpec> specs = {
+      TargetSpec::ipv4(net::Ipv4(1, 2, 3, 4), 8080),
+      TargetSpec::hostname("www.wikipedia.org", 443),
+      TargetSpec::hostname("", 1),  // degenerate but legal
+      TargetSpec::ipv6({0x20, 0x01, 0x0d, 0xb8}, 53),
+  };
+  for (const auto& spec : specs) {
+    const Bytes wire = encode_target(spec);
+    const auto parsed = parse_target(wire, /*mask_atyp=*/false);
+    ASSERT_EQ(parsed.status, ParseStatus::kOk) << spec.to_string();
+    EXPECT_EQ(parsed.spec, spec);
+    EXPECT_EQ(parsed.consumed, wire.size());
+  }
+}
+
+TEST(TargetSpec, ParseDetectsTrailingData) {
+  Bytes wire = encode_target(TargetSpec::ipv4(net::Ipv4(1, 1, 1, 1), 53));
+  append(wire, to_bytes("GET / HTTP/1.1"));
+  const auto parsed = parse_target(wire, false);
+  ASSERT_EQ(parsed.status, ParseStatus::kOk);
+  EXPECT_EQ(parsed.consumed, 7u);
+}
+
+TEST(TargetSpec, IncompleteSpecsNeedMore) {
+  const Bytes ipv4_partial = {0x01, 10, 0, 0};
+  EXPECT_EQ(parse_target(ipv4_partial, false).status, ParseStatus::kNeedMore);
+
+  const Bytes host_partial = {0x03, 20, 'a', 'b'};
+  EXPECT_EQ(parse_target(host_partial, false).status, ParseStatus::kNeedMore);
+
+  const Bytes ipv6_partial = {0x04, 0, 0};
+  EXPECT_EQ(parse_target(ipv6_partial, false).status, ParseStatus::kNeedMore);
+
+  EXPECT_EQ(parse_target({}, false).status, ParseStatus::kNeedMore);
+}
+
+TEST(TargetSpec, InvalidAddressType) {
+  const Bytes bad = {0x05, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(parse_target(bad, false).status, ParseStatus::kInvalid);
+  const Bytes zero = {0x00, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(parse_target(zero, false).status, ParseStatus::kInvalid);
+}
+
+TEST(TargetSpec, MaskingAcceptsHighNibble) {
+  // 0x11 & 0x0F == 0x01 -> valid IPv4 under the ss-libev mask, invalid
+  // under strict parsing.
+  const Bytes masked_ipv4 = {0x11, 8, 8, 8, 8, 0, 53};
+  EXPECT_EQ(parse_target(masked_ipv4, true).status, ParseStatus::kOk);
+  EXPECT_EQ(parse_target(masked_ipv4, false).status, ParseStatus::kInvalid);
+}
+
+TEST(TargetSpec, RandomByteValidityProbability) {
+  // Paper section 5.2.1: random first byte is valid with probability 3/16
+  // when masked, 3/256 when not. Exhaustively check all 256 values.
+  int valid_masked = 0, valid_strict = 0;
+  for (int b = 0; b < 256; ++b) {
+    Bytes data(32, 0x00);
+    data[0] = static_cast<std::uint8_t>(b);
+    if (parse_target(data, true).status != ParseStatus::kInvalid) ++valid_masked;
+    if (parse_target(data, false).status != ParseStatus::kInvalid) ++valid_strict;
+  }
+  EXPECT_EQ(valid_masked, 48);  // 3/16 of 256
+  EXPECT_EQ(valid_strict, 3);   // 3/256
+}
+
+}  // namespace
+}  // namespace gfwsim::proxy

@@ -1,0 +1,153 @@
+// One-time auth (OTA): round trips, tamper detection, and the
+// unauthenticated-length-field oracle that got it deprecated (sec. 2.1).
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+#include "proxy/ota.h"
+
+namespace gfwsim::proxy {
+namespace {
+
+struct OtaFixture : ::testing::Test {
+  const CipherSpec& spec = *find_cipher("aes-256-ctr");
+  Bytes key = stream_master_key(spec, "pw");
+  crypto::Rng rng{0x07A};
+  Bytes iv = rng.bytes(16);
+  TargetSpec target = TargetSpec::hostname("example.com", 443);
+
+  // Decrypt-side plumbing: the server first strips IV and decrypts, then
+  // hands plaintext to the OtaReader.
+  Bytes decrypt_after_iv(ByteSpan wire) {
+    StreamSession dec(spec, key, iv, StreamSession::Direction::kDecrypt);
+    return dec.process(wire.subspan(16));
+  }
+};
+
+TEST_F(OtaFixture, HeaderAndChunksRoundTrip) {
+  OtaWriter writer(spec, key, iv);
+  Bytes wire = writer.first_packet(target, to_bytes("hello"));
+  append(wire, writer.chunk(to_bytes(" world")));
+
+  const Bytes plain = decrypt_after_iv(wire);
+  OtaReader reader(spec, key, iv, {});
+  Bytes out;
+  auto status = reader.feed(plain, out);
+  EXPECT_TRUE(status == OtaReader::Status::kHeaderOk || status == OtaReader::Status::kData);
+  // Feed nothing more; chunks decoded during the same feed or next.
+  reader.feed({}, out);
+  EXPECT_EQ(reader.target(), target);
+  EXPECT_EQ(to_string(out), "hello world");
+}
+
+TEST_F(OtaFixture, HeaderFlagIsSet) {
+  OtaWriter writer(spec, key, iv);
+  const Bytes wire = writer.first_packet(target, {});
+  const Bytes plain = decrypt_after_iv(wire);
+  EXPECT_EQ(plain[0] & kOtaFlag, kOtaFlag);
+  EXPECT_EQ(plain[0] & 0x0f, 0x03);  // hostname type underneath
+}
+
+TEST_F(OtaFixture, TamperedHeaderFailsAuthentication) {
+  OtaWriter writer(spec, key, iv);
+  Bytes wire = writer.first_packet(target, {});
+  wire[16 + 2] ^= 0x01;  // flip a hostname byte (ciphertext)
+
+  const Bytes plain = decrypt_after_iv(wire);
+  OtaReader reader(spec, key, iv, {});
+  Bytes out;
+  EXPECT_EQ(reader.feed(plain, out), OtaReader::Status::kAuthError);
+}
+
+TEST_F(OtaFixture, TamperedChunkDataFailsAuthentication) {
+  OtaWriter writer(spec, key, iv);
+  Bytes wire = writer.first_packet(target, to_bytes("payload"));
+  wire.back() ^= 0x01;  // flip the last payload byte
+
+  const Bytes plain = decrypt_after_iv(wire);
+  OtaReader reader(spec, key, iv, {});
+  Bytes out;
+  reader.feed(plain, out);
+  EXPECT_EQ(reader.feed({}, out), OtaReader::Status::kAuthError);
+}
+
+TEST_F(OtaFixture, TamperedLengthFieldStallsInsteadOfFailing) {
+  // THE design flaw (section 2.1): the length prefix carries no MAC. A
+  // prober that inflates it sees the server wait for phantom bytes — a
+  // timing/behaviour oracle — rather than reject immediately.
+  OtaWriter writer(spec, key, iv);
+  Bytes wire = writer.first_packet(target, {});
+  Bytes chunk_wire = writer.chunk(to_bytes("payload"));
+  // The 2-byte length is the first plaintext of the chunk; flip the high
+  // byte so length jumps from 7 to 263.
+  chunk_wire[0] ^= 0x01;
+  append(wire, chunk_wire);
+
+  const Bytes plain = decrypt_after_iv(wire);
+  OtaReader reader(spec, key, iv, {});
+  Bytes out;
+  reader.feed(plain, out);
+  const auto status = reader.feed({}, out);
+  EXPECT_EQ(status, OtaReader::Status::kNeedMore);  // stalled, NOT kAuthError
+  EXPECT_TRUE(out.empty());
+  EXPECT_GT(reader.pending_need(), 200u);  // waiting for phantom bytes
+}
+
+TEST_F(OtaFixture, WrongIvKeyFailsCleanly) {
+  OtaWriter writer(spec, key, iv);
+  const Bytes wire = writer.first_packet(target, {});
+  const Bytes plain = decrypt_after_iv(wire);
+
+  const Bytes other_key = stream_master_key(spec, "other");
+  OtaReader reader(spec, other_key, iv, {});
+  Bytes out;
+  EXPECT_EQ(reader.feed(plain, out), OtaReader::Status::kAuthError);
+}
+
+TEST_F(OtaFixture, ChunkIndexPreventsReordering) {
+  OtaWriter writer(spec, key, iv);
+  Bytes header_wire = writer.first_packet(target, {});
+  const Bytes chunk1 = writer.chunk(to_bytes("first"));
+  const Bytes chunk2 = writer.chunk(to_bytes("later"));
+
+  // Deliver chunk2 before chunk1: its tag was computed with index 1, but
+  // the reader expects index 0 -> authentication failure.
+  StreamSession dec(spec, key, iv, StreamSession::Direction::kDecrypt);
+  Bytes plain = dec.process(ByteSpan(header_wire.data() + 16, header_wire.size() - 16));
+  OtaReader reader(spec, key, iv, {});
+  Bytes out;
+  reader.feed(plain, out);
+
+  // Decrypt chunks out of order at the right keystream offsets is not
+  // possible with a stream cipher; simulate the reorder at plaintext
+  // level instead.
+  StreamSession dec2(spec, key, iv, StreamSession::Direction::kDecrypt);
+  dec2.process(ByteSpan(header_wire.data() + 16, header_wire.size() - 16));
+  const Bytes plain1 = dec2.process(chunk1);
+  const Bytes plain2 = dec2.process(chunk2);
+  EXPECT_EQ(reader.feed(plain2, out), OtaReader::Status::kAuthError);
+}
+
+TEST_F(OtaFixture, RejectsAeadSpec) {
+  const auto& aead = *find_cipher("aes-256-gcm");
+  const Bytes aead_key(32, 1), salt(32, 2);
+  EXPECT_THROW(OtaWriter(aead, aead_key, salt), std::invalid_argument);
+  EXPECT_THROW(OtaReader(aead, aead_key, salt, {}), std::invalid_argument);
+}
+
+TEST_F(OtaFixture, ByteAtATimeFeeding) {
+  OtaWriter writer(spec, key, iv);
+  Bytes wire = writer.first_packet(target, to_bytes("drip-fed data"));
+  const Bytes plain = decrypt_after_iv(wire);
+
+  OtaReader reader(spec, key, iv, {});
+  Bytes out;
+  for (const std::uint8_t b : plain) {
+    const auto status = reader.feed(ByteSpan(&b, 1), out);
+    ASSERT_NE(status, OtaReader::Status::kAuthError);
+  }
+  EXPECT_EQ(to_string(out), "drip-fed data");
+  EXPECT_EQ(reader.target(), target);
+}
+
+}  // namespace
+}  // namespace gfwsim::proxy

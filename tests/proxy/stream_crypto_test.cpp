@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "crypto/md5.h"
+#include "crypto/rc4.h"
+#include "crypto/rng.h"
+#include "proxy/stream_crypto.h"
+
+namespace gfwsim::proxy {
+namespace {
+
+class StreamCipherSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StreamCipherSweep, RoundTripAllMethods) {
+  const auto* spec = find_cipher(GetParam());
+  ASSERT_NE(spec, nullptr);
+  ASSERT_EQ(spec->kind, CipherKind::kStream);
+
+  crypto::Rng rng(101);
+  const Bytes key = stream_master_key(*spec, "the shared password");
+  ASSERT_EQ(key.size(), spec->key_len);
+  const Bytes iv = rng.bytes(spec->iv_len);
+  const Bytes msg = rng.bytes(333);
+
+  StreamSession enc(*spec, key, iv, StreamSession::Direction::kEncrypt);
+  StreamSession dec(*spec, key, iv, StreamSession::Direction::kDecrypt);
+  const Bytes ct = enc.process(msg);
+  EXPECT_EQ(ct.size(), msg.size());
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(dec.process(ct), msg);
+}
+
+TEST_P(StreamCipherSweep, StatefulAcrossCalls) {
+  const auto* spec = find_cipher(GetParam());
+  crypto::Rng rng(102);
+  const Bytes key = stream_master_key(*spec, "pw");
+  const Bytes iv = rng.bytes(spec->iv_len);
+  const Bytes msg = rng.bytes(100);
+
+  StreamSession whole_enc(*spec, key, iv, StreamSession::Direction::kEncrypt);
+  const Bytes expected = whole_enc.process(msg);
+
+  StreamSession chunked_enc(*spec, key, iv, StreamSession::Direction::kEncrypt);
+  Bytes got;
+  append(got, chunked_enc.process(ByteSpan(msg.data(), 33)));
+  append(got, chunked_enc.process(ByteSpan(msg.data() + 33, 67)));
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(StreamCipherSweep, DifferentIvsDifferentKeystreams) {
+  const auto* spec = find_cipher(GetParam());
+  crypto::Rng rng(103);
+  const Bytes key = stream_master_key(*spec, "pw");
+  const Bytes iv_a = rng.bytes(spec->iv_len);
+  const Bytes iv_b = rng.bytes(spec->iv_len);
+  const Bytes msg(64, 0x00);
+
+  StreamSession a(*spec, key, iv_a, StreamSession::Direction::kEncrypt);
+  StreamSession b(*spec, key, iv_b, StreamSession::Direction::kEncrypt);
+  EXPECT_NE(a.process(msg), b.process(msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStreamCiphers, StreamCipherSweep,
+                         ::testing::Values("rc4-md5", "aes-128-ctr", "aes-192-ctr",
+                                           "aes-256-ctr", "aes-128-cfb", "aes-192-cfb",
+                                           "aes-256-cfb", "chacha20-ietf", "chacha20"));
+
+TEST(StreamSession, Rc4Md5SessionKeyIsMd5OfKeyAndIv) {
+  const auto* spec = find_cipher("rc4-md5");
+  crypto::Rng rng(104);
+  const Bytes key = stream_master_key(*spec, "pw");
+  const Bytes iv = rng.bytes(16);
+  const Bytes msg = to_bytes("hello world");
+
+  StreamSession session(*spec, key, iv, StreamSession::Direction::kEncrypt);
+  const Bytes got = session.process(msg);
+
+  crypto::Rc4 reference(crypto::md5(concat(key, iv)));
+  EXPECT_EQ(got, reference.transform(msg));
+}
+
+TEST(StreamSession, RejectsMismatchedParameters) {
+  const auto* stream_spec = find_cipher("aes-256-ctr");
+  const auto* aead_spec = find_cipher("aes-256-gcm");
+  const Bytes key(32, 1), short_key(16, 1), iv(16, 2), short_iv(8, 2);
+  using D = StreamSession::Direction;
+  EXPECT_THROW(StreamSession(*stream_spec, short_key, iv, D::kEncrypt), std::invalid_argument);
+  EXPECT_THROW(StreamSession(*stream_spec, key, short_iv, D::kEncrypt), std::invalid_argument);
+  EXPECT_THROW(StreamSession(*aead_spec, key, iv, D::kEncrypt), std::invalid_argument);
+}
+
+TEST(StreamSession, MalleabilityOfCtr) {
+  // The core stream-cipher weakness: XOR into ciphertext XORs into
+  // plaintext at the same offset. This is what byte-changed replay probes
+  // (R2-R5) rely on to turn one recorded connection into many variants.
+  const auto* spec = find_cipher("aes-256-ctr");
+  crypto::Rng rng(105);
+  const Bytes key = stream_master_key(*spec, "pw");
+  const Bytes iv = rng.bytes(16);
+  const Bytes msg = to_bytes("\x01\x08\x08\x08\x08\x00\x50 payload");
+
+  StreamSession enc(*spec, key, iv, StreamSession::Direction::kEncrypt);
+  Bytes ct = enc.process(msg);
+  ct[0] ^= 0x01 ^ 0x03;  // rewrite address type 0x01 -> 0x03
+
+  StreamSession dec(*spec, key, iv, StreamSession::Direction::kDecrypt);
+  const Bytes tampered = dec.process(ct);
+  EXPECT_EQ(tampered[0], 0x03);
+  EXPECT_EQ(Bytes(tampered.begin() + 1, tampered.end()),
+            Bytes(msg.begin() + 1, msg.end()));
+}
+
+TEST(StreamMasterKey, MatchesEvpBytesToKeyLength) {
+  for (const auto* spec : all_ciphers()) {
+    if (spec->kind != CipherKind::kStream) continue;
+    EXPECT_EQ(stream_master_key(*spec, "x").size(), spec->key_len) << spec->name;
+  }
+}
+
+}  // namespace
+}  // namespace gfwsim::proxy

@@ -1,0 +1,126 @@
+// Figure 10b: reactions of AEAD servers to random probes.
+#include <gtest/gtest.h>
+
+#include "probesim/probesim.h"
+#include "servers/hardened.h"
+
+namespace gfwsim::probesim {
+namespace {
+
+using Impl = ServerSetup::Impl;
+
+ServerSetup aead_setup(Impl impl, const std::string& cipher) {
+  ServerSetup setup;
+  setup.impl = impl;
+  setup.cipher = cipher;
+  return setup;
+}
+
+TEST(LibevOldAead, Salt16BoundaryAt50And51) {
+  // aes-128-gcm: salt 16 -> waits for salt+35 bytes. 50 bytes TIMEOUT,
+  // 51 bytes RST — the exact Figure 10b row 1 boundary.
+  ProbeLab lab(aead_setup(Impl::kLibevOld, "aes-128-gcm"), 31);
+  EXPECT_EQ(lab.prober().send_random_probe(50).reaction, Reaction::kTimeout);
+  EXPECT_EQ(lab.prober().send_random_probe(51).reaction, Reaction::kRst);
+  EXPECT_EQ(lab.prober().send_random_probe(221).reaction, Reaction::kRst);
+}
+
+TEST(LibevOldAead, Salt24BoundaryAt58And59) {
+  ProbeLab lab(aead_setup(Impl::kLibevOld, "aes-192-gcm"), 32);
+  EXPECT_EQ(lab.prober().send_random_probe(58).reaction, Reaction::kTimeout);
+  EXPECT_EQ(lab.prober().send_random_probe(59).reaction, Reaction::kRst);
+}
+
+TEST(LibevOldAead, Salt32BoundaryAt66And67) {
+  ProbeLab lab(aead_setup(Impl::kLibevOld, "aes-256-gcm"), 33);
+  EXPECT_EQ(lab.prober().send_random_probe(66).reaction, Reaction::kTimeout);
+  EXPECT_EQ(lab.prober().send_random_probe(67).reaction, Reaction::kRst);
+}
+
+TEST(LibevOldAead, RandomProbesNeverAuthenticate) {
+  // Unlike stream ciphers, AEAD random probes cannot luck into a valid
+  // spec: everything past the threshold is RST, nothing else.
+  ProbeLab lab(aead_setup(Impl::kLibevOld, "chacha20-ietf-poly1305"), 34);
+  ReactionTally tally;
+  for (int t = 0; t < 64; ++t) tally.add(lab.prober().send_random_probe(100).reaction);
+  EXPECT_EQ(tally.rst, 64);
+}
+
+TEST(LibevNewAead, AlwaysTimesOut) {
+  ProbeLab lab(aead_setup(Impl::kLibevNew, "aes-256-gcm"), 35);
+  for (const std::size_t len : {10u, 50u, 51u, 66u, 67u, 100u, 221u}) {
+    EXPECT_EQ(lab.prober().send_random_probe(len).reaction, Reaction::kTimeout)
+        << "len=" << len;
+  }
+}
+
+TEST(Outline106, FinAckAtExactly50) {
+  // The distinctive OutlineVPN v1.0.6 cell: salt(32)+len(2)+tag(16) = 50
+  // bytes gets an immediate FIN/ACK; 51+ gets RST; 49- waits.
+  ProbeLab lab(aead_setup(Impl::kOutline106, "chacha20-ietf-poly1305"), 36);
+  EXPECT_EQ(lab.prober().send_random_probe(49).reaction, Reaction::kTimeout);
+  EXPECT_EQ(lab.prober().send_random_probe(50).reaction, Reaction::kFinAck);
+  EXPECT_EQ(lab.prober().send_random_probe(51).reaction, Reaction::kRst);
+  EXPECT_EQ(lab.prober().send_random_probe(221).reaction, Reaction::kRst);
+}
+
+TEST(Outline107, AlwaysTimesOut) {
+  ProbeLab lab(aead_setup(Impl::kOutline107, "chacha20-ietf-poly1305"), 37);
+  for (const std::size_t len : {49u, 50u, 51u, 100u, 221u}) {
+    EXPECT_EQ(lab.prober().send_random_probe(len).reaction, Reaction::kTimeout)
+        << "len=" << len;
+  }
+}
+
+TEST(Outline107, GenuineClientStillServed) {
+  // Probing resistance must not break real clients.
+  ProbeLab lab(aead_setup(Impl::kOutline107, "chacha20-ietf-poly1305"), 38);
+  const Bytes packet = lab.legitimate_first_packet(
+      proxy::TargetSpec::hostname("example.com", 80), to_bytes("GET /"));
+  EXPECT_EQ(lab.prober().send_probe(packet).reaction, Reaction::kData);
+}
+
+TEST(Hardened, EverythingTimesOutExceptFreshAuthenticated) {
+  ProbeLab lab(aead_setup(Impl::kHardened, "chacha20-ietf-poly1305"), 39);
+  // Random probes of every notable length: silence.
+  for (const std::size_t len : {8u, 50u, 51u, 67u, 221u}) {
+    EXPECT_EQ(lab.prober().send_random_probe(len).reaction, Reaction::kTimeout)
+        << "len=" << len;
+  }
+  // A spec-compliant client that embeds the timestamp is served.
+  Bytes handshake = servers::hardened_timestamp_prefix(lab.loop().now());
+  append(handshake, encode_target(proxy::TargetSpec::hostname("example.com", 80)));
+  append(handshake, to_bytes("GET /"));
+  const auto* spec = proxy::find_cipher("chacha20-ietf-poly1305");
+  crypto::Rng rng(40);
+  proxy::Encryptor enc(*spec, proxy::master_key(*spec, "correct horse battery staple"), rng);
+  EXPECT_EQ(lab.prober().send_probe(enc.encrypt(handshake)).reaction, Reaction::kData);
+}
+
+TEST(Hardened, MissingTimestampIsRejectedSilently) {
+  ProbeLab lab(aead_setup(Impl::kHardened, "chacha20-ietf-poly1305"), 41);
+  // A classic (non-hardened) client handshake authenticates but carries
+  // no timestamp; the spec parse happens at the wrong offset and the
+  // server quietly refuses. Either way: TIMEOUT, no tell.
+  const Bytes packet = lab.legitimate_first_packet(
+      proxy::TargetSpec::hostname("example.com", 80), to_bytes("GET /"));
+  EXPECT_EQ(lab.prober().send_probe(packet).reaction, Reaction::kTimeout);
+}
+
+TEST(ReactionTallyLabel, CondensesCells) {
+  ReactionTally pure;
+  for (int i = 0; i < 10; ++i) pure.add(Reaction::kTimeout);
+  EXPECT_EQ(pure.label(), "TIMEOUT");
+
+  ReactionTally mixed;
+  for (int i = 0; i < 13; ++i) mixed.add(Reaction::kRst);
+  for (int i = 0; i < 2; ++i) mixed.add(Reaction::kTimeout);
+  mixed.add(Reaction::kFinAck);
+  const std::string label = mixed.label();
+  EXPECT_NE(label.find("RST"), std::string::npos);
+  EXPECT_NE(label.find("TIMEOUT"), std::string::npos);
+  EXPECT_NE(label.find("FIN/ACK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gfwsim::probesim

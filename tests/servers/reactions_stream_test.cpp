@@ -1,0 +1,129 @@
+// Figure 10a: reactions of stream-cipher servers to random probes.
+#include <gtest/gtest.h>
+
+#include "probesim/probesim.h"
+
+namespace gfwsim::probesim {
+namespace {
+
+using Impl = ServerSetup::Impl;
+
+ServerSetup stream_setup(Impl impl, const std::string& cipher) {
+  ServerSetup setup;
+  setup.impl = impl;
+  setup.cipher = cipher;
+  return setup;
+}
+
+TEST(LibevOldStream, ShortProbesTimeout) {
+  // Probe length <= IV length: the server is still waiting for a full IV.
+  ProbeLab lab(stream_setup(Impl::kLibevOld, "aes-256-ctr"), 11);  // 16-byte IV
+  for (const std::size_t len : {1u, 8u, 15u, 16u}) {
+    EXPECT_EQ(lab.prober().send_random_probe(len).reaction, Reaction::kTimeout)
+        << "len=" << len;
+  }
+}
+
+TEST(LibevOldStream, IncompleteSpecLengthsMostlyRst) {
+  // IV+1 .. IV+6: enough for an address-type byte but never a complete
+  // spec -> RST ~13/16 of the time (invalid type), else TIMEOUT.
+  ProbeLab lab(stream_setup(Impl::kLibevOld, "aes-256-ctr"), 12);
+  ReactionTally tally;
+  for (int t = 0; t < 96; ++t) tally.add(lab.prober().send_random_probe(20).reaction);
+  EXPECT_EQ(tally.fin, 0);
+  EXPECT_EQ(tally.data, 0);
+  EXPECT_NEAR(static_cast<double>(tally.rst) / tally.total(), 13.0 / 16.0, 0.12);
+  EXPECT_GT(tally.timeout, 0);
+}
+
+TEST(LibevOldStream, CompleteSpecLengthsThreeWayMix) {
+  // >= IV+7: RST ~13/16; valid specs split between TIMEOUT (hanging
+  // upstream) and FIN/ACK (fast upstream failure). Paper Figure 10a row 3.
+  ProbeLab lab(stream_setup(Impl::kLibevOld, "aes-256-ctr"), 13);
+  ReactionTally tally;
+  for (int t = 0; t < 192; ++t) tally.add(lab.prober().send_random_probe(40).reaction);
+  EXPECT_NEAR(static_cast<double>(tally.rst) / tally.total(), 13.0 / 16.0, 0.10);
+  EXPECT_GT(tally.fin, 0);
+  EXPECT_GT(tally.timeout, 0);
+  EXPECT_EQ(tally.data, 0);
+}
+
+TEST(LibevNewStream, NeverRstsOnRandomProbes) {
+  // v3.3.1+ turned the RST paths into silent reads (Figure 10a bottom).
+  ProbeLab lab(stream_setup(Impl::kLibevNew, "aes-256-ctr"), 14);
+  ReactionTally tally;
+  for (int t = 0; t < 96; ++t) tally.add(lab.prober().send_random_probe(40).reaction);
+  EXPECT_EQ(tally.rst, 0);
+  EXPECT_EQ(tally.data, 0);
+  EXPECT_GT(tally.timeout, tally.fin);  // TIMEOUT above 13/16, FIN below 3/16
+}
+
+TEST(ChaCha20Stream, BoundaryAtEightByteIv) {
+  // Figure 10a row with an 8-byte IV: the TIMEOUT/RST boundary moves to
+  // 8/9 bytes — this is why NR1 probes include the 7,8,9 trio.
+  ProbeLab lab(stream_setup(Impl::kLibevOld, "chacha20"), 15);
+  EXPECT_EQ(lab.prober().send_random_probe(8).reaction, Reaction::kTimeout);
+
+  ReactionTally tally;
+  for (int t = 0; t < 64; ++t) tally.add(lab.prober().send_random_probe(9).reaction);
+  EXPECT_GT(tally.rst, 0);
+  EXPECT_EQ(tally.fin, 0);  // 9 bytes can never hold a complete spec
+}
+
+TEST(ChaCha20IetfStream, BoundaryAtTwelveByteIv) {
+  ProbeLab lab(stream_setup(Impl::kLibevOld, "chacha20-ietf"), 16);
+  EXPECT_EQ(lab.prober().send_random_probe(12).reaction, Reaction::kTimeout);
+  ReactionTally tally;
+  for (int t = 0; t < 64; ++t) tally.add(lab.prober().send_random_probe(13).reaction);
+  EXPECT_GT(tally.rst, 0);
+}
+
+TEST(LibevOldStream, ValidSpecProbabilityReflectsAtypMask) {
+  // The mask quirk: non-RST fraction ~3/16 (not 3/256). At probe length
+  // IV+1..IV+6 the only outcomes are RST (invalid) and TIMEOUT (valid
+  // type, incomplete spec), so TIMEOUT fraction estimates the mask rate.
+  ProbeLab lab(stream_setup(Impl::kLibevOld, "aes-128-ctr"), 17);
+  ReactionTally tally;
+  for (int t = 0; t < 256; ++t) tally.add(lab.prober().send_random_probe(19).reaction);
+  const double timeout_fraction = static_cast<double>(tally.timeout) / tally.total();
+  EXPECT_NEAR(timeout_fraction, 3.0 / 16.0, 0.07);
+  EXPECT_GT(timeout_fraction, 3.0 / 256.0 * 4);  // clearly not the unmasked rate
+}
+
+TEST(LibevOldStream, HostnameProbesResolveAndFinAck) {
+  // A random probe that decrypts to a valid hostname spec makes the
+  // server attempt DNS for garbage, fail fast, and close with FIN/ACK.
+  // We craft such a probe with the real key to pin the path.
+  ProbeLab lab(stream_setup(Impl::kLibevOld, "aes-256-ctr"), 18);
+  const Bytes packet = lab.legitimate_first_packet(
+      proxy::TargetSpec::hostname("no-such-host.invalid", 80), to_bytes("x"));
+  EXPECT_EQ(lab.prober().send_probe(packet).reaction, Reaction::kFinAck);
+}
+
+TEST(LibevOldStream, GenuineClientPacketGetsProxiedData) {
+  // Sanity: with the password, a "probe" that is really a well-formed
+  // client request reaches the upstream and returns data.
+  ProbeLab lab(stream_setup(Impl::kLibevOld, "aes-256-ctr"), 19);
+  const Bytes packet = lab.legitimate_first_packet(
+      proxy::TargetSpec::hostname("www.wikipedia.org", 443), to_bytes("GET / HTTP/1.1"));
+  const auto result = lab.prober().send_probe(packet);
+  EXPECT_EQ(result.reaction, Reaction::kData);
+  EXPECT_GT(result.response_bytes, 4096u);
+}
+
+TEST(StreamServers, ReactionLatencyOfRstIsImmediate) {
+  ProbeLab lab(stream_setup(Impl::kLibevOld, "aes-256-ctr"), 20);
+  // Find a probe that RSTs and check the latency is network RTT, not a
+  // timeout artifact.
+  for (int t = 0; t < 30; ++t) {
+    const auto result = lab.prober().send_random_probe(20);
+    if (result.reaction == Reaction::kRst) {
+      EXPECT_LT(result.latency, net::seconds(1));
+      return;
+    }
+  }
+  FAIL() << "no RST observed in 30 trials";
+}
+
+}  // namespace
+}  // namespace gfwsim::probesim

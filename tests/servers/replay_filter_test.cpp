@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+#include "servers/replay_filter.h"
+
+namespace gfwsim::servers {
+namespace {
+
+TEST(BloomReplayFilter, RemembersInsertedNonces) {
+  BloomReplayFilter filter(1000);
+  crypto::Rng rng(1);
+  const Bytes a = rng.bytes(32);
+  const Bytes b = rng.bytes(32);
+  EXPECT_FALSE(filter.contains(a));
+  filter.insert(a);
+  EXPECT_TRUE(filter.contains(a));
+  EXPECT_FALSE(filter.contains(b));
+}
+
+TEST(BloomReplayFilter, CheckAndInsertSemantics) {
+  BloomReplayFilter filter(1000);
+  crypto::Rng rng(2);
+  const Bytes nonce = rng.bytes(16);
+  EXPECT_FALSE(filter.check_and_insert(nonce));
+  EXPECT_TRUE(filter.check_and_insert(nonce));
+}
+
+TEST(BloomReplayFilter, LowFalsePositiveRate) {
+  BloomReplayFilter filter(10000, 10);
+  crypto::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) filter.insert(rng.bytes(16));
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (filter.contains(rng.bytes(16))) ++false_positives;
+  }
+  EXPECT_LT(false_positives, 300);  // < 3% at 10 bits/entry
+}
+
+TEST(BloomReplayFilter, GenerationRotationForgetsOldEntries) {
+  // This is the weakness the paper's section 7.2 points at: after enough
+  // churn, a nonce seen long ago is forgotten, so a censor replaying
+  // after 570 hours can slip past a pure Bloom design.
+  BloomReplayFilter filter(100);
+  crypto::Rng rng(4);
+  const Bytes ancient = rng.bytes(32);
+  filter.insert(ancient);
+  // Two full generations of fresh traffic.
+  for (int i = 0; i < 250; ++i) filter.insert(rng.bytes(32));
+  EXPECT_FALSE(filter.contains(ancient));
+}
+
+TEST(BloomReplayFilter, SurvivesOneGenerationRotation) {
+  BloomReplayFilter filter(100);
+  crypto::Rng rng(5);
+  const Bytes nonce = rng.bytes(32);
+  filter.insert(nonce);
+  for (int i = 0; i < 120; ++i) filter.insert(rng.bytes(32));  // rotate once
+  EXPECT_TRUE(filter.contains(nonce));  // still in the previous generation
+}
+
+TEST(NonceTimeReplayFilter, AcceptsFreshRejectsReplay) {
+  NonceTimeReplayFilter filter(net::seconds(120));
+  crypto::Rng rng(6);
+  const Bytes nonce = rng.bytes(32);
+  const auto now = net::seconds(1000);
+  EXPECT_TRUE(filter.accept(nonce, now, now));
+  EXPECT_FALSE(filter.accept(nonce, now, now + net::seconds(1)));  // replayed
+}
+
+TEST(NonceTimeReplayFilter, RejectsStaleTimestamps) {
+  NonceTimeReplayFilter filter(net::seconds(120));
+  crypto::Rng rng(7);
+  const auto now = net::hours(600);
+  // Replay of a connection recorded 570 hours ago (the paper's maximum
+  // observed delay): rejected by timestamp alone, no memory needed.
+  EXPECT_FALSE(filter.accept(rng.bytes(32), now - net::hours(570), now));
+  // Clock skew in either direction beyond the window also fails.
+  EXPECT_FALSE(filter.accept(rng.bytes(32), now + net::seconds(121), now));
+  EXPECT_TRUE(filter.accept(rng.bytes(32), now + net::seconds(119), now));
+}
+
+TEST(NonceTimeReplayFilter, MemoryIsBoundedByWindow) {
+  // The inverted asymmetry: nonces need remembering only for the window.
+  NonceTimeReplayFilter filter(net::seconds(60));
+  crypto::Rng rng(8);
+  auto now = net::seconds(0);
+  for (int i = 0; i < 1000; ++i) {
+    now += net::seconds(1);
+    EXPECT_TRUE(filter.accept(rng.bytes(32), now, now));
+  }
+  EXPECT_LE(filter.remembered(), 62u);
+
+  // And a nonce can be re-accepted after its window expires (at which
+  // point the timestamp check is what rejects actual replays).
+  NonceTimeReplayFilter filter2(net::seconds(60));
+  const Bytes nonce = rng.bytes(32);
+  EXPECT_TRUE(filter2.accept(nonce, net::seconds(10), net::seconds(10)));
+  EXPECT_TRUE(filter2.accept(nonce, net::seconds(200), net::seconds(200)));
+}
+
+}  // namespace
+}  // namespace gfwsim::servers

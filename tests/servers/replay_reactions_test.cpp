@@ -1,0 +1,176 @@
+// Table 5: reactions to identical (R1) and byte-changed (R2-R5) replays.
+#include <gtest/gtest.h>
+
+#include "probesim/probesim.h"
+#include "servers/hardened.h"
+
+namespace gfwsim::probesim {
+namespace {
+
+using Impl = ServerSetup::Impl;
+
+ServerSetup setup_for(Impl impl, const std::string& cipher) {
+  ServerSetup setup;
+  setup.impl = impl;
+  setup.cipher = cipher;
+  return setup;
+}
+
+const proxy::TargetSpec kTarget = proxy::TargetSpec::hostname("www.wikipedia.org", 443);
+const char kRequest[] = "GET / HTTP/1.1\r\nHost: www.wikipedia.org\r\n\r\n";
+
+TEST(Table5, LibevOldStreamIdenticalReplayRsts) {
+  ProbeLab lab(setup_for(Impl::kLibevOld, "aes-256-ctr"), 51);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  // ppbloom has the IV -> old versions answer replays with RST.
+  EXPECT_EQ(lab.prober().send_probe(recorded).reaction, Reaction::kRst);
+}
+
+TEST(Table5, LibevNewStreamIdenticalReplayTimesOut) {
+  ProbeLab lab(setup_for(Impl::kLibevNew, "aes-256-ctr"), 52);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  EXPECT_EQ(lab.prober().send_probe(recorded).reaction, Reaction::kTimeout);
+}
+
+TEST(Table5, LibevOldStreamByteChangedReplaysAreRandomlike) {
+  // R2 flips an IV byte: the replay passes the filter but decrypts to
+  // garbage -> R/T/F mixture, never data.
+  ProbeLab lab(setup_for(Impl::kLibevOld, "aes-256-ctr"), 53);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  ReactionTally tally;
+  for (int t = 0; t < 48; ++t) {
+    tally.add(lab.prober().send_probe(mutate_replay(recorded, ProbeType::kR2,
+                                                    lab.prober().rng())).reaction);
+  }
+  EXPECT_EQ(tally.data, 0);
+  EXPECT_GT(tally.rst, 0);
+  EXPECT_NEAR(static_cast<double>(tally.rst) / tally.total(), 13.0 / 16.0, 0.15);
+}
+
+TEST(Table5, LibevOldStreamR4IsChosenCiphertextOnAddressType) {
+  // With a 16-byte IV, byte 16 is the first ciphertext byte — the address
+  // type. CTR malleability means the probe rewrites exactly that
+  // plaintext byte; reactions depend on the new (masked) value.
+  ProbeLab lab(setup_for(Impl::kLibevOld, "aes-256-ctr"), 54);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  ReactionTally tally;
+  for (int t = 0; t < 64; ++t) {
+    tally.add(lab.prober().send_probe(mutate_replay(recorded, ProbeType::kR4,
+                                                    lab.prober().rng())).reaction);
+  }
+  // Roughly 13/16 of substituted values are invalid -> RST; the valid
+  // substitutions re-parse as IPv4/IPv6/hostname with garbage semantics.
+  EXPECT_GT(tally.rst, tally.total() / 2);
+  EXPECT_EQ(tally.data, 0);
+}
+
+TEST(Table5, LibevOldAeadIdenticalAndChangedReplaysRst) {
+  ProbeLab lab(setup_for(Impl::kLibevOld, "aes-256-gcm"), 55);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  EXPECT_EQ(lab.prober().send_probe(recorded).reaction, Reaction::kRst);
+  for (const ProbeType type : {ProbeType::kR2, ProbeType::kR3, ProbeType::kR4,
+                               ProbeType::kR5}) {
+    const Bytes probe = mutate_replay(recorded, type, lab.prober().rng());
+    EXPECT_EQ(lab.prober().send_probe(probe).reaction, Reaction::kRst)
+        << probe_type_name(type);
+  }
+}
+
+TEST(Table5, LibevNewAeadAllReplaysTimeout) {
+  ProbeLab lab(setup_for(Impl::kLibevNew, "aes-256-gcm"), 56);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  EXPECT_EQ(lab.prober().send_probe(recorded).reaction, Reaction::kTimeout);
+  for (const ProbeType type : {ProbeType::kR2, ProbeType::kR3, ProbeType::kR4,
+                               ProbeType::kR5}) {
+    const Bytes probe = mutate_replay(recorded, type, lab.prober().rng());
+    EXPECT_EQ(lab.prober().send_probe(probe).reaction, Reaction::kTimeout)
+        << probe_type_name(type);
+  }
+}
+
+TEST(Table5, OutlineNoReplayDefenseServesIdenticalReplay) {
+  // The Table 5 "D" cell: OutlineVPN <= v1.0.8 has no replay filter, so an
+  // identical replay is proxied and returns data — the strongest
+  // confirmation signal the GFW can get.
+  for (const Impl impl : {Impl::kOutline106, Impl::kOutline107}) {
+    ProbeLab lab(setup_for(impl, "chacha20-ietf-poly1305"), 57);
+    const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+    const auto result = lab.prober().send_probe(recorded);
+    EXPECT_EQ(result.reaction, Reaction::kData) << impl_name(impl);
+    EXPECT_GT(result.response_bytes, 0u);
+  }
+}
+
+TEST(Table5, OutlineRepeatedReplayGivesConsistentResponseLength) {
+  // Section 5.3: consistent response sizes to the same replayed payload
+  // hint at the proxied protocol.
+  ProbeLab lab(setup_for(Impl::kOutline107, "chacha20-ietf-poly1305"), 58);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  const auto first = lab.prober().send_probe(recorded);
+  const auto second = lab.prober().send_probe(recorded);
+  ASSERT_EQ(first.reaction, Reaction::kData);
+  ASSERT_EQ(second.reaction, Reaction::kData);
+  EXPECT_EQ(first.response_bytes, second.response_bytes);
+}
+
+TEST(Table5, Outline107ByteChangedReplaysTimeout) {
+  ProbeLab lab(setup_for(Impl::kOutline107, "chacha20-ietf-poly1305"), 59);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  for (const ProbeType type : {ProbeType::kR2, ProbeType::kR3, ProbeType::kR4,
+                               ProbeType::kR5}) {
+    const Bytes probe = mutate_replay(recorded, type, lab.prober().rng());
+    EXPECT_EQ(lab.prober().send_probe(probe).reaction, Reaction::kTimeout)
+        << probe_type_name(type);
+  }
+}
+
+TEST(Table5, Outline110ReplayDefenseClosesTheDataHole) {
+  // The post-disclosure fix (paper section 11): v1.1.0 filters replayed
+  // salts, so R1 no longer returns data.
+  ProbeLab lab(setup_for(Impl::kOutline110, "chacha20-ietf-poly1305"), 60);
+  const Bytes recorded = lab.establish_legitimate_connection(kTarget, to_bytes(kRequest));
+  EXPECT_EQ(lab.prober().send_probe(recorded).reaction, Reaction::kTimeout);
+}
+
+TEST(Table5, HardenedServerIgnoresAllReplayTypes) {
+  ProbeLab lab(setup_for(Impl::kHardened, "chacha20-ietf-poly1305"), 61);
+  // Hardened handshake with embedded timestamp, served once legitimately.
+  Bytes handshake = servers::hardened_timestamp_prefix(lab.loop().now());
+  append(handshake, encode_target(kTarget));
+  append(handshake, to_bytes(kRequest));
+  const auto* spec = proxy::find_cipher("chacha20-ietf-poly1305");
+  crypto::Rng rng(62);
+  proxy::Encryptor enc(*spec, proxy::master_key(*spec, "correct horse battery staple"), rng);
+  const Bytes recorded = enc.encrypt(handshake);
+  EXPECT_EQ(lab.prober().send_probe(recorded).reaction, Reaction::kData);  // genuine
+
+  for (const ProbeType type : {ProbeType::kR1, ProbeType::kR2, ProbeType::kR3,
+                               ProbeType::kR4, ProbeType::kR5}) {
+    const Bytes probe = mutate_replay(recorded, type, lab.prober().rng());
+    EXPECT_EQ(lab.prober().send_probe(probe).reaction, Reaction::kTimeout)
+        << probe_type_name(type);
+  }
+}
+
+TEST(FilterDetection, LibevStreamDoubleSendShowsBehaviouralChange) {
+  // Section 5.3's attacker trick: send the same random probe twice. With
+  // ppbloom on stream IVs, the second copy is treated as a replay.
+  // Statistically some pairs must differ (first probe T/F via a valid
+  // spec, second RST via the filter).
+  ProbeLab lab(setup_for(Impl::kLibevOld, "aes-256-ctr"), 63);
+  int differing = 0;
+  for (int t = 0; t < 48; ++t) {
+    if (lab.prober().detect_replay_filter(221).filter_suspected()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FilterDetection, OutlineWithoutFilterIsConsistent) {
+  ProbeLab lab(setup_for(Impl::kOutline107, "chacha20-ietf-poly1305"), 64);
+  for (int t = 0; t < 16; ++t) {
+    EXPECT_FALSE(lab.prober().detect_replay_filter(221).filter_suspected());
+  }
+}
+
+}  // namespace
+}  // namespace gfwsim::probesim

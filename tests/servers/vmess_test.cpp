@@ -1,0 +1,113 @@
+// VMess-lite (paper section 9 future work): the 2020 active-probing
+// vulnerability and the nonce+timestamp defense it already carried.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "probesim/probesim.h"
+#include "servers/upstream.h"
+#include "servers/vmess.h"
+
+namespace gfwsim::servers {
+namespace {
+
+struct VmessFixture : ::testing::Test {
+  net::EventLoop loop;
+  net::Network net{loop};
+  SimulatedInternet internet{crypto::Rng(7)};
+  net::Host& server_host = net.add_host(net::Ipv4(203, 0, 113, 10));
+  net::Host& prober_host = net.add_host(net::Ipv4(202, 96, 0, 99));
+  net::Endpoint server_ep{server_host.addr(), 10086};
+  VmessUserId user{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  std::unique_ptr<VmessServer> server;
+  std::unique_ptr<probesim::ProberSimulator> prober;
+
+  void install(VmessVariant variant) {
+    internet.add_site("example.com", fixed_http_responder(128));
+    ServerConfig config{proxy::find_cipher("aes-128-cfb"), "unused", net::seconds(60)};
+    server = std::make_unique<VmessServer>(loop, config, &internet, user, variant);
+    server->install(server_host, server_ep.port);
+    prober = std::make_unique<probesim::ProberSimulator>(net, prober_host, server_ep, 0xBEE);
+  }
+
+  Bytes legit_packet() {
+    return vmess_first_packet(user, loop.now(),
+                              proxy::TargetSpec::hostname("example.com", 80),
+                              to_bytes("GET /"));
+  }
+};
+
+TEST_F(VmessFixture, GenuineClientServed) {
+  install(VmessVariant::kVulnerable);
+  EXPECT_EQ(prober->send_probe(legit_packet()).reaction, probesim::Reaction::kData);
+
+  install(VmessVariant::kPatched);  // re-listen replaces the acceptor
+  EXPECT_EQ(prober->send_probe(legit_packet()).reaction, probesim::Reaction::kData);
+}
+
+TEST_F(VmessFixture, VulnerableVariantHasA16ByteOracle) {
+  install(VmessVariant::kVulnerable);
+  // Below 16 bytes: waiting for the auth. At >= 16 with garbage: FIN.
+  EXPECT_EQ(prober->send_random_probe(15).reaction, probesim::Reaction::kTimeout);
+  EXPECT_EQ(prober->send_random_probe(16).reaction, probesim::Reaction::kFinAck);
+  EXPECT_EQ(prober->send_random_probe(221).reaction, probesim::Reaction::kFinAck);
+}
+
+TEST_F(VmessFixture, PatchedVariantIsProbeResistant) {
+  install(VmessVariant::kPatched);
+  for (const std::size_t len : {15u, 16u, 17u, 50u, 221u}) {
+    EXPECT_EQ(prober->send_random_probe(len).reaction, probesim::Reaction::kTimeout)
+        << len;
+  }
+}
+
+TEST_F(VmessFixture, VulnerableVariantServesInWindowReplays) {
+  install(VmessVariant::kVulnerable);
+  const Bytes packet = legit_packet();
+  EXPECT_EQ(prober->send_probe(packet).reaction, probesim::Reaction::kData);
+  // Replay ~30 s later, still inside the +-120 s window: served again.
+  EXPECT_EQ(prober->send_probe(packet).reaction, probesim::Reaction::kData);
+}
+
+TEST_F(VmessFixture, PatchedVariantRejectsInWindowReplays) {
+  install(VmessVariant::kPatched);
+  const Bytes packet = legit_packet();
+  EXPECT_EQ(prober->send_probe(packet).reaction, probesim::Reaction::kData);
+  EXPECT_EQ(prober->send_probe(packet).reaction, probesim::Reaction::kTimeout);
+}
+
+TEST_F(VmessFixture, TimestampWindowRejectsStaleReplays) {
+  // The section 7.2 asymmetry inverter: even the VULNERABLE variant
+  // rejects replays once the embedded timestamp expires — no per-nonce
+  // memory required. (The GFW's heavy-tailed replay delays mostly exceed
+  // two minutes, which blunts replay confirmation against VMess.)
+  install(VmessVariant::kVulnerable);
+  const Bytes packet = legit_packet();
+  loop.run_until(loop.now() + net::minutes(10));
+  EXPECT_EQ(prober->send_probe(packet).reaction, probesim::Reaction::kFinAck);
+}
+
+TEST_F(VmessFixture, AuthMatchesAnySecondInsideWindow) {
+  install(VmessVariant::kVulnerable);
+  // A client whose clock is 90 s behind is still accepted.
+  const Bytes skewed = vmess_first_packet(
+      user, loop.now() - net::seconds(90),
+      proxy::TargetSpec::hostname("example.com", 80), to_bytes("GET /"));
+  EXPECT_EQ(prober->send_probe(skewed).reaction, probesim::Reaction::kData);
+
+  const Bytes too_skewed = vmess_first_packet(
+      user, loop.now() - net::seconds(400),
+      proxy::TargetSpec::hostname("example.com", 80), to_bytes("GET /"));
+  EXPECT_EQ(prober->send_probe(too_skewed).reaction, probesim::Reaction::kFinAck);
+}
+
+TEST_F(VmessFixture, WrongUserIdRejected) {
+  install(VmessVariant::kPatched);
+  VmessUserId other{};
+  other.fill(0xEE);
+  const Bytes packet = vmess_first_packet(
+      other, loop.now(), proxy::TargetSpec::hostname("example.com", 80), to_bytes("GET /"));
+  EXPECT_EQ(prober->send_probe(packet).reaction, probesim::Reaction::kTimeout);
+}
+
+}  // namespace
+}  // namespace gfwsim::servers
