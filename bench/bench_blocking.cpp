@@ -19,39 +19,47 @@ struct FleetResult {
   int by_port = 0;
 };
 
-FleetResult run_fleet(int servers, bool sensitive, std::uint64_t seed) {
-  FleetResult result;
-  for (int i = 0; i < servers; ++i) {
-    gfw::CampaignConfig config = gfwsim::bench::standard_campaign(10);
-    config.gfw.blocking.confirmation_threshold = 5.0;
-    gfw::Campaign campaign(config, gfwsim::bench::browsing_traffic(),
-                           seed + static_cast<std::uint64_t>(i));
-    campaign.gfw().blocking().set_sensitive_period(sensitive);
-    campaign.run();
-    const auto& history = campaign.gfw().blocking().history();
-    if (!history.empty()) {
-      ++result.blocked;
-      if (history[0].port.has_value()) {
-        ++result.by_port;
-      } else {
-        ++result.by_ip;
-      }
+// One shard per vantage-point server: the fleet is exactly the
+// embarrassingly parallel workload the sharded runner was built for, and
+// the before-run hook flips each world's sensitive-period switch.
+FleetResult run_fleet(const bench::BenchOptions& options, int servers, bool sensitive,
+                      std::uint64_t seed) {
+  gfw::Scenario scenario = bench::standard_scenario(options.days > 0 ? options.days : 10);
+  scenario.gfw.blocking.confirmation_threshold = 5.0;
+  scenario.base_seed = options.seed != 0 ? options.seed : seed;
+
+  gfw::ShardedRunner runner({static_cast<std::uint32_t>(servers), options.threads});
+  runner.set_before_run([sensitive](gfw::World& world, std::uint32_t) {
+    world.gfw().blocking().set_sensitive_period(sensitive);
+  });
+  const gfw::CampaignResult result = runner.run(scenario);
+
+  FleetResult fleet;
+  for (const auto& shard : result.shards) {
+    if (shard.blocking_history.empty()) continue;
+    ++fleet.blocked;
+    if (shard.blocking_history[0].port.has_value()) {
+      ++fleet.by_port;
+    } else {
+      ++fleet.by_ip;
     }
   }
-  return result;
+  return fleet;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout, "Section 6: blocking behaviour");
+  bench::BenchReporter report("blocking", options);
 
   constexpr int kFleet = 24;
   std::cout << "Running a fleet of " << kFleet
             << " probed OutlineVPN servers, normal period...\n";
-  const FleetResult normal = run_fleet(kFleet, false, 0xB10C0);
+  const FleetResult normal = run_fleet(options, kFleet, false, 0xB10C0);
   std::cout << "Running the same fleet during a sensitive period...\n";
-  const FleetResult sensitive = run_fleet(kFleet, true, 0xB10C0);
+  const FleetResult sensitive = run_fleet(options, kFleet, true, 0xB10C0);
 
   analysis::TextTable table({"period", "servers", "blocked", "by port", "by IP"});
   table.add_row({"normal", std::to_string(kFleet), std::to_string(normal.blocked),
@@ -61,19 +69,19 @@ int main() {
   table.print(std::cout);
 
   std::cout << "\n";
-  bench::paper_vs_measured("servers blocked despite intensive probing (normal)",
-                           "3 of 63 vantage points over months",
-                           std::to_string(normal.blocked) + " of " + std::to_string(kFleet));
-  bench::paper_vs_measured("blocking during politically sensitive periods",
-                           "reported waves (sec. 2.2)",
-                           std::to_string(sensitive.blocked) + " of " +
-                               std::to_string(kFleet));
+  report.metric("servers blocked despite intensive probing (normal)",
+                "3 of 63 vantage points over months",
+                std::to_string(normal.blocked) + " of " + std::to_string(kFleet));
+  report.metric("blocking during politically sensitive periods",
+                "reported waves (sec. 2.2)",
+                std::to_string(sensitive.blocked) + " of " + std::to_string(kFleet));
 
   // --- Section 6's implementation split ------------------------------------
   // "All three servers that got blocked were running ShadowsocksR or
   // Shadowsocks-python" — implementations without replay filters, which
   // hand the prober DATA confirmations. Model the GFW requiring strong
-  // (DATA-grade) evidence before the human gate is even consulted:
+  // (DATA-grade) evidence before the human gate is even consulted. These
+  // arms inspect live World state (evidence totals), so they run serially.
   std::cout << "\nMixed fleet under hypothesis 2 (confirmation requires DATA "
                "responses):\n";
   struct FleetArm {
@@ -92,32 +100,32 @@ int main() {
       {"implementation", "probes", "DATA confirmations", "evidence", "blocked"});
   std::uint64_t fleet_seed = 0xB10C9;
   for (const FleetArm& arm : fleet_arms) {
-    gfw::CampaignConfig config = bench::standard_campaign(10);
-    config.server.impl = arm.impl;
-    config.server.cipher = arm.cipher;
+    gfw::Scenario scenario = bench::standard_scenario(10);
+    scenario.server.impl = arm.impl;
+    scenario.server.cipher = arm.cipher;
     // DATA-graded evidence: reactions that any non-proxy server could
     // produce carry almost no weight.
-    config.gfw.evidence_rst = 0.01;
-    config.gfw.evidence_fin = 0.01;
-    config.gfw.evidence_timeout = 0.0;
-    config.gfw.blocking.confirmation_threshold = 20.0;
-    config.gfw.blocking.block_probability = 0.9;
-    gfw::Campaign campaign(config, bench::browsing_traffic(), ++fleet_seed);
-    campaign.run();
+    scenario.gfw.evidence_rst = 0.01;
+    scenario.gfw.evidence_fin = 0.01;
+    scenario.gfw.evidence_timeout = 0.0;
+    scenario.gfw.blocking.confirmation_threshold = 20.0;
+    scenario.gfw.blocking.block_probability = 0.9;
+    gfw::World world(scenario, ++fleet_seed);
+    world.run();
 
     int data_confirmations = 0;
-    for (const auto& record : campaign.log().records()) {
+    for (const auto& record : world.log().records()) {
       data_confirmations += record.reaction == probesim::Reaction::kData;
     }
     fleet_table.add_row(
         {std::string(probesim::impl_name(arm.impl)),
-         std::to_string(campaign.log().size()), std::to_string(data_confirmations),
+         std::to_string(world.log().size()), std::to_string(data_confirmations),
          analysis::format_double(
-             campaign.gfw().blocking().evidence(campaign.server_endpoint()), 1),
-         campaign.gfw().blocking().history().empty() ? "no" : "YES"});
+             world.gfw().blocking().evidence(world.server_endpoint()), 1),
+         world.gfw().blocking().history().empty() ? "no" : "YES"});
   }
   fleet_table.print(std::cout);
-  bench::paper_vs_measured(
+  report.metric(
       "which implementations end up blocked",
       "the blocked servers ran ShadowsocksR / Shadowsocks-python (and "
       "replay-serving implementations generally confirm themselves)",
@@ -126,15 +134,15 @@ int main() {
 
   // --- Unidirectionality + unblock timing, one forced block ---------------
   std::cout << "\nForcing one block to inspect its mechanics:\n";
-  gfw::CampaignConfig config = bench::standard_campaign(7);
-  config.gfw.blocking.block_probability = 1.0;
-  config.gfw.blocking.confirmation_threshold = 1.0;
-  config.gfw.blocking.block_by_ip_fraction = 0.0;
-  gfw::Campaign campaign(config, bench::browsing_traffic(), 0xB10C7);
-  campaign.run();
+  gfw::Scenario scenario = bench::standard_scenario(7);
+  scenario.gfw.blocking.block_probability = 1.0;
+  scenario.gfw.blocking.confirmation_threshold = 1.0;
+  scenario.gfw.blocking.block_by_ip_fraction = 0.0;
+  gfw::World world(scenario, 0xB10C7);
+  world.run();
 
-  const auto server = campaign.server_endpoint();
-  const bool blocked = campaign.gfw().blocking().is_blocked(server);
+  const auto server = world.server_endpoint();
+  const bool blocked = world.gfw().blocking().is_blocked(server);
   std::cout << "  server blocked: " << (blocked ? "yes" : "no") << "\n";
   if (blocked) {
     // Client -> server segments pass, server -> client dropped.
@@ -143,14 +151,14 @@ int main() {
     c2s.dst = server;
     s2c.src = server;
     s2c.dst = c2s.src;
-    bench::paper_vs_measured(
+    report.metric(
         "drop direction", "only server-to-client is null-routed",
         std::string("client->server dropped: ") +
-            (campaign.gfw().blocking().should_drop(c2s) ? "yes" : "no") +
+            (world.gfw().blocking().should_drop(c2s) ? "yes" : "no") +
             ", server->client dropped: " +
-            (campaign.gfw().blocking().should_drop(s2c) ? "yes" : "no"));
-    const auto& entry = campaign.gfw().blocking().history()[0];
-    bench::paper_vs_measured(
+            (world.gfw().blocking().should_drop(s2c) ? "yes" : "no"));
+    const auto& entry = world.gfw().blocking().history()[0];
+    report.metric(
         "unblock policy", "no recheck probes; unblocked after a week or more",
         "scheduled after " +
             analysis::format_double(net::to_hours(entry.unblock_at - entry.blocked_at) /

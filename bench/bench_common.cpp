@@ -1,0 +1,134 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace gfwsim::bench {
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, int exit_code) {
+  std::ostream& os = exit_code == 0 ? std::cout : std::cerr;
+  os << "usage: " << (argv0 ? argv0 : "bench") << " [options]\n"
+     << "  --shards N    independent campaign shards (default 4)\n"
+     << "  --threads N   worker threads (default: hardware concurrency)\n"
+     << "  --seed S      base-seed override (decimal or 0x-hex)\n"
+     << "  --days D      per-shard campaign length override, in days\n"
+     << "  --csv PATH    mirror paper-vs-measured rows to PATH as CSV\n";
+  std::exit(exit_code);
+}
+
+const char* flag_value(int argc, char** argv, int& i, const char* argv0) {
+  if (i + 1 >= argc) usage(argv0, 2);
+  return argv[++i];
+}
+
+// Splits "--csv dir/name.csv" into CsvWriter's (directory, name) form.
+void split_csv_path(const std::string& path, std::string& directory, std::string& name) {
+  const auto slash = path.find_last_of('/');
+  directory = slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  name = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (name.size() > 4 && name.substr(name.size() - 4) == ".csv") {
+    name = name.substr(0, name.size() - 4);
+  }
+  if (directory.empty()) directory = "/";
+  if (name.empty()) usage(nullptr, 2);
+}
+
+}  // namespace
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions options;
+  const char* argv0 = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv0, 0);
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      options.shards = static_cast<std::uint32_t>(
+          std::strtoul(flag_value(argc, argv, i, argv0), nullptr, 0));
+      if (options.shards == 0) usage(argv0, 2);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      options.threads = static_cast<unsigned>(
+          std::strtoul(flag_value(argc, argv, i, argv0), nullptr, 0));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      options.seed = std::strtoull(flag_value(argc, argv, i, argv0), nullptr, 0);
+    } else if (std::strcmp(arg, "--days") == 0) {
+      options.days = static_cast<int>(
+          std::strtol(flag_value(argc, argv, i, argv0), nullptr, 0));
+      if (options.days <= 0) usage(argv0, 2);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      options.csv = flag_value(argc, argv, i, argv0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(argv0, 2);
+    }
+  }
+  return options;
+}
+
+gfw::ShardedRunnerOptions runner_options(const BenchOptions& options) {
+  return {options.shards, options.threads};
+}
+
+gfw::Scenario standard_scenario(int days) {
+  gfw::Scenario scenario;
+  scenario.server.impl = probesim::ServerSetup::Impl::kOutline107;
+  scenario.server.cipher = "chacha20-ietf-poly1305";
+  scenario.traffic = client::TrafficSpec::browsing();
+  scenario.duration = net::hours(24 * days);
+  scenario.connection_interval = net::seconds(60);
+  scenario.classifier_base_rate = 0.35;
+  return scenario;
+}
+
+gfw::Scenario with_options(gfw::Scenario scenario, const BenchOptions& options,
+                           std::uint64_t default_seed, int default_days) {
+  const int days = options.days > 0 ? options.days : default_days;
+  scenario.duration = net::hours(24 * days);
+  scenario.base_seed = options.seed != 0 ? options.seed : default_seed;
+  return scenario;
+}
+
+gfw::CampaignResult run_sharded(const gfw::Scenario& scenario,
+                                const BenchOptions& options) {
+  gfw::ShardedRunner runner(runner_options(options));
+  return runner.run(scenario);
+}
+
+gfw::CampaignResult run_standard_sharded(const BenchOptions& options,
+                                         std::uint64_t default_seed, int default_days) {
+  return run_sharded(
+      with_options(standard_scenario(), options, default_seed, default_days), options);
+}
+
+void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
+                       const BenchOptions& options) {
+  const unsigned threads = std::min<unsigned>(
+      gfw::ShardedRunner(runner_options(options)).resolved_threads(),
+      static_cast<unsigned>(result.shards.size()));
+  os << "[" << result.shards.size() << " shard(s) x " << threads
+     << " thread(s): " << result.connections_launched() << " connections, "
+     << result.log.size() << " probes]\n";
+}
+
+BenchReporter::BenchReporter(std::string bench_name, const BenchOptions& options)
+    : bench_(std::move(bench_name)) {
+  if (!options.csv.empty()) {
+    std::string directory, name;
+    split_csv_path(options.csv, directory, name);
+    csv_ = std::make_unique<analysis::CsvWriter>(
+        directory, name,
+        std::vector<std::string>{"bench", "metric", "paper", "measured"});
+  }
+}
+
+void BenchReporter::metric(const std::string& metric, const std::string& paper,
+                           const std::string& measured) {
+  std::cout << "  " << metric << "\n    paper:    " << paper
+            << "\n    measured: " << measured << "\n";
+  if (csv_) csv_->row({bench_, metric, paper, measured});
+}
+
+}  // namespace gfwsim::bench

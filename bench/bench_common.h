@@ -1,45 +1,90 @@
-// Shared setup for the bench harnesses that regenerate the paper's tables
-// and figures. Each bench binary prints a banner, the simulated
-// measurement, and the paper's reported value next to it.
+// Shared harness for the bench binaries that regenerate the paper's
+// tables and figures. Every bench binary parses the same command line,
+// runs its campaigns through the Scenario/World/Runner layers (sharded
+// across a thread pool by default), prints a banner, the simulated
+// measurement, and the paper's reported value next to it — and, with
+// --csv, mirrors the paper-vs-measured series to a machine-readable file.
 //
 // Scale note: the paper's Shadowsocks experiment ran four months across
-// eleven servers and logged 51,837 probes. The benches run a compressed
-// campaign (weeks, one server) with the classifier trigger rate scaled up
-// so probe counts stay statistically useful; every *distributional shape*
-// (who wins, ratios, CDF knees, remainder classes) is what the benches
-// compare against the paper.
+// eleven servers and logged 51,837 probes. The benches run compressed
+// campaign shards (weeks, one server per shard) with the classifier
+// trigger rate scaled up so probe counts stay statistically useful; every
+// *distributional shape* (who wins, ratios, CDF knees, remainder classes)
+// is what the benches compare against the paper. Shards model the paper's
+// independent vantage points: each has its own server, GFW, and seed.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
+#include <memory>
+#include <string>
 
+#include "analysis/csv.h"
 #include "analysis/report.h"
 #include "analysis/stats.h"
-#include "gfw/campaign.h"
+#include "gfw/runner.h"
 
 namespace gfwsim::bench {
 
-// The standard measurement campaign: browsing traffic through an
+// Command line shared by every bench binary:
+//   --shards N    independent campaign shards (default 4)
+//   --threads N   worker threads (default: hardware concurrency)
+//   --seed S      base-seed override (decimal or 0x-hex)
+//   --days D      per-shard campaign length override, in days
+//   --csv PATH    mirror the paper-vs-measured rows to PATH as CSV
+struct BenchOptions {
+  std::uint32_t shards = 4;
+  unsigned threads = 0;    // 0 = hardware concurrency
+  int days = 0;            // 0 = bench default
+  std::uint64_t seed = 0;  // 0 = bench default
+  std::string csv;
+};
+
+// Exits with usage on --help or a malformed flag.
+BenchOptions parse_bench_args(int argc, char** argv);
+
+gfw::ShardedRunnerOptions runner_options(const BenchOptions& options);
+
+// The standard measurement scenario: browsing traffic through an
 // OutlineVPN v1.0.7 server (the implementation whose DATA responses
 // unlock stage 2, so all seven probe types appear — as in the paper's
 // OutlineVPN experiment).
-inline gfw::CampaignConfig standard_campaign(int days = 21) {
-  gfw::CampaignConfig config;
-  config.server.impl = probesim::ServerSetup::Impl::kOutline107;
-  config.server.cipher = "chacha20-ietf-poly1305";
-  config.duration = net::hours(24 * days);
-  config.connection_interval = net::seconds(60);
-  config.classifier_base_rate = 0.35;
-  return config;
-}
+gfw::Scenario standard_scenario(int days = 21);
 
-inline std::unique_ptr<client::TrafficModel> browsing_traffic() {
-  return std::make_unique<client::BrowsingTraffic>(client::BrowsingTraffic::paper_sites());
-}
+// Applies --days/--seed overrides on top of the bench's defaults.
+gfw::Scenario with_options(gfw::Scenario scenario, const BenchOptions& options,
+                           std::uint64_t default_seed, int default_days);
 
-inline void paper_vs_measured(const std::string& metric, const std::string& paper,
-                              const std::string& measured) {
-  std::cout << "  " << metric << "\n    paper:    " << paper
-            << "\n    measured: " << measured << "\n";
-}
+// Runs `scenario` across options.shards x options.threads and merges in
+// shard order (bit-identical for any thread count).
+gfw::CampaignResult run_sharded(const gfw::Scenario& scenario,
+                                const BenchOptions& options);
+
+// standard_scenario + overrides, sharded.
+gfw::CampaignResult run_standard_sharded(const BenchOptions& options,
+                                         std::uint64_t default_seed,
+                                         int default_days = 21);
+
+// One line of scale context under the banner: shards, threads,
+// connections, probes.
+void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
+                       const BenchOptions& options);
+
+// Paper-vs-measured reporting. Rows print to stdout and, when --csv was
+// given, land in the CSV as (bench, metric, paper, measured) so future
+// runs can track a perf/accuracy trajectory.
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_name, const BenchOptions& options);
+
+  void metric(const std::string& metric, const std::string& paper,
+              const std::string& measured);
+
+  bool csv_enabled() const { return csv_ != nullptr; }
+
+ private:
+  std::string bench_;
+  std::unique_ptr<analysis::CsvWriter> csv_;
+};
 
 }  // namespace gfwsim::bench

@@ -1,6 +1,9 @@
 // Figure 11: the intensity of active probing diminishes when brdgrd is
 // active (section 7.1), plus the limitation sweep (small windows break
 // strict stream-cipher servers).
+//
+// The toggle experiment mutates one world mid-run (brdgrd on/off), so it
+// drives a single World directly through the new layers.
 #include "bench_common.h"
 #include "client/ss_client.h"
 #include "servers/ss_libev.h"
@@ -8,21 +11,23 @@
 
 using namespace gfwsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout,
                          "Figure 11: probing intensity with brdgrd toggled on/off");
+  bench::BenchReporter report("fig11_brdgrd", options);
 
   // One campaign with brdgrd toggled: off 0-100 h, on 100-250 h,
   // off 250-300 h, on 300-400 h — mirroring the paper's toggle pattern.
   // The server is shadowsocks-libev (replay-filtering), like the paper's
   // brdgrd experiment: replays never earn DATA, so no stage-2 engine
   // keeps probing alive once the classifier is starved.
-  gfw::CampaignConfig config = bench::standard_campaign();
-  config.server.impl = probesim::ServerSetup::Impl::kLibevNew;
-  config.server.cipher = "aes-256-gcm";
-  config.use_brdgrd = true;
-  config.connection_interval = net::seconds(40);
-  gfw::Campaign campaign(config, bench::browsing_traffic(), 0xF16011);
+  gfw::Scenario scenario = bench::standard_scenario();
+  scenario.server.impl = probesim::ServerSetup::Impl::kLibevNew;
+  scenario.server.cipher = "aes-256-gcm";
+  scenario.use_brdgrd = true;
+  scenario.connection_interval = net::seconds(40);
+  gfw::World campaign(scenario, options.seed != 0 ? options.seed : 0xF16011);
 
   struct PhaseRow {
     const char* label;
@@ -76,7 +81,7 @@ int main() {
   table.print(std::cout);
 
   std::cout << "\n";
-  bench::paper_vs_measured(
+  report.metric(
       "probing while brdgrd is active",
       "drops to ~zero within hours of activation; resumes when disabled",
       "see probes/hour column (ON phases retain only residual replays of "

@@ -4,21 +4,22 @@
 // Paper: NR1 lengths fall in trios (n-1, n, n+1) for n in
 // {8, 12, 16, 22, 33, 41, 49}, roughly evenly; NR2 probes are exactly
 // 221 bytes and about three times as common as all NR1 probes together.
-#include "analysis/csv.h"
 #include "bench_common.h"
 
 using namespace gfwsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout,
                          "Figure 2: occurrences of random probes (NR1/NR2) by length");
+  bench::BenchReporter report("fig2_probe_lengths", options);
 
-  gfw::Campaign campaign(bench::standard_campaign(), bench::browsing_traffic(), 0xF16002);
-  campaign.run();
+  const gfw::CampaignResult result = bench::run_standard_sharded(options, 0xF16002);
+  bench::print_run_summary(std::cout, result, options);
 
   analysis::Histogram nr1_lengths;
   std::int64_t nr1_total = 0, nr2_total = 0;
-  for (const auto& record : campaign.log().records()) {
+  for (const auto& record : result.log.records()) {
     if (record.type == probesim::ProbeType::kNR1) {
       nr1_lengths.add(static_cast<std::int64_t>(record.payload_len));
       ++nr1_total;
@@ -41,11 +42,11 @@ int main() {
     trios_only &= in_set;
   }
 
-  bench::paper_vs_measured(
+  report.metric(
       "NR1 length set",
       "trios (n-1, n, n+1) for n in {8, 12, 16, 22, 33, 41, 49}",
       trios_only ? "all observed lengths inside the trio set" : "LENGTHS OUTSIDE SET");
-  bench::paper_vs_measured(
+  report.metric(
       "NR2 : all-NR1 ratio", "~3x (2210 NR2 vs ~40 per NR1 length)",
       nr1_total == 0 ? "no NR1 observed"
                      : analysis::format_double(static_cast<double>(nr2_total) /

@@ -7,14 +7,16 @@
 
 using namespace gfwsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout, "Figure 3: probes per prober IP address");
+  bench::BenchReporter report("fig3_prober_ips", options);
 
-  gfw::Campaign campaign(bench::standard_campaign(), bench::browsing_traffic(), 0xF16003);
-  campaign.run();
+  const gfw::CampaignResult result = bench::run_standard_sharded(options, 0xF16003);
+  bench::print_run_summary(std::cout, result, options);
 
   std::map<net::Ipv4, int> per_ip;
-  for (const auto& record : campaign.log().records()) ++per_ip[record.src_ip];
+  for (const auto& record : result.log.records()) ++per_ip[record.src_ip];
 
   analysis::Histogram count_histogram;  // x = probes sent, y = #addresses
   int reused = 0, busiest = 0;
@@ -27,19 +29,19 @@ int main() {
   analysis::print_histogram(std::cout, count_histogram,
                             "addresses by number of probes sent:");
 
-  std::cout << "\ntotal probes: " << campaign.log().size()
+  std::cout << "\ntotal probes: " << result.log.size()
             << ", unique addresses: " << per_ip.size() << "\n";
-  bench::paper_vs_measured("addresses sending more than one probe", "> 75%",
-                           analysis::format_percent(
-                               per_ip.empty() ? 0.0
-                                              : static_cast<double>(reused) /
-                                                    static_cast<double>(per_ip.size())));
-  bench::paper_vs_measured("mean probes per address", "4.2 (51837 / 12300)",
-                           analysis::format_double(
-                               per_ip.empty() ? 0.0
-                                              : static_cast<double>(campaign.log().size()) /
-                                                    static_cast<double>(per_ip.size())));
-  bench::paper_vs_measured("busiest address", "44 probes (Table 2 top entry)",
-                           std::to_string(busiest) + " probes");
+  report.metric("addresses sending more than one probe", "> 75%",
+                analysis::format_percent(
+                    per_ip.empty() ? 0.0
+                                   : static_cast<double>(reused) /
+                                         static_cast<double>(per_ip.size())));
+  report.metric("mean probes per address", "4.2 (51837 / 12300)",
+                analysis::format_double(
+                    per_ip.empty() ? 0.0
+                                   : static_cast<double>(result.log.size()) /
+                                         static_cast<double>(per_ip.size())));
+  report.metric("busiest address", "44 probes (Table 2 top entry)",
+                std::to_string(busiest) + " probes");
   return 0;
 }

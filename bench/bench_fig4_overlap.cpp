@@ -9,32 +9,38 @@
 // Simulation: three campaigns run with independently seeded prober pools
 // standing in for measurement campaigns years apart (the pool's address
 // churn is the mechanism; different seeds model different eras).
+#include <set>
+
 #include "bench_common.h"
 
 using namespace gfwsim;
 
 namespace {
 
-std::vector<std::uint32_t> campaign_prober_ips(std::uint64_t seed, int days) {
-  gfw::CampaignConfig config = gfwsim::bench::standard_campaign(days);
-  gfw::Campaign campaign(config, gfwsim::bench::browsing_traffic(), seed);
-  campaign.run();
-  std::vector<std::uint32_t> out;
-  for (const auto& [ip, count] : campaign.gfw().pool().probes_per_address()) {
-    out.push_back(ip.value);
-  }
-  return out;
+std::vector<std::uint32_t> campaign_prober_ips(const bench::BenchOptions& options,
+                                               std::uint64_t era_seed, int era_days) {
+  gfw::Scenario scenario =
+      bench::standard_scenario(options.days > 0 ? options.days : era_days);
+  // --seed reseeds all three eras while keeping them distinct.
+  scenario.base_seed = options.seed != 0 ? options.seed ^ era_seed : era_seed;
+  const gfw::CampaignResult result = bench::run_sharded(scenario, options);
+
+  std::set<std::uint32_t> ips;
+  for (const auto& record : result.log.records()) ips.insert(record.src_ip.value);
+  return {ips.begin(), ips.end()};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(
       std::cout, "Figure 4: prober source address overlap across datasets");
+  bench::BenchReporter report("fig4_overlap", options);
 
-  const auto shadowsocks_2020 = campaign_prober_ips(0xF16004, 21);
-  const auto tor_2018 = campaign_prober_ips(0x7042018, 4);      // smaller, older set
-  const auto ensafi_2015 = campaign_prober_ips(0xE52015, 28);   // larger set
+  const auto shadowsocks_2020 = campaign_prober_ips(options, 0xF16004, 21);
+  const auto tor_2018 = campaign_prober_ips(options, 0x7042018, 4);    // smaller, older set
+  const auto ensafi_2015 = campaign_prober_ips(options, 0xE52015, 28); // larger set
 
   const analysis::Overlap3 overlap =
       analysis::overlap3(shadowsocks_2020, tor_2018, ensafi_2015);
@@ -51,7 +57,7 @@ int main() {
 
   const std::size_t ss_total = shadowsocks_2020.size();
   const std::size_t ss_shared = overlap.ab + overlap.ac + overlap.abc;
-  bench::paper_vs_measured(
+  report.metric(
       "fraction of Shadowsocks prober addresses seen in past datasets",
       "~10% ((128+1167+34)/12300) — churn keeps overlap small",
       analysis::format_percent(ss_total == 0 ? 0.0

@@ -4,19 +4,21 @@
 // Paper: >20% of first replays within 1 second (minimum 0.28 s), >50%
 // within one minute, >75% within 15 minutes; maximum observed 569.55
 // hours. Payloads may be replayed up to 47 times.
-#include "analysis/csv.h"
 #include "bench_common.h"
 
 using namespace gfwsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout, "Figure 7: CDF of replay-based probe delays");
+  bench::BenchReporter report("fig7_delay", options);
 
-  gfw::Campaign campaign(bench::standard_campaign(28), bench::browsing_traffic(), 0xF16007);
-  campaign.run();
+  const gfw::CampaignResult result =
+      bench::run_standard_sharded(options, 0xF16007, 28);
+  bench::print_run_summary(std::cout, result, options);
 
   analysis::Cdf first_replays, all_replays;
-  for (const auto& record : campaign.log().records()) {
+  for (const auto& record : result.log.records()) {
     if (!gfw::ProbeLog::is_replay(record.type)) continue;
     const double seconds = net::to_seconds(record.replay_delay);
     all_replays.add(seconds);
@@ -34,15 +36,15 @@ int main() {
   std::cout << "\n(series written to bench_data/fig7_*.csv)\n";
 
   std::cout << "\n";
-  bench::paper_vs_measured("first replays within 1 second", "> 20%",
-                           analysis::format_percent(first_replays.fraction_below(1.0)));
-  bench::paper_vs_measured("first replays within 1 minute", "> 50%",
-                           analysis::format_percent(first_replays.fraction_below(60.0)));
-  bench::paper_vs_measured("first replays within 15 minutes", "> 75%",
-                           analysis::format_percent(first_replays.fraction_below(900.0)));
-  bench::paper_vs_measured("minimum delay", "0.28 s",
-                           analysis::format_double(first_replays.min()) + " s");
-  bench::paper_vs_measured(
+  report.metric("first replays within 1 second", "> 20%",
+                analysis::format_percent(first_replays.fraction_below(1.0)));
+  report.metric("first replays within 1 minute", "> 50%",
+                analysis::format_percent(first_replays.fraction_below(60.0)));
+  report.metric("first replays within 15 minutes", "> 75%",
+                analysis::format_percent(first_replays.fraction_below(900.0)));
+  report.metric("minimum delay", "0.28 s",
+                analysis::format_double(first_replays.min()) + " s");
+  report.metric(
       "maximum delay", "569.55 h (2.05e6 s)",
       analysis::format_double(all_replays.max() / 3600.0) +
           " h (campaign-bounded; the model's tail extends to 569.55 h)");

@@ -5,7 +5,6 @@
 // replays, 72% of lengths in [168,263] have remainder 9 mod 16; 96% in
 // [384,687] have remainder 2; [264,383] mixes the two. Includes the
 // ablation arm with the length feature disabled (no stair-step).
-#include "analysis/csv.h"
 #include "bench_common.h"
 
 using namespace gfwsim;
@@ -17,67 +16,82 @@ struct LengthStats {
   analysis::RemainderProfile low_band{16};   // [168, 263]
   analysis::RemainderProfile mid_band{16};   // [264, 383]
   analysis::RemainderProfile high_band{16};  // [384, 687]
+
+  void merge(const LengthStats& other) {
+    lengths.merge(other.lengths);
+    low_band.merge(other.low_band);
+    mid_band.merge(other.mid_band);
+    high_band.merge(other.high_band);
+  }
 };
 
-LengthStats run_arm(bool length_feature, std::uint64_t seed) {
-  gfw::CampaignConfig config = gfwsim::bench::standard_campaign(14);
-  config.raw_traffic = true;
-  config.connection_interval = net::seconds(30);
-  config.gfw.classifier.use_length_feature = length_feature;
-  gfw::Campaign campaign(config,
-                         std::make_unique<client::RandomDataTraffic>(
-                             client::RandomDataTraffic::exp1()),
-                         seed);
-  campaign.run();
+LengthStats run_arm(const bench::BenchOptions& options, bool length_feature,
+                    std::uint64_t seed) {
+  gfw::Scenario scenario = bench::standard_scenario(14);
+  scenario.raw_traffic = true;
+  scenario.connection_interval = net::seconds(30);
+  scenario.gfw.classifier.use_length_feature = length_feature;
+  scenario.traffic = client::TrafficSpec::random_exp1();
+  const gfw::CampaignResult result =
+      bench::run_sharded(bench::with_options(scenario, options, seed, 14), options);
 
+  // Per-shard accumulators merged in shard order — the mergeable-stats
+  // path that keeps sharded results thread-count independent.
   LengthStats stats;
-  for (const auto& record : campaign.log().records()) {
-    if (record.type != probesim::ProbeType::kR1 &&
-        record.type != probesim::ProbeType::kR2) {
-      continue;
+  for (const auto& shard : result.shards) {
+    LengthStats shard_stats;
+    for (std::size_t i = shard.log_offset; i < shard.log_offset + shard.probes; ++i) {
+      const auto& record = result.log.records()[i];
+      if (record.type != probesim::ProbeType::kR1 &&
+          record.type != probesim::ProbeType::kR2) {
+        continue;
+      }
+      const auto len = static_cast<std::int64_t>(record.payload_len);
+      shard_stats.lengths.add(static_cast<double>(len));
+      if (len >= 168 && len <= 263) shard_stats.low_band.add(len);
+      if (len >= 264 && len <= 383) shard_stats.mid_band.add(len);
+      if (len >= 384 && len <= 687) shard_stats.high_band.add(len);
     }
-    const auto len = static_cast<std::int64_t>(record.payload_len);
-    stats.lengths.add(static_cast<double>(len));
-    if (len >= 168 && len <= 263) stats.low_band.add(len);
-    if (len >= 264 && len <= 383) stats.mid_band.add(len);
-    if (len >= 384 && len <= 687) stats.high_band.add(len);
+    stats.merge(shard_stats);
   }
   return stats;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout,
                          "Figure 8: payload lengths of replay-based probes (Exp 1.a)");
+  bench::BenchReporter report("fig8_length_steps", options);
 
-  LengthStats stats = run_arm(true, 0xF16008);
+  LengthStats stats = run_arm(options, true, 0xF16008);
   analysis::print_cdf(std::cout, stats.lengths, "replayed payload lengths",
                       {160.0, 263.0, 383.0, 700.0, 1000.0}, "B");
   analysis::write_cdf_csv("bench_data", "fig8_replayed_lengths", stats.lengths);
 
   std::cout << "\n";
-  bench::paper_vs_measured("replays concentrated in 160-700 bytes",
-                           "virtually all replayed payloads in [160, 700]",
-                           analysis::format_percent(stats.lengths.fraction_below(700.5) -
-                                                    stats.lengths.fraction_below(159.5)));
-  bench::paper_vs_measured(
+  report.metric("replays concentrated in 160-700 bytes",
+                "virtually all replayed payloads in [160, 700]",
+                analysis::format_percent(stats.lengths.fraction_below(700.5) -
+                                         stats.lengths.fraction_below(159.5)));
+  report.metric(
       "remainder mod 16 in [168, 263]", "72% have remainder 9",
       analysis::format_percent(stats.low_band.fraction(9)) + " (dominant: " +
           std::to_string(stats.low_band.dominant()) + ")");
-  bench::paper_vs_measured(
+  report.metric(
       "remainder mod 16 in [384, 687]", "96% have remainder 2",
       analysis::format_percent(stats.high_band.fraction(2)) + " (dominant: " +
           std::to_string(stats.high_band.dominant()) + ")");
-  bench::paper_vs_measured(
+  report.metric(
       "remainder mix in [264, 383]", "37% remainder 9, 32% remainder 2",
       analysis::format_percent(stats.mid_band.fraction(9)) + " remainder 9, " +
           analysis::format_percent(stats.mid_band.fraction(2)) + " remainder 2");
 
   // Ablation: disable the length feature -> the stair-step disappears.
   std::cout << "\n--- ablation: classifier length feature disabled ---\n";
-  LengthStats flat = run_arm(false, 0xF16008);
-  bench::paper_vs_measured(
+  LengthStats flat = run_arm(options, false, 0xF16008);
+  report.metric(
       "remainder 9 share in [168, 263] (ablated)",
       "expected near uniform (1/16 = 6.3%) once the feature is off",
       analysis::format_percent(flat.low_band.fraction(9)));

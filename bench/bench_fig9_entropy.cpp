@@ -26,56 +26,82 @@ struct EntropyBins {
                : static_cast<double>(replays[static_cast<std::size_t>(b)]) /
                      static_cast<double>(connections[static_cast<std::size_t>(b)]);
   }
+  void merge(const EntropyBins& other) {
+    for (int b = 0; b < kBins; ++b) {
+      connections[static_cast<std::size_t>(b)] += other.connections[static_cast<std::size_t>(b)];
+      replays[static_cast<std::size_t>(b)] += other.replays[static_cast<std::size_t>(b)];
+    }
+  }
 };
 
-EntropyBins run_arm(bool entropy_feature, std::uint64_t seed) {
-  gfw::CampaignConfig config = gfwsim::bench::standard_campaign(14);
-  config.raw_traffic = true;
-  config.connection_interval = net::seconds(15);  // dense sampling per bin
-  config.gfw.classifier.use_entropy_feature = entropy_feature;
-
-  // The traffic model records each payload's fingerprint -> entropy;
-  // probe records carry the fingerprint of the payload that triggered
-  // them, so attribution is exact.
-  struct RecordingTraffic : client::TrafficModel {
-    client::RandomDataTraffic inner = client::RandomDataTraffic::exp3();
-    EntropyBins* bins;
-    std::map<std::uint64_t, double> entropy_by_hash;
-    client::Flow next(crypto::Rng& rng) override {
-      client::Flow flow = inner.next(rng);
-      const double h = crypto::shannon_entropy(flow.first_payload);
-      ++bins->connections[static_cast<std::size_t>(EntropyBins::bin(h))];
-      entropy_by_hash[gfw::payload_fingerprint(flow.first_payload)] = h;
-      return flow;
-    }
-  };
-
+// Per-shard recorder state: each shard's traffic model writes only into
+// its own slot, so parallel shards never share mutable state.
+struct ShardRecorder {
   EntropyBins bins;
-  auto traffic = std::make_unique<RecordingTraffic>();
-  traffic->bins = &bins;
-  auto* traffic_raw = traffic.get();
+  std::map<std::uint64_t, double> entropy_by_hash;
+};
 
-  gfw::Campaign campaign(config, std::move(traffic), seed);
-  campaign.run();
+// The traffic model records each payload's fingerprint -> entropy;
+// probe records carry the fingerprint of the payload that triggered
+// them, so attribution is exact.
+struct RecordingTraffic : client::TrafficModel {
+  client::RandomDataTraffic inner = client::RandomDataTraffic::exp3();
+  ShardRecorder* recorder;
+  client::Flow next(crypto::Rng& rng) override {
+    client::Flow flow = inner.next(rng);
+    const double h = crypto::shannon_entropy(flow.first_payload);
+    ++recorder->bins.connections[static_cast<std::size_t>(EntropyBins::bin(h))];
+    recorder->entropy_by_hash[gfw::payload_fingerprint(flow.first_payload)] = h;
+    return flow;
+  }
+};
 
-  for (const auto& record : campaign.log().records()) {
-    if (record.type != probesim::ProbeType::kR1 || !record.is_first_replay_of_payload) {
-      continue;
+EntropyBins run_arm(const bench::BenchOptions& options, bool entropy_feature,
+                    std::uint64_t seed) {
+  gfw::Scenario scenario = bench::standard_scenario(14);
+  scenario.raw_traffic = true;
+  scenario.connection_interval = net::seconds(15);  // dense sampling per bin
+  scenario.gfw.classifier.use_entropy_feature = entropy_feature;
+
+  auto recorders = std::make_shared<std::vector<ShardRecorder>>(options.shards);
+  scenario.traffic = client::TrafficSpec::custom_factory(
+      [recorders](std::uint32_t shard) -> std::unique_ptr<client::TrafficModel> {
+        auto traffic = std::make_unique<RecordingTraffic>();
+        traffic->recorder = &(*recorders)[shard];
+        return traffic;
+      });
+
+  const gfw::CampaignResult result =
+      bench::run_sharded(bench::with_options(scenario, options, seed, 14), options);
+
+  // Attribute each shard's replays against that shard's recorder, then
+  // merge the bins in shard order.
+  EntropyBins bins;
+  for (const auto& shard : result.shards) {
+    ShardRecorder& recorder = (*recorders)[shard.shard_index];
+    for (std::size_t i = shard.log_offset; i < shard.log_offset + shard.probes; ++i) {
+      const auto& record = result.log.records()[i];
+      if (record.type != probesim::ProbeType::kR1 || !record.is_first_replay_of_payload) {
+        continue;
+      }
+      const auto it = recorder.entropy_by_hash.find(record.trigger_payload_hash);
+      if (it == recorder.entropy_by_hash.end()) continue;
+      ++recorder.bins.replays[static_cast<std::size_t>(EntropyBins::bin(it->second))];
     }
-    const auto it = traffic_raw->entropy_by_hash.find(record.trigger_payload_hash);
-    if (it == traffic_raw->entropy_by_hash.end()) continue;
-    ++bins.replays[static_cast<std::size_t>(EntropyBins::bin(it->second))];
+    bins.merge(recorder.bins);
   }
   return bins;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(
       std::cout, "Figure 9: replay probability vs payload entropy (Exp 3)");
+  bench::BenchReporter report("fig9_entropy", options);
 
-  const EntropyBins bins = run_arm(true, 0xF16009);
+  const EntropyBins bins = run_arm(options, true, 0xF16009);
 
   analysis::TextTable table({"entropy bin (bits/byte)", "connections", "first replays",
                              "replay ratio"});
@@ -90,21 +116,21 @@ int main() {
   const double low = bins.ratio(3);   // entropy ~3.0-3.9
   const double high = bins.ratio(7);  // entropy ~7.0-8.0
   std::cout << "\n";
-  bench::paper_vs_measured("replay ratio at entropy ~7.2 vs ~3.0", "almost 4x",
-                           low == 0.0 ? "low bin empty"
-                                      : analysis::format_double(high / low) + "x");
-  bench::paper_vs_measured("packets of all entropies may be replayed",
-                           "yes (no hard low-entropy cutoff)",
-                           bins.replays[0] + bins.replays[1] + bins.replays[2] > 0
-                               ? "yes (low-entropy replays observed)"
-                               : "no low-entropy replays in this run");
+  report.metric("replay ratio at entropy ~7.2 vs ~3.0", "almost 4x",
+                low == 0.0 ? "low bin empty"
+                           : analysis::format_double(high / low) + "x");
+  report.metric("packets of all entropies may be replayed",
+                "yes (no hard low-entropy cutoff)",
+                bins.replays[0] + bins.replays[1] + bins.replays[2] > 0
+                    ? "yes (low-entropy replays observed)"
+                    : "no low-entropy replays in this run");
 
   std::cout << "\n--- ablation: classifier entropy feature disabled ---\n";
-  const EntropyBins flat = run_arm(false, 0xF16009);
+  const EntropyBins flat = run_arm(options, false, 0xF16009);
   const double flat_low = flat.ratio(3), flat_high = flat.ratio(7);
-  bench::paper_vs_measured("high/low ratio with entropy feature off", "expected ~1x",
-                           flat_low == 0.0
-                               ? "low bin empty"
-                               : analysis::format_double(flat_high / flat_low) + "x");
+  report.metric("high/low ratio with entropy feature off", "expected ~1x",
+                flat_low == 0.0
+                    ? "low bin empty"
+                    : analysis::format_double(flat_high / flat_low) + "x");
   return 0;
 }

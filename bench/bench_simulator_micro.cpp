@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "gfw/campaign.h"
+#include "gfw/runner.h"
 #include "probesim/probesim.h"
 
 namespace {
@@ -70,6 +71,22 @@ void BM_CampaignDay(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignDay)->Unit(benchmark::kMillisecond);
+
+// Four one-day shards through the runner; Arg is the thread count, so
+// Arg(1) vs Arg(4) shows the pool's scaling on identical work.
+void BM_ShardedCampaignDay(benchmark::State& state) {
+  for (auto _ : state) {
+    gfw::Scenario scenario;
+    scenario.server.impl = probesim::ServerSetup::Impl::kOutline107;
+    scenario.duration = net::hours(24);
+    scenario.connection_interval = net::seconds(120);
+    scenario.classifier_base_rate = 0.3;
+    scenario.base_seed = 0xDA5;
+    gfw::ShardedRunner runner({4, static_cast<unsigned>(state.range(0))});
+    benchmark::DoNotOptimize(runner.run(scenario).log.size());
+  }
+}
+BENCHMARK(BM_ShardedCampaignDay)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

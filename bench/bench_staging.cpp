@@ -4,6 +4,10 @@
 // Reproduces the Exp 1.a -> Exp 1.b flip: a sink server for 310 hours,
 // then switched to responding mode — soon after, stage-2 probe types
 // appear. Includes the ablation arm with staging disabled.
+//
+// The flip experiment hand-builds its world (it swaps server behaviour
+// mid-run), so it stays serial; the ablation arm runs through the
+// sharded harness.
 #include "bench_common.h"
 #include "servers/upstream.h"
 
@@ -35,9 +39,11 @@ Phase count_since(const gfw::ProbeLog& log, net::TimePoint from, net::TimePoint 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout,
                          "Staging experiment (sec. 4.2): sink -> responding flip");
+  bench::BenchReporter report("staging", options);
 
   // Build the experiment by hand: a raw TCP server we can flip between
   // sink mode and responding mode, with the GFW on the path.
@@ -65,7 +71,7 @@ int main() {
   gfw::GfwConfig gfw_config;
   gfw_config.is_domestic = [](net::Ipv4 ip) { return (ip.value >> 24) == 116; };
   gfw_config.classifier.base_rate = 0.35;
-  gfw::Gfw the_gfw(network, gfw_config, 0x57a6);
+  gfw::Gfw the_gfw(network, gfw_config, options.seed != 0 ? options.seed : 0x57a6);
   network.add_middlebox(&the_gfw);
 
   // Exp 1.a-style traffic: raw high-entropy payloads every 30 s.
@@ -104,10 +110,10 @@ int main() {
   table.print(std::cout);
 
   std::cout << "\n";
-  bench::paper_vs_measured("stage-2 probes while the server is a sink",
-                           "zero (all probes were R1, R2, or NR2)",
-                           std::to_string(sink_phase.stage2));
-  bench::paper_vs_measured(
+  report.metric("stage-2 probes while the server is a sink",
+                "zero (all probes were R1, R2, or NR2)",
+                std::to_string(sink_phase.stage2));
+  report.metric(
       "stage-2 probes after the server starts responding",
       "\"soon after ... a large number of type R3 and type R4 probes\"",
       std::to_string(responding_phase.stage2));
@@ -116,15 +122,15 @@ int main() {
   // --- Ablation arm: staging disabled --------------------------------------
   std::cout << "\n--- ablation: enable_staging = false ---\n";
   {
-    gfw::CampaignConfig config = bench::standard_campaign(7);
-    config.server.impl = probesim::ServerSetup::Impl::kLibevNew;  // never responds
-    config.server.cipher = "aes-256-gcm";
-    config.gfw.enable_staging = false;
-    gfw::Campaign campaign(config, bench::browsing_traffic(), 0x57a7);
-    campaign.run();
-    const Phase ablated = count_since(campaign.log(), net::TimePoint{0},
+    gfw::Scenario scenario = bench::standard_scenario(7);
+    scenario.server.impl = probesim::ServerSetup::Impl::kLibevNew;  // never responds
+    scenario.server.cipher = "aes-256-gcm";
+    scenario.gfw.enable_staging = false;
+    const gfw::CampaignResult result =
+        bench::run_sharded(bench::with_options(scenario, options, 0x57a7, 7), options);
+    const Phase ablated = count_since(result.log, net::TimePoint{0},
                                       net::TimePoint::max());
-    bench::paper_vs_measured(
+    report.metric(
         "stage-2 probes to a never-responding server (ablated GFW)",
         "the observed GFW sends none; without gating they appear",
         std::to_string(ablated.stage2));

@@ -7,14 +7,20 @@
 
 using namespace gfwsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout, "Table 2: most common prober IP addresses");
+  bench::BenchReporter report("table2_top_ips", options);
 
-  gfw::Campaign campaign(bench::standard_campaign(), bench::browsing_traffic(), 0x7AB1E2);
-  campaign.run();
+  const gfw::CampaignResult result = bench::run_standard_sharded(options, 0x7AB1E2);
+  bench::print_run_summary(std::cout, result, options);
 
   std::map<net::Ipv4, int> per_ip;
-  for (const auto& record : campaign.log().records()) ++per_ip[record.src_ip];
+  std::map<net::Ipv4, std::uint32_t> asn_of;
+  for (const auto& record : result.log.records()) {
+    ++per_ip[record.src_ip];
+    asn_of[record.src_ip] = record.asn;
+  }
 
   std::vector<std::pair<net::Ipv4, int>> sorted(per_ip.begin(), per_ip.end());
   std::sort(sorted.begin(), sorted.end(),
@@ -23,17 +29,17 @@ int main() {
   analysis::TextTable table({"Prober IP address", "Count", "AS"});
   for (std::size_t i = 0; i < std::min<std::size_t>(10, sorted.size()); ++i) {
     table.add_row({sorted[i].first.to_string(), std::to_string(sorted[i].second),
-                   "AS" + std::to_string(campaign.gfw().pool().asn_of(sorted[i].first))});
+                   "AS" + std::to_string(asn_of[sorted[i].first])});
   }
   table.print(std::cout);
 
   if (!sorted.empty()) {
     const double head_ratio =
-        static_cast<double>(sorted[0].second) / std::max(1.0, static_cast<double>(
-            campaign.log().size()));
-    bench::paper_vs_measured("top address share of all probes",
-                             "44 / 51837 = 0.08% (shallow head, no mega-prober)",
-                             analysis::format_percent(head_ratio, 2));
+        static_cast<double>(sorted[0].second) /
+        std::max(1.0, static_cast<double>(result.log.size()));
+    report.metric("top address share of all probes",
+                  "44 / 51837 = 0.08% (shallow head, no mega-prober)",
+                  analysis::format_percent(head_ratio, 2));
   }
   return 0;
 }

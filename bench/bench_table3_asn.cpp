@@ -7,16 +7,20 @@
 
 using namespace gfwsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout, "Table 3: unique prober addresses per AS");
+  bench::BenchReporter report("table3_asn", options);
 
-  gfw::Campaign campaign(bench::standard_campaign(), bench::browsing_traffic(), 0x7AB1E3);
-  campaign.run();
+  const gfw::CampaignResult result = bench::run_standard_sharded(options, 0x7AB1E3);
+  bench::print_run_summary(std::cout, result, options);
 
-  std::map<int, int> unique_per_asn;
-  for (const auto& [ip, count] : campaign.gfw().pool().probes_per_address()) {
-    ++unique_per_asn[campaign.gfw().pool().asn_of(ip)];
+  std::map<net::Ipv4, int> asn_of;
+  for (const auto& record : result.log.records()) {
+    asn_of[record.src_ip] = static_cast<int>(record.asn);
   }
+  std::map<int, int> unique_per_asn;
+  for (const auto& [ip, asn] : asn_of) ++unique_per_asn[asn];
 
   // The paper's counts for side-by-side comparison.
   const std::map<int, int> paper_counts = {
@@ -43,11 +47,11 @@ int main() {
   }
   table.print(std::cout);
 
-  bench::paper_vs_measured("two dominant backbones",
-                           "AS4837 + AS4134 = 93.1% of addresses",
-                           analysis::format_percent(
-                               static_cast<double>(unique_per_asn[4837] +
-                                                   unique_per_asn[4134]) /
-                               std::max<std::size_t>(1, total)));
+  report.metric("two dominant backbones",
+                "AS4837 + AS4134 = 93.1% of addresses",
+                analysis::format_percent(
+                    static_cast<double>(unique_per_asn[4837] +
+                                        unique_per_asn[4134]) /
+                    std::max<std::size_t>(1, total)));
   return 0;
 }

@@ -18,26 +18,26 @@ struct ExperimentResult {
   std::size_t stage2_probes = 0;
 };
 
-ExperimentResult run_experiment(client::RandomDataTraffic traffic, bool responding,
+ExperimentResult run_experiment(const bench::BenchOptions& options,
+                                client::TrafficSpec traffic, bool responding,
                                 std::uint64_t seed) {
-  gfw::CampaignConfig config = gfwsim::bench::standard_campaign(10);
-  config.raw_traffic = true;
+  gfw::Scenario scenario = bench::standard_scenario(10);
+  scenario.raw_traffic = true;
   // A raw sink/responder: the Outline server model still accepts TCP and
   // (for v1.0.7) never answers garbage — a faithful sink. For the
   // responding mode the paper's server answered probers with 1-1000
   // random bytes; our closest equivalent is the hardened responder toggle
   // below, modeled by swapping in a server that echoes random data.
-  config.server.impl = responding ? probesim::ServerSetup::Impl::kOutline106
-                                  : probesim::ServerSetup::Impl::kOutline107;
-  gfw::Campaign campaign(config,
-                         std::make_unique<client::RandomDataTraffic>(std::move(traffic)),
-                         seed);
-  campaign.run();
+  scenario.server.impl = responding ? probesim::ServerSetup::Impl::kOutline106
+                                    : probesim::ServerSetup::Impl::kOutline107;
+  scenario.traffic = std::move(traffic);
+  const gfw::CampaignResult campaign =
+      bench::run_sharded(bench::with_options(scenario, options, seed, 10), options);
 
   ExperimentResult result;
   result.connections = campaign.connections_launched();
-  result.probes = campaign.log().size();
-  for (const auto& record : campaign.log().records()) {
+  result.probes = campaign.log.size();
+  for (const auto& record : campaign.log.records()) {
     result.stage2_probes += record.type == probesim::ProbeType::kR3 ||
                             record.type == probesim::ProbeType::kR4 ||
                             record.type == probesim::ProbeType::kR5 ||
@@ -48,40 +48,44 @@ ExperimentResult run_experiment(client::RandomDataTraffic traffic, bool respondi
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout, "Table 4: random-data experiments");
+  bench::BenchReporter report("table4_random_experiments", options);
 
   analysis::TextTable table({"Exp", "Length", "Entropy", "Server mode", "connections",
                              "probes", "stage-2 probes"});
 
-  const auto exp1a = run_experiment(client::RandomDataTraffic::exp1(), false, 0x7AB41A);
+  const auto exp1a =
+      run_experiment(options, client::TrafficSpec::random_exp1(), false, 0x7AB41A);
   table.add_row({"1.a", "[1,1000]", "> 7", "sink", std::to_string(exp1a.connections),
                  std::to_string(exp1a.probes), std::to_string(exp1a.stage2_probes)});
 
-  const auto exp2 = run_experiment(client::RandomDataTraffic::exp2(), false, 0x7AB402);
+  const auto exp2 =
+      run_experiment(options, client::TrafficSpec::random_exp2(), false, 0x7AB402);
   table.add_row({"2", "[1,1000]", "< 2", "sink", std::to_string(exp2.connections),
                  std::to_string(exp2.probes), std::to_string(exp2.stage2_probes)});
 
-  const auto exp3 = run_experiment(client::RandomDataTraffic::exp3(), false, 0x7AB403);
+  const auto exp3 =
+      run_experiment(options, client::TrafficSpec::random_exp3(), false, 0x7AB403);
   table.add_row({"3", "[1,2000]", "[0,8]", "sink", std::to_string(exp3.connections),
                  std::to_string(exp3.probes), std::to_string(exp3.stage2_probes)});
 
   table.print(std::cout);
 
   std::cout << "\n";
-  bench::paper_vs_measured(
+  report.metric(
       "a single raw data packet can trigger probing (no real Shadowsocks)",
       "sink servers received many of the same probe types",
       exp1a.probes > 0 ? "yes (" + std::to_string(exp1a.probes) + " probes to a sink)"
                        : "NO PROBES");
-  bench::paper_vs_measured("Exp 1.a vs Exp 2 probe volume",
-                           "high-entropy server received significantly more probes",
-                           std::to_string(exp1a.probes) + " vs " +
-                               std::to_string(exp2.probes));
-  bench::paper_vs_measured("stage-2 probes to sinks",
-                           "none (all probes were R1, R2, or NR2)",
-                           std::to_string(exp1a.stage2_probes + exp2.stage2_probes +
-                                          exp3.stage2_probes));
+  report.metric("Exp 1.a vs Exp 2 probe volume",
+                "high-entropy server received significantly more probes",
+                std::to_string(exp1a.probes) + " vs " + std::to_string(exp2.probes));
+  report.metric("stage-2 probes to sinks",
+                "none (all probes were R1, R2, or NR2)",
+                std::to_string(exp1a.stage2_probes + exp2.stage2_probes +
+                               exp3.stage2_probes));
   std::cout << "\n(The sink -> responding stage transition of Exp 1.b is the subject\n"
                " of bench_staging.)\n";
   return 0;

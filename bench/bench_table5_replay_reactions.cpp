@@ -5,9 +5,10 @@
 //   ss-libev v3.0.8-v3.2.5:  stream R1 -> R, R2-R5 -> R/T/F; AEAD -> R/R
 //   ss-libev v3.3.1, v3.3.3: stream R1 -> T, R2-R5 -> T/F;   AEAD -> T/T
 //   OutlineVPN (<= 1.0.8):   AEAD R1 -> D (data!), R2-R5 -> T
-#include <iostream>
-
-#include "analysis/report.h"
+//
+// ProbeLab drives a single server directly (no campaign), so this bench
+// stays serial; it adopts the shared CLI for --seed/--csv only.
+#include "bench_common.h"
 #include "probesim/probesim.h"
 
 using namespace gfwsim;
@@ -34,9 +35,11 @@ std::string changed_summary(const std::map<probesim::ProbeType, probesim::Reacti
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using Impl = probesim::ServerSetup::Impl;
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
   analysis::print_banner(std::cout, "Table 5: reactions to replay-based probes");
+  bench::BenchReporter report("table5_replay_reactions", options);
 
   const auto target = proxy::TargetSpec::hostname("www.wikipedia.org", 443);
   const Bytes request = to_bytes("GET / HTTP/1.1\r\nHost: www.wikipedia.org\r\n\r\n");
@@ -59,7 +62,8 @@ int main() {
 
   analysis::TextTable table({"Implementation", "Mode", "Identical (R1)",
                              "Byte-changed (R2-R5)", "Paper"});
-  std::uint64_t seed = 0x7AB1E5;
+  std::uint64_t seed = options.seed != 0 ? options.seed : 0x7AB1E5;
+  std::string outline_r1;
   for (const Row& row : rows) {
     probesim::ServerSetup setup;
     setup.impl = row.impl;
@@ -67,10 +71,16 @@ int main() {
     probesim::ProbeLab lab(setup, seed++);
     const Bytes recorded = lab.establish_legitimate_connection(target, request);
     const auto battery = lab.prober().replay_battery(recorded, 12);
-    table.add_row({std::string(probesim::impl_name(row.impl)), row.mode,
-                   battery_summary(battery, probesim::ProbeType::kR1),
+    const std::string r1 = battery_summary(battery, probesim::ProbeType::kR1);
+    if (row.impl == Impl::kOutline107) outline_r1 = r1;
+    table.add_row({std::string(probesim::impl_name(row.impl)), row.mode, r1,
                    changed_summary(battery), row.paper});
   }
   table.print(std::cout);
+
+  std::cout << "\n";
+  report.metric("OutlineVPN <= 1.0.8 reaction to identical replays",
+                "D — the fingerprintable data response the paper exploited",
+                outline_r1);
   return 0;
 }

@@ -46,6 +46,24 @@ double Cdf::mean() const {
          static_cast<double>(samples_.size());
 }
 
+void Cdf::merge(const Cdf& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = samples_.empty();
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [key, count] : other.counts_) counts_[key] += count;
+}
+
+void RemainderProfile::merge(const RemainderProfile& other) {
+  if (other.modulus_ != modulus_) {
+    throw std::invalid_argument("RemainderProfile::merge: modulus mismatch");
+  }
+  for (int r = 0; r < modulus_; ++r) {
+    counts_[static_cast<std::size_t>(r)] += other.counts_[static_cast<std::size_t>(r)];
+  }
+}
+
 std::int64_t Histogram::total() const {
   std::int64_t sum = 0;
   for (const auto& [key, count] : counts_) sum += count;

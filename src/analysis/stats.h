@@ -18,6 +18,10 @@ class Cdf {
     sorted_ = false;
   }
 
+  // Appends another CDF's samples (campaign shards accumulate locally,
+  // then merge in shard order; quantiles of the merge are order-free).
+  void merge(const Cdf& other);
+
   std::size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
@@ -40,6 +44,9 @@ class Histogram {
  public:
   void add(std::int64_t key, std::int64_t weight = 1) { counts_[key] += weight; }
 
+  // Bucket-wise sum with another histogram.
+  void merge(const Histogram& other);
+
   std::int64_t count(std::int64_t key) const {
     const auto it = counts_.find(key);
     return it == counts_.end() ? 0 : it->second;
@@ -59,6 +66,9 @@ class RemainderProfile {
   explicit RemainderProfile(int modulus = 16) : modulus_(modulus), counts_(modulus, 0) {}
 
   void add(std::int64_t value) { ++counts_[static_cast<std::size_t>(value % modulus_)]; }
+
+  // Element-wise sum; both profiles must share the same modulus.
+  void merge(const RemainderProfile& other);
 
   int modulus() const { return modulus_; }
   std::int64_t count(int remainder) const { return counts_[static_cast<std::size_t>(remainder)]; }

@@ -1,0 +1,45 @@
+#include "client/traffic_spec.h"
+
+#include <stdexcept>
+
+namespace gfwsim::client {
+
+std::unique_ptr<TrafficModel> TrafficSpec::build(std::uint32_t shard) const {
+  switch (kind) {
+    case Kind::kBrowsing:
+      if (sites.empty()) {
+        return std::make_unique<BrowsingTraffic>(BrowsingTraffic::paper_sites());
+      }
+      return std::make_unique<BrowsingTraffic>(sites);
+    case Kind::kRandomData:
+      return std::make_unique<RandomDataTraffic>(min_len, max_len, min_entropy,
+                                                 max_entropy);
+    case Kind::kCustom:
+      if (!custom) throw std::logic_error("TrafficSpec: kCustom without a factory");
+      return custom(shard);
+  }
+  throw std::logic_error("TrafficSpec: unknown kind");
+}
+
+TrafficSpec TrafficSpec::browsing() { return {}; }
+
+TrafficSpec TrafficSpec::random_data(std::size_t min_len, std::size_t max_len,
+                                     double min_entropy, double max_entropy) {
+  TrafficSpec spec;
+  spec.kind = Kind::kRandomData;
+  spec.min_len = min_len;
+  spec.max_len = max_len;
+  spec.min_entropy = min_entropy;
+  spec.max_entropy = max_entropy;
+  return spec;
+}
+
+TrafficSpec TrafficSpec::custom_factory(
+    std::function<std::unique_ptr<TrafficModel>(std::uint32_t)> factory) {
+  TrafficSpec spec;
+  spec.kind = Kind::kCustom;
+  spec.custom = std::move(factory);
+  return spec;
+}
+
+}  // namespace gfwsim::client

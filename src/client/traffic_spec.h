@@ -1,0 +1,57 @@
+// Declarative traffic description: a copyable value that says WHICH
+// workload a campaign drives, so an experiment description (gfw::Scenario)
+// can be duplicated across shards and each shard can build its own
+// TrafficModel instance from the spec.
+//
+// The polymorphic TrafficModel stays the runtime interface; this is the
+// factory-side value type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "client/traffic.h"
+
+namespace gfwsim::client {
+
+struct TrafficSpec {
+  enum class Kind {
+    kBrowsing,    // BrowsingTraffic over `sites` (empty = paper site list)
+    kRandomData,  // RandomDataTraffic with the length/entropy bounds below
+    kCustom,      // `custom` factory, invoked once per shard
+  };
+
+  Kind kind = Kind::kBrowsing;
+
+  // kBrowsing.
+  std::vector<BrowsingTraffic::Site> sites;
+
+  // kRandomData (defaults: Table 4 Exp 1.a).
+  std::size_t min_len = 1;
+  std::size_t max_len = 1000;
+  double min_entropy = 7.0;
+  double max_entropy = 8.0;
+
+  // kCustom: builds the model for one shard. The shard index lets
+  // instrumented models (e.g. the Figure 9 entropy recorder) write into
+  // per-shard state without sharing anything across threads.
+  std::function<std::unique_ptr<TrafficModel>(std::uint32_t shard)> custom;
+
+  // Instantiates a fresh model for `shard`. Every shard gets its own
+  // instance; models are never shared across Worlds.
+  std::unique_ptr<TrafficModel> build(std::uint32_t shard = 0) const;
+
+  static TrafficSpec browsing();
+  static TrafficSpec random_data(std::size_t min_len, std::size_t max_len,
+                                 double min_entropy, double max_entropy);
+  // The Table 4 experiment rows.
+  static TrafficSpec random_exp1() { return random_data(1, 1000, 7.0, 8.0); }
+  static TrafficSpec random_exp2() { return random_data(1, 1000, 0.0, 2.0); }
+  static TrafficSpec random_exp3() { return random_data(1, 2000, 0.0, 8.0); }
+  static TrafficSpec custom_factory(
+      std::function<std::unique_ptr<TrafficModel>(std::uint32_t)> factory);
+};
+
+}  // namespace gfwsim::client

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
 namespace gfwsim::crypto {
+
+namespace {
+
+// Precomputed expectation curve. Lengths beyond the table fall back to
+// the (stateless, deterministic) reference computation; no locks, no
+// lazy initialization — parallel campaign shards share nothing here.
+constexpr std::array<double, 2049> kExpectedUniformEntropy = {
+#include "crypto/entropy_table.inc"
+};
+
+}  // namespace
 
 double shannon_entropy(ByteSpan data) {
   if (data.empty()) return 0.0;
@@ -30,25 +39,22 @@ double normalized_entropy(ByteSpan data) {
   return std::min(1.0, shannon_entropy(data) / max_bits);
 }
 
-double expected_uniform_entropy(std::size_t len) {
+double expected_uniform_entropy_reference(std::size_t len) {
   if (len <= 1) return 0.0;
-  // Deterministic Monte-Carlo expectation, memoized. Classifiers use this
-  // as a "looks like ciphertext" reference curve, so accuracy matters more
+  // Deterministic Monte-Carlo expectation. Classifiers use this as a
+  // "looks like ciphertext" reference curve, so accuracy matters more
   // than closed form (analytic bias corrections are poor when the sample
   // size is comparable to the alphabet size).
-  static std::map<std::size_t, double> cache;
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
-  const auto it = cache.find(len);
-  if (it != cache.end()) return it->second;
-
   Rng rng(0xe47a11ce00000000ull ^ static_cast<std::uint64_t>(len));
   constexpr int kTrials = 48;
   double sum = 0.0;
   for (int t = 0; t < kTrials; ++t) sum += shannon_entropy(rng.bytes(len));
-  const double expected = sum / kTrials;
-  cache.emplace(len, expected);
-  return expected;
+  return sum / kTrials;
+}
+
+double expected_uniform_entropy(std::size_t len) {
+  if (len < kExpectedUniformEntropy.size()) return kExpectedUniformEntropy[len];
+  return expected_uniform_entropy_reference(len);
 }
 
 namespace {

@@ -23,10 +23,17 @@ double shannon_entropy(ByteSpan data);
 // to 1 here even though their raw entropy is bounded by log2(len).
 double normalized_entropy(ByteSpan data);
 
-// Expected empirical entropy of `len` i.i.d. uniform bytes (Monte-Carlo
-// free analytic approximation via the Miller-Madow bias term). Useful as a
-// "looks like ciphertext" reference curve for classifiers.
+// Expected empirical entropy of `len` i.i.d. uniform bytes. Useful as a
+// "looks like ciphertext" reference curve for classifiers. Served from a
+// precomputed constexpr table (crypto/entropy_table.inc) for len <= 2048
+// — lock-free, so parallel campaign shards never serialize here — with
+// the deterministic Monte-Carlo reference as fallback for longer buffers.
 double expected_uniform_entropy(std::size_t len);
+
+// The table-free deterministic Monte-Carlo computation behind the curve
+// (48 trials, length-salted seed). tools/gen_entropy_table.cpp uses this
+// to regenerate the table.
+double expected_uniform_entropy_reference(std::size_t len);
 
 // Generates payloads whose *source* distribution has a chosen Shannon
 // entropy. The distribution is uniform over K byte values with one value's

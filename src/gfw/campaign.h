@@ -1,98 +1,21 @@
-// Campaign harness: reproduces the paper's measurement experiments
-// end-to-end — a client driving traffic through (or at) a server across
-// the simulated GFW, with an untouched control host, over simulated weeks.
+// Compatibility shim: the historical monolithic Campaign class was split
+// into three layers —
+//   Scenario (gfw/scenario.h): pure-data experiment description,
+//   World    (gfw/world.h):    owned simulation state per shard,
+//   Runner   (gfw/runner.h):   execution policy (serial / sharded).
 //
-// Used by the benches for Figures 2-9, Table 2/3/4, the staging
-// experiment, the blocking study, and the brdgrd evaluation.
+// Campaign(config, traffic, seed) maps onto World's compatibility
+// constructor; CampaignConfig is Scenario. New code should use the layers
+// directly (and ShardedRunner for anything Monte-Carlo shaped).
 #pragma once
 
-#include <deque>
-#include <memory>
-
-#include "client/ss_client.h"
-#include "client/traffic.h"
-#include "defense/brdgrd.h"
-#include "gfw/gfw.h"
-#include "probesim/probesim.h"
+#include "gfw/runner.h"
+#include "gfw/scenario.h"
+#include "gfw/world.h"
 
 namespace gfwsim::gfw {
 
-struct CampaignConfig {
-  probesim::ServerSetup server;
-
-  // Traffic: tunneled Shadowsocks flows (default), or raw payloads with
-  // no framing (the Table 4 random-data experiments).
-  bool raw_traffic = false;
-  client::ClientConfig client;  // cipher defaults to the server's
-
-  // Pacing.
-  net::Duration duration = net::hours(24 * 14);
-  net::Duration connection_interval = net::seconds(120);
-
-  // Topology: client inside China; server inside or outside.
-  bool server_inside_china = false;
-
-  GfwConfig gfw;  // is_domestic is filled in by the campaign
-
-  // Optional brdgrd on the server (section 7.1); may be toggled later.
-  bool use_brdgrd = false;
-  defense::BrdgrdConfig brdgrd;
-
-  // Classifier acceleration: campaigns run fewer connections than the
-  // paper's four months, so the trigger rate is scaled up to keep probe
-  // counts statistically useful while every *shape* is preserved.
-  double classifier_base_rate = 0.05;
-};
-
-class Campaign {
- public:
-  Campaign(CampaignConfig config, std::unique_ptr<client::TrafficModel> traffic,
-           std::uint64_t seed = 0xCA4417A16);
-  ~Campaign();
-
-  // Runs until config.duration, then drains outstanding probes.
-  void run();
-  // Incremental variant for experiments that reconfigure mid-flight
-  // (brdgrd toggling, sensitive periods).
-  void run_for(net::Duration span);
-
-  Gfw& gfw() { return *gfw_; }
-  const ProbeLog& log() const { return gfw_->log(); }
-  defense::Brdgrd* brdgrd() { return brdgrd_.get(); }
-  servers::ProxyServerBase& server() { return *server_; }
-  net::EventLoop& loop() { return loop_; }
-  net::Network& network() { return net_; }
-  net::Endpoint server_endpoint() const { return server_endpoint_; }
-  net::Endpoint control_endpoint() const { return control_endpoint_; }
-
-  std::size_t connections_launched() const { return connections_launched_; }
-  // Segments that arrived at the control host (expected: zero probes —
-  // the GFW does not proactively scan, section 4).
-  std::size_t control_host_contacts() const { return control_contacts_; }
-
- private:
-  void launch_connection();
-  void pump_traffic();
-
-  CampaignConfig config_;
-  std::unique_ptr<client::TrafficModel> traffic_;
-  crypto::Rng rng_;
-
-  net::EventLoop loop_;
-  net::Network net_{loop_};
-  servers::SimulatedInternet internet_;
-  std::unique_ptr<servers::ProxyServerBase> server_;
-  std::unique_ptr<defense::Brdgrd> brdgrd_;
-  std::unique_ptr<Gfw> gfw_;
-  std::unique_ptr<client::SsClient> client_;
-
-  net::Endpoint server_endpoint_;
-  net::Endpoint control_endpoint_;
-  net::TimePoint traffic_until_{};
-
-  std::deque<std::shared_ptr<client::Fetch>> fetches_;
-  std::size_t connections_launched_ = 0;
-  std::size_t control_contacts_ = 0;
-};
+using CampaignConfig = Scenario;
+using Campaign = World;
 
 }  // namespace gfwsim::gfw

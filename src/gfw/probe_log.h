@@ -43,6 +43,13 @@ class ProbeLog {
  public:
   void add(ProbeRecord record) { records_.push_back(std::move(record)); }
 
+  // Appends another log's records in order. Shard merges call this in
+  // shard order, which keeps merged results independent of thread count.
+  void merge(const ProbeLog& other) {
+    records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+  }
+  void reserve(std::size_t n) { records_.reserve(n); }
+
   const std::vector<ProbeRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
 

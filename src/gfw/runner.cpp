@@ -1,0 +1,115 @@
+#include "gfw/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace gfwsim::gfw {
+
+std::uint64_t shard_seed(std::uint64_t base_seed, std::uint32_t shard_index) {
+  // SplitMix64 finalizer over the base seed advanced by the shard index
+  // (golden-ratio increment, as in the reference generator).
+  std::uint64_t z = base_seed +
+                    0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(shard_index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::size_t CampaignResult::connections_launched() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards) n += shard.connections_launched;
+  return n;
+}
+
+std::size_t CampaignResult::control_contacts() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards) n += shard.control_contacts;
+  return n;
+}
+
+std::size_t CampaignResult::flows_flagged() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards) n += shard.flows_flagged;
+  return n;
+}
+
+ShardedRunner::ShardedRunner(ShardedRunnerOptions options) : options_(options) {}
+
+unsigned ShardedRunner::resolved_threads() const {
+  if (options_.threads != 0) return options_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+CampaignResult ShardedRunner::run(const Scenario& scenario) {
+  const std::uint32_t shards = std::max<std::uint32_t>(1, options_.shards);
+  const unsigned threads =
+      static_cast<unsigned>(std::min<std::uint64_t>(resolved_threads(), shards));
+
+  // Slot-per-shard outputs: workers write only their own index, so the
+  // merge below is independent of which thread ran which shard.
+  std::vector<ProbeLog> logs(shards);
+  std::vector<ShardSummary> summaries(shards);
+  std::vector<std::exception_ptr> errors(shards);
+
+  std::atomic<std::uint32_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::uint32_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shards) return;
+      try {
+        World world(scenario, shard_seed(scenario.base_seed, shard), shard);
+        if (before_) before_(world, shard);
+        world.run();
+        if (after_) after_(world, shard);
+
+        ShardSummary& summary = summaries[shard];
+        summary.shard_index = shard;
+        summary.seed = world.seed();
+        summary.connections_launched = world.connections_launched();
+        summary.control_contacts = world.control_host_contacts();
+        summary.flows_inspected = world.gfw().flows_inspected();
+        summary.flows_flagged = world.gfw().flows_flagged();
+        summary.segments_transmitted = world.network().segments_transmitted();
+        summary.probes = world.log().size();
+        summary.blocking_history = world.gfw().blocking().history();
+        logs[shard] = world.log();
+      } catch (...) {
+        errors[shard] = std::current_exception();
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Shard-ordered merge: identical regardless of thread count.
+  CampaignResult result;
+  std::size_t total = 0;
+  for (const auto& log : logs) total += log.size();
+  result.log.reserve(total);
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    summaries[shard].log_offset = result.log.size();
+    result.log.merge(logs[shard]);
+  }
+  result.shards = std::move(summaries);
+  return result;
+}
+
+CampaignResult run_serial(const Scenario& scenario) {
+  ShardedRunner runner({/*shards=*/1, /*threads=*/1});
+  return runner.run(scenario);
+}
+
+}  // namespace gfwsim::gfw

@@ -1,0 +1,102 @@
+// Runner: execution policy over Worlds.
+//
+// Monte-Carlo campaign shards are embarrassingly parallel: each shard is
+// an independent World built from the same Scenario with its own seed,
+// derived via SplitMix64 from (base_seed, shard_index). ShardedRunner
+// executes N shards across a std::thread pool and then merges ProbeLogs
+// and summaries IN SHARD ORDER, so the merged result is bit-identical
+// regardless of how many threads ran it — the determinism contract every
+// bench and test relies on (asserted by tests/integration/
+// sharded_runner_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gfw/world.h"
+
+namespace gfwsim::gfw {
+
+// Independent per-shard seed stream: one SplitMix64 step over a mix of
+// the base seed and the shard index. SplitMix64 is a bijection on 64-bit
+// state, so distinct shards can never share a seed for a given base, and
+// the xoshiro256** generators they seed start in uncorrelated states.
+std::uint64_t shard_seed(std::uint64_t base_seed, std::uint32_t shard_index);
+
+// What one finished shard contributes beyond its ProbeLog.
+struct ShardSummary {
+  std::uint32_t shard_index = 0;
+  std::uint64_t seed = 0;
+
+  std::size_t connections_launched = 0;
+  std::size_t control_contacts = 0;
+  std::size_t flows_inspected = 0;
+  std::size_t flows_flagged = 0;
+  std::size_t segments_transmitted = 0;
+
+  // This shard's slice of CampaignResult::log: records
+  // [log_offset, log_offset + probes). Lets single-vantage analyses
+  // (e.g. TSval process clustering) work per shard on the merged log.
+  std::size_t log_offset = 0;
+  std::size_t probes = 0;
+
+  // Blocking events observed by this shard's GFW.
+  std::vector<BlockingModule::BlockEntry> blocking_history;
+};
+
+// Shard-ordered merge of a whole campaign.
+struct CampaignResult {
+  ProbeLog log;  // shard 0's records, then shard 1's, ...
+  std::vector<ShardSummary> shards;
+
+  std::size_t connections_launched() const;
+  std::size_t control_contacts() const;
+  std::size_t flows_flagged() const;
+};
+
+class Runner {
+ public:
+  virtual ~Runner() = default;
+  virtual CampaignResult run(const Scenario& scenario) = 0;
+};
+
+struct ShardedRunnerOptions {
+  std::uint32_t shards = 4;
+  // 0 = std::thread::hardware_concurrency(). 1 = run inline on the
+  // calling thread (the serial baseline for speedup comparisons).
+  unsigned threads = 0;
+};
+
+class ShardedRunner : public Runner {
+ public:
+  // Hooks run on the worker thread that owns the shard. `before` runs
+  // after World construction and before run() (runtime toggles like
+  // BlockingModule::set_sensitive_period); `after` runs after run() and
+  // before the World is destroyed (harvesting state the summary does not
+  // carry). Hooks must only touch their own shard's World and any
+  // per-shard slot indexed by the shard argument.
+  using ShardHook = std::function<void(World&, std::uint32_t shard)>;
+
+  explicit ShardedRunner(ShardedRunnerOptions options = {});
+
+  void set_before_run(ShardHook hook) { before_ = std::move(hook); }
+  void set_after_run(ShardHook hook) { after_ = std::move(hook); }
+
+  const ShardedRunnerOptions& options() const { return options_; }
+  // The thread count actually used for a run (resolves 0).
+  unsigned resolved_threads() const;
+
+  CampaignResult run(const Scenario& scenario) override;
+
+ private:
+  ShardedRunnerOptions options_;
+  ShardHook before_;
+  ShardHook after_;
+};
+
+// One-shard convenience: build a World from the scenario (shard 0 seed
+// derivation) and run it to completion serially.
+CampaignResult run_serial(const Scenario& scenario);
+
+}  // namespace gfwsim::gfw

@@ -1,0 +1,56 @@
+// Scenario: the pure-data description of one measurement experiment —
+// which server implementation is under test, what traffic the client
+// drives, how the GFW is configured, which defenses are on, how long the
+// campaign runs, and the base RNG seed.
+//
+// A Scenario is a copyable value with no owned simulation state, so a
+// runner can duplicate it across shards: shard i gets an identical copy
+// plus its own seed derived from (base_seed, i). Construction of the
+// actual simulation (event loop, network, hosts, server, GFW, client)
+// from a Scenario is the World layer's job (gfw/world.h); execution
+// policy (serial vs sharded-parallel) is the Runner layer's (gfw/runner.h).
+#pragma once
+
+#include <cstdint>
+
+#include "client/ss_client.h"
+#include "client/traffic_spec.h"
+#include "defense/brdgrd.h"
+#include "gfw/gfw.h"
+#include "probesim/probesim.h"
+
+namespace gfwsim::gfw {
+
+struct Scenario {
+  probesim::ServerSetup server;
+
+  // Traffic: tunneled Shadowsocks flows (default), or raw payloads with
+  // no framing (the Table 4 random-data experiments).
+  bool raw_traffic = false;
+  client::ClientConfig client;  // cipher defaults to the server's
+  // What the client sends; each shard builds its own model instance.
+  client::TrafficSpec traffic;
+
+  // Pacing.
+  net::Duration duration = net::hours(24 * 14);
+  net::Duration connection_interval = net::seconds(120);
+
+  // Topology: client inside China; server inside or outside.
+  bool server_inside_china = false;
+
+  GfwConfig gfw;  // is_domestic is filled in by the world factory
+
+  // Optional brdgrd on the server (section 7.1); may be toggled later.
+  bool use_brdgrd = false;
+  defense::BrdgrdConfig brdgrd;
+
+  // Classifier acceleration: campaigns run fewer connections than the
+  // paper's four months, so the trigger rate is scaled up to keep probe
+  // counts statistically useful while every *shape* is preserved.
+  double classifier_base_rate = 0.05;
+
+  // Base seed; shard i runs with shard_seed(base_seed, i) (gfw/runner.h).
+  std::uint64_t base_seed = 0xCA4417A16;
+};
+
+}  // namespace gfwsim::gfw

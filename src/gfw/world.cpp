@@ -1,11 +1,11 @@
-#include "gfw/campaign.h"
+#include "gfw/world.h"
 
 namespace gfwsim::gfw {
 
 namespace {
 
 // Is an address "inside China" for the purposes of the border middlebox?
-// The campaign places the client (and the prober pool prefixes) in
+// The world places the client (and the prober pool prefixes) in
 // Chinese-looking space and the default server/control hosts outside.
 bool default_is_domestic(net::Ipv4 ip) {
   switch (ip.value >> 24) {
@@ -19,12 +19,27 @@ bool default_is_domestic(net::Ipv4 ip) {
 
 }  // namespace
 
-Campaign::Campaign(CampaignConfig config, std::unique_ptr<client::TrafficModel> traffic,
-                   std::uint64_t seed)
-    : config_(std::move(config)),
-      traffic_(std::move(traffic)),
+World::World(const Scenario& scenario, std::uint64_t seed, std::uint32_t shard_index)
+    : scenario_(scenario),
+      traffic_(scenario_.traffic.build(shard_index)),
+      seed_(seed),
+      shard_index_(shard_index),
       rng_(seed),
       internet_(crypto::Rng(seed ^ 0x1e7)) {
+  build();
+}
+
+World::World(Scenario scenario, std::unique_ptr<client::TrafficModel> traffic,
+             std::uint64_t seed)
+    : scenario_(std::move(scenario)),
+      traffic_(std::move(traffic)),
+      seed_(seed),
+      rng_(seed),
+      internet_(crypto::Rng(seed ^ 0x1e7)) {
+  build();
+}
+
+void World::build() {
   // Latency: ~100 ms across the border, like the Beijing<->UK/US paths of
   // the paper's experiments.
   net_.set_default_latency(net::milliseconds(50));
@@ -37,10 +52,10 @@ Campaign::Campaign(CampaignConfig config, std::unique_ptr<client::TrafficModel> 
   // Hosts. The client sits on the opposite side of the border from the
   // server: the usual inside-client/outside-server, or the section 4.2
   // outside-to-inside arrangement when server_inside_china is set.
-  net::Host& client_host = net_.add_host(config_.server_inside_china
+  net::Host& client_host = net_.add_host(scenario_.server_inside_china
                                              ? net::Ipv4(198, 51, 100, 4)  // outside
                                              : net::Ipv4(116, 28, 5, 7));  // inside
-  const net::Ipv4 server_ip = config_.server_inside_china
+  const net::Ipv4 server_ip = scenario_.server_inside_china
                                   ? net::Ipv4(113, 54, 22, 9)            // inside
                                   : net::Ipv4(203, 0, 113, 10);          // outside
   net::Host& server_host = net_.add_host(server_ip);
@@ -56,40 +71,40 @@ Campaign::Campaign(CampaignConfig config, std::unique_ptr<client::TrafficModel> 
   });
 
   // Server under test, optionally behind brdgrd.
-  server_ = probesim::make_server(config_.server, loop_, &internet_, seed ^ 0x5e4);
-  if (config_.use_brdgrd) {
-    brdgrd_ = std::make_unique<defense::Brdgrd>(loop_, config_.brdgrd, seed ^ 0xb6d);
+  server_ = probesim::make_server(scenario_.server, loop_, &internet_, seed_ ^ 0x5e4);
+  if (scenario_.use_brdgrd) {
+    brdgrd_ = std::make_unique<defense::Brdgrd>(loop_, scenario_.brdgrd, seed_ ^ 0xb6d);
     brdgrd_->install(server_host, server_endpoint_.port, server_->acceptor());
   } else {
     server_->install(server_host, server_endpoint_.port);
   }
 
   // GFW on the path.
-  GfwConfig gfw_config = config_.gfw;
+  GfwConfig gfw_config = scenario_.gfw;
   if (!gfw_config.is_domestic) gfw_config.is_domestic = default_is_domestic;
-  gfw_config.classifier.base_rate = config_.classifier_base_rate;
-  gfw_ = std::make_unique<Gfw>(net_, std::move(gfw_config), seed ^ 0x6f3);
+  gfw_config.classifier.base_rate = scenario_.classifier_base_rate;
+  gfw_ = std::make_unique<Gfw>(net_, std::move(gfw_config), seed_ ^ 0x6f3);
   net_.add_middlebox(gfw_.get());
 
   // Client.
-  client::ClientConfig client_config = config_.client;
+  client::ClientConfig client_config = scenario_.client;
   if (client_config.cipher == nullptr) {
-    client_config.cipher = proxy::find_cipher(config_.server.cipher);
+    client_config.cipher = proxy::find_cipher(scenario_.server.cipher);
   }
-  if (client_config.password.empty()) client_config.password = config_.server.password;
+  if (client_config.password.empty()) client_config.password = scenario_.server.password;
   client_ = std::make_unique<client::SsClient>(client_host, server_endpoint_,
-                                               client_config, seed ^ 0xc11);
+                                               client_config, seed_ ^ 0xc11);
 }
 
-Campaign::~Campaign() {
+World::~World() {
   if (gfw_) net_.remove_middlebox(gfw_.get());
 }
 
-void Campaign::launch_connection() {
+void World::launch_connection() {
   ++connections_launched_;
   client::Flow flow = traffic_->next(rng_);
   std::shared_ptr<client::Fetch> fetch;
-  if (config_.raw_traffic) {
+  if (scenario_.raw_traffic) {
     fetch = client_->send_raw(std::move(flow.first_payload));
   } else {
     fetch = client_->fetch(flow.target, flow.first_payload);
@@ -102,27 +117,31 @@ void Campaign::launch_connection() {
   while (fetches_.size() > 256) fetches_.pop_front();
 }
 
-void Campaign::pump_traffic() {
+void World::pump_traffic() {
   if (loop_.now() >= traffic_until_) return;
   launch_connection();
   // Jittered pacing around the configured interval.
   const double jitter = 0.5 + rng_.uniform01();
   loop_.schedule_after(
-      net::from_seconds(net::to_seconds(config_.connection_interval) * jitter),
+      net::from_seconds(net::to_seconds(scenario_.connection_interval) * jitter),
       [this] { pump_traffic(); });
 }
 
-void Campaign::run_for(net::Duration span) {
+void World::run_for(net::Duration span) {
   traffic_until_ = loop_.now() + span;
   pump_traffic();
   loop_.run_until(traffic_until_);
 }
 
-void Campaign::run() {
-  run_for(config_.duration);
-  // Drain: let scheduled probes (heavy-tailed delays!) within a grace
-  // window finish so reaction stats are complete.
-  loop_.run_until(loop_.now() + net::hours(2));
+void World::drain(net::Duration grace) {
+  // Let scheduled probes (heavy-tailed delays!) within a grace window
+  // finish so reaction stats are complete.
+  loop_.run_until(loop_.now() + grace);
+}
+
+void World::run() {
+  run_for(scenario_.duration);
+  drain();
 }
 
 }  // namespace gfwsim::gfw

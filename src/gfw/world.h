@@ -1,0 +1,93 @@
+// World: the owned simulation state for ONE campaign shard — event loop,
+// network, hosts, server under test (optionally behind brdgrd), GFW
+// middlebox, and the Shadowsocks client — built from a Scenario by the
+// constructor and driven by run()/run_for().
+//
+// A World is fully self-contained: it shares no mutable state with other
+// Worlds, so independently-seeded Worlds can run on different threads
+// with no synchronization (the basis of gfw::ShardedRunner).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "client/ss_client.h"
+#include "client/traffic.h"
+#include "defense/brdgrd.h"
+#include "gfw/gfw.h"
+#include "gfw/scenario.h"
+#include "probesim/probesim.h"
+
+namespace gfwsim::gfw {
+
+class World {
+ public:
+  // Builds the shard's simulation from the scenario; traffic comes from
+  // scenario.traffic.build(shard_index).
+  World(const Scenario& scenario, std::uint64_t seed, std::uint32_t shard_index = 0);
+
+  // Compatibility constructor (the historical Campaign signature): the
+  // caller supplies a ready-made traffic model instead of a spec.
+  World(Scenario scenario, std::unique_ptr<client::TrafficModel> traffic,
+        std::uint64_t seed = 0xCA4417A16);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // Runs until scenario.duration, then drains outstanding probes.
+  void run();
+  // Incremental variant for experiments that reconfigure mid-flight
+  // (brdgrd toggling, sensitive periods).
+  void run_for(net::Duration span);
+  // The post-campaign drain window run() applies (heavy-tailed replay
+  // delays need it for complete reaction stats).
+  void drain(net::Duration grace = net::hours(2));
+
+  Gfw& gfw() { return *gfw_; }
+  const ProbeLog& log() const { return gfw_->log(); }
+  defense::Brdgrd* brdgrd() { return brdgrd_.get(); }
+  servers::ProxyServerBase& server() { return *server_; }
+  client::TrafficModel& traffic() { return *traffic_; }
+  net::EventLoop& loop() { return loop_; }
+  net::Network& network() { return net_; }
+  net::Endpoint server_endpoint() const { return server_endpoint_; }
+  net::Endpoint control_endpoint() const { return control_endpoint_; }
+  const Scenario& scenario() const { return scenario_; }
+  std::uint32_t shard_index() const { return shard_index_; }
+  std::uint64_t seed() const { return seed_; }
+
+  std::size_t connections_launched() const { return connections_launched_; }
+  // Segments that arrived at the control host (expected: zero probes —
+  // the GFW does not proactively scan, section 4).
+  std::size_t control_host_contacts() const { return control_contacts_; }
+
+ private:
+  void build();
+  void launch_connection();
+  void pump_traffic();
+
+  Scenario scenario_;
+  std::unique_ptr<client::TrafficModel> traffic_;
+  std::uint64_t seed_;
+  std::uint32_t shard_index_ = 0;
+  crypto::Rng rng_;
+
+  net::EventLoop loop_;
+  net::Network net_{loop_};
+  servers::SimulatedInternet internet_;
+  std::unique_ptr<servers::ProxyServerBase> server_;
+  std::unique_ptr<defense::Brdgrd> brdgrd_;
+  std::unique_ptr<Gfw> gfw_;
+  std::unique_ptr<client::SsClient> client_;
+
+  net::Endpoint server_endpoint_;
+  net::Endpoint control_endpoint_;
+  net::TimePoint traffic_until_{};
+
+  std::deque<std::shared_ptr<client::Fetch>> fetches_;
+  std::size_t connections_launched_ = 0;
+  std::size_t control_contacts_ = 0;
+};
+
+}  // namespace gfwsim::gfw

@@ -102,9 +102,17 @@ void Host::listen(std::uint16_t port, Acceptor acceptor) {
 void Host::stop_listening(std::uint16_t port) { listeners_.erase(port); }
 
 std::uint16_t Host::allocate_ephemeral_port() {
-  // Linux default ephemeral range; wraps within it.
-  if (next_ephemeral_ < 32768 || next_ephemeral_ >= 61000) next_ephemeral_ = 32768;
-  return next_ephemeral_++;
+  // Linux default ephemeral range; wraps within it. After wraparound a
+  // candidate port can still be held by a live connection (long campaigns
+  // cycle the range many times), which would silently collide two
+  // connections on the same 4-tuple — so skip ports that are in use.
+  constexpr int kRangeSize = 61000 - 32768;
+  for (int attempt = 0; attempt < kRangeSize; ++attempt) {
+    if (next_ephemeral_ < 32768 || next_ephemeral_ >= 61000) next_ephemeral_ = 32768;
+    const std::uint16_t candidate = next_ephemeral_++;
+    if (!net_->local_port_in_use(addr_, candidate)) return candidate;
+  }
+  throw std::runtime_error("Host::allocate_ephemeral_port: range exhausted");
 }
 
 std::shared_ptr<Connection> Host::connect(Endpoint remote, ConnectionCallbacks callbacks,
@@ -157,6 +165,19 @@ std::shared_ptr<Connection> Network::find_connection(const Endpoint& local,
   auto conn = it->second.lock();
   if (!conn) connections_.erase(it);
   return conn;
+}
+
+bool Network::local_port_in_use(Ipv4 addr, std::uint16_t port) {
+  // connections_ is ordered by (local, remote), so all entries for this
+  // local endpoint are contiguous; expired entries are garbage-collected
+  // on the way through.
+  const Endpoint local{addr, port};
+  auto it = connections_.lower_bound({local, Endpoint{}});
+  while (it != connections_.end() && it->first.first == local) {
+    if (!it->second.expired()) return true;
+    it = connections_.erase(it);
+  }
+  return false;
 }
 
 void Network::register_connection(const std::shared_ptr<Connection>& conn) {

@@ -116,6 +116,10 @@ class Network {
   void handle_syn(const Segment& segment);
 
   std::shared_ptr<Connection> find_connection(const Endpoint& local, const Endpoint& remote);
+  // True if any live connection on `addr` has local port `port` (any
+  // remote); used to keep ephemeral-port allocation collision-free after
+  // the range wraps in long campaigns.
+  bool local_port_in_use(Ipv4 addr, std::uint16_t port);
   void register_connection(const std::shared_ptr<Connection>& conn);
   void unregister_connection(const Connection& conn);
   void send_rst_to(const Segment& offending);

@@ -59,6 +59,62 @@ TEST(RemainderProfile, DominantRemainder) {
   EXPECT_EQ(profile.total(), 100);
 }
 
+TEST(Cdf, MergeMatchesFlatAccumulation) {
+  Cdf flat, left, right;
+  for (int i = 1; i <= 50; ++i) {
+    flat.add(i);
+    left.add(i);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    flat.add(i);
+    right.add(i);
+  }
+  // Query before merging so the merge has to invalidate the sorted cache.
+  EXPECT_DOUBLE_EQ(left.max(), 50.0);
+  left.merge(right);
+  EXPECT_EQ(left.size(), flat.size());
+  EXPECT_DOUBLE_EQ(left.min(), flat.min());
+  EXPECT_DOUBLE_EQ(left.max(), flat.max());
+  EXPECT_DOUBLE_EQ(left.quantile(0.5), flat.quantile(0.5));
+  EXPECT_DOUBLE_EQ(left.fraction_below(25.5), flat.fraction_below(25.5));
+}
+
+TEST(Cdf, MergeEmptySides) {
+  Cdf empty, filled;
+  filled.add(1.0);
+  filled.merge(empty);
+  EXPECT_EQ(filled.size(), 1u);
+  empty.merge(filled);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a, b;
+  a.add(221, 2);
+  a.add(8);
+  b.add(221);
+  b.add(33, 5);
+  a.merge(b);
+  EXPECT_EQ(a.count(221), 3);
+  EXPECT_EQ(a.count(8), 1);
+  EXPECT_EQ(a.count(33), 5);
+  EXPECT_EQ(a.total(), 9);
+}
+
+TEST(RemainderProfile, MergeRequiresMatchingModulus) {
+  RemainderProfile a(16), b(16);
+  for (int i = 0; i < 10; ++i) a.add(16 * i + 9);
+  for (int i = 0; i < 4; ++i) b.add(16 * i + 9);
+  for (int i = 0; i < 2; ++i) b.add(16 * i + 2);
+  a.merge(b);
+  EXPECT_EQ(a.count(9), 14);
+  EXPECT_EQ(a.count(2), 2);
+  EXPECT_EQ(a.total(), 16);
+
+  RemainderProfile other(8);
+  EXPECT_THROW(a.merge(other), std::invalid_argument);
+}
+
 TEST(Overlap3, CountsAllRegions) {
   const std::vector<std::uint32_t> a = {1, 2, 3, 4, 7};
   const std::vector<std::uint32_t> b = {3, 4, 5, 7};

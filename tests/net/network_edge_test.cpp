@@ -113,6 +113,28 @@ TEST_F(EdgeFixture, EphemeralPortsWrapWithinLinuxRange) {
   EXPECT_GT(ports.size(), 250u);
 }
 
+TEST_F(EdgeFixture, EphemeralAllocatorSkipsPortsHeldByLiveConnections) {
+  listen_sink();
+  auto held = client.connect(server_ep, {});
+  loop.run();
+  ASSERT_EQ(held->local().port, 32768);
+
+  // Churn through the rest of the range so the allocator's counter wraps
+  // back around to the held port.
+  constexpr int kRange = 61000 - 32768;
+  for (int i = 0; i < kRange - 1; ++i) {
+    auto conn = client.connect(server_ep, {});
+    EXPECT_NE(conn->local().port, 32768) << "allocator reused a held port";
+    conn->abort();
+  }
+
+  // 32768 is still owned by the live connection: the allocator must skip
+  // it rather than hand out a colliding 4-tuple.
+  auto next = client.connect(server_ep, {});
+  EXPECT_EQ(next->local().port, 32769);
+  EXPECT_EQ(held->state(), Connection::State::kEstablished);
+}
+
 TEST_F(EdgeFixture, TapObservesDropsWithVerdict) {
   struct DropData : Middlebox {
     Verdict on_segment(const Segment& seg) override {
