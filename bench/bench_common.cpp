@@ -15,13 +15,23 @@ namespace {
      << "  --threads N   worker threads (default: hardware concurrency)\n"
      << "  --seed S      base-seed override (decimal or 0x-hex)\n"
      << "  --days D      per-shard campaign length override, in days\n"
-     << "  --csv PATH    mirror paper-vs-measured rows to PATH as CSV\n";
+     << "  --csv PATH    mirror paper-vs-measured rows to PATH as CSV\n"
+     << "  --loss P      per-segment loss probability in [0,1] (default 0)\n"
+     << "  --dup P       per-segment duplication probability in [0,1]\n"
+     << "  --reorder P   per-segment reorder probability in [0,1]\n"
+     << "  --jitter MS   uniform extra one-way latency in [0, MS) ms\n";
   std::exit(exit_code);
 }
 
 const char* flag_value(int argc, char** argv, int& i, const char* argv0) {
   if (i + 1 >= argc) usage(argv0, 2);
   return argv[++i];
+}
+
+double probability_flag(int argc, char** argv, int& i, const char* argv0) {
+  const double value = std::strtod(flag_value(argc, argv, i, argv0), nullptr);
+  if (value < 0.0 || value > 1.0) usage(argv0, 2);
+  return value;
 }
 
 // Splits "--csv dir/name.csv" into CsvWriter's (directory, name) form.
@@ -60,6 +70,15 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       if (options.days <= 0) usage(argv0, 2);
     } else if (std::strcmp(arg, "--csv") == 0) {
       options.csv = flag_value(argc, argv, i, argv0);
+    } else if (std::strcmp(arg, "--loss") == 0) {
+      options.loss = probability_flag(argc, argv, i, argv0);
+    } else if (std::strcmp(arg, "--dup") == 0) {
+      options.dup = probability_flag(argc, argv, i, argv0);
+    } else if (std::strcmp(arg, "--reorder") == 0) {
+      options.reorder = probability_flag(argc, argv, i, argv0);
+    } else if (std::strcmp(arg, "--jitter") == 0) {
+      options.jitter_ms = std::strtod(flag_value(argc, argv, i, argv0), nullptr);
+      if (options.jitter_ms < 0.0) usage(argv0, 2);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       usage(argv0, 2);
@@ -83,12 +102,22 @@ gfw::Scenario standard_scenario(int days) {
   return scenario;
 }
 
+gfw::Scenario with_fault_options(gfw::Scenario scenario, const BenchOptions& options) {
+  if (options.loss > 0.0) scenario.faults.loss = options.loss;
+  if (options.dup > 0.0) scenario.faults.duplicate = options.dup;
+  if (options.reorder > 0.0) scenario.faults.reorder = options.reorder;
+  if (options.jitter_ms > 0.0) {
+    scenario.faults.jitter = net::from_seconds(options.jitter_ms / 1000.0);
+  }
+  return scenario;
+}
+
 gfw::Scenario with_options(gfw::Scenario scenario, const BenchOptions& options,
                            std::uint64_t default_seed, int default_days) {
   const int days = options.days > 0 ? options.days : default_days;
   scenario.duration = net::hours(24 * days);
   scenario.base_seed = options.seed != 0 ? options.seed : default_seed;
-  return scenario;
+  return with_fault_options(std::move(scenario), options);
 }
 
 gfw::CampaignResult run_sharded(const gfw::Scenario& scenario,

@@ -32,12 +32,26 @@ namespace gfwsim::bench {
 //   --seed S      base-seed override (decimal or 0x-hex)
 //   --days D      per-shard campaign length override, in days
 //   --csv PATH    mirror the paper-vs-measured rows to PATH as CSV
+//   --loss P      per-segment loss probability in [0,1] (default 0)
+//   --dup P       per-segment duplication probability in [0,1]
+//   --reorder P   per-segment reorder probability in [0,1]
+//   --jitter MS   uniform extra one-way latency in [0, MS) milliseconds
 struct BenchOptions {
   std::uint32_t shards = 4;
   unsigned threads = 0;    // 0 = hardware concurrency
   int days = 0;            // 0 = bench default
   std::uint64_t seed = 0;  // 0 = bench default
   std::string csv;
+
+  // Fault-profile knobs; all zero leaves the network ideal.
+  double loss = 0.0;
+  double dup = 0.0;
+  double reorder = 0.0;
+  double jitter_ms = 0.0;
+
+  bool faults_requested() const {
+    return loss > 0.0 || dup > 0.0 || reorder > 0.0 || jitter_ms > 0.0;
+  }
 };
 
 // Exits with usage on --help or a malformed flag.
@@ -51,7 +65,11 @@ gfw::ShardedRunnerOptions runner_options(const BenchOptions& options);
 // OutlineVPN experiment).
 gfw::Scenario standard_scenario(int days = 21);
 
-// Applies --days/--seed overrides on top of the bench's defaults.
+// Applies the --loss/--dup/--reorder/--jitter fault knobs to a scenario.
+gfw::Scenario with_fault_options(gfw::Scenario scenario, const BenchOptions& options);
+
+// Applies --days/--seed overrides (and the fault knobs) on top of the
+// bench's defaults.
 gfw::Scenario with_options(gfw::Scenario scenario, const BenchOptions& options,
                            std::uint64_t default_seed, int default_days);
 

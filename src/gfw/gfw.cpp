@@ -53,9 +53,23 @@ net::Verdict Gfw::on_segment(const net::Segment& segment) {
   const auto key = std::make_pair(segment.src, segment.dst);
   const auto rkey = std::make_pair(segment.dst, segment.src);
 
+  // Endpoint retransmissions (SYN retries, RTO copies of data) are
+  // seq-deduplicated by the real GFW's flow reassembly: they must not
+  // re-arm flow tracking or reach the classifier a second time.
+  if (segment.retransmission) return net::Verdict::kPass;
+
   if (segment.has(net::TcpFlag::kSyn) && !segment.has(net::TcpFlag::kAck)) {
     if (flows_.size() < kMaxTrackedFlows) {
-      flows_[key] = FlowState{segment.src, false};
+      const auto it = flows_.find(key);
+      if (it != flows_.end() && !it->second.data_seen &&
+          it->second.syn_sent_at == segment.sent_at &&
+          it->second.syn_ip_id == segment.ip_id) {
+        // Wire-duplicated copy of the SYN we just tracked; a genuine
+        // 4-tuple reuse arrives later with fresh header fields and still
+        // re-arms inspection below.
+        return net::Verdict::kPass;
+      }
+      flows_[key] = FlowState{segment.src, false, segment.sent_at, segment.ip_id};
       ++flows_inspected_;
     }
     return net::Verdict::kPass;
@@ -72,6 +86,9 @@ net::Verdict Gfw::on_segment(const net::Segment& segment) {
   const auto it = flows_.find(key);
   if (it == flows_.end() || it->second.data_seen ||
       it->second.initiator != segment.src) {
+    // Covers the wire-duplicated first payload too: the first copy set
+    // data_seen and erased the flow, so the second copy falls through
+    // here instead of flagging (and double-counting evidence) again.
     return net::Verdict::kPass;
   }
   it->second.data_seen = true;
@@ -165,61 +182,100 @@ void Gfw::launch_probe(net::Endpoint server, probesim::ProbeType type,
   }
   record.payload_len = payload.size();
 
-  // Source identity and fingerprint.
-  const ProberPool::Identity identity = pool_.acquire();
-  net::Host& prober_host = pool_.host_for(identity);
-  net::ConnectOptions options = pool_.connect_options(identity, rng_);
-  record.src_ip = identity.ip;
-  record.asn = identity.asn;
-  record.src_port = options.src_port;
-  record.ttl = options.header->ttl;
-  record.tsval_process = identity.tsval_process;
-  record.tsval = pool_.tsval_at(identity.tsval_process, loop.now());
-  record.sent_at = loop.now();
-
   // Async probe exchange: connect, push the payload, observe the reaction
-  // until the GFW's own timeout, then close with FIN/ACK.
-  struct Pending {
-    std::shared_ptr<net::Connection> conn;
-    bool connected = false;
-    bool rst = false;
-    bool fin = false;
-    std::size_t data_bytes = 0;
-    bool finalized = false;
-  };
-  auto pending = std::make_shared<Pending>();
+  // until the GFW's own timeout, then close with FIN/ACK. Under path
+  // faults a failed connection attempt is relaunched with backoff inside
+  // the same probe window (start_probe_connection).
+  auto attempt = std::make_shared<ProbeAttempt>();
+  attempt->server = server;
+  attempt->identity = pool_.acquire();
+  attempt->payload = std::move(payload);
+  attempt->record = record;
+  attempt->deadline = loop.now() + config_.probe_timeout;
   ++in_flight_;
 
-  auto finalize = [this, pending, server, record]() mutable {
-    if (pending->finalized) return;
-    pending->finalized = true;
-    --in_flight_;
-    ProbeRecord final_record = record;
-    if (pending->data_bytes > 0) {
-      final_record.reaction = probesim::Reaction::kData;
-    } else if (pending->rst) {
-      final_record.reaction = probesim::Reaction::kRst;
-    } else if (pending->fin) {
-      final_record.reaction = probesim::Reaction::kFinAck;
-    } else {
-      final_record.reaction = probesim::Reaction::kTimeout;
-    }
-    if (pending->conn) pending->conn->close();
-    handle_probe_result(server, final_record);
-    log_.add(std::move(final_record));
-  };
+  start_probe_connection(attempt);
+  loop.schedule_after(config_.probe_timeout,
+                      [this, attempt] { finalize_probe(attempt); });
+}
+
+void Gfw::start_probe_connection(const std::shared_ptr<ProbeAttempt>& attempt) {
+  auto& loop = net_.loop();
+  net::Host& prober_host = pool_.host_for(attempt->identity);
+  net::ConnectOptions options = pool_.connect_options(attempt->identity, rng_);
+  options.arq = config_.probe_arq;
+  if (attempt->attempts == 1) {
+    // The logged fingerprint is the first attempt's (what the server-side
+    // pcap attributes the probe to); retries re-draw ephemeral ports.
+    attempt->record.src_ip = attempt->identity.ip;
+    attempt->record.asn = attempt->identity.asn;
+    attempt->record.src_port = options.src_port;
+    attempt->record.ttl = options.header->ttl;
+    attempt->record.tsval_process = attempt->identity.tsval_process;
+    attempt->record.tsval = pool_.tsval_at(attempt->identity.tsval_process, loop.now());
+    attempt->record.sent_at = loop.now();
+  }
 
   net::ConnectionCallbacks cb;
-  cb.on_connected = [pending, payload = std::move(payload)] {
-    pending->connected = true;
-    pending->conn->send(payload);
+  cb.on_connected = [attempt] { attempt->conn->send(attempt->payload); };
+  cb.on_data = [attempt](ByteSpan data) { attempt->data_bytes += data.size(); };
+  cb.on_rst = [attempt] {
+    attempt->rst = true;
+    if (attempt->finalized) attempt->conn.reset();
   };
-  cb.on_data = [pending](ByteSpan data) { pending->data_bytes += data.size(); };
-  cb.on_rst = [pending] { pending->rst = true; };
-  cb.on_fin = [pending] { pending->fin = true; };
+  cb.on_fin = [attempt] {
+    attempt->fin = true;
+    // Close handshake completed after finalize: release the connection
+    // (breaking the attempt<->connection ownership cycle).
+    if (attempt->finalized) attempt->conn.reset();
+  };
+  cb.on_timeout = [this, attempt] {
+    // ARQ gave up on this connection attempt (SYN retries or data
+    // retransmissions exhausted). Relaunch while the window allows.
+    if (attempt->finalized) {
+      attempt->conn.reset();
+      return;
+    }
+    attempt->conn.reset();
+    if (attempt->attempts > config_.probe_connect_retries) return;
+    const net::Duration backoff =
+        config_.probe_retry_backoff * (1ll << (attempt->attempts - 1));
+    if (net_.loop().now() + backoff >= attempt->deadline) return;
+    ++attempt->attempts;
+    ++probe_connect_retries_;
+    net_.loop().schedule_after(backoff, [this, attempt] {
+      if (!attempt->finalized) start_probe_connection(attempt);
+    });
+  };
 
-  pending->conn = prober_host.connect(server, std::move(cb), std::move(options));
-  loop.schedule_after(config_.probe_timeout, finalize);
+  attempt->conn = prober_host.connect(attempt->server, std::move(cb), std::move(options));
+}
+
+void Gfw::finalize_probe(const std::shared_ptr<ProbeAttempt>& attempt) {
+  if (attempt->finalized) return;
+  attempt->finalized = true;
+  --in_flight_;
+  ProbeRecord final_record = attempt->record;
+  final_record.connect_retries = attempt->attempts - 1;
+  if (attempt->data_bytes > 0) {
+    final_record.reaction = probesim::Reaction::kData;
+  } else if (attempt->rst) {
+    final_record.reaction = probesim::Reaction::kRst;
+  } else if (attempt->fin) {
+    final_record.reaction = probesim::Reaction::kFinAck;
+  } else {
+    final_record.reaction = probesim::Reaction::kTimeout;
+  }
+  if (attempt->conn) {
+    attempt->conn->close();
+    const auto state = attempt->conn->state();
+    if (state == net::Connection::State::kClosed ||
+        state == net::Connection::State::kReset) {
+      attempt->conn.reset();
+    }
+  }
+  handle_probe_result(attempt->server, final_record);
+  log_.add(std::move(final_record));
 }
 
 void Gfw::handle_probe_result(net::Endpoint server, const ProbeRecord& record) {

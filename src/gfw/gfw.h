@@ -53,6 +53,22 @@ struct GfwConfig {
   // The GFW's own probe timeout ("usually less than 10 seconds").
   net::Duration probe_timeout = net::seconds(8);
 
+  // Probe robustness on lossy paths (active only when the network's ARQ
+  // layer is on, i.e. a FaultProfile is enabled): a probe connection that
+  // fails to establish is relaunched with exponential backoff while the
+  // probe window allows, up to this many extra attempts. Probe
+  // connections override the network ArqConfig with `probe_arq` so a
+  // dead path fails fast enough that a retry still fits inside
+  // probe_timeout (the paper's probers give up in "usually less than 10
+  // seconds" total, section 5).
+  int probe_connect_retries = 2;
+  net::Duration probe_retry_backoff = net::seconds(1);
+  net::ArqConfig probe_arq{.rto = net::milliseconds(500),
+                           .max_data_retries = 3,
+                           .syn_timeout = net::seconds(1),
+                           .max_syn_retries = 1,
+                           .idle_timeout = net::Duration{}};
+
   // Stage-1 plan per flagged connection.
   double extra_r1_probability = 0.5;   // chance of each additional R1
   int max_replays_per_payload = 47;
@@ -95,12 +111,35 @@ class Gfw : public net::Middlebox {
   std::size_t flows_inspected() const { return flows_inspected_; }
   std::size_t flows_flagged() const { return flows_flagged_; }
   std::size_t probes_in_flight() const { return in_flight_; }
+  // Probe connections relaunched after a connect failure (faults only).
+  std::size_t probe_connect_retries() const { return probe_connect_retries_; }
   std::size_t servers_in_stage2() const;
 
  private:
   struct FlowState {
     net::Endpoint initiator;
     bool data_seen = false;
+    // Identity of the SYN that created this entry, so a wire-duplicated
+    // copy (same instant, same IP ID) is not double-counted while a
+    // later 4-tuple reuse still re-arms inspection.
+    net::TimePoint syn_sent_at{};
+    std::uint16_t syn_ip_id = 0;
+  };
+
+  // One flagged-probe exchange, possibly spanning several connection
+  // attempts when the path is faulty.
+  struct ProbeAttempt {
+    net::Endpoint server;
+    ProberPool::Identity identity;
+    Bytes payload;
+    ProbeRecord record;
+    net::TimePoint deadline{};
+    int attempts = 1;
+    std::shared_ptr<net::Connection> conn;
+    bool rst = false;
+    bool fin = false;
+    std::size_t data_bytes = 0;
+    bool finalized = false;
   };
 
   struct StoredPayload {
@@ -121,6 +160,8 @@ class Gfw : public net::Middlebox {
                       net::Duration delay, std::size_t payload_index);
   void launch_probe(net::Endpoint server, probesim::ProbeType type,
                     std::size_t payload_index);
+  void start_probe_connection(const std::shared_ptr<ProbeAttempt>& attempt);
+  void finalize_probe(const std::shared_ptr<ProbeAttempt>& attempt);
   void enter_stage2(net::Endpoint server);
   void stage2_tick(net::Endpoint server);
   void handle_probe_result(net::Endpoint server, const ProbeRecord& record);
@@ -140,6 +181,7 @@ class Gfw : public net::Middlebox {
   std::size_t flows_inspected_ = 0;
   std::size_t flows_flagged_ = 0;
   std::size_t in_flight_ = 0;
+  std::size_t probe_connect_retries_ = 0;
 };
 
 }  // namespace gfwsim::gfw

@@ -25,6 +25,9 @@ struct ProbeRecord {
 
   std::size_t payload_len = 0;
   probesim::Reaction reaction = probesim::Reaction::kTimeout;
+  // Connection attempts beyond the first within this probe's window
+  // (nonzero only when the path runs a fault profile).
+  int connect_retries = 0;
 
   // Replay-based probes: how long after the triggering legitimate
   // connection this replay went out (Figure 7), whether this payload was

@@ -34,6 +34,25 @@ std::size_t CampaignResult::flows_flagged() const {
   return n;
 }
 
+std::size_t CampaignResult::segments_dropped_loss() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards) n += shard.segments_dropped_loss;
+  return n;
+}
+
+std::size_t CampaignResult::retransmissions() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards) n += shard.retransmissions;
+  return n;
+}
+
+bool CampaignResult::teardown_clean() const {
+  for (const auto& shard : shards) {
+    if (!shard.teardown.clean()) return false;
+  }
+  return true;
+}
+
 ShardedRunner::ShardedRunner(ShardedRunnerOptions options) : options_(options) {}
 
 unsigned ShardedRunner::resolved_threads() const {
@@ -72,6 +91,16 @@ CampaignResult ShardedRunner::run(const Scenario& scenario) {
         summary.flows_inspected = world.gfw().flows_inspected();
         summary.flows_flagged = world.gfw().flows_flagged();
         summary.segments_transmitted = world.network().segments_transmitted();
+        summary.segments_delivered = world.network().segments_delivered();
+        summary.segments_dropped_middlebox =
+            world.network().segments_dropped_middlebox();
+        summary.segments_dropped_loss = world.network().segments_dropped_loss();
+        summary.segments_dropped_outage = world.network().segments_dropped_outage();
+        summary.segments_duplicated = world.network().segments_duplicated();
+        summary.segments_reordered = world.network().segments_reordered();
+        summary.retransmissions = world.network().retransmissions();
+        summary.probe_connect_retries = world.gfw().probe_connect_retries();
+        summary.teardown = world.teardown_report();
         summary.probes = world.log().size();
         summary.blocking_history = world.gfw().blocking().history();
         logs[shard] = world.log();

@@ -35,6 +35,18 @@ struct ShardSummary {
   std::size_t flows_flagged = 0;
   std::size_t segments_transmitted = 0;
 
+  // Fault-layer accounting (all zero when the scenario's FaultProfile is
+  // disabled) and the shard's teardown invariant scan.
+  std::size_t segments_delivered = 0;
+  std::size_t segments_dropped_middlebox = 0;
+  std::size_t segments_dropped_loss = 0;
+  std::size_t segments_dropped_outage = 0;
+  std::size_t segments_duplicated = 0;
+  std::size_t segments_reordered = 0;
+  std::size_t retransmissions = 0;
+  std::size_t probe_connect_retries = 0;
+  net::TeardownReport teardown;
+
   // This shard's slice of CampaignResult::log: records
   // [log_offset, log_offset + probes). Lets single-vantage analyses
   // (e.g. TSval process clustering) work per shard on the merged log.
@@ -53,6 +65,10 @@ struct CampaignResult {
   std::size_t connections_launched() const;
   std::size_t control_contacts() const;
   std::size_t flows_flagged() const;
+  std::size_t segments_dropped_loss() const;
+  std::size_t retransmissions() const;
+  // True iff every shard's teardown watchdog came back clean.
+  bool teardown_clean() const;
 };
 
 class Runner {

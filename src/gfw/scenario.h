@@ -40,6 +40,16 @@ struct Scenario {
 
   GfwConfig gfw;  // is_domestic is filled in by the world factory
 
+  // Path impairment applied to every directed path of the mesh (all
+  // zeros, the default, keeps the network ideal and the fault layer
+  // provably inert). Each shard derives its own fault streams from its
+  // shard seed, so fault patterns replay bit-identically per shard
+  // regardless of thread count.
+  net::FaultProfile faults;
+  // Endpoint loss-tolerance tuning; consulted only when `faults` is
+  // enabled (the network couples ARQ to fault enablement).
+  net::ArqConfig arq;
+
   // Optional brdgrd on the server (section 7.1); may be toggled later.
   bool use_brdgrd = false;
   defense::BrdgrdConfig brdgrd;

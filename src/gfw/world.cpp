@@ -44,6 +44,13 @@ void World::build() {
   // the paper's experiments.
   net_.set_default_latency(net::milliseconds(50));
 
+  // Path impairment. The fault seed is derived from the shard seed, so
+  // every shard replays its own loss/dup/reorder pattern bit-identically
+  // no matter which thread runs it; a disabled profile arms nothing.
+  net_.set_fault_seed(seed_ ^ 0xFA17);
+  net_.set_default_faults(scenario_.faults);
+  net_.set_arq(scenario_.arq);
+
   internet_.add_site("www.wikipedia.org", servers::fixed_http_responder(4096));
   internet_.add_site("example.com", servers::fixed_http_responder(1024));
   internet_.add_site("gfw.report", servers::fixed_http_responder(2048));

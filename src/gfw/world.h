@@ -62,6 +62,10 @@ class World {
   // the GFW does not proactively scan, section 4).
   std::size_t control_host_contacts() const { return control_contacts_; }
 
+  // End-of-campaign invariant scan (see net::TeardownReport); integration
+  // tests assert `.clean()` after run(). Scans without running the loop.
+  net::TeardownReport teardown_report() { return net_.teardown_report(); }
+
  private:
   void build();
   void launch_connection();

@@ -6,20 +6,31 @@
 // brdgrd defense (section 7.1 of the paper) expressible: a server that
 // clamps its window forces the client's first payload to arrive as several
 // small data segments, defeating first-packet length classification.
+//
+// When the network runs a fault profile (net/fault.h) the connection
+// switches on a minimal ARQ: data segments are sequenced and retransmitted
+// on a fixed RTO until acknowledged, SYNs are retried with exponential
+// backoff, duplicate deliveries are suppressed before reaching the
+// application, and connect/RTO/idle exhaustion fails the connection
+// through on_timeout. With faults disabled none of this machinery runs and
+// the wire format is bit-identical to the ideal-network behaviour.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 
 #include "crypto/bytes.h"
 #include "net/addr.h"
+#include "net/event_loop.h"
+#include "net/fault.h"
 #include "net/segment.h"
 #include "net/time.h"
 
 namespace gfwsim::net {
 
 class Network;
-class EventLoop;
 
 struct ConnectionCallbacks {
   // Handshake complete (client: SYN/ACK received; server: fires right
@@ -31,6 +42,9 @@ struct ConnectionCallbacks {
   std::function<void()> on_fin;
   // Peer aborted (RST), or the connection was refused.
   std::function<void()> on_rst;
+  // ARQ gave up: SYN retries exhausted, data retransmissions exhausted, or
+  // the idle watchdog fired. Falls back to on_rst when not installed.
+  std::function<void()> on_timeout;
 };
 
 // Generates the fingerprintable header fields for outgoing segments of one
@@ -75,11 +89,26 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::size_t bytes_received() const { return bytes_received_; }
   std::size_t bytes_sent() const { return bytes_sent_; }
 
+  // ARQ observability.
+  bool arq_active() const { return arq_; }
+  std::size_t retransmissions() const { return retransmissions_; }
+  TimePoint opened_at() const { return opened_at_; }
+  TimePoint last_activity() const { return last_activity_; }
+
   EventLoop& loop();
 
  private:
   friend class Network;
   friend class Host;
+
+  // ARQ internals (implemented in network.cpp beside the routing logic).
+  void arm_syn_timer();
+  void arm_rto_timer();
+  void arm_idle_timer();
+  void cancel_arq_timers();
+  void handle_ack(std::uint32_t ack_seq);
+  bool note_received_seq(std::uint32_t seq);  // false if a duplicate
+  void fail();                                // on_timeout-style failure
 
   Network* net_ = nullptr;
   Endpoint local_;
@@ -93,6 +122,23 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::uint32_t mss_ = 1448;
   std::size_t bytes_received_ = 0;
   std::size_t bytes_sent_ = 0;
+
+  // ARQ state; untouched (and no timers armed) unless arq_ is set at
+  // creation time from Network::arq_enabled().
+  bool arq_ = false;
+  ArqConfig arq_config_;
+  TimePoint opened_at_{};
+  TimePoint last_activity_{};
+  std::uint32_t send_seq_ = 0;
+  std::map<std::uint32_t, Segment> unacked_;  // retransmit buffer by seq
+  int rto_retries_ = 0;
+  int syn_attempts_ = 0;
+  TimerId rto_timer_ = 0;
+  TimerId syn_timer_ = 0;
+  TimerId idle_timer_ = 0;
+  std::uint32_t recv_floor_ = 0;            // every seq <= floor was seen
+  std::set<std::uint32_t> recv_above_floor_;  // out-of-order seqs seen
+  std::size_t retransmissions_ = 0;
 };
 
 }  // namespace gfwsim::net

@@ -14,6 +14,32 @@ TimerId EventLoop::schedule_at(TimePoint when, Callback fn) {
 
 void EventLoop::cancel(TimerId id) {
   callbacks_.erase(id);  // stale heap entries are skipped on pop
+  maybe_compact();
+}
+
+void EventLoop::drop_cancelled_top() {
+  while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
+    queue_.pop();
+  }
+}
+
+void EventLoop::maybe_compact() {
+  // Heavy cancellation (e.g. ARQ timers under faults) can leave the heap
+  // dominated by dead entries; rebuild once they outnumber live ones 2:1.
+  if (queue_.size() < 64 || queue_.size() < 2 * callbacks_.size()) return;
+  std::vector<Entry> live;
+  live.reserve(callbacks_.size());
+  while (!queue_.empty()) {
+    if (callbacks_.contains(queue_.top().id)) live.push_back(queue_.top());
+    queue_.pop();
+  }
+  queue_ = decltype(queue_)(std::greater<>{}, std::move(live));
+}
+
+std::optional<TimePoint> EventLoop::next_due() {
+  drop_cancelled_top();
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().at;
 }
 
 bool EventLoop::pop_one(TimePoint limit) {

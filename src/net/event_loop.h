@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -39,7 +40,14 @@ class EventLoop {
   // `until` even if idle. Returns the number of events processed.
   std::size_t run_until(TimePoint until);
 
+  // Live (not cancelled, not yet fired) timers. Cancelled entries may
+  // linger in the heap until popped or compacted, but never count here.
   std::size_t pending() const { return callbacks_.size(); }
+
+  // Timestamp of the earliest live timer; nullopt when nothing is
+  // pending. Used by the teardown watchdog to detect overdue-but-stuck
+  // work without running the loop further.
+  std::optional<TimePoint> next_due();
 
  private:
   struct Entry {
@@ -52,6 +60,8 @@ class EventLoop {
   };
 
   bool pop_one(TimePoint limit);
+  void drop_cancelled_top();
+  void maybe_compact();
 
   TimePoint now_{0};
   TimerId next_id_ = 1;

@@ -1,0 +1,92 @@
+// Deterministic network impairment: the knobs that turn the ideal full
+// mesh into a lossy Internet path.
+//
+// A FaultProfile describes one direction of one path (or the whole mesh,
+// as the network's default): independent per-segment loss and duplication
+// probabilities, probabilistic reordering (the segment is held back long
+// enough for later traffic to overtake it), uniform latency jitter, and
+// scheduled link outages — both an explicit outage list and a periodic
+// flap. All randomness is drawn from a dedicated per-path xoshiro stream
+// derived from the fault seed (see Network::set_fault_seed), so enabling
+// faults never perturbs any other component's RNG stream, and a profile
+// whose every knob is zero draws nothing at all: the default profile is
+// provably inert.
+//
+// ArqConfig tunes the loss-tolerance machinery the endpoints switch on
+// when faults are enabled: data-segment retransmission on a fixed RTO,
+// SYN retry with exponential backoff, and idle/connect failure timeouts.
+#pragma once
+
+#include <vector>
+
+#include "net/time.h"
+
+namespace gfwsim::net {
+
+// Why a segment never arrived (or how it was perturbed); recorded in the
+// tap's SegmentRecord and tallied per cause by the Network.
+enum class DropCause : std::uint8_t {
+  kNone = 0,       // delivered
+  kMiddlebox = 1,  // eaten on path (GFW null-routing)
+  kLoss = 2,       // random loss drawn from the fault profile
+  kOutage = 3,     // the link was down (scheduled outage or flap)
+};
+
+struct LinkOutage {
+  TimePoint start{};
+  Duration duration{};
+};
+
+struct FaultProfile {
+  // Independent per-segment probabilities.
+  double loss = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+
+  // Extra one-way delay applied to reordered segments; must exceed the
+  // inter-segment spacing for an actual overtake to happen.
+  Duration reorder_delay = milliseconds(120);
+
+  // Uniform extra latency in [0, jitter) added to every segment.
+  Duration jitter{};
+
+  // Scheduled outages: explicit windows plus an optional periodic flap
+  // (down for `flap_down` at the start of every `flap_period`).
+  std::vector<LinkOutage> outages;
+  Duration flap_period{};
+  Duration flap_down{};
+
+  bool enabled() const {
+    return loss > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
+           jitter > Duration::zero() || !outages.empty() ||
+           (flap_period > Duration::zero() && flap_down > Duration::zero());
+  }
+
+  bool down_at(TimePoint t) const {
+    for (const LinkOutage& outage : outages) {
+      if (t >= outage.start && t < outage.start + outage.duration) return true;
+    }
+    if (flap_period > Duration::zero() && flap_down > Duration::zero()) {
+      const auto phase = t.count() % flap_period.count();
+      if (phase >= 0 && Duration(phase) < flap_down) return true;
+    }
+    return false;
+  }
+};
+
+struct ArqConfig {
+  // Data-segment retransmission: fixed RTO, bounded retries, then the
+  // connection fails via on_timeout (on_rst if no on_timeout installed).
+  Duration rto = milliseconds(500);
+  int max_data_retries = 5;
+
+  // SYN retry: first retry after syn_timeout, doubling each time.
+  Duration syn_timeout = seconds(1);
+  int max_syn_retries = 4;
+
+  // Established connections idle longer than this fail the same way;
+  // zero disables the idle watchdog.
+  Duration idle_timeout = minutes(10);
+};
+
+}  // namespace gfwsim::net

@@ -10,6 +10,15 @@ std::pair<Ipv4, Ipv4> ordered(Ipv4 a, Ipv4 b) {
   return a.value <= b.value ? std::make_pair(a, b) : std::make_pair(b, a);
 }
 
+// SplitMix64 finalizer; decorrelates per-path fault streams whose seeds
+// differ only in adjacent address bits.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 // ---- Segment --------------------------------------------------------------
@@ -41,7 +50,9 @@ void Connection::send(ByteSpan data) {
     Bytes chunk(data.begin() + static_cast<std::ptrdiff_t>(offset),
                 data.begin() + static_cast<std::ptrdiff_t>(offset + take));
     bytes_sent_ += take;
-    net_->transmit(*this, TcpFlag::kPsh | TcpFlag::kAck, std::move(chunk));
+    TransmitMeta meta;
+    if (arq_) meta.seq = ++send_seq_;
+    net_->transmit(*this, TcpFlag::kPsh | TcpFlag::kAck, std::move(chunk), meta);
     offset += take;
   }
 }
@@ -49,10 +60,19 @@ void Connection::send(ByteSpan data) {
 void Connection::close() {
   switch (state_) {
     case State::kEstablished:
+      // Abandon any unacknowledged data; the FIN itself is unsequenced,
+      // so a lost FIN leaves this side half-closed until the idle
+      // watchdog (if armed) reaps it.
+      if (rto_timer_ != 0) {
+        loop().cancel(rto_timer_);
+        rto_timer_ = 0;
+      }
+      unacked_.clear();
       state_ = State::kFinSent;
       net_->transmit(*this, TcpFlag::kFin | TcpFlag::kAck, {});
       break;
     case State::kConnecting:
+      cancel_arq_timers();
       state_ = State::kClosed;
       net_->unregister_connection(*this);
       break;
@@ -63,6 +83,7 @@ void Connection::close() {
 
 void Connection::abort() {
   if (state_ == State::kClosed || state_ == State::kReset) return;
+  cancel_arq_timers();
   const bool was_connecting = state_ == State::kConnecting;
   state_ = State::kReset;
   if (!was_connecting) {
@@ -76,6 +97,113 @@ void Connection::set_recv_window(std::uint32_t bytes) {
   if (state_ == State::kEstablished || state_ == State::kFinSent) {
     // Window-update ACK so the peer learns the new value.
     net_->transmit(*this, static_cast<std::uint8_t>(TcpFlag::kAck), {});
+  }
+}
+
+void Connection::arm_syn_timer() {
+  std::weak_ptr<Connection> weak = weak_from_this();
+  const Duration delay = arq_config_.syn_timeout * (1ll << (syn_attempts_ - 1));
+  syn_timer_ = loop().schedule_after(delay, [weak] {
+    auto self = weak.lock();
+    if (!self || self->state_ != State::kConnecting) return;
+    self->syn_timer_ = 0;
+    if (self->syn_attempts_ > self->arq_config_.max_syn_retries) {
+      self->fail();
+      return;
+    }
+    ++self->syn_attempts_;
+    self->net_->transmit(*self, static_cast<std::uint8_t>(TcpFlag::kSyn), {},
+                         TransmitMeta{.retransmission = true});
+    self->arm_syn_timer();
+  });
+}
+
+void Connection::arm_rto_timer() {
+  if (rto_timer_ != 0) return;
+  std::weak_ptr<Connection> weak = weak_from_this();
+  rto_timer_ = loop().schedule_after(arq_config_.rto, [weak] {
+    auto self = weak.lock();
+    if (!self) return;
+    self->rto_timer_ = 0;
+    if (self->unacked_.empty() || !self->can_send()) return;
+    if (self->rto_retries_ >= self->arq_config_.max_data_retries) {
+      self->fail();
+      return;
+    }
+    ++self->rto_retries_;
+    for (const auto& [seq, stored] : self->unacked_) {
+      Segment copy = stored;
+      copy.retransmission = true;
+      ++self->retransmissions_;
+      self->net_->transmit_segment(std::move(copy));
+    }
+    self->arm_rto_timer();
+  });
+}
+
+void Connection::arm_idle_timer() {
+  if (arq_config_.idle_timeout <= Duration::zero()) return;
+  std::weak_ptr<Connection> weak = weak_from_this();
+  idle_timer_ = loop().schedule_at(
+      last_activity_ + arq_config_.idle_timeout, [weak] {
+        auto self = weak.lock();
+        if (!self) return;
+        self->idle_timer_ = 0;
+        if (self->state_ == State::kClosed || self->state_ == State::kReset) return;
+        if (self->loop().now() - self->last_activity_ >=
+            self->arq_config_.idle_timeout) {
+          self->fail();
+          return;
+        }
+        self->arm_idle_timer();  // activity moved the deadline; rearm lazily
+      });
+}
+
+void Connection::cancel_arq_timers() {
+  if (syn_timer_ != 0) {
+    loop().cancel(syn_timer_);
+    syn_timer_ = 0;
+  }
+  if (rto_timer_ != 0) {
+    loop().cancel(rto_timer_);
+    rto_timer_ = 0;
+  }
+  if (idle_timer_ != 0) {
+    loop().cancel(idle_timer_);
+    idle_timer_ = 0;
+  }
+}
+
+void Connection::handle_ack(std::uint32_t ack_seq) {
+  if (unacked_.erase(ack_seq) == 0) return;  // duplicate or stale ACK
+  if (unacked_.empty()) {
+    rto_retries_ = 0;
+    if (rto_timer_ != 0) {
+      loop().cancel(rto_timer_);
+      rto_timer_ = 0;
+    }
+  }
+}
+
+bool Connection::note_received_seq(std::uint32_t seq) {
+  if (seq <= recv_floor_ || recv_above_floor_.count(seq) > 0) return false;
+  recv_above_floor_.insert(seq);
+  while (recv_above_floor_.count(recv_floor_ + 1) > 0) {
+    recv_above_floor_.erase(recv_floor_ + 1);
+    ++recv_floor_;
+  }
+  return true;
+}
+
+void Connection::fail() {
+  if (state_ == State::kClosed || state_ == State::kReset) return;
+  cancel_arq_timers();
+  state_ = State::kReset;
+  net_->unregister_connection(*this);
+  if (cb_.on_timeout) {
+    cb_.on_timeout();
+  } else if (cb_.on_rst) {
+    cb_.on_rst();
   }
 }
 
@@ -126,9 +254,17 @@ std::shared_ptr<Connection> Host::connect(Endpoint remote, ConnectionCallbacks c
   conn->cb_ = std::move(callbacks);
   if (options.recv_window) conn->recv_window_ = *options.recv_window;
   conn->state_ = Connection::State::kConnecting;
+  conn->opened_at_ = conn->last_activity_ = net_->loop().now();
+  conn->arq_ = net_->arq_enabled();
+  if (conn->arq_) conn->arq_config_ = options.arq.value_or(net_->arq_config());
 
   net_->register_connection(conn);
   net_->transmit(*conn, static_cast<std::uint8_t>(TcpFlag::kSyn), {});
+  if (conn->arq_) {
+    conn->syn_attempts_ = 1;
+    conn->arm_syn_timer();
+    conn->arm_idle_timer();
+  }
   return conn;
 }
 
@@ -156,6 +292,43 @@ Duration Network::latency(Ipv4 a, Ipv4 b) const {
 
 void Network::remove_middlebox(Middlebox* box) {
   std::erase(middleboxes_, box);
+}
+
+void Network::set_default_faults(FaultProfile profile) {
+  default_faults_ = std::move(profile);
+  recompute_any_faults();
+}
+
+void Network::set_faults(Ipv4 src, Ipv4 dst, FaultProfile profile) {
+  fault_overrides_[{src, dst}] = std::move(profile);
+  recompute_any_faults();
+}
+
+void Network::recompute_any_faults() {
+  any_faults_ = default_faults_.enabled();
+  for (const auto& [path, profile] : fault_overrides_) {
+    if (any_faults_) break;
+    any_faults_ = profile.enabled();
+  }
+}
+
+const FaultProfile& Network::faults_for(Ipv4 src, Ipv4 dst) const {
+  const auto it = fault_overrides_.find({src, dst});
+  return it == fault_overrides_.end() ? default_faults_ : it->second;
+}
+
+crypto::Rng& Network::fault_rng(Ipv4 src, Ipv4 dst) {
+  const auto key = std::make_pair(src, dst);
+  auto it = fault_rngs_.find(key);
+  if (it == fault_rngs_.end()) {
+    // The stream depends only on the fault seed and the directed pair of
+    // addresses, never on creation order, so a path's fault pattern is
+    // reproducible regardless of which other paths carry traffic.
+    const std::uint64_t path_seed =
+        mix64(fault_seed_ ^ ((std::uint64_t{src.value} << 32) | dst.value));
+    it = fault_rngs_.emplace(key, crypto::Rng(path_seed)).first;
+  }
+  return it->second;
 }
 
 std::shared_ptr<Connection> Network::find_connection(const Endpoint& local,
@@ -188,7 +361,8 @@ void Network::unregister_connection(const Connection& conn) {
   connections_.erase({conn.local_, conn.remote_});
 }
 
-void Network::transmit(Connection& from, std::uint8_t flags, Bytes payload) {
+void Network::transmit(Connection& from, std::uint8_t flags, Bytes payload,
+                       TransmitMeta meta) {
   Segment segment;
   segment.src = from.local_;
   segment.dst = from.remote_;
@@ -198,13 +372,24 @@ void Network::transmit(Connection& from, std::uint8_t flags, Bytes payload) {
   segment.tsval = from.header_.tsval ? from.header_.tsval(loop_.now()) : 0;
   segment.ip_id = from.header_.ip_id ? from.header_.ip_id() : 0;
   segment.window = from.recv_window_;
+  segment.seq = meta.seq;
+  segment.ack_seq = meta.ack_seq;
+  segment.retransmission = meta.retransmission;
+  if (from.arq_ && segment.seq != 0 && segment.is_data() && !meta.retransmission) {
+    from.unacked_.emplace(segment.seq, segment);  // retransmit buffer copy
+    from.arm_rto_timer();
+  }
   transmit_segment(std::move(segment));
 }
 
 void Network::transmit_segment(Segment segment) {
   segment.sent_at = loop_.now();
   ++segments_transmitted_;
+  if (segment.retransmission) ++retransmissions_;
+  route_copy(std::move(segment), /*duplicate=*/false);
+}
 
+void Network::route_copy(Segment segment, bool duplicate) {
   Verdict verdict = Verdict::kPass;
   for (Middlebox* box : middleboxes_) {
     if (box->on_segment(segment) == Verdict::kDrop) {
@@ -216,14 +401,114 @@ void Network::transmit_segment(Segment segment) {
   const Duration path_latency = latency(segment.src.addr, segment.dst.addr);
   SegmentRecord record{segment, segment.sent_at + path_latency,
                        verdict == Verdict::kDrop};
-  if (tap_) tap_(record);
+  record.duplicate = duplicate;
 
   if (verdict == Verdict::kDrop) {
-    ++segments_dropped_;
+    record.cause = DropCause::kMiddlebox;
+    ++dropped_middlebox_;
+    if (tap_) tap_(record);
     return;
   }
-  loop_.schedule_at(record.arrive_at,
-                    [this, seg = std::move(segment)] { deliver(seg); });
+
+  // Fault layer. Draw order per surviving segment is fixed (loss, then
+  // duplication, then reorder, then jitter) so per-path streams replay
+  // identically; an outage consumes no randomness at all.
+  bool make_dup = false;
+  Duration fault_delay{};
+  if (any_faults_) {
+    const FaultProfile& profile = faults_for(segment.src.addr, segment.dst.addr);
+    if (profile.enabled()) {
+      if (profile.down_at(segment.sent_at)) {
+        record.dropped = true;
+        record.cause = DropCause::kOutage;
+        ++dropped_outage_;
+        if (tap_) tap_(record);
+        return;
+      }
+      crypto::Rng& rng = fault_rng(segment.src.addr, segment.dst.addr);
+      if (profile.loss > 0.0 && rng.bernoulli(profile.loss)) {
+        record.dropped = true;
+        record.cause = DropCause::kLoss;
+        ++dropped_loss_;
+        if (tap_) tap_(record);
+        return;
+      }
+      if (!duplicate && profile.duplicate > 0.0 && rng.bernoulli(profile.duplicate)) {
+        make_dup = true;
+      }
+      if (profile.reorder > 0.0 && rng.bernoulli(profile.reorder)) {
+        fault_delay += profile.reorder_delay;
+        ++segments_reordered_;
+      }
+      if (profile.jitter > Duration::zero()) {
+        fault_delay += Duration(static_cast<Duration::rep>(rng.uniform(
+            0, static_cast<std::uint64_t>(profile.jitter.count()) - 1)));
+      }
+    }
+  }
+
+  record.fault_delay = fault_delay;
+  record.arrive_at = segment.sent_at + path_latency + fault_delay;
+  if (tap_) tap_(record);
+
+  ++segments_in_flight_;
+  loop_.schedule_at(record.arrive_at, [this, seg = std::move(segment)] {
+    --segments_in_flight_;
+    ++segments_delivered_;
+    deliver(seg);
+  });
+
+  if (make_dup) {
+    // The wire copy is byte-identical (same header fields, same sent_at)
+    // and re-traverses the middleboxes — the GFW really does see the
+    // payload twice. It may be lost or delayed independently but cannot
+    // duplicate again.
+    ++segments_duplicated_;
+    route_copy(record.segment, /*duplicate=*/true);
+  }
+}
+
+TeardownReport Network::teardown_report(Duration grace) {
+  TeardownReport report;
+  const TimePoint now = loop_.now();
+  for (const auto& [key, weak] : connections_) {
+    const auto conn = weak.lock();
+    if (!conn) {
+      // The owner dropped the connection after close(); the entry is
+      // pruned on the next lookup. A connection destroyed while still
+      // established shows up as the peer's leaked_established instead.
+      ++report.expired_registrations;
+      continue;
+    }
+    switch (conn->state_) {
+      case Connection::State::kConnecting:
+        ++report.embryonic;
+        break;
+      case Connection::State::kFinSent:
+        ++report.half_closed;
+        break;
+      case Connection::State::kEstablished:
+        if (now - conn->last_activity_ > grace) {
+          ++report.leaked_established;
+        } else {
+          ++report.live_established;
+        }
+        break;
+      default:
+        // Closed/reset connections must have unregistered themselves.
+        ++report.stale_registrations;
+        break;
+    }
+  }
+  report.pending_timers = loop_.pending();
+  if (const auto due = loop_.next_due()) {
+    report.timers_overdue = *due <= now;
+  }
+  report.segments_in_flight = segments_in_flight_;
+  report.accounting_balanced =
+      segments_transmitted_ + segments_duplicated_ ==
+      segments_delivered_ + segments_dropped() + segments_in_flight_;
+  return report;
 }
 
 void Network::send_rst_to(const Segment& offending) {
@@ -247,7 +532,17 @@ void Network::handle_syn(const Segment& segment) {
     send_rst_to(segment);  // connection refused
     return;
   }
-  if (find_connection(segment.dst, segment.src)) return;  // duplicate SYN
+  if (const auto existing = find_connection(segment.dst, segment.src)) {
+    // Duplicate SYN. When the client is retrying (its copy carries the
+    // retransmission mark) and we are still waiting for the handshake
+    // ACK, the original SYN/ACK was evidently lost: answer again.
+    if (existing->arq_ && segment.retransmission &&
+        existing->state_ == Connection::State::kConnecting) {
+      transmit(*existing, TcpFlag::kSyn | TcpFlag::kAck, {},
+               TransmitMeta{.retransmission = true});
+    }
+    return;
+  }
 
   auto conn = std::shared_ptr<Connection>(new Connection());
   conn->net_ = this;
@@ -256,6 +551,9 @@ void Network::handle_syn(const Segment& segment) {
   conn->header_ = h->default_header_;
   conn->state_ = Connection::State::kConnecting;
   conn->peer_window_ = segment.window;
+  conn->opened_at_ = conn->last_activity_ = loop_.now();
+  conn->arq_ = arq_enabled();
+  if (conn->arq_) conn->arq_config_ = arq_config_;
   register_connection(conn);
 
   // Acceptor installs callbacks (and possibly a clamped window) before
@@ -263,6 +561,9 @@ void Network::handle_syn(const Segment& segment) {
   // the clamped one — exactly how brdgrd operates.
   listener->second(conn);
   transmit(*conn, TcpFlag::kSyn | TcpFlag::kAck, {});
+  // The idle watchdog also reaps embryonic (SYN-received) connections
+  // whose handshake never completes.
+  if (conn->arq_) conn->arm_idle_timer();
 }
 
 void Network::deliver(const Segment& segment) {
@@ -280,8 +581,10 @@ void Network::deliver(const Segment& segment) {
   }
 
   conn->peer_window_ = segment.window;
+  conn->last_activity_ = loop_.now();
 
   if (segment.has(TcpFlag::kRst)) {
+    conn->cancel_arq_timers();
     conn->state_ = Connection::State::kReset;
     unregister_connection(*conn);
     if (conn->cb_.on_rst) conn->cb_.on_rst();
@@ -290,6 +593,10 @@ void Network::deliver(const Segment& segment) {
 
   if (segment.has(TcpFlag::kSyn) && segment.has(TcpFlag::kAck)) {
     if (conn->state_ == Connection::State::kConnecting) {
+      if (conn->syn_timer_ != 0) {
+        loop_.cancel(conn->syn_timer_);
+        conn->syn_timer_ = 0;
+      }
       conn->state_ = Connection::State::kEstablished;
       transmit(*conn, static_cast<std::uint8_t>(TcpFlag::kAck), {});  // handshake ACK
       if (conn->cb_.on_connected) conn->cb_.on_connected();
@@ -304,7 +611,20 @@ void Network::deliver(const Segment& segment) {
     if (conn->cb_.on_connected) conn->cb_.on_connected();
   }
 
+  if (conn->arq_ && segment.ack_seq != 0 && segment.has(TcpFlag::kAck)) {
+    conn->handle_ack(segment.ack_seq);
+  }
+
   if (segment.is_data()) {
+    if (conn->arq_ && segment.seq != 0) {
+      // Acknowledge every copy (the previous ACK may have been the one
+      // that got lost), but deliver each sequence number to the
+      // application exactly once.
+      const bool fresh = conn->note_received_seq(segment.seq);
+      transmit(*conn, static_cast<std::uint8_t>(TcpFlag::kAck), {},
+               TransmitMeta{.ack_seq = segment.seq});
+      if (!fresh) return;
+    }
     conn->bytes_received_ += segment.payload.size();
     if (conn->cb_.on_data) conn->cb_.on_data(segment.payload);
     // `conn` may have been closed by the callback; stop processing.
@@ -313,9 +633,11 @@ void Network::deliver(const Segment& segment) {
 
   if (segment.has(TcpFlag::kFin)) {
     if (conn->state_ == Connection::State::kFinSent) {
+      conn->cancel_arq_timers();
       conn->state_ = Connection::State::kClosed;
       unregister_connection(*conn);
     } else if (conn->state_ == Connection::State::kEstablished) {
+      conn->cancel_arq_timers();
       conn->state_ = Connection::State::kClosed;
       unregister_connection(*conn);
     }

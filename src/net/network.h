@@ -1,12 +1,21 @@
-// The simulated network: hosts, routing, latency, middlebox taps.
+// The simulated network: hosts, routing, latency, middlebox taps, faults.
 //
 // Topology model: a full mesh of hosts with configurable one-way latency
 // (global default plus per-pair overrides). Every transmitted segment
 // passes through the registered middleboxes in order — this is where the
 // GFW sits on the path, observing and (when blocking) dropping segments —
-// and is then delivered to the destination connection after the path
-// latency. A tap callback observes every segment together with its
-// routing outcome, acting as the experiment's packet capture.
+// then through the path's FaultProfile (loss, duplication, reordering,
+// jitter, outages; see net/fault.h), and is finally delivered to the
+// destination connection after path latency plus any fault delay. A tap
+// callback observes every segment together with its routing outcome,
+// acting as the experiment's packet capture.
+//
+// Fault determinism: each directed path (src, dst) owns a private xoshiro
+// stream derived from the fault seed and the two addresses, created
+// lazily. Per-path draw sequences therefore depend only on that path's
+// traffic, never on which other paths exist or when they first spoke.
+// With no enabled profile the fault layer draws nothing, stamps nothing,
+// and arms nothing: the network is bit-identical to the ideal mesh.
 #pragma once
 
 #include <functional>
@@ -17,8 +26,10 @@
 #include <utility>
 #include <vector>
 
+#include "crypto/rng.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
+#include "net/fault.h"
 #include "net/segment.h"
 
 namespace gfwsim::net {
@@ -36,9 +47,47 @@ struct ConnectOptions {
   std::uint16_t src_port = 0;  // 0 = allocate ephemeral
   std::optional<HeaderProfile> header;
   std::optional<std::uint32_t> recv_window;
+  // Per-connection ARQ tuning override (used by the GFW prober pool to
+  // fail dead probe connections fast enough to retry within the probe
+  // timeout). Only consulted when the network's ARQ is enabled.
+  std::optional<ArqConfig> arq;
+};
+
+// End-of-campaign invariant check (the teardown watchdog). `clean()` is
+// asserted by integration tests: a leaked established connection, a
+// registration for a dead connection, an overdue-but-unprocessed timer,
+// or unbalanced segment accounting all indicate a simulation bug.
+// Embryonic (SYN-received, never completed) and half-closed (FIN sent,
+// peer silent) connections are tallied for visibility but tolerated:
+// both are real TCP phenomena when the peer is blocked or lossy.
+struct TeardownReport {
+  std::size_t leaked_established = 0;  // established, idle past the grace period
+  std::size_t live_established = 0;    // established, recently active
+  std::size_t embryonic = 0;           // stuck in kConnecting
+  std::size_t half_closed = 0;         // kFinSent, FIN unanswered
+  std::size_t stale_registrations = 0;  // live object, but closed/reset while registered
+  std::size_t expired_registrations = 0;  // weak entry already destroyed (benign:
+                                          // the registry prunes these lazily)
+  std::size_t pending_timers = 0;
+  bool timers_overdue = false;       // a live timer was due at or before now
+  std::size_t segments_in_flight = 0;  // scheduled deliveries not yet run
+  bool accounting_balanced = true;   // transmitted + duplicated ==
+                                     //   delivered + dropped + in flight
+
+  bool clean() const {
+    return leaked_established == 0 && stale_registrations == 0 &&
+           !timers_overdue && accounting_balanced;
+  }
 };
 
 class Network;
+
+// ARQ metadata stamped onto an outgoing segment by Network::transmit.
+struct TransmitMeta {
+  std::uint32_t seq = 0;
+  std::uint32_t ack_seq = 0;
+  bool retransmission = false;
+};
 
 class Host {
  public:
@@ -99,8 +148,50 @@ class Network {
   // Observes every segment with its outcome (the "pcap").
   void set_tap(std::function<void(const SegmentRecord&)> tap) { tap_ = std::move(tap); }
 
+  // ---- Fault injection -----------------------------------------------------
+
+  // Seeds the per-path impairment streams; derive from the World seed so
+  // every shard's fault pattern is reproducible.
+  void set_fault_seed(std::uint64_t seed) { fault_seed_ = seed; }
+
+  // Profile applied to every directed path without an override.
+  void set_default_faults(FaultProfile profile);
+  // Directional override for segments flowing src -> dst (one-way loss
+  // and asymmetric outages are expressible; set both directions for a
+  // symmetric impairment).
+  void set_faults(Ipv4 src, Ipv4 dst, FaultProfile profile);
+  const FaultProfile& faults_for(Ipv4 src, Ipv4 dst) const;
+  bool faults_enabled() const { return any_faults_; }
+
+  // ARQ switches on automatically when any fault profile is enabled (an
+  // impaired network without retransmission strands every endpoint);
+  // force_arq overrides that coupling in either direction for tests.
+  void set_arq(ArqConfig config) { arq_config_ = config; }
+  const ArqConfig& arq_config() const { return arq_config_; }
+  void force_arq(bool enabled) { arq_forced_ = enabled; }
+  bool arq_enabled() const { return arq_forced_ ? *arq_forced_ : any_faults_; }
+
+  // ---- Counters ------------------------------------------------------------
+
   std::size_t segments_transmitted() const { return segments_transmitted_; }
-  std::size_t segments_dropped() const { return segments_dropped_; }
+  // All causes; see the per-cause accessors for the split.
+  std::size_t segments_dropped() const {
+    return dropped_middlebox_ + dropped_loss_ + dropped_outage_;
+  }
+  std::size_t segments_dropped_middlebox() const { return dropped_middlebox_; }
+  std::size_t segments_dropped_loss() const { return dropped_loss_; }
+  std::size_t segments_dropped_outage() const { return dropped_outage_; }
+  std::size_t segments_delivered() const { return segments_delivered_; }
+  std::size_t segments_duplicated() const { return segments_duplicated_; }
+  std::size_t segments_reordered() const { return segments_reordered_; }
+  std::size_t segments_in_flight() const { return segments_in_flight_; }
+  std::size_t retransmissions() const { return retransmissions_; }
+
+  // Scans current state without running the loop (running it would
+  // perturb the very behaviour under audit). `grace` must exceed the ARQ
+  // idle timeout, else connections whose watchdog simply has not fired
+  // yet would be miscounted as leaks.
+  TeardownReport teardown_report(Duration grace = minutes(30));
 
  private:
   friend class Host;
@@ -109,9 +200,16 @@ class Network {
   using ConnKey = std::pair<Endpoint, Endpoint>;  // (local, remote)
 
   // Builds a segment from a connection's state and routes it.
-  void transmit(Connection& from, std::uint8_t flags, Bytes payload);
-  // Routes a fully-formed segment (used for synthesized RSTs).
+  void transmit(Connection& from, std::uint8_t flags, Bytes payload,
+                TransmitMeta meta = TransmitMeta());
+  // Routes a fully-formed segment (used for synthesized RSTs and ARQ
+  // retransmissions).
   void transmit_segment(Segment segment);
+  // Middlebox + fault-layer pass for one wire copy; `duplicate` marks the
+  // extra copy of a duplicated segment (which cannot itself duplicate).
+  void route_copy(Segment segment, bool duplicate);
+  crypto::Rng& fault_rng(Ipv4 src, Ipv4 dst);
+  void recompute_any_faults();
   void deliver(const Segment& segment);
   void handle_syn(const Segment& segment);
 
@@ -131,8 +229,26 @@ class Network {
   std::map<ConnKey, std::weak_ptr<Connection>> connections_;
   std::vector<Middlebox*> middleboxes_;
   std::function<void(const SegmentRecord&)> tap_;
+
+  // Fault layer. fault_rngs_ is keyed by the *directed* pair — loss on
+  // src->dst must not consume draws from dst->src.
+  std::uint64_t fault_seed_ = 0;
+  FaultProfile default_faults_;
+  std::map<std::pair<Ipv4, Ipv4>, FaultProfile> fault_overrides_;
+  std::map<std::pair<Ipv4, Ipv4>, crypto::Rng> fault_rngs_;
+  bool any_faults_ = false;
+  ArqConfig arq_config_;
+  std::optional<bool> arq_forced_;
+
   std::size_t segments_transmitted_ = 0;
-  std::size_t segments_dropped_ = 0;
+  std::size_t segments_delivered_ = 0;
+  std::size_t dropped_middlebox_ = 0;
+  std::size_t dropped_loss_ = 0;
+  std::size_t dropped_outage_ = 0;
+  std::size_t segments_duplicated_ = 0;
+  std::size_t segments_reordered_ = 0;
+  std::size_t segments_in_flight_ = 0;
+  std::size_t retransmissions_ = 0;
 };
 
 }  // namespace gfwsim::net

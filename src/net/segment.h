@@ -1,10 +1,14 @@
 // Simulated TCP segment.
 //
-// The model is deliberately simplified — reliable in-order delivery, no
-// sequence numbers or retransmission — but carries exactly the header
+// The model is deliberately simplified but carries exactly the header
 // fields the paper fingerprints on the GFW's probes (section 3.4): IP ID,
 // IP TTL, TCP source port, and TCP timestamp (TSval), plus the advertised
-// receive window that brdgrd manipulates (section 7.1).
+// receive window that brdgrd manipulates (section 7.1). Delivery is
+// reliable and in order on an unimpaired path; under a FaultProfile
+// (net/fault.h) segments can be lost, duplicated, or reordered, and the
+// seq/ack_seq fields carry the minimal ARQ the endpoints use to survive
+// that. With ARQ off, seq/ack_seq stay zero and segments are identical to
+// the pre-fault-layer wire format.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +16,7 @@
 
 #include "crypto/bytes.h"
 #include "net/addr.h"
+#include "net/fault.h"
 #include "net/time.h"
 
 namespace gfwsim::net {
@@ -44,6 +49,16 @@ struct Segment {
   std::uint32_t tsval = 0;
   std::uint32_t window = 65535;
 
+  // Minimal ARQ (active only when the network runs a fault profile):
+  // data segments carry a per-connection sequence number, pure ACKs echo
+  // it in ack_seq. Zero means "not sequenced" on both.
+  std::uint32_t seq = 0;
+  std::uint32_t ack_seq = 0;
+  // Set on every copy the ARQ layer re-sends (SYN retries, RTO
+  // retransmissions, duplicate-SYN answers) so middleboxes can model
+  // seq-aware dedup instead of treating the copy as new traffic.
+  bool retransmission = false;
+
   TimePoint sent_at{};
 
   bool has(TcpFlag f) const {
@@ -55,11 +70,17 @@ struct Segment {
 };
 
 // A captured segment plus routing outcome, as recorded by network taps
-// ("the pcap" of an experiment).
+// ("the pcap" of an experiment). Fault-layer perturbations show up here:
+// `cause` says why a dropped segment never arrived, `duplicate` marks the
+// second wire copy of a duplicated segment, and `fault_delay` is the
+// jitter/reorder delay added on top of the path latency.
 struct SegmentRecord {
   Segment segment;
   TimePoint arrive_at{};
-  bool dropped = false;  // eaten by a middlebox (e.g. GFW null routing)
+  bool dropped = false;  // any cause; see `cause` for which
+  DropCause cause = DropCause::kNone;
+  bool duplicate = false;
+  Duration fault_delay{};
 };
 
 }  // namespace gfwsim::net

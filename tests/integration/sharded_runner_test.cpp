@@ -31,7 +31,11 @@ std::string transcript(const gfw::CampaignResult& result) {
   for (const auto& shard : result.shards) {
     out << "[shard " << shard.shard_index << " seed " << shard.seed << " conns "
         << shard.connections_launched << " offset " << shard.log_offset << " probes "
-        << shard.probes << "]";
+        << shard.probes << " tx " << shard.segments_transmitted << " rx "
+        << shard.segments_delivered << " loss " << shard.segments_dropped_loss
+        << " dup " << shard.segments_duplicated << " reord "
+        << shard.segments_reordered << " rtx " << shard.retransmissions << " clean "
+        << shard.teardown.clean() << "]";
   }
   out << "|";
   for (const auto& record : result.log.records()) {

@@ -94,6 +94,104 @@ TEST(EventLoop, CascadingEventsAllRun) {
   EXPECT_EQ(loop.now(), milliseconds(99));
 }
 
+TEST(EventLoop, CancelAfterFireIsNoOp) {
+  EventLoop loop;
+  int fired = 0;
+  const TimerId id = loop.schedule_at(seconds(1), [&] { ++fired; });
+  loop.run();
+  loop.cancel(id);  // already fired; must not touch anything
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.schedule_at(seconds(2), [&] { ++fired; });
+  EXPECT_EQ(loop.run(), 1u);  // later timers are unaffected
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, DoubleCancelIsNoOp) {
+  EventLoop loop;
+  bool fired = false;
+  const TimerId id = loop.schedule_at(seconds(1), [&] { fired = true; });
+  loop.cancel(id);
+  loop.cancel(id);
+  EXPECT_EQ(loop.run(), 0u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelInsideOwnCallback) {
+  EventLoop loop;
+  int fired = 0;
+  TimerId id = 0;
+  id = loop.schedule_at(seconds(1), [&] {
+    ++fired;
+    loop.cancel(id);  // self-cancel while running: must be a no-op
+  });
+  EXPECT_EQ(loop.run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, CancelSiblingAtSameTimestampFromCallback) {
+  EventLoop loop;
+  bool sibling_fired = false;
+  TimerId sibling = 0;
+  loop.schedule_at(seconds(1), [&] { loop.cancel(sibling); });
+  sibling = loop.schedule_at(seconds(1), [&] { sibling_fired = true; });
+  loop.run();
+  EXPECT_FALSE(sibling_fired);
+}
+
+TEST(EventLoop, CancelledEntriesDoNotCountAsPending) {
+  EventLoop loop;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(loop.schedule_at(seconds(i + 1), [] {}));
+  }
+  for (int i = 0; i < 9; ++i) loop.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(loop.pending(), 1u);  // heap may still hold tombstones
+  EXPECT_EQ(loop.run(), 1u);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, NextDueSkipsCancelledEntries) {
+  EventLoop loop;
+  const TimerId early = loop.schedule_at(seconds(1), [] {});
+  loop.schedule_at(seconds(5), [] {});
+  ASSERT_TRUE(loop.next_due().has_value());
+  EXPECT_EQ(*loop.next_due(), seconds(1));
+  loop.cancel(early);
+  ASSERT_TRUE(loop.next_due().has_value());
+  EXPECT_EQ(*loop.next_due(), seconds(5));
+}
+
+TEST(EventLoop, NextDueEmptyWhenNothingPending) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.next_due().has_value());
+  const TimerId id = loop.schedule_at(seconds(1), [] {});
+  loop.cancel(id);
+  EXPECT_FALSE(loop.next_due().has_value());
+  loop.schedule_at(seconds(2), [] {});
+  loop.run();
+  EXPECT_FALSE(loop.next_due().has_value());
+}
+
+TEST(EventLoop, MassCancelCompactsAndSurvivorsStillFireInOrder) {
+  // Enough cancellations to trigger heap compaction; the survivors must
+  // still run in time order with the clock ending on the last one.
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(loop.schedule_at(seconds(i + 1), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 500; ++i) {
+    if (i % 100 != 0) loop.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(loop.pending(), 5u);
+  EXPECT_EQ(loop.run(), 5u);
+  EXPECT_EQ(order, (std::vector<int>{0, 100, 200, 300, 400}));
+  EXPECT_EQ(loop.now(), seconds(401));
+}
+
 TEST(EventLoop, MaxEventsLimitsProcessing) {
   EventLoop loop;
   int count = 0;
