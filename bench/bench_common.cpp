@@ -1,8 +1,10 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 namespace gfwsim::bench {
 
@@ -16,6 +18,8 @@ namespace {
      << "  --seed S      base-seed override (decimal or 0x-hex)\n"
      << "  --days D      per-shard campaign length override, in days\n"
      << "  --csv PATH    mirror paper-vs-measured rows to PATH as CSV\n"
+     << "  --json PATH   mirror the rows to PATH as JSON (with numeric\n"
+     << "                values where the bench reports them)\n"
      << "  --loss P      per-segment loss probability in [0,1] (default 0)\n"
      << "  --dup P       per-segment duplication probability in [0,1]\n"
      << "  --reorder P   per-segment reorder probability in [0,1]\n"
@@ -46,6 +50,28 @@ void split_csv_path(const std::string& path, std::string& directory, std::string
   if (name.empty()) usage(nullptr, 2);
 }
 
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 BenchOptions parse_bench_args(int argc, char** argv) {
@@ -70,6 +96,9 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       if (options.days <= 0) usage(argv0, 2);
     } else if (std::strcmp(arg, "--csv") == 0) {
       options.csv = flag_value(argc, argv, i, argv0);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json = flag_value(argc, argv, i, argv0);
+      if (options.json.empty()) usage(argv0, 2);
     } else if (std::strcmp(arg, "--loss") == 0) {
       options.loss = probability_flag(argc, argv, i, argv0);
     } else if (std::strcmp(arg, "--dup") == 0) {
@@ -143,7 +172,7 @@ void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
 }
 
 BenchReporter::BenchReporter(std::string bench_name, const BenchOptions& options)
-    : bench_(std::move(bench_name)) {
+    : bench_(std::move(bench_name)), json_path_(options.json) {
   if (!options.csv.empty()) {
     std::string directory, name;
     split_csv_path(options.csv, directory, name);
@@ -153,11 +182,40 @@ BenchReporter::BenchReporter(std::string bench_name, const BenchOptions& options
   }
 }
 
+BenchReporter::~BenchReporter() {
+  if (json_path_.empty()) return;
+  std::ofstream out(json_path_);
+  if (!out) {
+    std::cerr << "bench: cannot write --json file " << json_path_ << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": " << json_quote(bench_) << ",\n  \"metrics\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& row = rows_[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"metric\": " << json_quote(row.metric)
+        << ", \"paper\": " << json_quote(row.paper)
+        << ", \"measured\": " << json_quote(row.measured);
+    if (row.has_value) out << ", \"value\": " << row.value;
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+void BenchReporter::record(Row row) {
+  std::cout << "  " << row.metric << "\n    paper:    " << row.paper
+            << "\n    measured: " << row.measured << "\n";
+  if (csv_) csv_->row({bench_, row.metric, row.paper, row.measured});
+  if (!json_path_.empty()) rows_.push_back(std::move(row));
+}
+
 void BenchReporter::metric(const std::string& metric, const std::string& paper,
                            const std::string& measured) {
-  std::cout << "  " << metric << "\n    paper:    " << paper
-            << "\n    measured: " << measured << "\n";
-  if (csv_) csv_->row({bench_, metric, paper, measured});
+  record(Row{metric, paper, measured, false, 0.0});
+}
+
+void BenchReporter::metric(const std::string& metric, const std::string& paper,
+                           const std::string& measured, double value) {
+  record(Row{metric, paper, measured, true, value});
 }
 
 }  // namespace gfwsim::bench

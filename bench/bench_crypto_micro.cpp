@@ -49,6 +49,47 @@ void BM_AesGcmSeal(benchmark::State& state) {
 }
 BENCHMARK(BM_AesGcmSeal)->Arg(64)->Arg(1500)->Arg(16384);
 
+void BM_AesCtr(benchmark::State& state) {
+  crypto::Rng rng(3);
+  const Bytes key = rng.bytes(32);
+  const Bytes iv = rng.bytes(16);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  crypto::AesCtr ctr(key, iv);
+  Bytes out(data.size());
+  for (auto _ : state) {
+    ctr.transform(data, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(1500)->Arg(16384);
+
+void BM_Ghash(benchmark::State& state) {
+  crypto::Rng rng(3);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  crypto::AesGcm gcm(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.ghash({}, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Ghash)->Arg(1500)->Arg(16384);
+
+void BM_AesGcmOpen(benchmark::State& state) {
+  crypto::Rng rng(3);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  crypto::AesGcm gcm(key);
+  const Bytes sealed = gcm.seal(nonce, data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.open(nonce, sealed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesGcmOpen)->Arg(64)->Arg(1500)->Arg(16384);
+
 void BM_ChaChaPolySeal(benchmark::State& state) {
   crypto::Rng rng(4);
   const Bytes key = rng.bytes(32);

@@ -1,0 +1,97 @@
+// End-to-end simulator goodput: payload bytes per wall-clock second
+// pushed client -> GFW middlebox -> server across a full campaign.
+//
+// Unlike bench_crypto_micro (isolated kernels), this measures the whole
+// hot path: AEAD seal/open per chunk, segmentization, the middlebox tap,
+// the fault layer, ARQ, and delivery. Two arms run the same scenario on
+// an ideal network and on an impaired one (defaults below, overridable
+// with --loss/--dup/--reorder/--jitter), so the baseline captures both
+// the zero-copy fast path and the duplication/retransmission paths.
+//
+// The headline metric is SIMULATED payload bytes delivered per REAL
+// second — the "runs as fast as the hardware allows" number that the
+// perf-smoke CI job tracks via --json.
+#include <chrono>
+
+#include "bench_common.h"
+
+using namespace gfwsim;
+
+namespace {
+
+struct Arm {
+  const char* name;
+  gfw::CampaignResult result;
+  double wall_seconds = 0.0;
+
+  double goodput_mbps() const {
+    const double bytes = static_cast<double>(result.payload_bytes_delivered());
+    return wall_seconds > 0.0 ? bytes / wall_seconds / 1e6 : 0.0;
+  }
+};
+
+Arm run_arm(const char* name, const gfw::Scenario& scenario,
+            const bench::BenchOptions& options) {
+  std::cout << "Running " << name << " arm...\n";
+  Arm arm{name, {}, 0.0};
+  const auto start = std::chrono::steady_clock::now();
+  arm.result = bench::run_sharded(scenario, options);
+  arm.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  return arm;
+}
+
+std::string format_mbps(double mbps) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f MB/s (payload bytes / wall second)", mbps);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
+  analysis::print_banner(std::cout,
+                         "Throughput: end-to-end goodput, client -> GFW -> server");
+  bench::BenchReporter report("throughput", options);
+
+  // A compressed campaign (days, not months) keeps this runnable in the
+  // CI perf-smoke job while still delivering enough payload bytes for a
+  // stable rate.
+  const gfw::Scenario ideal = bench::with_options(
+      bench::standard_scenario(), options, /*default_seed=*/0x600D, /*default_days=*/3);
+
+  gfw::Scenario impaired = ideal;
+  if (!options.faults_requested()) {
+    impaired.faults.loss = 0.01;
+    impaired.faults.duplicate = 0.005;
+    impaired.faults.reorder = 0.01;
+    impaired.faults.jitter = net::milliseconds(10);
+  }
+
+  const Arm arms[] = {run_arm("ideal", ideal, options),
+                      run_arm("faults", impaired, options)};
+  bench::print_run_summary(std::cout, arms[0].result, options);
+
+  for (const Arm& arm : arms) {
+    const auto& result = arm.result;
+    report.metric(std::string("goodput [") + arm.name + "]",
+                  "n/a (perf baseline starts here)", format_mbps(arm.goodput_mbps()),
+                  arm.goodput_mbps());
+    report.metric(std::string("payload bytes delivered [") + arm.name + "]",
+                  "n/a (perf baseline starts here)",
+                  std::to_string(result.payload_bytes_delivered()) + " bytes in " +
+                      std::to_string(arm.wall_seconds) + " s",
+                  static_cast<double>(result.payload_bytes_delivered()));
+  }
+  report.metric("retransmissions [faults]", "n/a (perf baseline starts here)",
+                std::to_string(arms[1].result.retransmissions()),
+                static_cast<double>(arms[1].result.retransmissions()));
+
+  if (!arms[0].result.teardown_clean() || !arms[1].result.teardown_clean()) {
+    std::cerr << "teardown watchdog reported an unclean shutdown\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,8 +1,34 @@
 #include "crypto/aes.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define GFWSIM_AESNI_PATH 1
+#endif
+
 namespace gfwsim::crypto {
 
 namespace {
+
+#ifdef GFWSIM_AESNI_PATH
+// Hardware AES path: the byte round-key schedule produced by expand_key is
+// exactly what AESENC consumes, so the schedule is shared with the scalar
+// kernels. Compiled with a per-function target attribute and selected at
+// runtime, so the binary still runs (on the T-table path) without AES-NI.
+__attribute__((target("aes,sse2"))) void encrypt_block_aesni(const std::uint8_t* rk, int rounds,
+                                                             const std::uint8_t* in,
+                                                             std::uint8_t* out) {
+  const __m128i* k = reinterpret_cast<const __m128i*>(rk);
+  __m128i s = _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(in)),
+                            _mm_loadu_si128(k));
+  for (int r = 1; r < rounds; ++r) {
+    s = _mm_aesenc_si128(s, _mm_loadu_si128(k + r));
+  }
+  s = _mm_aesenclast_si128(s, _mm_loadu_si128(k + rounds));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
+}
+
+const bool kHasAesni = __builtin_cpu_supports("aes");
+#endif
 
 constexpr std::uint8_t kSbox[256] = {
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
@@ -25,9 +51,40 @@ constexpr std::uint8_t kSbox[256] = {
 constexpr std::uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
                                     0x20, 0x40, 0x80, 0x1b, 0x36};
 
-inline std::uint8_t xtime(std::uint8_t x) {
+constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
 }
+
+// T-tables: each entry is one MixColumns column of the substituted byte,
+// so a full round is four lookups + three xors per output word. Te0 holds
+// [02*s, s, s, 03*s] (big-endian); Te1..Te3 are byte rotations of Te0
+// matching the ShiftRows offsets.
+struct TeTables {
+  std::uint32_t t0[256];
+  std::uint32_t t1[256];
+  std::uint32_t t2[256];
+  std::uint32_t t3[256];
+};
+
+constexpr TeTables make_te_tables() {
+  TeTables te{};
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t s = kSbox[x];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    const std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                            (static_cast<std::uint32_t>(s) << 16) |
+                            (static_cast<std::uint32_t>(s) << 8) |
+                            static_cast<std::uint32_t>(s3);
+    te.t0[x] = w;
+    te.t1[x] = (w >> 8) | (w << 24);
+    te.t2[x] = (w >> 16) | (w << 16);
+    te.t3[x] = (w >> 24) | (w << 8);
+  }
+  return te;
+}
+
+constexpr TeTables kTe = make_te_tables();
 
 }  // namespace
 
@@ -64,9 +121,58 @@ void Aes::expand_key(ByteSpan key) {
     std::uint8_t* out = round_keys_.data() + 4 * i;
     for (int j = 0; j < 4; ++j) out[j] = static_cast<std::uint8_t>(prev[j] ^ temp[j]);
   }
+
+  // Word form of the same schedule for the T-table kernel.
+  for (std::size_t i = 0; i < total_words; ++i) {
+    round_keys_w_[i] = load_be32(round_keys_.data() + 4 * i);
+  }
 }
 
 void Aes::encrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const {
+#ifdef GFWSIM_AESNI_PATH
+  if (kHasAesni) {
+    encrypt_block_aesni(round_keys_.data(), rounds_, in, out);
+    return;
+  }
+#endif
+  const std::uint32_t* rk = round_keys_w_.data();
+  std::uint32_t s0 = load_be32(in) ^ rk[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ rk[3];
+  rk += 4;
+
+  for (int round = 1; round < rounds_; ++round, rk += 4) {
+    const std::uint32_t t0 = kTe.t0[s0 >> 24] ^ kTe.t1[(s1 >> 16) & 0xff] ^
+                             kTe.t2[(s2 >> 8) & 0xff] ^ kTe.t3[s3 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = kTe.t0[s1 >> 24] ^ kTe.t1[(s2 >> 16) & 0xff] ^
+                             kTe.t2[(s3 >> 8) & 0xff] ^ kTe.t3[s0 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = kTe.t0[s2 >> 24] ^ kTe.t1[(s3 >> 16) & 0xff] ^
+                             kTe.t2[(s0 >> 8) & 0xff] ^ kTe.t3[s1 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = kTe.t0[s3 >> 24] ^ kTe.t1[(s0 >> 16) & 0xff] ^
+                             kTe.t2[(s1 >> 8) & 0xff] ^ kTe.t3[s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  const auto sub = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                      std::uint32_t d) {
+    return (static_cast<std::uint32_t>(kSbox[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(kSbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(kSbox[(c >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(kSbox[d & 0xff]);
+  };
+  store_be32(out, sub(s0, s1, s2, s3) ^ rk[0]);
+  store_be32(out + 4, sub(s1, s2, s3, s0) ^ rk[1]);
+  store_be32(out + 8, sub(s2, s3, s0, s1) ^ rk[2]);
+  store_be32(out + 12, sub(s3, s0, s1, s2) ^ rk[3]);
+}
+
+void Aes::encrypt_block_reference(const std::uint8_t in[kBlockSize],
+                                  std::uint8_t out[kBlockSize]) const {
   std::uint8_t state[16];
   for (int i = 0; i < 16; ++i) state[i] = in[i] ^ round_keys_[i];
 
@@ -120,9 +226,36 @@ void AesCtr::refill() {
 }
 
 void AesCtr::transform(ByteSpan data, std::uint8_t* out) {
-  for (std::size_t i = 0; i < data.size(); ++i) {
+  std::size_t i = 0;
+  // Drain any keystream left over from a previous (unaligned) call.
+  while (i < data.size() && used_ < Aes::kBlockSize) {
+    out[i] = data[i] ^ keystream_[used_++];
+    ++i;
+  }
+  // Whole blocks: encrypt the counter into a scratch block and xor as two
+  // 64-bit words, leaving keystream_/used_ untouched (fully consumed).
+  while (data.size() - i >= Aes::kBlockSize) {
+    std::uint8_t ks[Aes::kBlockSize];
+    aes_.encrypt_block(counter_.data(), ks);
+    for (int b = Aes::kBlockSize - 1; b >= 0; --b) {
+      if (++counter_[b] != 0) break;
+    }
+    std::uint64_t d0, d1, k0, k1;
+    std::memcpy(&d0, data.data() + i, 8);
+    std::memcpy(&d1, data.data() + i + 8, 8);
+    std::memcpy(&k0, ks, 8);
+    std::memcpy(&k1, ks + 8, 8);
+    d0 ^= k0;
+    d1 ^= k1;
+    std::memcpy(out + i, &d0, 8);
+    std::memcpy(out + i + 8, &d1, 8);
+    i += Aes::kBlockSize;
+  }
+  // Tail shorter than a block: fall back to the buffered keystream.
+  while (i < data.size()) {
     if (used_ == Aes::kBlockSize) refill();
     out[i] = data[i] ^ keystream_[used_++];
+    ++i;
   }
 }
 

@@ -2,8 +2,12 @@
 //
 // Every AES mode Shadowsocks uses (CTR, CFB, GCM) needs only the forward
 // block transform, so the inverse cipher is deliberately not implemented.
-// This is a portable table-free byte-oriented implementation; throughput is
-// adequate for simulation workloads (see bench_crypto_micro).
+// encrypt_block() dispatches at runtime to an AES-NI kernel on x86-64
+// hosts that have it, falling back to a T-table kernel (four 1 KiB
+// constexpr tables fusing SubBytes/ShiftRows/MixColumns into four word
+// lookups per column per round); the original byte-oriented
+// implementation is kept compiled in behind encrypt_block_reference()
+// and cross-checked bit-for-bit by tests/crypto/kernels_test.cpp.
 #pragma once
 
 #include <array>
@@ -30,13 +34,26 @@ class Aes {
     return out;
   }
 
+  // The retained byte-oriented kernel (SubBytes/ShiftRows/MixColumns as
+  // written in FIPS 197); bit-identical to the T-table path.
+  void encrypt_block_reference(const std::uint8_t in[kBlockSize],
+                               std::uint8_t out[kBlockSize]) const;
+
+  Block encrypt_block_reference(const Block& in) const {
+    Block out;
+    encrypt_block_reference(in.data(), out.data());
+    return out;
+  }
+
   int rounds() const { return rounds_; }
 
  private:
   void expand_key(ByteSpan key);
 
-  // Round keys: (rounds_ + 1) * 16 bytes.
+  // Round keys: (rounds_ + 1) * 16 bytes, plus the same schedule as
+  // big-endian words for the T-table kernel.
   std::array<std::uint8_t, 15 * 16> round_keys_{};
+  std::array<std::uint32_t, 15 * 4> round_keys_w_{};
   int rounds_ = 0;
 };
 

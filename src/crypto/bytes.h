@@ -39,11 +39,19 @@ std::optional<Bytes> hex_decode(std::string_view hex);
 bool ct_equal(ByteSpan a, ByteSpan b);
 
 inline void append(Bytes& out, ByteSpan more) {
+  // Grow to at least double when reallocation is needed, so chains of
+  // small appends keep amortized-constant cost instead of letting
+  // insert() reallocate to the exact new size each time.
+  if (out.capacity() - out.size() < more.size()) {
+    out.reserve(std::max(out.size() + more.size(), 2 * out.size()));
+  }
   out.insert(out.end(), more.begin(), more.end());
 }
 
 inline Bytes concat(ByteSpan a, ByteSpan b) {
-  Bytes out(a.begin(), a.end());
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  append(out, a);
   append(out, b);
   return out;
 }

@@ -4,45 +4,77 @@ namespace gfwsim::crypto {
 
 namespace {
 
-struct U128 {
-  std::uint64_t hi = 0;
-  std::uint64_t lo = 0;
-};
-
-U128 load_block(const std::uint8_t* p) {
-  return {load_be64(p), load_be64(p + 8)};
-}
-
-void store_block(std::uint8_t* p, U128 v) {
-  store_be64(p, v.hi);
-  store_be64(p + 8, v.lo);
-}
+std::uint64_t load_hi(const std::uint8_t* p) { return load_be64(p); }
+std::uint64_t load_lo(const std::uint8_t* p) { return load_be64(p + 8); }
 
 // Multiplication in GF(2^128) with the GCM bit order: X * Y where bit 0 is
 // the most significant bit and the reduction polynomial is
-// x^128 + x^7 + x^2 + x + 1 (R = 0xE1 << 120).
-U128 gf_mul(U128 x, U128 y) {
-  U128 z{};
-  U128 v = x;
+// x^128 + x^7 + x^2 + x + 1 (R = 0xE1 << 120). This is the retained
+// bit-by-bit reference kernel — 128 shift/conditional-xor steps per call —
+// used only by ghash_reference() and the kernel cross-check tests.
+void gf_mul_reference(std::uint64_t& zhi, std::uint64_t& zlo, std::uint64_t xhi,
+                      std::uint64_t xlo, std::uint64_t yhi, std::uint64_t ylo) {
+  std::uint64_t rhi = 0, rlo = 0;
+  std::uint64_t vhi = xhi, vlo = xlo;
   for (int half = 0; half < 2; ++half) {
-    const std::uint64_t bits = half == 0 ? y.hi : y.lo;
+    const std::uint64_t bits = half == 0 ? yhi : ylo;
     for (int i = 63; i >= 0; --i) {
       if ((bits >> i) & 1) {
-        z.hi ^= v.hi;
-        z.lo ^= v.lo;
+        rhi ^= vhi;
+        rlo ^= vlo;
       }
-      const bool carry = (v.lo & 1) != 0;
-      v.lo = (v.lo >> 1) | (v.hi << 63);
-      v.hi >>= 1;
-      if (carry) v.hi ^= 0xe100000000000000ull;
+      const bool carry = (vlo & 1) != 0;
+      vlo = (vlo >> 1) | (vhi << 63);
+      vhi >>= 1;
+      if (carry) vhi ^= 0xe100000000000000ull;
     }
   }
-  return z;
+  zhi = rhi;
+  zlo = rlo;
 }
+
+// Per-byte reduction constants for the 8-bit table walk: entry r is the
+// contribution of the byte shifted out of the low end, reduced mod P and
+// folded into the top 16 bits. Computed by running the 1-bit
+// shift-and-reduce rule eight times, so the constants agree with the
+// reference kernel by construction.
+struct Rem8Table {
+  std::uint16_t v[256];
+};
+
+constexpr Rem8Table make_rem8_table() {
+  Rem8Table t{};
+  for (int r = 0; r < 256; ++r) {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = static_cast<std::uint64_t>(r);
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t carry = 0xe100000000000000ull & (0 - (lo & 1));
+      lo = (hi << 63) | (lo >> 1);
+      hi = (hi >> 1) ^ carry;
+    }
+    t.v[r] = static_cast<std::uint16_t>(hi >> 48);
+  }
+  return t;
+}
+
+constexpr Rem8Table kRem8bit = make_rem8_table();
 
 void inc32(Aes::Block& counter) {
   std::uint32_t c = load_be32(counter.data() + 12);
   store_be32(counter.data() + 12, c + 1);
+}
+
+// out = a ^ b over one 16-byte block, as two 64-bit word xors.
+inline void xor_block16(std::uint8_t* out, const std::uint8_t* a, const std::uint8_t* b) {
+  std::uint64_t a0, a1, b0, b1;
+  std::memcpy(&a0, a, 8);
+  std::memcpy(&a1, a + 8, 8);
+  std::memcpy(&b0, b, 8);
+  std::memcpy(&b1, b + 8, 8);
+  a0 ^= b0;
+  a1 ^= b1;
+  std::memcpy(out, &a0, 8);
+  std::memcpy(out + 8, &a1, 8);
 }
 
 }  // namespace
@@ -50,11 +82,124 @@ void inc32(Aes::Block& counter) {
 AesGcm::AesGcm(ByteSpan key) : aes_(key) {
   const Block zero{};
   h_ = aes_.encrypt_block(zero);
+
+  const U128 h{load_be64(h_.data()), load_be64(h_.data() + 8)};
+  fill_htable(htable_, h);
+  // H^2 = H * H via the table just built; its own table powers the
+  // two-blocks-per-round absorb loop.
+  fill_htable(htable2_, gmult(htable_, h));
+}
+
+// Shoup 8-bit table: table[0x80] = H, table[0x40] = H*x, ..., table[1] =
+// H*x^7 (multiplying by x is a right shift in the GCM bit order), and the
+// remaining 247 entries by linearity.
+void AesGcm::fill_htable(HTable& table, U128 h) {
+  table[0x80] = h;
+  for (int i = 0x40; i > 0; i >>= 1) {
+    const std::uint64_t carry = 0xe100000000000000ull & (0 - (h.lo & 1));
+    h.lo = (h.hi << 63) | (h.lo >> 1);
+    h.hi = (h.hi >> 1) ^ carry;
+    table[i] = h;
+  }
+  for (int i = 2; i < 256; i <<= 1) {
+    for (int j = 1; j < i; ++j) {
+      table[i + j] = {table[i].hi ^ table[j].hi, table[i].lo ^ table[j].lo};
+    }
+  }
+}
+
+// One GF(2^128) multiply by the table's subkey: one lookup per byte, with
+// kRem8bit folding the byte shifted out of the low end back into the top
+// on every step.
+AesGcm::U128 AesGcm::gmult(const HTable& table, U128 x) {
+  std::uint8_t xi[16];
+  store_be64(xi, x.hi);
+  store_be64(xi + 8, x.lo);
+
+  std::uint64_t zhi = table[xi[15]].hi;
+  std::uint64_t zlo = table[xi[15]].lo;
+  for (int cnt = 14; cnt >= 0; --cnt) {
+    const unsigned rem = static_cast<unsigned>(zlo) & 0xff;
+    zlo = (zhi << 56) | (zlo >> 8);
+    zhi = (zhi >> 8) ^ (static_cast<std::uint64_t>(kRem8bit.v[rem]) << 48);
+    zhi ^= table[xi[cnt]].hi;
+    zlo ^= table[xi[cnt]].lo;
+  }
+  return {zhi, zlo};
+}
+
+AesGcm::U128 AesGcm::gmult_pair(const HTable& t2, U128 a, const HTable& t1, U128 b) {
+  std::uint8_t ai[16], bi[16];
+  store_be64(ai, a.hi);
+  store_be64(ai + 8, a.lo);
+  store_be64(bi, b.hi);
+  store_be64(bi + 8, b.lo);
+
+  std::uint64_t zahi = t2[ai[15]].hi;
+  std::uint64_t zalo = t2[ai[15]].lo;
+  std::uint64_t zbhi = t1[bi[15]].hi;
+  std::uint64_t zblo = t1[bi[15]].lo;
+  for (int cnt = 14; cnt >= 0; --cnt) {
+    const unsigned rem_a = static_cast<unsigned>(zalo) & 0xff;
+    const unsigned rem_b = static_cast<unsigned>(zblo) & 0xff;
+    zalo = (zahi << 56) | (zalo >> 8);
+    zblo = (zbhi << 56) | (zblo >> 8);
+    zahi = (zahi >> 8) ^ (static_cast<std::uint64_t>(kRem8bit.v[rem_a]) << 48);
+    zbhi = (zbhi >> 8) ^ (static_cast<std::uint64_t>(kRem8bit.v[rem_b]) << 48);
+    zahi ^= t2[ai[cnt]].hi;
+    zalo ^= t2[ai[cnt]].lo;
+    zbhi ^= t1[bi[cnt]].hi;
+    zblo ^= t1[bi[cnt]].lo;
+  }
+  return {zahi ^ zbhi, zalo ^ zblo};
+}
+
+AesGcm::U128 AesGcm::absorb(U128 y, ByteSpan data) const {
+  std::size_t offset = 0;
+  // Two blocks per round: Y'' = (Y ^ c1)*H^2 ^ c2*H. The regrouping is
+  // exactly ((Y ^ c1)*H ^ c2)*H, but the two multiplies have no data
+  // dependency on each other, so their serial reduction chains overlap.
+  while (data.size() - offset >= 32) {
+    const std::uint8_t* p = data.data() + offset;
+    const U128 a{y.hi ^ load_hi(p), y.lo ^ load_lo(p)};
+    const U128 b{load_hi(p + 16), load_lo(p + 16)};
+    y = gmult_pair(htable2_, a, htable_, b);
+    offset += 32;
+  }
+  while (offset < data.size()) {
+    const std::size_t take = std::min<std::size_t>(16, data.size() - offset);
+    if (take == 16) {
+      y.hi ^= load_hi(data.data() + offset);
+      y.lo ^= load_lo(data.data() + offset);
+    } else {
+      std::uint8_t block[16] = {};
+      std::memcpy(block, data.data() + offset, take);
+      y.hi ^= load_hi(block);
+      y.lo ^= load_lo(block);
+    }
+    y = gmult_table(y);
+    offset += take;
+  }
+  return y;
 }
 
 AesGcm::Block AesGcm::ghash(ByteSpan aad, ByteSpan ciphertext) const {
-  const U128 h = load_block(h_.data());
-  U128 y{};
+  U128 y = absorb(absorb({}, aad), ciphertext);
+
+  y.hi ^= static_cast<std::uint64_t>(aad.size()) * 8;
+  y.lo ^= static_cast<std::uint64_t>(ciphertext.size()) * 8;
+  y = gmult_table(y);
+
+  Block out{};
+  store_be64(out.data(), y.hi);
+  store_be64(out.data() + 8, y.lo);
+  return out;
+}
+
+AesGcm::Block AesGcm::ghash_reference(ByteSpan aad, ByteSpan ciphertext) const {
+  const std::uint64_t hhi = load_be64(h_.data());
+  const std::uint64_t hlo = load_be64(h_.data() + 8);
+  std::uint64_t yhi = 0, ylo = 0;
 
   const auto absorb = [&](ByteSpan data) {
     std::size_t offset = 0;
@@ -62,10 +207,9 @@ AesGcm::Block AesGcm::ghash(ByteSpan aad, ByteSpan ciphertext) const {
       std::uint8_t block[16] = {};
       const std::size_t take = std::min<std::size_t>(16, data.size() - offset);
       std::memcpy(block, data.data() + offset, take);
-      const U128 x = load_block(block);
-      y.hi ^= x.hi;
-      y.lo ^= x.lo;
-      y = gf_mul(y, h);
+      yhi ^= load_hi(block);
+      ylo ^= load_lo(block);
+      gf_mul_reference(yhi, ylo, yhi, ylo, hhi, hlo);
       offset += take;
     }
   };
@@ -73,26 +217,68 @@ AesGcm::Block AesGcm::ghash(ByteSpan aad, ByteSpan ciphertext) const {
   absorb(aad);
   absorb(ciphertext);
 
-  U128 lengths{static_cast<std::uint64_t>(aad.size()) * 8,
-               static_cast<std::uint64_t>(ciphertext.size()) * 8};
-  y.hi ^= lengths.hi;
-  y.lo ^= lengths.lo;
-  y = gf_mul(y, h);
+  yhi ^= static_cast<std::uint64_t>(aad.size()) * 8;
+  ylo ^= static_cast<std::uint64_t>(ciphertext.size()) * 8;
+  gf_mul_reference(yhi, ylo, yhi, ylo, hhi, hlo);
 
   Block out{};
-  store_block(out.data(), y);
+  store_be64(out.data(), yhi);
+  store_be64(out.data() + 8, ylo);
   return out;
 }
 
 void AesGcm::gctr(Block counter, ByteSpan in, std::uint8_t* out) const {
+  std::uint8_t keystream[16];
   std::size_t offset = 0;
+  while (in.size() - offset >= 16) {
+    aes_.encrypt_block(counter.data(), keystream);
+    inc32(counter);
+    xor_block16(out + offset, in.data() + offset, keystream);
+    offset += 16;
+  }
+  if (offset < in.size()) {
+    aes_.encrypt_block(counter.data(), keystream);
+    for (std::size_t i = 0; offset + i < in.size(); ++i) {
+      out[offset + i] = in[offset + i] ^ keystream[i];
+    }
+  }
+}
+
+AesGcm::U128 AesGcm::gctr_ghash(Block counter, ByteSpan in, std::uint8_t* out,
+                                bool absorb_output, U128 y) const {
+  std::uint8_t ks0[16], ks1[16];
+  std::size_t offset = 0;
+  // Two blocks per round so the GHASH update can use gmult_pair; the AES
+  // round-key/table loads for the next pair issue while the previous
+  // pair's multiply chains are still retiring.
+  while (in.size() - offset >= 32) {
+    aes_.encrypt_block(counter.data(), ks0);
+    inc32(counter);
+    aes_.encrypt_block(counter.data(), ks1);
+    inc32(counter);
+    const std::uint8_t* src = in.data() + offset;
+    std::uint8_t* dst = out + offset;
+    xor_block16(dst, src, ks0);
+    xor_block16(dst + 16, src + 16, ks1);
+    const std::uint8_t* h = absorb_output ? dst : src;
+    const U128 a{y.hi ^ load_hi(h), y.lo ^ load_lo(h)};
+    const U128 b{load_hi(h + 16), load_lo(h + 16)};
+    y = gmult_pair(htable2_, a, htable_, b);
+    offset += 32;
+  }
   while (offset < in.size()) {
-    const Block keystream = aes_.encrypt_block(counter);
+    aes_.encrypt_block(counter.data(), ks0);
     inc32(counter);
     const std::size_t take = std::min<std::size_t>(16, in.size() - offset);
-    for (std::size_t i = 0; i < take; ++i) out[offset + i] = in[offset + i] ^ keystream[i];
+    for (std::size_t i = 0; i < take; ++i) out[offset + i] = in[offset + i] ^ ks0[i];
+    std::uint8_t block[16] = {};
+    std::memcpy(block, (absorb_output ? out + offset : in.data() + offset), take);
+    y.hi ^= load_hi(block);
+    y.lo ^= load_lo(block);
+    y = gmult_table(y);
     offset += take;
   }
+  return y;
 }
 
 Bytes AesGcm::seal(ByteSpan nonce, ByteSpan plaintext, ByteSpan aad) const {
@@ -106,9 +292,16 @@ Bytes AesGcm::seal(ByteSpan nonce, ByteSpan plaintext, ByteSpan aad) const {
   Bytes out(plaintext.size() + kTagSize);
   Block counter = j0;
   inc32(counter);
-  gctr(counter, plaintext, out.data());
+  U128 y = absorb({}, aad);
+  y = gctr_ghash(counter, plaintext, out.data(), /*absorb_output=*/true, y);
 
-  const Block s = ghash(aad, ByteSpan(out.data(), plaintext.size()));
+  y.hi ^= static_cast<std::uint64_t>(aad.size()) * 8;
+  y.lo ^= static_cast<std::uint64_t>(plaintext.size()) * 8;
+  y = gmult_table(y);
+  Block s;
+  store_be64(s.data(), y.hi);
+  store_be64(s.data() + 8, y.lo);
+
   std::uint8_t tag[kTagSize];
   gctr(j0, ByteSpan(s.data(), s.size()), tag);
   std::memcpy(out.data() + plaintext.size(), tag, kTagSize);
@@ -125,15 +318,24 @@ std::optional<Bytes> AesGcm::open(ByteSpan nonce, ByteSpan sealed, ByteSpan aad)
   std::memcpy(j0.data(), nonce.data(), nonce.size());
   j0[15] = 1;
 
-  const Block s = ghash(aad, ciphertext);
-  std::uint8_t expected_tag[kTagSize];
-  gctr(j0, ByteSpan(s.data(), s.size()), expected_tag);
-  if (!ct_equal(ByteSpan(expected_tag, kTagSize), tag)) return std::nullopt;
-
+  // Decrypt and authenticate in one fused pass; the plaintext is only
+  // released if the tag verifies.
   Bytes plaintext(ct_len);
   Block counter = j0;
   inc32(counter);
-  gctr(counter, ciphertext, plaintext.data());
+  U128 y = absorb({}, aad);
+  y = gctr_ghash(counter, ciphertext, plaintext.data(), /*absorb_output=*/false, y);
+
+  y.hi ^= static_cast<std::uint64_t>(aad.size()) * 8;
+  y.lo ^= static_cast<std::uint64_t>(ct_len) * 8;
+  y = gmult_table(y);
+  Block s;
+  store_be64(s.data(), y.hi);
+  store_be64(s.data() + 8, y.lo);
+
+  std::uint8_t expected_tag[kTagSize];
+  gctr(j0, ByteSpan(s.data(), s.size()), expected_tag);
+  if (!ct_equal(ByteSpan(expected_tag, kTagSize), tag)) return std::nullopt;
   return plaintext;
 }
 

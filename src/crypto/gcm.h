@@ -3,8 +3,17 @@
 // Shadowsocks AEAD methods "aes-128-gcm", "aes-192-gcm", and "aes-256-gcm"
 // use a 12-byte nonce and 16-byte tag; seal/open below implement exactly
 // that profile (96-bit IV fast path, tag appended to the ciphertext).
+//
+// GHASH runs on a per-key 8-bit (Shoup) table precomputed once in the
+// constructor: 16 table lookups per block (one per input byte, with a
+// 256-entry constant reduction table folding the shifted-out byte)
+// instead of the reference kernel's 128 shift-and-conditional-xor steps.
+// The bit-wise reference multiply is kept compiled in behind
+// ghash_reference() and cross-checked against the table path by
+// tests/crypto/kernels_test.cpp; both are bit-identical by construction.
 #pragma once
 
+#include <array>
 #include <optional>
 
 #include "crypto/aes.h"
@@ -26,14 +35,46 @@ class AesGcm {
   // (or input framing) is invalid.
   std::optional<Bytes> open(ByteSpan nonce, ByteSpan sealed, ByteSpan aad = {}) const;
 
- private:
   using Block = Aes::Block;
 
+  // The production GHASH (table-driven) and the retained reference kernel
+  // (bit-by-bit GF(2^128) multiply); public so tests can cross-check.
   Block ghash(ByteSpan aad, ByteSpan ciphertext) const;
+  Block ghash_reference(ByteSpan aad, ByteSpan ciphertext) const;
+
+ private:
+  struct U128 {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+  };
+
+  using HTable = std::array<U128, 256>;
+
+  static void fill_htable(HTable& table, U128 h);
+  static U128 gmult(const HTable& table, U128 x);
+  // (a * H^2) ^ (b * H) with the two table walks interleaved in one loop,
+  // so their serial reduction chains execute in parallel.
+  static U128 gmult_pair(const HTable& t2, U128 a, const HTable& t1, U128 b);
+  U128 gmult_table(U128 x) const { return gmult(htable_, x); }
+  // Folds `data` into the GHASH accumulator (two blocks per round where
+  // possible, zero-padding the final partial block).
+  U128 absorb(U128 y, ByteSpan data) const;
   void gctr(Block counter, ByteSpan in, std::uint8_t* out) const;
+  // One pass of CTR + GHASH: transforms `in` into `out` with the counter
+  // keystream while folding either the input (decrypt) or the output
+  // (encrypt) into the GHASH accumulator. Fusing the two passes lets the
+  // load-bound AES rounds overlap the latency-bound GHASH chains.
+  U128 gctr_ghash(Block counter, ByteSpan in, std::uint8_t* out, bool absorb_output,
+                  U128 y) const;
 
   Aes aes_;
   Block h_{};  // GHASH subkey: E(K, 0^128)
+  // Shoup tables: htable_[i] = (i as 8-bit polynomial) * H, GCM bit
+  // order; htable2_ the same for H^2. The absorb loop folds two blocks
+  // per round — (Y ^ c1)*H^2 ^ c2*H — so the two serial multiply chains
+  // run in parallel.
+  HTable htable_{};
+  HTable htable2_{};
 };
 
 }  // namespace gfwsim::crypto

@@ -31,8 +31,11 @@ Bytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t length) {
   okm.reserve(length);
   Bytes previous;
   std::uint8_t counter = 1;
+  // One keyed instance for the whole expansion: finish() rewinds to the
+  // precomputed ipad state, so later blocks skip the keying compressions
+  // entirely (per-connection ss_subkey derivation runs this loop twice).
+  Hmac<H> mac(prk);
   while (okm.size() < length) {
-    Hmac<H> mac(prk);
     mac.update(previous);
     mac.update(info);
     mac.update(ByteSpan(&counter, 1));

@@ -1,7 +1,16 @@
 // HMAC (RFC 2104), generic over the hash implementations in this library.
 //
 // A hash type H must expose kDigestSize, kBlockSize, Digest, reset(),
-// update(ByteSpan), and finish().
+// update(ByteSpan), and finish(), and be copyable (all hashes here are
+// plain value types).
+//
+// The keyed ipad/opad block states are compressed exactly once, at
+// construction: reset() restores the saved inner state instead of
+// re-hashing the 64-byte ipad block, and finish() clones the saved outer
+// state instead of re-hashing opad. A mac over short data therefore costs
+// two compression calls after keying instead of four — the difference is
+// visible in per-connection session-subkey derivation (crypto/hkdf.h),
+// which finishes several MACs per keyed instance.
 #pragma once
 
 #include <array>
@@ -27,26 +36,25 @@ class Hmac {
     } else {
       std::memcpy(block.data(), key.data(), key.size());
     }
-    for (auto& b : ipad_) b = 0x36;
-    for (auto& b : opad_) b = 0x5c;
+    std::array<std::uint8_t, H::kBlockSize> pad;
     for (std::size_t i = 0; i < H::kBlockSize; ++i) {
-      ipad_[i] ^= block[i];
-      opad_[i] ^= block[i];
+      pad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
     }
-    reset();
+    inner_keyed_.update(ByteSpan(pad.data(), pad.size()));
+    for (std::size_t i = 0; i < H::kBlockSize; ++i) {
+      pad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+    }
+    outer_keyed_.update(ByteSpan(pad.data(), pad.size()));
+    inner_ = inner_keyed_;
   }
 
-  void reset() {
-    inner_.reset();
-    inner_.update(ByteSpan(ipad_.data(), ipad_.size()));
-  }
+  void reset() { inner_ = inner_keyed_; }
 
   void update(ByteSpan data) { inner_.update(data); }
 
   Digest finish() {
     const auto inner_digest = inner_.finish();
-    H outer;
-    outer.update(ByteSpan(opad_.data(), opad_.size()));
+    H outer = outer_keyed_;
     outer.update(ByteSpan(inner_digest.data(), inner_digest.size()));
     reset();
     return outer.finish();
@@ -59,9 +67,9 @@ class Hmac {
   }
 
  private:
-  H inner_;
-  std::array<std::uint8_t, H::kBlockSize> ipad_{};
-  std::array<std::uint8_t, H::kBlockSize> opad_{};
+  H inner_;        // running state: inner_keyed_ plus any update()ed data
+  H inner_keyed_;  // state after absorbing K ^ ipad, saved at keying time
+  H outer_keyed_;  // state after absorbing K ^ opad
 };
 
 }  // namespace gfwsim::crypto

@@ -103,13 +103,16 @@ net::Verdict Gfw::on_segment(const net::Segment& segment) {
   return net::Verdict::kPass;
 }
 
-void Gfw::flag_connection(net::Endpoint server, Bytes first_payload) {
+void Gfw::flag_connection(net::Endpoint server, ByteSpan first_payload) {
   ++flows_flagged_;
   ServerState& state = servers_[server];
   if (state.payloads.size() >= kMaxStoredPayloadsPerServer) {
     state.payloads.erase(state.payloads.begin());
   }
-  state.payloads.push_back(StoredPayload{std::move(first_payload), net_.loop().now(), 0});
+  // Copy-on-flag: the replay store must outlive the segment, and only the
+  // tiny flagged fraction of traffic pays for a payload copy.
+  state.payloads.push_back(
+      StoredPayload{Bytes(first_payload.begin(), first_payload.end()), net_.loop().now(), 0});
   const std::size_t index = state.payloads.size() - 1;
 
   schedule_stage1(server, index);

@@ -99,8 +99,8 @@ class Gfw : public net::Middlebox {
   net::Verdict on_segment(const net::Segment& segment) override;
 
   // Injects a suspicion directly (tests/benches that bypass the
-  // classifier's randomness).
-  void flag_connection(net::Endpoint server, Bytes first_payload);
+  // classifier's randomness). Copies the payload into the replay store.
+  void flag_connection(net::Endpoint server, ByteSpan first_payload);
 
   const ProbeLog& log() const { return log_; }
   ProberPool& pool() { return pool_; }

@@ -46,6 +46,12 @@ std::size_t CampaignResult::retransmissions() const {
   return n;
 }
 
+std::uint64_t CampaignResult::payload_bytes_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards) n += shard.payload_bytes_delivered;
+  return n;
+}
+
 bool CampaignResult::teardown_clean() const {
   for (const auto& shard : shards) {
     if (!shard.teardown.clean()) return false;
@@ -92,6 +98,7 @@ CampaignResult ShardedRunner::run(const Scenario& scenario) {
         summary.flows_flagged = world.gfw().flows_flagged();
         summary.segments_transmitted = world.network().segments_transmitted();
         summary.segments_delivered = world.network().segments_delivered();
+        summary.payload_bytes_delivered = world.network().payload_bytes_delivered();
         summary.segments_dropped_middlebox =
             world.network().segments_dropped_middlebox();
         summary.segments_dropped_loss = world.network().segments_dropped_loss();

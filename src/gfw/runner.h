@@ -38,6 +38,9 @@ struct ShardSummary {
   // Fault-layer accounting (all zero when the scenario's FaultProfile is
   // disabled) and the shard's teardown invariant scan.
   std::size_t segments_delivered = 0;
+  // Data payload bytes handed to destination connections (the goodput
+  // numerator for bench_throughput).
+  std::uint64_t payload_bytes_delivered = 0;
   std::size_t segments_dropped_middlebox = 0;
   std::size_t segments_dropped_loss = 0;
   std::size_t segments_dropped_outage = 0;
@@ -67,6 +70,7 @@ struct CampaignResult {
   std::size_t flows_flagged() const;
   std::size_t segments_dropped_loss() const;
   std::size_t retransmissions() const;
+  std::uint64_t payload_bytes_delivered() const;
   // True iff every shard's teardown watchdog came back clean.
   bool teardown_clean() const;
 };

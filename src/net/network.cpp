@@ -361,7 +361,7 @@ void Network::unregister_connection(const Connection& conn) {
   connections_.erase({conn.local_, conn.remote_});
 }
 
-void Network::transmit(Connection& from, std::uint8_t flags, Bytes payload,
+void Network::transmit(Connection& from, std::uint8_t flags, PayloadRef payload,
                        TransmitMeta meta) {
   Segment segment;
   segment.src = from.local_;
@@ -626,6 +626,7 @@ void Network::deliver(const Segment& segment) {
       if (!fresh) return;
     }
     conn->bytes_received_ += segment.payload.size();
+    payload_bytes_delivered_ += segment.payload.size();
     if (conn->cb_.on_data) conn->cb_.on_data(segment.payload);
     // `conn` may have been closed by the callback; stop processing.
     return;

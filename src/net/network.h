@@ -186,6 +186,10 @@ class Network {
   std::size_t segments_reordered() const { return segments_reordered_; }
   std::size_t segments_in_flight() const { return segments_in_flight_; }
   std::size_t retransmissions() const { return retransmissions_; }
+  // Sum of data payload bytes handed to destination connections (each
+  // in-order delivery counted once; the goodput numerator for
+  // bench_throughput).
+  std::uint64_t payload_bytes_delivered() const { return payload_bytes_delivered_; }
 
   // Scans current state without running the loop (running it would
   // perturb the very behaviour under audit). `grace` must exceed the ARQ
@@ -199,8 +203,9 @@ class Network {
 
   using ConnKey = std::pair<Endpoint, Endpoint>;  // (local, remote)
 
-  // Builds a segment from a connection's state and routes it.
-  void transmit(Connection& from, std::uint8_t flags, Bytes payload,
+  // Builds a segment from a connection's state and routes it. The payload
+  // buffer is shared (not copied) by every downstream holder.
+  void transmit(Connection& from, std::uint8_t flags, PayloadRef payload,
                 TransmitMeta meta = TransmitMeta());
   // Routes a fully-formed segment (used for synthesized RSTs and ARQ
   // retransmissions).
@@ -249,6 +254,7 @@ class Network {
   std::size_t segments_reordered_ = 0;
   std::size_t segments_in_flight_ = 0;
   std::size_t retransmissions_ = 0;
+  std::uint64_t payload_bytes_delivered_ = 0;
 };
 
 }  // namespace gfwsim::net

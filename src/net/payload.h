@@ -1,0 +1,62 @@
+// Refcounted copy-on-write payload buffer for simulated segments.
+//
+// A transmitted payload is observed by many parties that each used to hold
+// their own deep copy: the tap's SegmentRecord, the fault layer's wire
+// duplicate, the ARQ retransmit buffer, and the delivery closure. All of
+// those views are read-only, so Segment carries a PayloadRef — a
+// shared_ptr to one immutable Bytes buffer — and copying a Segment bumps a
+// refcount instead of reallocating. Endpoint-facing APIs keep Bytes /
+// ByteSpan: a PayloadRef converts to ByteSpan implicitly, and anything
+// that needs to outlive the segment (e.g. the GFW replay store) copies out
+// explicitly via to_bytes().
+//
+// Mutation goes through mutate(), which detaches first (clones the buffer)
+// whenever other refs exist — so a holder can never observe another
+// holder's edit. The empty payload is represented by a null pointer; no
+// allocation happens for pure ACK/SYN/FIN segments.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "crypto/bytes.h"
+
+namespace gfwsim::net {
+
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  // Takes ownership; empty input stays unallocated.
+  PayloadRef(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : data_(bytes.empty() ? nullptr : std::make_shared<Bytes>(std::move(bytes))) {}
+
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return data_ == nullptr || data_->empty(); }
+  const std::uint8_t* data() const { return data_ ? data_->data() : nullptr; }
+
+  ByteSpan span() const { return data_ ? ByteSpan(*data_) : ByteSpan(); }
+  operator ByteSpan() const { return span(); }  // NOLINT(google-explicit-constructor)
+
+  // Deep copy for holders that must outlive every segment copy.
+  Bytes to_bytes() const { return data_ ? *data_ : Bytes(); }
+
+  // How many segment copies currently share this buffer (0 for empty).
+  long use_count() const { return data_ ? data_.use_count() : 0; }
+
+  // Copy-on-write access: detaches (clones the buffer) if any other
+  // PayloadRef shares it, so edits are never visible through other refs.
+  Bytes& mutate() {
+    if (!data_) {
+      data_ = std::make_shared<Bytes>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<Bytes>(*data_);
+    }
+    return *data_;
+  }
+
+ private:
+  std::shared_ptr<Bytes> data_;
+};
+
+}  // namespace gfwsim::net

@@ -17,6 +17,7 @@
 #include "crypto/bytes.h"
 #include "net/addr.h"
 #include "net/fault.h"
+#include "net/payload.h"
 #include "net/time.h"
 
 namespace gfwsim::net {
@@ -41,7 +42,9 @@ struct Segment {
   Endpoint src;
   Endpoint dst;
   std::uint8_t flags = 0;
-  Bytes payload;
+  // Shared with every wire copy / record of this segment (see
+  // net/payload.h); copying a Segment does not copy payload bytes.
+  PayloadRef payload;
 
   // Fingerprintable header fields.
   std::uint16_t ip_id = 0;

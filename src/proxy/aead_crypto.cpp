@@ -72,6 +72,12 @@ std::uint64_t AeadSession::nonce_counter() const { return impl_->counter; }
 
 Bytes AeadChunkWriter::encode(ByteSpan payload) {
   Bytes out;
+  // Exact output size: per chunk, a sealed length field (2 + tag) plus the
+  // sealed chunk (payload + tag). Sizing up front keeps the multi-chunk
+  // path to a single allocation.
+  const std::size_t chunks =
+      payload.empty() ? 1 : (payload.size() + kAeadMaxChunkPayload - 1) / kAeadMaxChunkPayload;
+  out.reserve(payload.size() + chunks * (kAeadLenFieldLen + 2 * kAeadTagLen));
   std::size_t offset = 0;
   do {
     const std::size_t take =

@@ -1,0 +1,69 @@
+// Copy-on-write semantics of net::PayloadRef.
+//
+// The zero-copy path relies on two invariants: copying a Segment (tap
+// records, fault-layer duplicates, the ARQ retransmit queue) shares one
+// buffer, and mutate() detaches before writing so no holder ever observes
+// another holder's edit.
+#include <gtest/gtest.h>
+
+#include "net/payload.h"
+#include "net/segment.h"
+
+namespace gfwsim::net {
+namespace {
+
+TEST(PayloadRef, EmptyAllocatesNothing) {
+  const PayloadRef empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.use_count(), 0);
+  // An empty Bytes also stays allocation-free (pure ACK/SYN/FIN segments).
+  const PayloadRef from_empty{Bytes{}};
+  EXPECT_TRUE(from_empty.empty());
+  EXPECT_EQ(from_empty.use_count(), 0);
+}
+
+TEST(PayloadRef, CopiesShareOneBuffer) {
+  const PayloadRef a{to_bytes("first data packet")};
+  const PayloadRef b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  const PayloadRef c = b;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.data(), c.data());
+  EXPECT_EQ(to_string(c), "first data packet");
+}
+
+TEST(PayloadRef, MutateDetachesSharedBuffer) {
+  PayloadRef a{to_bytes("original")};
+  PayloadRef b = a;
+  b.mutate()[0] = 'O';
+  EXPECT_EQ(to_string(a), "original");
+  EXPECT_EQ(to_string(b), "Original");
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a.use_count(), 1);
+  // A sole owner mutates the same buffer without a copy-on-write detach
+  // (writes within the existing allocation keep the storage).
+  const std::uint8_t* before = a.data();
+  a.mutate().back() = '_';
+  EXPECT_EQ(a.data(), before);
+  EXPECT_EQ(to_string(a), "origina_");
+}
+
+TEST(PayloadRef, SegmentCopiesAreRefcountBumps) {
+  Segment seg;
+  seg.payload = PayloadRef{to_bytes("wire bytes")};
+  const Segment tap_copy = seg;       // what the tap's SegmentRecord stores
+  const Segment retransmit = seg;     // what the ARQ queue stores
+  EXPECT_EQ(seg.payload.use_count(), 3);
+  EXPECT_EQ(tap_copy.payload.data(), seg.payload.data());
+  EXPECT_EQ(retransmit.payload.data(), seg.payload.data());
+  EXPECT_TRUE(seg.is_data());
+
+  // to_bytes() is the explicit deep-copy escape hatch.
+  const Bytes deep = seg.payload.to_bytes();
+  EXPECT_NE(deep.data(), seg.payload.data());
+  EXPECT_EQ(seg.payload.use_count(), 3);
+}
+
+}  // namespace
+}  // namespace gfwsim::net

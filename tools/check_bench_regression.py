@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_crypto_micro JSON run against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.30]
+
+Both files are google-benchmark ``--benchmark_out`` JSON. For every
+benchmark present in both files that reports ``bytes_per_second``, the
+current throughput must not fall more than ``threshold`` below the
+baseline; CI machines are noisy, so the default 30% only catches real
+regressions (the kernels in this repo moved ~10x, so even a partial
+revert trips it). Benchmarks without a throughput counter (e.g. the
+fixed-size setup benches) are compared on real_time instead.
+
+Exit code 0 = within bounds, 1 = regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench_regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional drop vs baseline (default 0.30)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    if not baseline:
+        print(f"check_bench_regression: no benchmarks in {args.baseline}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    compared = 0
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"  [skip] {name}: missing from current run")
+            continue
+        if "bytes_per_second" in base and "bytes_per_second" in cur:
+            metric, higher_is_better = "bytes_per_second", True
+        elif "real_time" in base and "real_time" in cur:
+            metric, higher_is_better = "real_time", False
+        else:
+            print(f"  [skip] {name}: no comparable metric")
+            continue
+        b, c = float(base[metric]), float(cur[metric])
+        if b <= 0:
+            continue
+        compared += 1
+        ratio = c / b if higher_is_better else b / c
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"  [{status}] {name}: {metric} baseline={b:.4g} current={c:.4g} "
+              f"({100.0 * (ratio - 1.0):+.1f}%)")
+
+    if compared == 0:
+        print("check_bench_regression: nothing to compare", file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        print(f"{len(failures)} benchmark(s) regressed more than "
+              f"{100 * args.threshold:.0f}%: {', '.join(failures)}")
+        sys.exit(1)
+    print(f"all {compared} compared benchmarks within {100 * args.threshold:.0f}% "
+          "of baseline")
+
+
+if __name__ == "__main__":
+    main()
