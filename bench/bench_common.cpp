@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,7 +24,11 @@ namespace {
      << "  --loss P      per-segment loss probability in [0,1] (default 0)\n"
      << "  --dup P       per-segment duplication probability in [0,1]\n"
      << "  --reorder P   per-segment reorder probability in [0,1]\n"
-     << "  --jitter MS   uniform extra one-way latency in [0, MS) ms\n";
+     << "  --jitter MS   uniform extra one-way latency in [0, MS) ms\n"
+     << "  --checkpoint PATH  journal completed shards to PATH\n"
+     << "  --resume           skip shards already in --checkpoint\n"
+     << "  --shard-retries N  retries before quarantining a failing shard\n"
+     << "  --stall-timeout S  stall watchdog deadline in wall seconds (0=off)\n";
   std::exit(exit_code);
 }
 
@@ -108,6 +113,18 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     } else if (std::strcmp(arg, "--jitter") == 0) {
       options.jitter_ms = std::strtod(flag_value(argc, argv, i, argv0), nullptr);
       if (options.jitter_ms < 0.0) usage(argv0, 2);
+    } else if (std::strcmp(arg, "--checkpoint") == 0) {
+      options.checkpoint = flag_value(argc, argv, i, argv0);
+      if (options.checkpoint.empty()) usage(argv0, 2);
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      options.resume = true;
+    } else if (std::strcmp(arg, "--shard-retries") == 0) {
+      options.shard_retries = static_cast<int>(
+          std::strtol(flag_value(argc, argv, i, argv0), nullptr, 0));
+      if (options.shard_retries < 0) usage(argv0, 2);
+    } else if (std::strcmp(arg, "--stall-timeout") == 0) {
+      options.stall_timeout_s = std::strtod(flag_value(argc, argv, i, argv0), nullptr);
+      if (options.stall_timeout_s < 0.0) usage(argv0, 2);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       usage(argv0, 2);
@@ -117,7 +134,13 @@ BenchOptions parse_bench_args(int argc, char** argv) {
 }
 
 gfw::ShardedRunnerOptions runner_options(const BenchOptions& options) {
-  return {options.shards, options.threads};
+  gfw::ShardedRunnerOptions out(options.shards, options.threads);
+  out.shard_retries = options.shard_retries;
+  out.stall_timeout = std::chrono::milliseconds(
+      static_cast<std::int64_t>(options.stall_timeout_s * 1000.0));
+  out.checkpoint_path = options.checkpoint;
+  out.resume = options.resume;
+  return out;
 }
 
 gfw::Scenario standard_scenario(int days) {
@@ -169,6 +192,11 @@ void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
   os << "[" << result.shards.size() << " shard(s) x " << threads
      << " thread(s): " << result.connections_launched() << " connections, "
      << result.log.size() << " probes]\n";
+  // Supervision verdicts: quarantined shards are missing from the
+  // numbers above, so say so loudly.
+  for (const auto& failure : result.failures) {
+    os << "  !! " << gfw::describe(failure) << "\n";
+  }
 }
 
 BenchReporter::BenchReporter(std::string bench_name, const BenchOptions& options)

@@ -40,6 +40,11 @@ namespace gfwsim::bench {
 //   --dup P       per-segment duplication probability in [0,1]
 //   --reorder P   per-segment reorder probability in [0,1]
 //   --jitter MS   uniform extra one-way latency in [0, MS) milliseconds
+//   --checkpoint PATH  journal completed shards to PATH as they finish
+//   --resume           skip shards already recorded in --checkpoint
+//   --shard-retries N  retries before quarantining a failing shard
+//   --stall-timeout S  wall-clock stall watchdog deadline in seconds
+//                      (0 = watchdog off)
 struct BenchOptions {
   std::uint32_t shards = 4;
   unsigned threads = 0;    // 0 = hardware concurrency
@@ -53,6 +58,12 @@ struct BenchOptions {
   double dup = 0.0;
   double reorder = 0.0;
   double jitter_ms = 0.0;
+
+  // Supervision / checkpointing (gfw/supervisor.h, gfw/checkpoint.h).
+  std::string checkpoint;
+  bool resume = false;
+  int shard_retries = 1;
+  double stall_timeout_s = 0.0;
 
   bool faults_requested() const {
     return loss > 0.0 || dup > 0.0 || reorder > 0.0 || jitter_ms > 0.0;

@@ -1,0 +1,408 @@
+#include "gfw/checkpoint.h"
+
+#include <cstring>
+
+namespace gfwsim::gfw {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'F', 'W', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kShardFrame = 1;
+constexpr std::size_t kHeaderSize = 32;
+
+// ---- primitive writers ----------------------------------------------------
+
+void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  std::uint8_t buf[4];
+  store_le32(buf, v);
+  append(out, ByteSpan(buf, 4));
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  std::uint8_t buf[8];
+  store_le64(buf, v);
+  append(out, ByteSpan(buf, 8));
+}
+
+void put_i64(Bytes& out, std::int64_t v) { put_u64(out, static_cast<std::uint64_t>(v)); }
+
+void put_i32(Bytes& out, std::int32_t v) { put_u32(out, static_cast<std::uint32_t>(v)); }
+
+// ---- primitive readers (bounds-checked) -----------------------------------
+
+struct Cursor {
+  ByteSpan data;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > data.size()) {
+      throw CheckpointError("checkpoint: truncated frame payload");
+    }
+  }
+  std::uint8_t u8() {
+    need(1);
+    return data[pos++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data[pos] | (static_cast<std::uint16_t>(data[pos + 1]) << 8));
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = load_le32(data.data() + pos);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    const std::uint64_t v = load_le64(data.data() + pos);
+    pos += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+};
+
+// ---- component codecs -----------------------------------------------------
+
+void put_teardown(Bytes& out, const net::TeardownReport& t) {
+  put_u64(out, t.leaked_established);
+  put_u64(out, t.live_established);
+  put_u64(out, t.embryonic);
+  put_u64(out, t.half_closed);
+  put_u64(out, t.stale_registrations);
+  put_u64(out, t.expired_registrations);
+  put_u64(out, t.pending_timers);
+  put_u8(out, t.timers_overdue ? 1 : 0);
+  put_u64(out, t.segments_in_flight);
+  put_u8(out, t.accounting_balanced ? 1 : 0);
+}
+
+net::TeardownReport get_teardown(Cursor& in) {
+  net::TeardownReport t;
+  t.leaked_established = in.u64();
+  t.live_established = in.u64();
+  t.embryonic = in.u64();
+  t.half_closed = in.u64();
+  t.stale_registrations = in.u64();
+  t.expired_registrations = in.u64();
+  t.pending_timers = in.u64();
+  t.timers_overdue = in.u8() != 0;
+  t.segments_in_flight = in.u64();
+  t.accounting_balanced = in.u8() != 0;
+  return t;
+}
+
+void put_block_entry(Bytes& out, const BlockingModule::BlockEntry& e) {
+  put_u32(out, e.server_ip.value);
+  put_u8(out, e.port.has_value() ? 1 : 0);
+  put_u16(out, e.port.value_or(0));
+  put_i64(out, e.blocked_at.count());
+  put_i64(out, e.unblock_at.count());
+}
+
+BlockingModule::BlockEntry get_block_entry(Cursor& in) {
+  BlockingModule::BlockEntry e;
+  e.server_ip = net::Ipv4(in.u32());
+  const bool has_port = in.u8() != 0;
+  const std::uint16_t port = in.u16();
+  if (has_port) e.port = port;
+  e.blocked_at = net::TimePoint(in.i64());
+  e.unblock_at = net::TimePoint(in.i64());
+  return e;
+}
+
+void put_probe_record(Bytes& out, const ProbeRecord& r) {
+  put_i64(out, r.sent_at.count());
+  put_u8(out, static_cast<std::uint8_t>(r.type));
+  put_u32(out, r.server.addr.value);
+  put_u16(out, r.server.port);
+  put_u32(out, r.src_ip.value);
+  put_i32(out, r.asn);
+  put_u16(out, r.src_port);
+  put_u8(out, r.ttl);
+  put_u32(out, r.tsval);
+  put_i32(out, r.tsval_process);
+  put_u64(out, r.payload_len);
+  put_u8(out, static_cast<std::uint8_t>(r.reaction));
+  put_i32(out, r.connect_retries);
+  put_i64(out, r.replay_delay.count());
+  put_u8(out, r.is_first_replay_of_payload ? 1 : 0);
+  put_u64(out, r.trigger_payload_hash);
+}
+
+ProbeRecord get_probe_record(Cursor& in) {
+  ProbeRecord r;
+  r.sent_at = net::TimePoint(in.i64());
+  r.type = static_cast<probesim::ProbeType>(in.u8());
+  r.server.addr = net::Ipv4(in.u32());
+  r.server.port = in.u16();
+  r.src_ip = net::Ipv4(in.u32());
+  r.asn = in.i32();
+  r.src_port = in.u16();
+  r.ttl = in.u8();
+  r.tsval = in.u32();
+  r.tsval_process = in.i32();
+  r.payload_len = in.u64();
+  r.reaction = static_cast<probesim::Reaction>(in.u8());
+  r.connect_retries = in.i32();
+  r.replay_delay = net::Duration(in.i64());
+  r.is_first_replay_of_payload = in.u8() != 0;
+  r.trigger_payload_hash = in.u64();
+  return r;
+}
+
+Bytes serialize_header(const CheckpointHeader& header) {
+  Bytes out;
+  out.reserve(kHeaderSize);
+  append(out, ByteSpan(reinterpret_cast<const std::uint8_t*>(kMagic), 8));
+  put_u32(out, header.version);
+  put_u32(out, header.shard_count);
+  put_u64(out, header.base_seed);
+  put_u64(out, header.scenario_fingerprint);
+  return out;
+}
+
+CheckpointHeader parse_header(ByteSpan data) {
+  if (data.size() < kHeaderSize ||
+      std::memcmp(data.data(), kMagic, 8) != 0) {
+    throw CheckpointError("checkpoint: bad magic (not a GFWCKPT1 file)");
+  }
+  Cursor in{data, 8};
+  CheckpointHeader header;
+  header.version = in.u32();
+  if (header.version != kCheckpointVersion) {
+    throw CheckpointError("checkpoint: unsupported format version " +
+                          std::to_string(header.version) + " (expected " +
+                          std::to_string(kCheckpointVersion) + ")");
+  }
+  header.shard_count = in.u32();
+  header.base_seed = in.u64();
+  header.scenario_fingerprint = in.u64();
+  return header;
+}
+
+// ---- fingerprint ----------------------------------------------------------
+
+struct Fnv1a {
+  std::uint64_t state = 0xcbf29ce484222325ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state ^= (v >> (8 * i)) & 0xff;
+      state *= 0x100000001b3ull;
+    }
+  }
+  void mix(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(bits);
+  }
+  void mix(const std::string& s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (const char c : s) {
+      state ^= static_cast<std::uint8_t>(c);
+      state *= 0x100000001b3ull;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t scenario_fingerprint(const Scenario& scenario) {
+  Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(scenario.server.impl));
+  h.mix(scenario.server.cipher);
+  h.mix(scenario.server.password);
+  h.mix(static_cast<std::uint64_t>(scenario.raw_traffic));
+  h.mix(static_cast<std::uint64_t>(scenario.duration.count()));
+  h.mix(static_cast<std::uint64_t>(scenario.connection_interval.count()));
+  h.mix(static_cast<std::uint64_t>(scenario.server_inside_china));
+  h.mix(scenario.classifier_base_rate);
+  h.mix(scenario.faults.loss);
+  h.mix(scenario.faults.duplicate);
+  h.mix(scenario.faults.reorder);
+  h.mix(static_cast<std::uint64_t>(scenario.faults.reorder_delay.count()));
+  h.mix(static_cast<std::uint64_t>(scenario.faults.jitter.count()));
+  h.mix(static_cast<std::uint64_t>(scenario.faults.flap_period.count()));
+  h.mix(static_cast<std::uint64_t>(scenario.faults.flap_down.count()));
+  h.mix(static_cast<std::uint64_t>(scenario.faults.outages.size()));
+  h.mix(static_cast<std::uint64_t>(scenario.use_brdgrd));
+  h.mix(scenario.base_seed);
+  return h.state;
+}
+
+// ---- frame codec ----------------------------------------------------------
+
+Bytes serialize_shard(const ShardSummary& summary, const ProbeLog& log) {
+  Bytes out;
+  // Rough upfront sizing: fixed summary block + 64B per probe record.
+  out.reserve(256 + 64 * log.size());
+  put_u32(out, summary.shard_index);
+  put_u64(out, summary.seed);
+  put_u64(out, summary.connections_launched);
+  put_u64(out, summary.control_contacts);
+  put_u64(out, summary.flows_inspected);
+  put_u64(out, summary.flows_flagged);
+  put_u64(out, summary.segments_transmitted);
+  put_u64(out, summary.segments_delivered);
+  put_u64(out, summary.payload_bytes_delivered);
+  put_u64(out, summary.segments_dropped_middlebox);
+  put_u64(out, summary.segments_dropped_loss);
+  put_u64(out, summary.segments_dropped_outage);
+  put_u64(out, summary.segments_duplicated);
+  put_u64(out, summary.segments_reordered);
+  put_u64(out, summary.retransmissions);
+  put_u64(out, summary.probe_connect_retries);
+  put_teardown(out, summary.teardown);
+  put_u32(out, static_cast<std::uint32_t>(summary.blocking_history.size()));
+  for (const auto& entry : summary.blocking_history) put_block_entry(out, entry);
+  // log_offset is NOT serialized: the merge recomputes it, so a resumed
+  // merge places restored slices exactly where an uninterrupted run did.
+  put_u64(out, log.size());
+  for (const auto& record : log.records()) put_probe_record(out, record);
+  return out;
+}
+
+ShardCheckpoint parse_shard(ByteSpan payload) {
+  Cursor in{payload, 0};
+  ShardCheckpoint out;
+  ShardSummary& s = out.summary;
+  s.shard_index = in.u32();
+  s.seed = in.u64();
+  s.connections_launched = in.u64();
+  s.control_contacts = in.u64();
+  s.flows_inspected = in.u64();
+  s.flows_flagged = in.u64();
+  s.segments_transmitted = in.u64();
+  s.segments_delivered = in.u64();
+  s.payload_bytes_delivered = in.u64();
+  s.segments_dropped_middlebox = in.u64();
+  s.segments_dropped_loss = in.u64();
+  s.segments_dropped_outage = in.u64();
+  s.segments_duplicated = in.u64();
+  s.segments_reordered = in.u64();
+  s.retransmissions = in.u64();
+  s.probe_connect_retries = in.u64();
+  s.teardown = get_teardown(in);
+  const std::uint32_t blocks = in.u32();
+  s.blocking_history.reserve(blocks);
+  for (std::uint32_t i = 0; i < blocks; ++i) {
+    s.blocking_history.push_back(get_block_entry(in));
+  }
+  const std::uint64_t probes = in.u64();
+  std::vector<ProbeRecord> records;
+  records.reserve(probes);
+  for (std::uint64_t i = 0; i < probes; ++i) records.push_back(get_probe_record(in));
+  out.log.assign(std::move(records));
+  s.probes = out.log.size();
+  if (in.pos != payload.size()) {
+    throw CheckpointError("checkpoint: trailing bytes inside shard frame");
+  }
+  return out;
+}
+
+// ---- writer ---------------------------------------------------------------
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const CheckpointHeader& header, bool append)
+    : path_(path) {
+  if (append && checkpoint_exists(path)) {
+    const Checkpoint existing = load_checkpoint(path);
+    const CheckpointHeader& h = existing.header;
+    if (h.shard_count != header.shard_count || h.base_seed != header.base_seed ||
+        h.scenario_fingerprint != header.scenario_fingerprint) {
+      throw CheckpointError(
+          "checkpoint: " + path +
+          " was written by a different campaign (shard count, base seed, or "
+          "scenario fingerprint mismatch) — refusing to resume into it");
+    }
+    // Re-open append-only; torn tail bytes (if any) are harmless because
+    // the loader skips them and the next frame is self-delimiting only
+    // from its own offset — so truncate the torn tail first.
+    if (existing.torn_tail_bytes > 0) {
+      std::ifstream in(path, std::ios::binary | std::ios::ate);
+      const auto size = static_cast<std::size_t>(in.tellg());
+      in.seekg(0);
+      Bytes keep(size - existing.torn_tail_bytes);
+      in.read(reinterpret_cast<char*>(keep.data()),
+              static_cast<std::streamsize>(keep.size()));
+      std::ofstream rewrite(path, std::ios::binary | std::ios::trunc);
+      rewrite.write(reinterpret_cast<const char*>(keep.data()),
+                    static_cast<std::streamsize>(keep.size()));
+    }
+    out_.open(path, std::ios::binary | std::ios::app);
+    if (!out_) throw CheckpointError("checkpoint: cannot open " + path + " for append");
+    return;
+  }
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) throw CheckpointError("checkpoint: cannot create " + path);
+  const Bytes header_bytes = serialize_header(header);
+  out_.write(reinterpret_cast<const char*>(header_bytes.data()),
+             static_cast<std::streamsize>(header_bytes.size()));
+  out_.flush();
+}
+
+void CheckpointWriter::append_shard(const ShardSummary& summary, const ProbeLog& log) {
+  const Bytes payload = serialize_shard(summary, log);
+  Bytes frame;
+  frame.reserve(12 + payload.size());
+  put_u32(frame, kShardFrame);
+  put_u64(frame, payload.size());
+  append(frame, payload);
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) throw CheckpointError("checkpoint: write to " + path_ + " failed");
+}
+
+// ---- loader ---------------------------------------------------------------
+
+bool checkpoint_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good() && in.peek() != std::ifstream::traits_type::eof();
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw CheckpointError("checkpoint: cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  Bytes data(size);
+  in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size));
+  if (!in) throw CheckpointError("checkpoint: cannot read " + path);
+
+  Checkpoint out;
+  out.header = parse_header(data);
+  std::size_t pos = kHeaderSize;
+  while (pos < data.size()) {
+    if (data.size() - pos < 12) {
+      out.torn_tail_bytes = data.size() - pos;
+      break;
+    }
+    const std::uint32_t kind = load_le32(data.data() + pos);
+    const std::uint64_t payload_size = load_le64(data.data() + pos + 4);
+    if (data.size() - pos - 12 < payload_size) {
+      out.torn_tail_bytes = data.size() - pos;
+      break;
+    }
+    const ByteSpan payload(data.data() + pos + 12,
+                           static_cast<std::size_t>(payload_size));
+    pos += 12 + static_cast<std::size_t>(payload_size);
+    if (kind != kShardFrame) continue;  // unknown frame kinds are skippable
+    ShardCheckpoint shard = parse_shard(payload);
+    out.shards.emplace(shard.summary.shard_index, std::move(shard));
+  }
+  return out;
+}
+
+}  // namespace gfwsim::gfw

@@ -1,0 +1,101 @@
+// Campaign checkpoint journal: versioned binary serialization of
+// completed shards (ShardSummary + the shard's ProbeLog slice +
+// BlockEntry history + TeardownReport) in an append-only file, so a
+// multi-day campaign killed mid-run resumes by re-running only the
+// shards that never finished — and the resumed merge is bit-identical
+// to an uninterrupted run.
+//
+// File layout (all integers little-endian, fixed-width):
+//   header (32 bytes):
+//     0..7   magic "GFWCKPT1"
+//     8..11  format version (u32, currently 1)
+//     12..15 shard count of the campaign (u32)
+//     16..23 scenario base seed (u64)
+//     24..31 scenario fingerprint (u64) — resuming under a different
+//            scenario is rejected instead of silently merging apples
+//            with oranges
+//   then zero or more frames:
+//     u32 frame kind (1 = completed shard)
+//     u64 payload size
+//     payload (serialize_shard format; see checkpoint.cpp)
+// A torn tail frame (the process died mid-append) is detected by its
+// short payload and ignored: that shard simply reruns on resume.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "gfw/runner.h"
+
+namespace gfwsim::gfw {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct CheckpointHeader {
+  std::uint32_t version = kCheckpointVersion;
+  std::uint32_t shard_count = 0;
+  std::uint64_t base_seed = 0;
+  std::uint64_t scenario_fingerprint = 0;
+};
+
+// FNV-1a over the scenario fields that change what a shard computes
+// (server impl/cipher, traffic mode, duration, pacing, topology, fault
+// profile, classifier rate, seed). Two scenarios with equal fingerprints
+// produce interchangeable shards for checkpoint purposes.
+std::uint64_t scenario_fingerprint(const Scenario& scenario);
+
+// One completed shard as restored from a checkpoint.
+struct ShardCheckpoint {
+  ShardSummary summary;
+  ProbeLog log;
+};
+
+// Frame payload codec, exposed for the format-stability golden tests:
+// parse(serialize(x)) == x and serialize(parse(bytes)) == bytes.
+Bytes serialize_shard(const ShardSummary& summary, const ProbeLog& log);
+ShardCheckpoint parse_shard(ByteSpan payload);  // throws CheckpointError
+
+// Appends completed shards to the journal as they finish. In fresh mode
+// the file is truncated and a new header written; in append mode an
+// existing file's header must match `header` exactly (missing file:
+// same as fresh). Each append_shard is flushed before returning, so a
+// kill between appends loses at most the in-flight frame.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(const std::string& path, const CheckpointHeader& header,
+                   bool append);
+
+  void append_shard(const ShardSummary& summary, const ProbeLog& log);
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+struct Checkpoint {
+  CheckpointHeader header;
+  std::map<std::uint32_t, ShardCheckpoint> shards;  // by shard_index
+  // Bytes of a torn tail frame that were ignored (0 on a clean file).
+  std::size_t torn_tail_bytes = 0;
+};
+
+// Loads a journal. Throws CheckpointError on a bad magic, an unsupported
+// version, or a corrupt frame body; a truncated *tail* is tolerated (see
+// torn_tail_bytes). A duplicate shard frame (e.g. two non-resume runs
+// pointed at the same file) keeps the first occurrence.
+Checkpoint load_checkpoint(const std::string& path);
+
+// Returns true iff `path` exists and is non-empty (resume decides
+// between "fresh start" and "load and verify").
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace gfwsim::gfw

@@ -53,6 +53,10 @@ class ProbeLog {
   }
   void reserve(std::size_t n) { records_.reserve(n); }
 
+  // Wholesale replacement — checkpoint loads rebuild a shard's log from
+  // its journaled records (gfw/checkpoint.h).
+  void assign(std::vector<ProbeRecord> records) { records_ = std::move(records); }
+
   const std::vector<ProbeRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
 

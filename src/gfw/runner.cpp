@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
+
+#include "gfw/checkpoint.h"
 
 namespace gfwsim::gfw {
 
@@ -59,7 +64,27 @@ bool CampaignResult::teardown_clean() const {
   return true;
 }
 
-ShardedRunner::ShardedRunner(ShardedRunnerOptions options) : options_(options) {}
+std::string CampaignResult::teardown_failures() const {
+  std::string out;
+  for (const auto& shard : shards) {
+    if (shard.teardown.clean()) continue;
+    if (!out.empty()) out += '\n';
+    out += "shard " + std::to_string(shard.shard_index) + ": " +
+           shard.teardown.describe();
+  }
+  return out;
+}
+
+std::size_t CampaignResult::shards_quarantined() const {
+  std::size_t n = 0;
+  for (const auto& failure : failures) {
+    if (failure.quarantined) ++n;
+  }
+  return n;
+}
+
+ShardedRunner::ShardedRunner(ShardedRunnerOptions options)
+    : options_(std::move(options)) {}
 
 unsigned ShardedRunner::resolved_threads() const {
   if (options_.threads != 0) return options_.threads;
@@ -67,52 +92,180 @@ unsigned ShardedRunner::resolved_threads() const {
   return hw == 0 ? 1 : hw;
 }
 
+// One attempt at one shard, fully guarded: every exception (including
+// the stall watchdog's LoopAborted) is converted into a ShardFailure.
+struct ShardedRunner::ShardOutcome {
+  bool ok = false;
+  ShardSummary summary;
+  ProbeLog log;
+  ShardFailure failure;  // meaningful only when !ok
+};
+
+ShardedRunner::ShardOutcome ShardedRunner::run_one_shard(const Scenario& scenario,
+                                                         std::uint32_t shard,
+                                                         int attempt,
+                                                         StallWatchdog* watchdog) {
+  ShardOutcome out;
+  out.failure.shard_index = shard;
+  out.failure.seed = shard_seed(scenario.base_seed, shard);
+  out.failure.attempts = attempt + 1;
+
+  // Declared before the World so the loop's raw pointer to it can never
+  // dangle (locals destroy in reverse order).
+  net::LoopProgress progress;
+  std::unique_ptr<World> world;
+  ShardPhase phase = ShardPhase::kBuild;
+  bool watched = false;
+  try {
+    world = std::make_unique<World>(scenario, out.failure.seed, shard);
+    world->set_debug_attempt(attempt);
+    world->loop().set_progress(&progress);
+    if (watchdog != nullptr) {
+      watchdog->watch(shard, &progress);
+      watched = true;
+    }
+    if (before_) before_(*world, shard);
+    phase = ShardPhase::kRun;
+    world->run();
+    phase = ShardPhase::kHarvest;
+    if (after_) after_(*world, shard);
+
+    ShardSummary& summary = out.summary;
+    summary.shard_index = shard;
+    summary.seed = world->seed();
+    summary.connections_launched = world->connections_launched();
+    summary.control_contacts = world->control_host_contacts();
+    summary.flows_inspected = world->gfw().flows_inspected();
+    summary.flows_flagged = world->gfw().flows_flagged();
+    summary.segments_transmitted = world->network().segments_transmitted();
+    summary.segments_delivered = world->network().segments_delivered();
+    summary.payload_bytes_delivered = world->network().payload_bytes_delivered();
+    summary.segments_dropped_middlebox =
+        world->network().segments_dropped_middlebox();
+    summary.segments_dropped_loss = world->network().segments_dropped_loss();
+    summary.segments_dropped_outage = world->network().segments_dropped_outage();
+    summary.segments_duplicated = world->network().segments_duplicated();
+    summary.segments_reordered = world->network().segments_reordered();
+    summary.retransmissions = world->network().retransmissions();
+    summary.probe_connect_retries = world->gfw().probe_connect_retries();
+    summary.teardown = world->teardown_report();
+    summary.probes = world->log().size();
+    summary.blocking_history = world->gfw().blocking().history();
+    out.log = world->log();
+    out.ok = true;
+  } catch (const net::LoopAborted& aborted) {
+    out.failure.kind = FailureKind::kStall;
+    out.failure.phase = phase;
+    out.failure.what = aborted.what();
+  } catch (const std::exception& error) {
+    out.failure.kind = FailureKind::kException;
+    out.failure.phase = phase;
+    out.failure.what = error.what();
+  } catch (...) {
+    out.failure.kind = FailureKind::kException;
+    out.failure.phase = phase;
+    out.failure.what = "unknown exception";
+  }
+  if (watched) watchdog->unwatch(shard);
+  if (!out.ok && world != nullptr) {
+    // Best-effort snapshot of what the dying World left behind.
+    try {
+      out.failure.teardown = world->teardown_report();
+    } catch (...) {
+    }
+  }
+  return out;
+}
+
 CampaignResult ShardedRunner::run(const Scenario& scenario) {
   const std::uint32_t shards = std::max<std::uint32_t>(1, options_.shards);
   const unsigned threads =
       static_cast<unsigned>(std::min<std::uint64_t>(resolved_threads(), shards));
 
-  // Slot-per-shard outputs: workers write only their own index, so the
-  // merge below is independent of which thread ran which shard.
+  // Checkpoint plumbing: restore completed shards on resume, journal
+  // newly completed ones as workers finish them.
+  const CheckpointHeader header{kCheckpointVersion, shards, scenario.base_seed,
+                               scenario_fingerprint(scenario)};
+  std::vector<char> completed(shards, 0);
   std::vector<ProbeLog> logs(shards);
   std::vector<ShardSummary> summaries(shards);
-  std::vector<std::exception_ptr> errors(shards);
+  if (options_.resume && !options_.checkpoint_path.empty() &&
+      checkpoint_exists(options_.checkpoint_path)) {
+    Checkpoint restored = load_checkpoint(options_.checkpoint_path);
+    if (restored.header.shard_count != header.shard_count ||
+        restored.header.base_seed != header.base_seed ||
+        restored.header.scenario_fingerprint != header.scenario_fingerprint) {
+      throw CheckpointError(
+          "checkpoint: " + options_.checkpoint_path +
+          " records a different campaign (shard count, base seed, or scenario "
+          "fingerprint mismatch) — refusing to resume from it");
+    }
+    for (auto& [index, shard_checkpoint] : restored.shards) {
+      if (index >= shards) continue;
+      logs[index] = std::move(shard_checkpoint.log);
+      summaries[index] = std::move(shard_checkpoint.summary);
+      completed[index] = 1;
+    }
+  }
+  std::unique_ptr<CheckpointWriter> writer;
+  std::mutex writer_mu;
+  if (!options_.checkpoint_path.empty()) {
+    writer = std::make_unique<CheckpointWriter>(options_.checkpoint_path, header,
+                                                /*append=*/options_.resume);
+  }
 
+  // Slot-per-shard outputs: workers write only their own index, so the
+  // merge below is independent of which thread ran which shard.
+  std::vector<std::optional<ShardFailure>> failures(shards);
+
+  std::optional<StallWatchdog> watchdog;
+  if (options_.stall_timeout.count() > 0) watchdog.emplace(options_.stall_timeout);
+  StallWatchdog* watchdog_ptr = watchdog ? &*watchdog : nullptr;
+
+  const int max_attempts = 1 + std::max(0, options_.shard_retries);
   std::atomic<std::uint32_t> next{0};
   const auto worker = [&] {
     for (;;) {
       const std::uint32_t shard = next.fetch_add(1, std::memory_order_relaxed);
       if (shard >= shards) return;
-      try {
-        World world(scenario, shard_seed(scenario.base_seed, shard), shard);
-        if (before_) before_(world, shard);
-        world.run();
-        if (after_) after_(world, shard);
+      if (completed[shard]) continue;  // restored from the checkpoint
 
-        ShardSummary& summary = summaries[shard];
-        summary.shard_index = shard;
-        summary.seed = world.seed();
-        summary.connections_launched = world.connections_launched();
-        summary.control_contacts = world.control_host_contacts();
-        summary.flows_inspected = world.gfw().flows_inspected();
-        summary.flows_flagged = world.gfw().flows_flagged();
-        summary.segments_transmitted = world.network().segments_transmitted();
-        summary.segments_delivered = world.network().segments_delivered();
-        summary.payload_bytes_delivered = world.network().payload_bytes_delivered();
-        summary.segments_dropped_middlebox =
-            world.network().segments_dropped_middlebox();
-        summary.segments_dropped_loss = world.network().segments_dropped_loss();
-        summary.segments_dropped_outage = world.network().segments_dropped_outage();
-        summary.segments_duplicated = world.network().segments_duplicated();
-        summary.segments_reordered = world.network().segments_reordered();
-        summary.retransmissions = world.network().retransmissions();
-        summary.probe_connect_retries = world.gfw().probe_connect_retries();
-        summary.teardown = world.teardown_report();
-        summary.probes = world.log().size();
-        summary.blocking_history = world.gfw().blocking().history();
-        logs[shard] = world.log();
-      } catch (...) {
-        errors[shard] = std::current_exception();
+      std::optional<ShardFailure> first_failure;
+      for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        ShardOutcome outcome = run_one_shard(scenario, shard, attempt, watchdog_ptr);
+        if (outcome.ok) {
+          if (first_failure) {
+            // The identical seed succeeded on retry: the failure did not
+            // reproduce. Keep it on record, flagged, but merge the shard.
+            first_failure->nondeterministic = true;
+            first_failure->attempts = attempt + 1;
+            failures[shard] = std::move(first_failure);
+          }
+          summaries[shard] = std::move(outcome.summary);
+          logs[shard] = std::move(outcome.log);
+          completed[shard] = 1;
+          if (writer) {
+            std::lock_guard<std::mutex> lock(writer_mu);
+            writer->append_shard(summaries[shard], logs[shard]);
+          }
+          break;
+        }
+        if (!first_failure) {
+          first_failure = std::move(outcome.failure);
+        } else {
+          // Same (phase, kind, what) signature = the failure reproduced
+          // deterministically; anything else is evidence of a race.
+          if (first_failure->phase != outcome.failure.phase ||
+              first_failure->kind != outcome.failure.kind ||
+              first_failure->what != outcome.failure.what) {
+            first_failure->nondeterministic = true;
+          }
+          first_failure->attempts = attempt + 1;
+        }
+      }
+      if (!completed[shard] && first_failure) {
+        first_failure->quarantined = true;
+        failures[shard] = std::move(first_failure);
       }
     }
   };
@@ -126,20 +279,21 @@ CampaignResult ShardedRunner::run(const Scenario& scenario) {
     for (auto& thread : pool) thread.join();
   }
 
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
-
-  // Shard-ordered merge: identical regardless of thread count.
+  // Shard-ordered merge over the survivors: identical regardless of
+  // thread count, and identical to an uninterrupted run when resuming.
   CampaignResult result;
   std::size_t total = 0;
-  for (const auto& log : logs) total += log.size();
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    if (completed[shard]) total += logs[shard].size();
+  }
   result.log.reserve(total);
   for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    if (failures[shard]) result.failures.push_back(std::move(*failures[shard]));
+    if (!completed[shard]) continue;
     summaries[shard].log_offset = result.log.size();
     result.log.merge(logs[shard]);
+    result.shards.push_back(std::move(summaries[shard]));
   }
-  result.shards = std::move(summaries);
   return result;
 }
 

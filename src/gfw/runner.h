@@ -8,12 +8,25 @@
 // regardless of how many threads ran it — the determinism contract every
 // bench and test relies on (asserted by tests/integration/
 // sharded_runner_test.cpp).
+//
+// Supervision (gfw/supervisor.h): a shard that throws or is deadlined by
+// the stall watchdog no longer kills the campaign. It is retried with
+// its same seed up to `shard_retries` times, then quarantined — the
+// campaign completes with the surviving shards merged in shard order
+// (still bit-identical over the survivors) and the failure preserved in
+// CampaignResult::failures. With a `checkpoint_path`, completed shards
+// are journaled as they finish (gfw/checkpoint.h) and `resume` skips
+// them on a rerun; a resumed merge is bit-identical to an uninterrupted
+// one.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "gfw/supervisor.h"
 #include "gfw/world.h"
 
 namespace gfwsim::gfw {
@@ -60,10 +73,16 @@ struct ShardSummary {
   std::vector<BlockingModule::BlockEntry> blocking_history;
 };
 
-// Shard-ordered merge of a whole campaign.
+// Shard-ordered merge of a whole campaign. `shards` holds the SURVIVING
+// shards only (in shard order, each keeping its original shard_index);
+// quarantined shards appear in `failures` instead.
 struct CampaignResult {
-  ProbeLog log;  // shard 0's records, then shard 1's, ...
+  ProbeLog log;  // surviving shards' records, in shard order
   std::vector<ShardSummary> shards;
+  // One entry per shard that ever failed, in shard order: quarantined
+  // shards (retries exhausted, excluded from the merge) plus recovered
+  // ones (a retry succeeded; flagged nondeterministic, results merged).
+  std::vector<ShardFailure> failures;
 
   std::size_t connections_launched() const;
   std::size_t control_contacts() const;
@@ -73,6 +92,13 @@ struct CampaignResult {
   std::uint64_t payload_bytes_delivered() const;
   // True iff every shard's teardown watchdog came back clean.
   bool teardown_clean() const;
+  // "" when clean; otherwise one "shard N: <violations>" line per dirty
+  // shard (net::TeardownReport::describe) for test failure messages.
+  std::string teardown_failures() const;
+  // Shards excluded from the merge after exhausting retries.
+  std::size_t shards_quarantined() const;
+  // True iff every shard's results made it into the merge.
+  bool complete() const { return shards_quarantined() == 0; }
 };
 
 class Runner {
@@ -82,10 +108,30 @@ class Runner {
 };
 
 struct ShardedRunnerOptions {
+  ShardedRunnerOptions() = default;
+  // The historical (shards, threads) shorthand; supervision fields keep
+  // their defaults.
+  ShardedRunnerOptions(std::uint32_t shards_, unsigned threads_)
+      : shards(shards_), threads(threads_) {}
+
   std::uint32_t shards = 4;
   // 0 = std::thread::hardware_concurrency(). 1 = run inline on the
   // calling thread (the serial baseline for speedup comparisons).
   unsigned threads = 0;
+
+  // Supervision policy. A failing shard is retried with its same seed up
+  // to `shard_retries` times (0 = quarantine on first failure).
+  int shard_retries = 1;
+  // Wall-clock deadline for a shard whose event loop stops making
+  // progress; 0 disables the stall watchdog (no supervisor thread runs).
+  std::chrono::milliseconds stall_timeout{0};
+  // Journal completed shards to this file as they finish (empty = no
+  // journal). Without `resume` the file is recreated; with it, completed
+  // shards recorded there are restored instead of re-run (the header
+  // must match the campaign: shard count, base seed, scenario
+  // fingerprint — gfw/checkpoint.h).
+  std::string checkpoint_path;
+  bool resume = false;
 };
 
 class ShardedRunner : public Runner {
@@ -110,6 +156,11 @@ class ShardedRunner : public Runner {
   CampaignResult run(const Scenario& scenario) override;
 
  private:
+  struct ShardOutcome;  // one attempt's result (runner.cpp)
+
+  ShardOutcome run_one_shard(const Scenario& scenario, std::uint32_t shard,
+                             int attempt, StallWatchdog* watchdog);
+
   ShardedRunnerOptions options_;
   ShardHook before_;
   ShardHook after_;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "client/ss_client.h"
 #include "client/traffic_spec.h"
@@ -58,6 +59,29 @@ struct Scenario {
   // paper's four months, so the trigger rate is scaled up to keep probe
   // counts statistically useful while every *shape* is preserved.
   double classifier_base_rate = 0.05;
+
+  // Test-only failure injection for the supervision layer (crash
+  // containment, deterministic retry, stall deadlining — see
+  // gfw/supervisor.h). Disabled by default; only recovery-path tests and
+  // smoke benches turn it on. Injection schedules a single extra timer
+  // in the TARGETED shard only, so every other shard's transcript is
+  // bit-identical to an uninjected run.
+  struct DebugFailShard {
+    bool enabled = false;
+    std::uint32_t shard = 0;  // which shard misbehaves
+    // false: throw std::runtime_error at the injection point.
+    // true: wedge the event loop (busy-wait) until the stall watchdog
+    // aborts the shard — requires ShardedRunnerOptions::stall_timeout,
+    // otherwise a safety bound turns the wedge into a throw.
+    bool stall = false;
+    net::Duration after = net::hours(1);  // sim-time of the injected fault
+    // Attempts [0, fail_attempts) fail; later retries succeed. The
+    // default reproduces on every retry (a deterministic crash); 1
+    // models a transient fault that the first retry clears, which the
+    // runner flags as nondeterministic.
+    int fail_attempts = std::numeric_limits<int>::max();
+  };
+  DebugFailShard debug_fail_shard;
 
   // Base seed; shard i runs with shard_seed(base_seed, i) (gfw/runner.h).
   std::uint64_t base_seed = 0xCA4417A16;

@@ -1,5 +1,9 @@
 #include "gfw/world.h"
 
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
 namespace gfwsim::gfw {
 
 namespace {
@@ -101,6 +105,36 @@ void World::build() {
   if (client_config.password.empty()) client_config.password = scenario_.server.password;
   client_ = std::make_unique<client::SsClient>(client_host, server_endpoint_,
                                                client_config, seed_ ^ 0xc11);
+
+  // Test-only supervision coverage: the targeted shard arms one extra
+  // timer that crashes or wedges at a fixed sim-time (see Scenario).
+  if (scenario_.debug_fail_shard.enabled &&
+      scenario_.debug_fail_shard.shard == shard_index_) {
+    loop_.schedule_after(scenario_.debug_fail_shard.after,
+                         [this] { maybe_inject_failure(); });
+  }
+}
+
+void World::maybe_inject_failure() {
+  const Scenario::DebugFailShard& dbg = scenario_.debug_fail_shard;
+  if (debug_attempt_ >= dbg.fail_attempts) return;  // this retry succeeds
+  if (!dbg.stall) {
+    throw std::runtime_error("debug_fail_shard: injected crash in shard " +
+                             std::to_string(shard_index_));
+  }
+  // Wedge the loop: no events complete, so the heartbeat freezes and the
+  // stall watchdog eventually sets the abort flag we poll here. The
+  // safety bound keeps a watchdog-less run from hanging CI forever.
+  const auto wedged_at = std::chrono::steady_clock::now();
+  while (!loop_.abort_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (std::chrono::steady_clock::now() - wedged_at > std::chrono::seconds(60)) {
+      throw std::runtime_error(
+          "debug_fail_shard: stall exceeded the 60 s safety bound (no stall "
+          "watchdog armed?)");
+    }
+  }
+  // Return and let the event loop's between-events check throw LoopAborted.
 }
 
 World::~World() {

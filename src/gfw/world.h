@@ -66,10 +66,16 @@ class World {
   // tests assert `.clean()` after run(). Scans without running the loop.
   net::TeardownReport teardown_report() { return net_.teardown_report(); }
 
+  // Which retry attempt this World is (0 = first). Consulted by the
+  // scenario's debug_fail_shard injection so tests can model transient
+  // failures that a retry clears; set by ShardedRunner before run().
+  void set_debug_attempt(int attempt) { debug_attempt_ = attempt; }
+
  private:
   void build();
   void launch_connection();
   void pump_traffic();
+  void maybe_inject_failure();
 
   Scenario scenario_;
   std::unique_ptr<client::TrafficModel> traffic_;
@@ -92,6 +98,7 @@ class World {
   std::deque<std::shared_ptr<client::Fetch>> fetches_;
   std::size_t connections_launched_ = 0;
   std::size_t control_contacts_ = 0;
+  int debug_attempt_ = 0;
 };
 
 }  // namespace gfwsim::gfw

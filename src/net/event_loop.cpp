@@ -42,6 +42,14 @@ std::optional<TimePoint> EventLoop::next_due() {
   return queue_.top().at;
 }
 
+void EventLoop::note_progress() {
+  progress_->events.fetch_add(1, std::memory_order_relaxed);
+  progress_->sim_time_ns.store(now_.count(), std::memory_order_relaxed);
+  if (progress_->abort.load(std::memory_order_relaxed)) {
+    throw LoopAborted("event loop aborted by supervisor (stall watchdog deadline)");
+  }
+}
+
 bool EventLoop::pop_one(TimePoint limit) {
   while (!queue_.empty()) {
     const Entry top = queue_.top();
@@ -56,6 +64,7 @@ bool EventLoop::pop_one(TimePoint limit) {
     callbacks_.erase(it);
     now_ = top.at;
     fn();
+    if (progress_ != nullptr) note_progress();
     return true;
   }
   return false;

@@ -5,10 +5,12 @@
 // fully deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <queue>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +19,26 @@
 namespace gfwsim::net {
 
 using TimerId = std::uint64_t;
+
+// Shared-memory heartbeat between an EventLoop and a supervisor thread
+// (gfw::StallWatchdog). The loop stores `events`/`sim_time_ns` with
+// relaxed atomics after every event and polls `abort` between events;
+// everything else is the watcher's business. With no progress attached
+// the loop pays a single pointer test per event, so supervision is free
+// when unused.
+struct LoopProgress {
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<std::int64_t> sim_time_ns{0};
+  std::atomic<bool> abort{false};
+};
+
+// Thrown out of run()/run_until() between events once the attached
+// LoopProgress's abort flag is set — how the stall watchdog deadlines a
+// shard that stopped making progress.
+class LoopAborted : public std::runtime_error {
+ public:
+  explicit LoopAborted(const std::string& what) : std::runtime_error(what) {}
+};
 
 class EventLoop {
  public:
@@ -49,6 +71,16 @@ class EventLoop {
   // work without running the loop further.
   std::optional<TimePoint> next_due();
 
+  // Attaches (or detaches, with nullptr) the supervision heartbeat. The
+  // LoopProgress must outlive the attachment.
+  void set_progress(LoopProgress* progress) { progress_ = progress; }
+  // True once the attached watcher has asked this loop to stop; false
+  // when no progress is attached. Long-running callbacks may poll this
+  // to bail out cooperatively before the between-events check throws.
+  bool abort_requested() const {
+    return progress_ != nullptr && progress_->abort.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Entry {
     TimePoint at;
@@ -62,7 +94,9 @@ class EventLoop {
   bool pop_one(TimePoint limit);
   void drop_cancelled_top();
   void maybe_compact();
+  void note_progress();
 
+  LoopProgress* progress_ = nullptr;
   TimePoint now_{0};
   TimerId next_id_ = 1;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;

@@ -468,6 +468,33 @@ void Network::route_copy(Segment segment, bool duplicate) {
   }
 }
 
+std::string TeardownReport::describe() const {
+  if (clean()) return "clean";
+  std::string out;
+  const auto add = [&out](const std::string& part) {
+    if (!out.empty()) out += ", ";
+    out += part;
+  };
+  if (leaked_established > 0) {
+    add(std::to_string(leaked_established) +
+        " leaked established connection(s) idle past the grace period");
+  }
+  if (stale_registrations > 0) {
+    add(std::to_string(stale_registrations) +
+        " stale registration(s) (closed/reset connections still registered)");
+  }
+  if (timers_overdue) {
+    add("overdue timer(s) among " + std::to_string(pending_timers) +
+        " pending (due at or before now, never run)");
+  }
+  if (!accounting_balanced) {
+    add("segment accounting mismatch (transmitted + duplicated != delivered + "
+        "dropped + " +
+        std::to_string(segments_in_flight) + " in flight)");
+  }
+  return out;
+}
+
 TeardownReport Network::teardown_report(Duration grace) {
   TeardownReport report;
   const TimePoint now = loop_.now();

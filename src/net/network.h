@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -78,6 +79,11 @@ struct TeardownReport {
     return leaked_established == 0 && stale_registrations == 0 &&
            !timers_overdue && accounting_balanced;
   }
+
+  // Names every violated invariant ("clean" when none), so test failure
+  // messages and ShardFailure records say *which* watchdog tripped
+  // instead of a bare clean()==false.
+  std::string describe() const;
 };
 
 class Network;

@@ -61,6 +61,15 @@ bool NonceTimeReplayFilter::accept(ByteSpan nonce, net::TimePoint claimed_time,
 
   std::string key(nonce.begin(), nonce.end());
   if (by_nonce_.count(key) > 0) return false;
+
+  // Replay-check first, THEN make room: evicting before the lookup could
+  // evict the very nonce being replayed and wave the replay through.
+  while (by_nonce_.size() >= max_remembered_ && !expiry_queue_.empty()) {
+    by_nonce_.erase(expiry_queue_.front().second);
+    expiry_queue_.pop_front();
+    ++evicted_;
+  }
+
   expiry_queue_.emplace_back(now + window_, key);
   by_nonce_.insert(std::move(key));
   return true;

@@ -59,9 +59,16 @@ class BloomReplayFilter {
 class NonceTimeReplayFilter {
  public:
   // `window`: how far a connection's timestamp may deviate from the
-  // server clock and how long nonces are remembered.
-  explicit NonceTimeReplayFilter(net::Duration window = net::seconds(120))
-      : window_(window) {}
+  // server clock and how long nonces are remembered. `max_remembered`
+  // hard-caps the nonce store: a replay FLOOD inside the window would
+  // otherwise grow `by_nonce_`/`expiry_queue_` without bound, so once
+  // the cap is reached the oldest remembered nonces are evicted first
+  // (counted in evicted()). An evicted nonce could in principle be
+  // replayed again within the window — bounded memory traded against a
+  // vanishingly small replay surface, the same call VMess makes.
+  explicit NonceTimeReplayFilter(net::Duration window = net::seconds(120),
+                                 std::size_t max_remembered = 1u << 20)
+      : window_(window), max_remembered_(max_remembered) {}
 
   // Accepts the connection iff `claimed_time` is within the window of
   // `now` and the nonce was not seen inside the window. Accepted nonces
@@ -70,11 +77,17 @@ class NonceTimeReplayFilter {
 
   std::size_t remembered() const { return by_nonce_.size(); }
   net::Duration window() const { return window_; }
+  std::size_t max_remembered() const { return max_remembered_; }
+  // Nonces evicted oldest-first to respect the cap (prunes of expired
+  // entries do not count).
+  std::size_t evicted() const { return evicted_; }
 
  private:
   void prune(net::TimePoint now);
 
   net::Duration window_;
+  std::size_t max_remembered_;
+  std::size_t evicted_ = 0;
   std::unordered_set<std::string> by_nonce_;
   std::deque<std::pair<net::TimePoint, std::string>> expiry_queue_;
 };

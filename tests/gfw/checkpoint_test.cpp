@@ -1,0 +1,261 @@
+// Checkpoint format stability: the journal is what lets a multi-day
+// campaign survive a kill, so its byte layout must not drift silently.
+// The round-trip tests pin serialize∘parse == identity in both
+// directions, the golden digest pins the exact bytes version 1 produces,
+// and the rejection tests pin the failure modes (wrong magic, future
+// version, foreign campaign, torn tail).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "crypto/sha1.h"
+#include "gfw/checkpoint.h"
+
+namespace gfwsim {
+namespace {
+
+// A fully-populated synthetic shard: every field non-default so a
+// dropped or reordered field moves the golden digest.
+gfw::ShardSummary make_summary() {
+  gfw::ShardSummary s;
+  s.shard_index = 3;
+  s.seed = 0xDEADBEEFCAFEF00Dull;
+  s.connections_launched = 101;
+  s.control_contacts = 1;
+  s.flows_inspected = 99;
+  s.flows_flagged = 17;
+  s.segments_transmitted = 5000;
+  s.segments_delivered = 4900;
+  s.payload_bytes_delivered = 123456789;
+  s.segments_dropped_middlebox = 40;
+  s.segments_dropped_loss = 50;
+  s.segments_dropped_outage = 10;
+  s.segments_duplicated = 25;
+  s.segments_reordered = 12;
+  s.retransmissions = 33;
+  s.probe_connect_retries = 4;
+  s.teardown.leaked_established = 0;
+  s.teardown.live_established = 2;
+  s.teardown.embryonic = 1;
+  s.teardown.half_closed = 3;
+  s.teardown.stale_registrations = 0;
+  s.teardown.expired_registrations = 7;
+  s.teardown.pending_timers = 5;
+  s.teardown.timers_overdue = false;
+  s.teardown.segments_in_flight = 0;
+  s.teardown.accounting_balanced = true;
+  gfw::BlockingModule::BlockEntry port_block;
+  port_block.server_ip = net::Ipv4(203, 0, 113, 10);
+  port_block.port = 8388;
+  port_block.blocked_at = net::hours(5);
+  port_block.unblock_at = net::hours(29);
+  s.blocking_history.push_back(port_block);
+  gfw::BlockingModule::BlockEntry ip_block;
+  ip_block.server_ip = net::Ipv4(203, 0, 113, 11);
+  ip_block.blocked_at = net::hours(7);
+  ip_block.unblock_at = net::hours(55);
+  s.blocking_history.push_back(ip_block);
+  s.probes = 2;
+  return s;
+}
+
+gfw::ProbeLog make_log() {
+  gfw::ProbeLog log;
+  gfw::ProbeRecord replay;
+  replay.sent_at = net::seconds(12345);
+  replay.type = probesim::ProbeType::kR3;
+  replay.server = {net::Ipv4(203, 0, 113, 10), 8388};
+  replay.src_ip = net::Ipv4(221, 4, 18, 99);
+  replay.asn = 4134;
+  replay.src_port = 31022;
+  replay.ttl = 47;
+  replay.tsval = 0xABCD1234;
+  replay.tsval_process = 2;
+  replay.payload_len = 208;
+  replay.reaction = probesim::Reaction::kRst;
+  replay.connect_retries = 1;
+  replay.replay_delay = net::hours(570);  // the paper's maximum
+  replay.is_first_replay_of_payload = true;
+  replay.trigger_payload_hash = 0x1122334455667788ull;
+  log.add(replay);
+  gfw::ProbeRecord random_probe;
+  random_probe.sent_at = net::seconds(99999);
+  random_probe.type = probesim::ProbeType::kNR2;
+  random_probe.server = {net::Ipv4(203, 0, 113, 10), 8388};
+  random_probe.src_ip = net::Ipv4(112, 97, 3, 8);
+  random_probe.asn = 4837;
+  random_probe.src_port = 50001;
+  random_probe.ttl = 52;
+  random_probe.tsval = 17;
+  random_probe.tsval_process = -1;
+  random_probe.payload_len = 221;
+  random_probe.reaction = probesim::Reaction::kTimeout;
+  random_probe.connect_retries = 0;
+  random_probe.replay_delay = net::Duration::zero();
+  random_probe.is_first_replay_of_payload = false;
+  random_probe.trigger_payload_hash = 0;
+  log.add(random_probe);
+  return log;
+}
+
+gfw::CheckpointHeader make_header() {
+  gfw::CheckpointHeader header;
+  header.shard_count = 4;
+  header.base_seed = 0x5AA3D;
+  header.scenario_fingerprint = 0xFEEDFACE12345678ull;
+  return header;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "gfwsim_checkpoint_" + name;
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  Bytes data(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  return data;
+}
+
+void write_file(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+TEST(Checkpoint, ShardFrameRoundTripsByteIdentically) {
+  const gfw::ShardSummary summary = make_summary();
+  const gfw::ProbeLog log = make_log();
+
+  const Bytes bytes = gfw::serialize_shard(summary, log);
+  const gfw::ShardCheckpoint parsed = gfw::parse_shard(bytes);
+  const Bytes again = gfw::serialize_shard(parsed.summary, parsed.log);
+  EXPECT_EQ(bytes, again);  // serialize ∘ parse == identity on bytes
+
+  // And the parse really recovered the values, not just stable bytes.
+  EXPECT_EQ(parsed.summary.shard_index, 3u);
+  EXPECT_EQ(parsed.summary.seed, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(parsed.summary.payload_bytes_delivered, 123456789u);
+  EXPECT_EQ(parsed.summary.teardown.half_closed, 3u);
+  EXPECT_TRUE(parsed.summary.teardown.accounting_balanced);
+  ASSERT_EQ(parsed.summary.blocking_history.size(), 2u);
+  EXPECT_EQ(parsed.summary.blocking_history[0].port, 8388);
+  EXPECT_FALSE(parsed.summary.blocking_history[1].port.has_value());
+  ASSERT_EQ(parsed.log.size(), 2u);
+  EXPECT_EQ(parsed.log.records()[0].type, probesim::ProbeType::kR3);
+  EXPECT_EQ(parsed.log.records()[0].replay_delay, net::hours(570));
+  EXPECT_EQ(parsed.log.records()[1].reaction, probesim::Reaction::kTimeout);
+}
+
+TEST(Checkpoint, GoldenFrameDigestPinsFormatVersion1) {
+  // SHA-1 of the synthetic frame above, captured when format version 1
+  // was frozen. If this fails, the wire format changed: bump
+  // kCheckpointVersion and re-pin instead of silently breaking old
+  // journals.
+  const Bytes bytes = gfw::serialize_shard(make_summary(), make_log());
+  const auto digest = crypto::Sha1::hash(bytes);
+  EXPECT_EQ(hex_encode(ByteSpan(digest.data(), digest.size())),
+            "e8e24d813b4880ae4a657ab2724ed4be41e33953");
+}
+
+TEST(Checkpoint, FileRoundTripIsByteIdentical) {
+  const std::string path_a = temp_path("roundtrip_a.ckpt");
+  const std::string path_b = temp_path("roundtrip_b.ckpt");
+  const gfw::CheckpointHeader header = make_header();
+  {
+    gfw::CheckpointWriter writer(path_a, header, /*append=*/false);
+    writer.append_shard(make_summary(), make_log());
+    gfw::ShardSummary other = make_summary();
+    other.shard_index = 0;
+    other.seed = 42;
+    writer.append_shard(other, make_log());
+  }
+
+  const gfw::Checkpoint loaded = gfw::load_checkpoint(path_a);
+  EXPECT_EQ(loaded.header.version, gfw::kCheckpointVersion);
+  EXPECT_EQ(loaded.header.base_seed, header.base_seed);
+  EXPECT_EQ(loaded.torn_tail_bytes, 0u);
+  ASSERT_EQ(loaded.shards.size(), 2u);
+
+  {
+    gfw::CheckpointWriter writer(path_b, loaded.header, /*append=*/false);
+    // Shard frames were appended in (3, 0) order; re-emit in that order.
+    writer.append_shard(loaded.shards.at(3).summary, loaded.shards.at(3).log);
+    writer.append_shard(loaded.shards.at(0).summary, loaded.shards.at(0).log);
+  }
+  EXPECT_EQ(read_file(path_a), read_file(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(Checkpoint, VersionMismatchIsRejected) {
+  const std::string path = temp_path("version.ckpt");
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/false);
+    writer.append_shard(make_summary(), make_log());
+  }
+  Bytes data = read_file(path);
+  data[8] = 0x7F;  // version field (little-endian u32 at offset 8)
+  write_file(path, data);
+  EXPECT_THROW(gfw::load_checkpoint(path), gfw::CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BadMagicIsRejected) {
+  const std::string path = temp_path("magic.ckpt");
+  write_file(path, to_bytes("definitely not a checkpoint file at all"));
+  EXPECT_THROW(gfw::load_checkpoint(path), gfw::CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornTailFrameIsIgnored) {
+  // The process died mid-append: everything before the torn frame loads,
+  // and the torn bytes are reported so a resume can truncate them.
+  const std::string path = temp_path("torn.ckpt");
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/false);
+    writer.append_shard(make_summary(), make_log());
+  }
+  Bytes data = read_file(path);
+  const Bytes frame_start = {1, 0, 0, 0, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0xAB, 0xCD};
+  append(data, frame_start);  // claims a 64 KiB payload, delivers 2 bytes
+  write_file(path, data);
+
+  const gfw::Checkpoint loaded = gfw::load_checkpoint(path);
+  EXPECT_EQ(loaded.shards.size(), 1u);
+  EXPECT_EQ(loaded.torn_tail_bytes, frame_start.size());
+
+  // Appending over the torn tail truncates it first, leaving a journal
+  // that loads clean with both shards.
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/true);
+    gfw::ShardSummary other = make_summary();
+    other.shard_index = 1;
+    writer.append_shard(other, make_log());
+  }
+  const gfw::Checkpoint repaired = gfw::load_checkpoint(path);
+  EXPECT_EQ(repaired.shards.size(), 2u);
+  EXPECT_EQ(repaired.torn_tail_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, AppendingAForeignCampaignIsRejected) {
+  const std::string path = temp_path("foreign.ckpt");
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/false);
+    writer.append_shard(make_summary(), make_log());
+  }
+  gfw::CheckpointHeader other = make_header();
+  other.base_seed ^= 1;
+  EXPECT_THROW(gfw::CheckpointWriter(path, other, /*append=*/true),
+               gfw::CheckpointError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gfwsim

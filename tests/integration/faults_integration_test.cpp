@@ -108,8 +108,8 @@ TEST(FaultsIntegration, ZeroProfileWiringIsInert) {
 TEST(FaultsIntegration, TeardownWatchdogPassesFaultyAndPristine) {
   const gfw::CampaignResult faulty = gfw::run_serial(faulty_scenario());
   const gfw::CampaignResult pristine = gfw::run_serial(pristine_scenario());
-  EXPECT_TRUE(faulty.teardown_clean());
-  EXPECT_TRUE(pristine.teardown_clean());
+  EXPECT_TRUE(faulty.teardown_clean()) << faulty.teardown_failures();
+  EXPECT_TRUE(pristine.teardown_clean()) << pristine.teardown_failures();
   for (const auto& shard : faulty.shards) {
     EXPECT_EQ(shard.teardown.leaked_established, 0u);
     EXPECT_EQ(shard.teardown.stale_registrations, 0u);
@@ -127,7 +127,7 @@ TEST(FaultsIntegration, OutageWindowSurvivable) {
   std::size_t outage_drops = 0;
   for (const auto& shard : result.shards) outage_drops += shard.segments_dropped_outage;
   EXPECT_GT(outage_drops, 0u);
-  EXPECT_TRUE(result.teardown_clean());
+  EXPECT_TRUE(result.teardown_clean()) << result.teardown_failures();
 }
 
 }  // namespace

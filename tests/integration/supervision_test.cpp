@@ -1,0 +1,269 @@
+// Supervised campaigns: a shard crash (or wedge) is contained, retried
+// deterministically with the same seed, and at worst quarantined — the
+// campaign completes and the survivors' merge stays bit-identical to
+// the same shards run clean. Checkpoint/resume must reproduce an
+// uninterrupted run's transcript exactly, for any thread count.
+//
+// The failure injection hook (Scenario::debug_fail_shard) perturbs only
+// the targeted shard's event schedule, so every other shard's transcript
+// is comparable against a run with no injection at all.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "gfw/checkpoint.h"
+#include "gfw/runner.h"
+
+namespace gfwsim {
+namespace {
+
+gfw::Scenario small_scenario() {
+  gfw::Scenario scenario;
+  scenario.server.impl = probesim::ServerSetup::Impl::kOutline107;
+  scenario.duration = net::hours(12);
+  scenario.connection_interval = net::seconds(60);
+  scenario.classifier_base_rate = 0.3;
+  scenario.base_seed = 0x5AA3D;
+  return scenario;
+}
+
+gfw::Scenario crashing_scenario(std::uint32_t shard, int fail_attempts) {
+  gfw::Scenario scenario = small_scenario();
+  scenario.debug_fail_shard.enabled = true;
+  scenario.debug_fail_shard.shard = shard;
+  scenario.debug_fail_shard.after = net::hours(2);
+  scenario.debug_fail_shard.fail_attempts = fail_attempts;
+  return scenario;
+}
+
+std::string probe_record_string(const gfw::ProbeRecord& record) {
+  std::ostringstream out;
+  out << probesim::probe_type_name(record.type) << "," << record.payload_len << ","
+      << record.server.addr.to_string() << ":" << record.server.port << ","
+      << record.src_ip.to_string() << "," << record.src_port << ","
+      << static_cast<int>(record.ttl) << "," << record.tsval << ","
+      << record.tsval_process << "," << probesim::reaction_code(record.reaction)
+      << "," << record.sent_at.count() << "," << record.connect_retries << ","
+      << record.replay_delay.count() << "," << record.is_first_replay_of_payload
+      << "," << record.trigger_payload_hash << ";";
+  return out.str();
+}
+
+// One shard's slice of the merged log, every field of every record.
+std::string shard_slice(const gfw::CampaignResult& result,
+                        const gfw::ShardSummary& shard) {
+  std::string out;
+  for (std::size_t i = shard.log_offset; i < shard.log_offset + shard.probes; ++i) {
+    out += probe_record_string(result.log.records()[i]);
+  }
+  return out;
+}
+
+// Everything a shard contributed except its position in the merged log
+// (log_offset legitimately differs when earlier shards are quarantined).
+std::string summary_string(const gfw::ShardSummary& shard) {
+  std::ostringstream out;
+  out << "[shard " << shard.shard_index << " seed " << shard.seed << " conns "
+      << shard.connections_launched << " control " << shard.control_contacts
+      << " inspected " << shard.flows_inspected << " flagged " << shard.flows_flagged
+      << " tx " << shard.segments_transmitted << " rx " << shard.segments_delivered
+      << " payload " << shard.payload_bytes_delivered << " probes " << shard.probes
+      << " rtx " << shard.retransmissions << " clean " << shard.teardown.clean()
+      << " blocks";
+  for (const auto& entry : shard.blocking_history) {
+    out << " " << entry.server_ip.to_string() << ":"
+        << (entry.port ? static_cast<int>(*entry.port) : -1) << "@"
+        << entry.blocked_at.count() << "-" << entry.unblock_at.count();
+  }
+  out << "]";
+  return out.str();
+}
+
+// The whole campaign, bit-for-bit: summaries (with offsets), failures,
+// and the merged record stream.
+std::string transcript(const gfw::CampaignResult& result) {
+  std::string out;
+  for (const auto& shard : result.shards) {
+    out += summary_string(shard) + " offset=" + std::to_string(shard.log_offset);
+  }
+  out += "|";
+  for (const auto& failure : result.failures) out += gfw::describe(failure) + "|";
+  for (const auto& record : result.log.records()) out += probe_record_string(record);
+  return out;
+}
+
+std::string checkpoint_path(const std::string& name) {
+  return testing::TempDir() + "gfwsim_supervision_" + name;
+}
+
+TEST(Supervision, CrashIsContainedAndQuarantinedAfterDeterministicRetries) {
+  gfw::ShardedRunnerOptions options(4, 2);
+  options.shard_retries = 2;
+  const gfw::CampaignResult result =
+      gfw::ShardedRunner(options).run(crashing_scenario(1, /*fail_attempts=*/1 << 20));
+
+  // The campaign completed with exactly the other three shards merged.
+  ASSERT_EQ(result.shards.size(), 3u);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.shards_quarantined(), 1u);
+  EXPECT_FALSE(result.complete());
+
+  const gfw::ShardFailure& failure = result.failures[0];
+  EXPECT_EQ(failure.shard_index, 1u);
+  EXPECT_EQ(failure.seed, gfw::shard_seed(0x5AA3D, 1));
+  EXPECT_TRUE(failure.quarantined);
+  EXPECT_EQ(failure.attempts, 3);  // initial try + 2 retries, same seed
+  EXPECT_EQ(failure.kind, gfw::FailureKind::kException);
+  EXPECT_EQ(failure.phase, gfw::ShardPhase::kRun);
+  EXPECT_NE(failure.what.find("debug_fail_shard"), std::string::npos);
+  // The same seed failed the same way every attempt: NOT nondeterministic.
+  EXPECT_FALSE(failure.nondeterministic);
+
+  // Survivors are bit-identical to the same shards in a crash-free run.
+  const gfw::CampaignResult clean =
+      gfw::ShardedRunner(gfw::ShardedRunnerOptions(4, 2)).run(small_scenario());
+  ASSERT_EQ(clean.shards.size(), 4u);
+  std::size_t expected_offset = 0;
+  for (const auto& shard : result.shards) {
+    const gfw::ShardSummary& reference = clean.shards[shard.shard_index];
+    EXPECT_EQ(summary_string(shard), summary_string(reference));
+    EXPECT_EQ(shard_slice(result, shard), shard_slice(clean, reference));
+    // And the survivors' slices still tile the merged log contiguously.
+    EXPECT_EQ(shard.log_offset, expected_offset);
+    expected_offset += shard.probes;
+  }
+  EXPECT_EQ(expected_offset, result.log.size());
+}
+
+TEST(Supervision, RecoveredShardIsMergedAndFlaggedNondeterministic) {
+  // The injected failure fires on attempt 0 only — modeling a flaky,
+  // non-reproducible crash. The retry (same seed) succeeds, the shard is
+  // merged, and the recorded failure is flagged nondeterministic.
+  gfw::ShardedRunnerOptions options(4, 2);
+  options.shard_retries = 1;
+  const gfw::CampaignResult result =
+      gfw::ShardedRunner(options).run(crashing_scenario(0, /*fail_attempts=*/1));
+
+  ASSERT_EQ(result.shards.size(), 4u);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.shards_quarantined(), 0u);
+  EXPECT_TRUE(result.complete());
+  const gfw::ShardFailure& failure = result.failures[0];
+  EXPECT_EQ(failure.shard_index, 0u);
+  EXPECT_FALSE(failure.quarantined);
+  EXPECT_TRUE(failure.nondeterministic);
+  EXPECT_EQ(failure.attempts, 2);
+
+  // The recovered campaign equals one where the injection timer is armed
+  // but never fires (fail_attempts=0): recovery changed nothing merged.
+  const gfw::CampaignResult reference =
+      gfw::ShardedRunner(gfw::ShardedRunnerOptions(4, 2))
+          .run(crashing_scenario(0, /*fail_attempts=*/0));
+  EXPECT_TRUE(reference.failures.empty());
+  for (const auto& shard : result.shards) {
+    EXPECT_EQ(summary_string(shard),
+              summary_string(reference.shards[shard.shard_index]));
+  }
+  for (std::size_t i = 0; i < result.log.size(); ++i) {
+    ASSERT_EQ(probe_record_string(result.log.records()[i]),
+              probe_record_string(reference.log.records()[i]));
+  }
+}
+
+TEST(Supervision, StallWatchdogDeadlinesAWedgedShard) {
+  // The injected stall wedges shard 2's event loop without throwing; only
+  // the watchdog's cooperative abort gets the worker back.
+  gfw::Scenario scenario = crashing_scenario(2, /*fail_attempts=*/1 << 20);
+  scenario.debug_fail_shard.stall = true;
+  gfw::ShardedRunnerOptions options(4, 2);
+  options.shard_retries = 0;  // one stall is slow enough; don't repeat it
+  options.stall_timeout = std::chrono::milliseconds(200);
+  const gfw::CampaignResult result = gfw::ShardedRunner(options).run(scenario);
+
+  ASSERT_EQ(result.shards.size(), 3u);
+  ASSERT_EQ(result.failures.size(), 1u);
+  const gfw::ShardFailure& failure = result.failures[0];
+  EXPECT_EQ(failure.shard_index, 2u);
+  EXPECT_EQ(failure.kind, gfw::FailureKind::kStall);
+  EXPECT_EQ(failure.phase, gfw::ShardPhase::kRun);
+  EXPECT_TRUE(failure.quarantined);
+  EXPECT_EQ(result.shards_quarantined(), 1u);
+}
+
+TEST(Supervision, CheckpointResumeMatchesUninterruptedRunForAnyThreadCount) {
+  const std::string path = checkpoint_path("resume.ckpt");
+  std::remove(path.c_str());
+
+  // The reference: the same campaign, never interrupted, no journal.
+  const gfw::CampaignResult uninterrupted =
+      gfw::ShardedRunner(gfw::ShardedRunnerOptions(4, 2)).run(small_scenario());
+
+  // "Interrupted" run: shard 1 crashes with retries exhausted, the other
+  // three shards complete and are journaled.
+  gfw::ShardedRunnerOptions crash_options(4, 2);
+  crash_options.shard_retries = 0;
+  crash_options.checkpoint_path = path;
+  const gfw::CampaignResult interrupted = gfw::ShardedRunner(crash_options)
+          .run(crashing_scenario(1, /*fail_attempts=*/1 << 20));
+  ASSERT_EQ(interrupted.shards.size(), 3u);
+  ASSERT_EQ(interrupted.shards_quarantined(), 1u);
+
+  // Resume under a different thread count, crash gone (the injection hook
+  // only ever perturbed shard 1, which is exactly the shard re-running).
+  gfw::ShardedRunnerOptions resume_options(4, 3);
+  resume_options.checkpoint_path = path;
+  resume_options.resume = true;
+  const gfw::CampaignResult resumed =
+      gfw::ShardedRunner(resume_options).run(small_scenario());
+  EXPECT_TRUE(resumed.complete());
+  EXPECT_TRUE(resumed.failures.empty());
+  EXPECT_EQ(transcript(resumed), transcript(uninterrupted));
+
+  // Resume again (now nothing to do — all four shards restored from the
+  // journal), single-threaded: still the identical transcript.
+  resume_options.threads = 1;
+  const gfw::CampaignResult restored =
+      gfw::ShardedRunner(resume_options).run(small_scenario());
+  EXPECT_EQ(transcript(restored), transcript(uninterrupted));
+  std::remove(path.c_str());
+}
+
+TEST(Supervision, ResumeRefusesACheckpointFromADifferentScenario) {
+  const std::string path = checkpoint_path("mismatch.ckpt");
+  std::remove(path.c_str());
+  gfw::ShardedRunnerOptions options(2, 1);
+  options.checkpoint_path = path;
+  gfw::ShardedRunner(options).run(small_scenario());
+
+  gfw::Scenario other = small_scenario();
+  other.duration = net::hours(13);  // changes the scenario fingerprint
+  options.resume = true;
+  EXPECT_THROW(gfw::ShardedRunner(options).run(other), gfw::CheckpointError);
+
+  // Same scenario, different shard split: also refused.
+  gfw::ShardedRunnerOptions split_options(3, 1);
+  split_options.checkpoint_path = path;
+  split_options.resume = true;
+  EXPECT_THROW(gfw::ShardedRunner(split_options).run(small_scenario()),
+               gfw::CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Supervision, SupervisionDefaultsLeaveTranscriptsUntouched) {
+  // Arming the watchdog and retries on a healthy campaign must not change
+  // a single byte of the result (the <2% overhead budget starts with
+  // "identical output").
+  gfw::ShardedRunnerOptions supervised(4, 2);
+  supervised.shard_retries = 3;
+  supervised.stall_timeout = std::chrono::seconds(30);
+  const gfw::CampaignResult a = gfw::ShardedRunner(supervised).run(small_scenario());
+  const gfw::CampaignResult b =
+      gfw::ShardedRunner(gfw::ShardedRunnerOptions(4, 2)).run(small_scenario());
+  EXPECT_TRUE(a.failures.empty());
+  EXPECT_EQ(transcript(a), transcript(b));
+}
+
+}  // namespace
+}  // namespace gfwsim

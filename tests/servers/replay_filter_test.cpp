@@ -98,5 +98,42 @@ TEST(NonceTimeReplayFilter, MemoryIsBoundedByWindow) {
   EXPECT_TRUE(filter2.accept(nonce, net::seconds(200), net::seconds(200)));
 }
 
+TEST(NonceTimeReplayFilter, HardCapEvictsOldestFirstUnderFlood) {
+  // A replay flood inside the window would otherwise grow the nonce
+  // store without bound; the cap evicts oldest-first and counts it.
+  NonceTimeReplayFilter filter(net::hours(1), /*max_remembered=*/64);
+  crypto::Rng rng(9);
+  const auto now = net::seconds(100);
+  const Bytes oldest = rng.bytes(32);
+  EXPECT_TRUE(filter.accept(oldest, now, now));
+  for (int i = 0; i < 200; ++i) {
+    // All inside the window: nothing expires, so only the cap bounds us.
+    EXPECT_TRUE(filter.accept(rng.bytes(32), now + net::seconds(i), now + net::seconds(i)));
+  }
+  EXPECT_LE(filter.remembered(), 64u);
+  EXPECT_EQ(filter.evicted(), 201u - 64u);
+  // The oldest nonce was evicted — a replay of it now squeaks through
+  // (the documented bounded-memory trade-off)...
+  EXPECT_TRUE(filter.accept(oldest, now, now + net::seconds(200)));
+  // ...while the newest remembered nonces still reject replays.
+  EXPECT_EQ(filter.evicted(), 202u - 64u);
+}
+
+TEST(NonceTimeReplayFilter, CapNeverEvictsTheNonceBeingChecked) {
+  // Eviction happens after the replay lookup: a replayed nonce must be
+  // rejected even when the store sits exactly at the cap.
+  NonceTimeReplayFilter filter(net::hours(1), /*max_remembered=*/4);
+  crypto::Rng rng(10);
+  const auto now = net::seconds(50);
+  std::vector<Bytes> nonces;
+  for (int i = 0; i < 4; ++i) {
+    nonces.push_back(rng.bytes(32));
+    EXPECT_TRUE(filter.accept(nonces.back(), now, now));
+  }
+  // At the cap: the most recent nonce is still remembered and rejected.
+  EXPECT_FALSE(filter.accept(nonces.back(), now, now + net::seconds(1)));
+  EXPECT_EQ(filter.evicted(), 0u);
+}
+
 }  // namespace
 }  // namespace gfwsim::servers

@@ -1,15 +1,31 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_crypto_micro JSON run against the committed baseline.
+"""Compare a fresh bench JSON run against the committed baseline.
 
-Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.30]
+Usage: check_bench_regression.py BASELINE.json CURRENT.json
+           [--threshold 0.30] [--only SUBSTR]
 
-Both files are google-benchmark ``--benchmark_out`` JSON. For every
-benchmark present in both files that reports ``bytes_per_second``, the
-current throughput must not fall more than ``threshold`` below the
-baseline; CI machines are noisy, so the default 30% only catches real
+Two input formats are auto-detected per file:
+
+* google-benchmark ``--benchmark_out`` JSON (a top-level ``benchmarks``
+  list). For every benchmark present in both files that reports
+  ``bytes_per_second``, the current throughput must not fall more than
+  ``threshold`` below the baseline. Benchmarks without a throughput
+  counter (e.g. the fixed-size setup benches) are compared on
+  real_time instead.
+
+* BenchReporter ``--json`` output (a top-level ``metrics`` list of
+  ``{"metric", "paper", "measured", "value"?}`` rows, as written by the
+  campaign benches like bench_throughput). Rows carrying a numeric
+  ``value`` are compared higher-is-better — e.g. the goodput rows — and
+  rows without one are skipped.
+
+``--only SUBSTR`` restricts the comparison to names containing SUBSTR
+(case-insensitive); CI uses it to gate bench_throughput on its goodput
+rows without tripping on count-style metrics.
+
+CI machines are noisy, so the default 30% only catches real
 regressions (the kernels in this repo moved ~10x, so even a partial
-revert trips it). Benchmarks without a throughput counter (e.g. the
-fixed-size setup benches) are compared on real_time instead.
+revert trips it).
 
 Exit code 0 = within bounds, 1 = regression, 2 = usage/parse error.
 """
@@ -19,19 +35,34 @@ import json
 import sys
 
 
-def load_benchmarks(path):
+def load_entries(path):
+    """Returns {name: (value, higher_is_better, metric_label)}."""
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, ValueError) as e:
         print(f"check_bench_regression: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
     out = {}
+    if "metrics" in doc:
+        # BenchReporter format: one file per bench, rows keyed by metric
+        # name; only rows that carry a machine-readable value compare.
+        for row in doc["metrics"]:
+            if "value" not in row:
+                continue
+            out[row["metric"]] = (float(row["value"]), True, "value")
+        return out
+
     for bench in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions).
         if bench.get("run_type") == "aggregate":
             continue
-        out[bench["name"]] = bench
+        if "bytes_per_second" in bench:
+            out[bench["name"]] = (float(bench["bytes_per_second"]), True,
+                                  "bytes_per_second")
+        elif "real_time" in bench:
+            out[bench["name"]] = (float(bench["real_time"]), False, "real_time")
     return out
 
 
@@ -41,30 +72,31 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional drop vs baseline (default 0.30)")
+    parser.add_argument("--only", default="",
+                        help="compare only entries whose name contains this "
+                             "substring (case-insensitive)")
     args = parser.parse_args()
 
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+    baseline = load_entries(args.baseline)
+    current = load_entries(args.current)
     if not baseline:
-        print(f"check_bench_regression: no benchmarks in {args.baseline}",
+        print(f"check_bench_regression: no comparable entries in {args.baseline}",
               file=sys.stderr)
         sys.exit(2)
 
     failures = []
     compared = 0
-    for name, base in sorted(baseline.items()):
-        cur = current.get(name)
-        if cur is None:
+    needle = args.only.lower()
+    for name, (b, higher_is_better, metric) in sorted(baseline.items()):
+        if needle and needle not in name.lower():
+            continue
+        if name not in current:
             print(f"  [skip] {name}: missing from current run")
             continue
-        if "bytes_per_second" in base and "bytes_per_second" in cur:
-            metric, higher_is_better = "bytes_per_second", True
-        elif "real_time" in base and "real_time" in cur:
-            metric, higher_is_better = "real_time", False
-        else:
-            print(f"  [skip] {name}: no comparable metric")
+        c, cur_higher, cur_metric = current[name]
+        if cur_higher != higher_is_better or cur_metric != metric:
+            print(f"  [skip] {name}: metric changed ({metric} -> {cur_metric})")
             continue
-        b, c = float(base[metric]), float(cur[metric])
         if b <= 0:
             continue
         compared += 1
