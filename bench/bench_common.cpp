@@ -199,6 +199,18 @@ void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
   }
 }
 
+void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
+                       const BenchOptions& options, double wall_seconds) {
+  print_run_summary(os, result, options);
+  const std::uint64_t events = result.events_processed();
+  os << "[" << events << " events";
+  if (wall_seconds > 0.0) {
+    os << ", " << static_cast<std::uint64_t>(static_cast<double>(events) / wall_seconds)
+       << " events/sec";
+  }
+  os << "]\n";
+}
+
 BenchReporter::BenchReporter(std::string bench_name, const BenchOptions& options)
     : bench_(std::move(bench_name)), json_path_(options.json) {
   if (!options.csv.empty()) {

@@ -104,6 +104,11 @@ gfw::CampaignResult run_standard_sharded(const BenchOptions& options,
 void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
                        const BenchOptions& options);
 
+// Same, plus an engine-throughput line (events fired across all shards'
+// event loops, and events/sec when a positive wall time is given).
+void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
+                       const BenchOptions& options, double wall_seconds);
+
 // Paper-vs-measured reporting. Rows print to stdout and, when --csv or
 // --json was given, land in the mirror file as (bench, metric, paper,
 // measured) so future runs can track a perf/accuracy trajectory. The

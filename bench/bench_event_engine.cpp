@@ -1,0 +1,180 @@
+// Engine microbenchmarks: the timer wheel and the hashed flow tables
+// that every simulated segment rides through.
+//
+// Five rates, all higher-is-better (tools/check_bench_regression.py
+// gates them via --only rate in the perf-smoke CI job):
+//   * timer schedule+fire rate   — spread deadlines, schedule then drain
+//   * timer schedule+cancel rate — O(1) cancel through generation-tagged ids
+//   * same-instant FIFO fire rate — thousands of ties per instant
+//   * flow-table delivery rate   — segments routed through the connection
+//                                  and latency hash tables end to end
+//   * campaign event rate        — a small standard campaign, using
+//                                  CampaignResult::events_processed
+//
+// The timer loops model the engine's real mix: the campaign scheduler
+// interleaves near deadlines (segment delivery, microseconds out) with
+// far ones (idle watchdogs, seconds out), so the wheel pays its cascade
+// costs rather than an artificial single-level best case.
+#include <chrono>
+
+#include "bench_common.h"
+#include "net/network.h"
+
+using namespace gfwsim;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::string rate_text(double rate, std::uint64_t count, const char* unit) {
+  return std::to_string(static_cast<std::uint64_t>(rate)) + " " + unit + "/sec (" +
+         std::to_string(count) + " total)";
+}
+
+// Schedule `batch` timers with deadlines spread over near and far slots,
+// then drain them, repeatedly. Counts fired events.
+double schedule_fire_rate(std::uint64_t& fired) {
+  net::EventLoop loop;
+  std::uint64_t count = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  while ((elapsed = seconds_since(start)) < 0.3) {
+    constexpr int kBatch = 4096;
+    for (int i = 0; i < kBatch; ++i) {
+      // Mix of microsecond-scale and second-scale deadlines exercises
+      // multiple wheel levels and the cascade path.
+      const auto delay = (i % 7 == 0) ? net::milliseconds(1000 + i)
+                                      : net::Duration(1000 + 977 * i);
+      loop.schedule_after(delay, [&count] { ++count; });
+    }
+    loop.run();
+  }
+  fired = count;
+  return static_cast<double>(count) / elapsed;
+}
+
+// Schedule then immediately cancel; counts schedule+cancel pairs.
+double schedule_cancel_rate(std::uint64_t& cancelled) {
+  net::EventLoop loop;
+  std::uint64_t count = 0;
+  std::vector<net::TimerId> ids;
+  ids.reserve(4096);
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  while ((elapsed = seconds_since(start)) < 0.3) {
+    ids.clear();
+    for (int i = 0; i < 4096; ++i) {
+      ids.push_back(loop.schedule_after(net::Duration(500 + 313 * i), [] {}));
+    }
+    // Cancel in reverse order so the slab free list churns.
+    for (auto it = ids.rbegin(); it != ids.rend(); ++it) loop.cancel(*it);
+    count += ids.size();
+    loop.run_until(loop.now() + net::Duration(1));  // keep the clock moving
+  }
+  cancelled = count;
+  return static_cast<double>(count) / elapsed;
+}
+
+// Thousands of timers per instant; firing order is FIFO by contract.
+double fifo_fire_rate(std::uint64_t& fired) {
+  net::EventLoop loop;
+  std::uint64_t count = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  while ((elapsed = seconds_since(start)) < 0.3) {
+    const net::TimePoint instant = loop.now() + net::milliseconds(5);
+    for (int i = 0; i < 4096; ++i) {
+      loop.schedule_at(instant, [&count] { ++count; });
+    }
+    loop.run();
+  }
+  fired = count;
+  return static_cast<double>(count) / elapsed;
+}
+
+// Many live connections ping-ponging payloads: every delivered segment
+// resolves the flow key and the latency override in the hash tables.
+double flow_table_rate(std::uint64_t& delivered) {
+  net::EventLoop loop;
+  net::Network net(loop);
+  net::Host& client = net.add_host(net::Ipv4(10, 0, 0, 1));
+  net::Host& server = net.add_host(net::Ipv4(203, 0, 113, 5));
+  net.set_latency(net::Ipv4(10, 0, 0, 1), net::Ipv4(203, 0, 113, 5),
+                  net::milliseconds(7));
+
+  std::vector<std::shared_ptr<net::Connection>> sessions;
+  server.listen(8388, [&sessions](std::shared_ptr<net::Connection> conn) {
+    sessions.push_back(conn);
+    auto* raw = conn.get();
+    net::ConnectionCallbacks cb;
+    cb.on_data = [raw](ByteSpan data) { raw->send(data); };  // echo
+    conn->set_callbacks(std::move(cb));
+  });
+
+  const Bytes payload(128, 0xab);
+  std::vector<std::shared_ptr<net::Connection>> clients;
+  constexpr int kConnections = 256;
+  for (int i = 0; i < kConnections; ++i) {
+    net::ConnectionCallbacks cb;
+    clients.push_back(client.connect({net::Ipv4(203, 0, 113, 5), 8388}, std::move(cb)));
+  }
+  loop.run();  // complete all handshakes
+
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  std::uint64_t base = net.segments_delivered();
+  while ((elapsed = seconds_since(start)) < 0.3) {
+    for (const auto& conn : clients) conn->send(payload);
+    loop.run();
+  }
+  delivered = net.segments_delivered() - base;
+  return static_cast<double>(delivered) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
+  analysis::print_banner(std::cout,
+                         "Event engine: timer wheel and flow-table throughput");
+  bench::BenchReporter report("event_engine", options);
+
+  std::uint64_t fired = 0, cancelled = 0, ties = 0, delivered = 0;
+  const double fire = schedule_fire_rate(fired);
+  const double cancel = schedule_cancel_rate(cancelled);
+  const double fifo = fifo_fire_rate(ties);
+  const double flow = flow_table_rate(delivered);
+
+  report.metric("timer schedule+fire rate", "n/a (engine baseline)",
+                rate_text(fire, fired, "events"), fire);
+  report.metric("timer schedule+cancel rate", "n/a (engine baseline)",
+                rate_text(cancel, cancelled, "pairs"), cancel);
+  report.metric("same-instant FIFO fire rate", "n/a (engine baseline)",
+                rate_text(fifo, ties, "events"), fifo);
+  report.metric("flow-table delivery rate", "n/a (engine baseline)",
+                rate_text(flow, delivered, "segments"), flow);
+
+  // End to end: a compressed standard campaign, the same scenario shape
+  // the transcript-equivalence test pins.
+  const gfw::Scenario scenario = bench::with_options(
+      bench::standard_scenario(), options, /*default_seed=*/0xE4E47, /*default_days=*/2);
+  const auto start = std::chrono::steady_clock::now();
+  const gfw::CampaignResult result = bench::run_sharded(scenario, options);
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  bench::print_run_summary(std::cout, result, options, wall);
+  const double campaign_rate =
+      wall > 0.0 ? static_cast<double>(result.events_processed()) / wall : 0.0;
+  report.metric("campaign event rate", "n/a (engine baseline)",
+                rate_text(campaign_rate, result.events_processed(), "events"),
+                campaign_rate);
+
+  if (!result.teardown_clean()) {
+    std::cerr << "teardown watchdog reported an unclean shutdown\n";
+    return 1;
+  }
+  return 0;
+}

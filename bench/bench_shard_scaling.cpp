@@ -68,7 +68,9 @@ int main(int argc, char** argv) {
             << " threads...\n";
   const Timed pooled = timed_run(scenario, shards, pool_threads);
   std::cout << "  " << analysis::format_double(pooled.seconds, 2) << " s, "
-            << pooled.result.log.size() << " probes\n\n";
+            << pooled.result.log.size() << " probes\n";
+  bench::print_run_summary(std::cout, pooled.result, options, pooled.seconds);
+  std::cout << "\n";
 
   const bool identical = identical_logs(serial.result.log, pooled.result.log);
   const double speedup = pooled.seconds > 0.0 ? serial.seconds / pooled.seconds : 0.0;
@@ -84,5 +86,14 @@ int main(int argc, char** argv) {
       analysis::format_double(speedup, 2) + "x (" +
           analysis::format_double(serial.seconds, 2) + " s -> " +
           analysis::format_double(pooled.seconds, 2) + " s)");
+  const double serial_rate =
+      serial.seconds > 0.0
+          ? static_cast<double>(serial.result.events_processed()) / serial.seconds
+          : 0.0;
+  report.metric("event rate [serial]", "n/a (engine throughput)",
+                std::to_string(static_cast<std::uint64_t>(serial_rate)) +
+                    " events/sec (" + std::to_string(serial.result.events_processed()) +
+                    " events)",
+                serial_rate);
   return identical ? 0 : 1;
 }

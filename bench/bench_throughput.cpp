@@ -28,6 +28,11 @@ struct Arm {
     const double bytes = static_cast<double>(result.payload_bytes_delivered());
     return wall_seconds > 0.0 ? bytes / wall_seconds / 1e6 : 0.0;
   }
+
+  double events_per_second() const {
+    const double events = static_cast<double>(result.events_processed());
+    return wall_seconds > 0.0 ? events / wall_seconds : 0.0;
+  }
 };
 
 Arm run_arm(const char* name, const gfw::Scenario& scenario,
@@ -72,7 +77,7 @@ int main(int argc, char** argv) {
 
   const Arm arms[] = {run_arm("ideal", ideal, options),
                       run_arm("faults", impaired, options)};
-  bench::print_run_summary(std::cout, arms[0].result, options);
+  bench::print_run_summary(std::cout, arms[0].result, options, arms[0].wall_seconds);
 
   for (const Arm& arm : arms) {
     const auto& result = arm.result;
@@ -84,6 +89,12 @@ int main(int argc, char** argv) {
                   std::to_string(result.payload_bytes_delivered()) + " bytes in " +
                       std::to_string(arm.wall_seconds) + " s",
                   static_cast<double>(result.payload_bytes_delivered()));
+    report.metric(std::string("event rate [") + arm.name + "]",
+                  "n/a (perf baseline starts here)",
+                  std::to_string(static_cast<std::uint64_t>(arm.events_per_second())) +
+                      " events/sec (" + std::to_string(result.events_processed()) +
+                      " events)",
+                  arm.events_per_second());
   }
   report.metric("retransmissions [faults]", "n/a (perf baseline starts here)",
                 std::to_string(arms[1].result.retransmissions()),

@@ -63,9 +63,33 @@ void ChaCha20::refill() {
 }
 
 void ChaCha20::transform(ByteSpan data, std::uint8_t* out) {
-  for (std::size_t i = 0; i < data.size(); ++i) {
+  std::size_t i = 0;
+  // Drain whatever is left of the current keystream block.
+  while (i < data.size() && used_ < 64) {
+    out[i] = data[i] ^ keystream_[used_++];
+    ++i;
+  }
+  // Whole blocks: refill then XOR 64 bytes word-wise. The memcpy in/out of
+  // the word locals compiles to plain loads/stores; keystream bytes are
+  // consumed in the exact order the per-byte loop used, so output is
+  // unchanged.
+  while (data.size() - i >= 64) {
+    refill();
+    for (int w = 0; w < 8; ++w) {
+      std::uint64_t m, k;
+      std::memcpy(&m, data.data() + i + 8 * w, 8);
+      std::memcpy(&k, keystream_.data() + 8 * w, 8);
+      m ^= k;
+      std::memcpy(out + i + 8 * w, &m, 8);
+    }
+    used_ = 64;
+    i += 64;
+  }
+  // Partial tail block.
+  while (i < data.size()) {
     if (used_ == 64) refill();
     out[i] = data[i] ^ keystream_[used_++];
+    ++i;
   }
 }
 

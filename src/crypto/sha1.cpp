@@ -9,33 +9,35 @@ void Sha1::reset() {
 }
 
 void Sha1::process_block(const std::uint8_t* block) {
-  std::uint32_t w[80];
+  // Rolling 16-word schedule and four branch-free round groups: same
+  // FIPS 180-4 math as the classic w[80] single loop, minus the per-round
+  // phase branches and the 256-byte spill of the full schedule.
+  std::uint32_t w[16];
   for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
-  for (int i = 16; i < 80; ++i) w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
 
   std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
-  for (int i = 0; i < 80; ++i) {
-    std::uint32_t f, k;
-    if (i < 20) {
-      f = (b & c) | (~b & d);
-      k = 0x5a827999;
-    } else if (i < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ed9eba1;
-    } else if (i < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8f1bbcdc;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xca62c1d6;
-    }
-    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+
+  const auto schedule = [&w](int i) {
+    const std::uint32_t v = rotl32(
+        w[(i + 13) & 15] ^ w[(i + 8) & 15] ^ w[(i + 2) & 15] ^ w[i & 15], 1);
+    w[i & 15] = v;
+    return v;
+  };
+  const auto round = [&](std::uint32_t f, std::uint32_t k, std::uint32_t wi) {
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + wi;
     e = d;
     d = c;
     c = rotl32(b, 30);
     b = a;
     a = tmp;
-  }
+  };
+
+  for (int i = 0; i < 16; ++i) round((b & c) | (~b & d), 0x5a827999, w[i]);
+  for (int i = 16; i < 20; ++i) round((b & c) | (~b & d), 0x5a827999, schedule(i));
+  for (int i = 20; i < 40; ++i) round(b ^ c ^ d, 0x6ed9eba1, schedule(i));
+  for (int i = 40; i < 60; ++i) round((b & c) | (b & d) | (c & d), 0x8f1bbcdc, schedule(i));
+  for (int i = 60; i < 80; ++i) round(b ^ c ^ d, 0xca62c1d6, schedule(i));
+
   state_[0] += a;
   state_[1] += b;
   state_[2] += c;
@@ -68,14 +70,18 @@ void Sha1::update(ByteSpan data) {
 
 Sha1::Digest Sha1::finish() {
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad_byte = 0x80;
-  update(ByteSpan(&pad_byte, 1));
-  const std::uint8_t zero = 0x00;
-  while (buffer_len_ != 56) update(ByteSpan(&zero, 1));
-
-  std::uint8_t len_bytes[8];
-  store_be64(len_bytes, bit_len);
-  update(ByteSpan(len_bytes, 8));
+  // Pad in place: 0x80, zeros to byte 56 of the final block (spilling into
+  // an extra block when the message ends past byte 55), then the 64-bit
+  // message length.
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - buffer_len_);
+    process_block(buffer_.data());
+    buffer_len_ = 0;
+  }
+  std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
+  store_be64(buffer_.data() + 56, bit_len);
+  process_block(buffer_.data());
 
   Digest out{};
   for (int i = 0; i < 5; ++i) store_be32(out.data() + 4 * i, state_[i]);

@@ -268,6 +268,9 @@ Bytes serialize_shard(const ShardSummary& summary, const ProbeLog& log) {
   for (const auto& entry : summary.blocking_history) put_block_entry(out, entry);
   // log_offset is NOT serialized: the merge recomputes it, so a resumed
   // merge places restored slices exactly where an uninterrupted run did.
+  // events_processed is NOT serialized either (a resumed shard reports 0):
+  // it describes the run, not the simulation state, and adding it would
+  // change the checkpoint format for a bench-only counter.
   put_u64(out, log.size());
   for (const auto& record : log.records()) put_probe_record(out, record);
   return out;

@@ -57,6 +57,12 @@ std::uint64_t CampaignResult::payload_bytes_delivered() const {
   return n;
 }
 
+std::uint64_t CampaignResult::events_processed() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards) n += shard.events_processed;
+  return n;
+}
+
 bool CampaignResult::teardown_clean() const {
   for (const auto& shard : shards) {
     if (!shard.teardown.clean()) return false;
@@ -148,6 +154,7 @@ ShardedRunner::ShardOutcome ShardedRunner::run_one_shard(const Scenario& scenari
     summary.segments_reordered = world->network().segments_reordered();
     summary.retransmissions = world->network().retransmissions();
     summary.probe_connect_retries = world->gfw().probe_connect_retries();
+    summary.events_processed = world->loop().events_processed();
     summary.teardown = world->teardown_report();
     summary.probes = world->log().size();
     summary.blocking_history = world->gfw().blocking().history();

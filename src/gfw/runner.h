@@ -61,6 +61,11 @@ struct ShardSummary {
   std::size_t segments_reordered = 0;
   std::size_t retransmissions = 0;
   std::size_t probe_connect_retries = 0;
+  // Events fired by this shard's EventLoop — the engine-throughput
+  // numerator for the benches. Like log_offset, this is NOT serialized
+  // into checkpoints (a resumed shard reports 0): it describes the run,
+  // not the simulation state.
+  std::uint64_t events_processed = 0;
   net::TeardownReport teardown;
 
   // This shard's slice of CampaignResult::log: records
@@ -90,6 +95,8 @@ struct CampaignResult {
   std::size_t segments_dropped_loss() const;
   std::size_t retransmissions() const;
   std::uint64_t payload_bytes_delivered() const;
+  // Events fired across all surviving shards' event loops.
+  std::uint64_t events_processed() const;
   // True iff every shard's teardown watchdog came back clean.
   bool teardown_clean() const;
   // "" when clean; otherwise one "shard N: <violations>" line per dirty

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <set>
 
@@ -26,6 +25,7 @@
 #include "net/event_loop.h"
 #include "net/fault.h"
 #include "net/segment.h"
+#include "net/seq_ring.h"
 #include "net/time.h"
 
 namespace gfwsim::net {
@@ -59,6 +59,10 @@ struct HeaderProfile {
 class Connection : public std::enable_shared_from_this<Connection> {
  public:
   enum class State { kConnecting, kEstablished, kFinSent, kClosed, kReset };
+
+  // Deregisters from the owning Network (when it still exists), keeping
+  // the connection registry free of expired entries.
+  ~Connection();
 
   Endpoint local() const { return local_; }
   Endpoint remote() const { return remote_; }
@@ -111,6 +115,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void fail();                                // on_timeout-style failure
 
   Network* net_ = nullptr;
+  // Expires when net_ is destroyed; guards the deregistration in
+  // ~Connection for connections that outlive their Network.
+  std::weak_ptr<char> net_alive_;
   Endpoint local_;
   Endpoint remote_;
   HeaderProfile header_;
@@ -130,7 +137,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   TimePoint opened_at_{};
   TimePoint last_activity_{};
   std::uint32_t send_seq_ = 0;
-  std::map<std::uint32_t, Segment> unacked_;  // retransmit buffer by seq
+  SeqRing<Segment> unacked_;  // retransmit buffer in seq order
   int rto_retries_ = 0;
   int syn_attempts_ = 0;
   TimerId rto_timer_ = 0;

@@ -1,73 +1,215 @@
 #include "net/event_loop.h"
 
-#include <stdexcept>
+#include <bit>
 
 namespace gfwsim::net {
 
+namespace {
+
+// Level of a deadline relative to the wheel's reference time: the 6-bit
+// field containing the highest bit where they differ (level 0 when equal).
+inline int level_for(std::int64_t when, std::int64_t reference) {
+  const std::uint64_t diff =
+      static_cast<std::uint64_t>(when) ^ static_cast<std::uint64_t>(reference);
+  if (diff == 0) return 0;
+  return (63 - std::countl_zero(diff)) / 6;
+}
+
+}  // namespace
+
+std::uint32_t EventLoop::alloc_node() {
+  if (free_head_ != kNil) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slab_[index].next;
+    return index;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void EventLoop::free_node(std::uint32_t index) {
+  Node& node = slab_[index];
+  node.cb.reset();
+  ++node.gen;  // every outstanding TimerId for this slot goes stale
+  node.level = kFreeLevel;
+  node.next = free_head_;
+  free_head_ = index;
+  --live_;
+}
+
+void EventLoop::insert_node(std::uint32_t index) {
+  Node& node = slab_[index];
+  const int level = level_for(node.when, now_ns_);
+  const auto slot = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(node.when) >> (kLevelBits * level)) & kSlotMask);
+  node.level = static_cast<std::uint8_t>(level);
+  node.slot = static_cast<std::uint8_t>(slot);
+  node.next = kNil;
+  SlotList& list = slots_[level][slot];
+  node.prev = list.tail;
+  if (list.tail == kNil) {
+    list.head = index;
+  } else {
+    slab_[list.tail].next = index;
+  }
+  list.tail = index;
+  occupied_[level] |= 1ull << slot;
+}
+
+void EventLoop::unlink_node(std::uint32_t index) {
+  Node& node = slab_[index];
+  SlotList& list = slots_[node.level][node.slot];
+  if (node.prev != kNil) {
+    slab_[node.prev].next = node.next;
+  } else {
+    list.head = node.next;
+  }
+  if (node.next != kNil) {
+    slab_[node.next].prev = node.prev;
+  } else {
+    list.tail = node.prev;
+  }
+  if (list.head == kNil) occupied_[node.level] &= ~(1ull << node.slot);
+}
+
+void EventLoop::advance_to(std::int64_t t) {
+  const auto old_time = static_cast<std::uint64_t>(now_ns_);
+  const auto new_time = static_cast<std::uint64_t>(t);
+  if (old_time == new_time) return;
+
+  // Collect, in list order, every node whose slot the reference time
+  // lands on at each crossed level; they reinsert below at lower levels.
+  // Slots strictly *between* the old and new positions cannot be occupied
+  // (their deadlines would precede `t`, violating the precondition), and
+  // once a level's field stops changing no higher level moves either.
+  std::uint32_t dumped_head = kNil;
+  std::uint32_t dumped_tail = kNil;
+  for (int level = 1; level < kLevels; ++level) {
+    const std::uint64_t old_pos = old_time >> (kLevelBits * level);
+    const std::uint64_t new_pos = new_time >> (kLevelBits * level);
+    if (old_pos == new_pos) break;
+    if (new_pos - old_pos < kSlotsPerLevel) {
+      const std::uint32_t slot = static_cast<std::uint32_t>(new_pos & kSlotMask);
+      if (occupied_[level] & (1ull << slot)) {
+        SlotList& list = slots_[level][slot];
+        if (dumped_tail == kNil) {
+          dumped_head = list.head;
+        } else {
+          slab_[dumped_tail].next = list.head;
+          slab_[list.head].prev = dumped_tail;
+        }
+        dumped_tail = list.tail;
+        list.head = list.tail = kNil;
+        occupied_[level] &= ~(1ull << slot);
+      }
+    }
+    // new_pos - old_pos >= 64: a whole rotation was skipped, which is
+    // only reachable when the level is empty (any entry would be due
+    // before `t`), so there is nothing to dump.
+  }
+
+  now_ns_ = t;
+
+  std::uint32_t index = dumped_head;
+  while (index != kNil) {
+    const std::uint32_t next = slab_[index].next;
+    insert_node(index);
+    index = next;
+  }
+}
+
 TimerId EventLoop::schedule_at(TimePoint when, Callback fn) {
-  if (when < now_) when = now_;  // never schedule into the past
-  const TimerId id = next_id_++;
-  queue_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  std::int64_t at = when.count();
+  if (at < now_ns_) at = now_ns_;  // never schedule into the past
+  const std::uint32_t index = alloc_node();
+  Node& node = slab_[index];
+  node.when = at;
+  node.cb = std::move(fn);
+  insert_node(index);
+  ++live_;
+  // index+1 keeps every id nonzero: callers use 0 as the "no timer"
+  // sentinel (Connection's ARQ timer handles).
+  return (static_cast<TimerId>(index + 1) << 32) | node.gen;
 }
 
 void EventLoop::cancel(TimerId id) {
-  callbacks_.erase(id);  // stale heap entries are skipped on pop
-  maybe_compact();
-}
-
-void EventLoop::drop_cancelled_top() {
-  while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
-    queue_.pop();
+  const auto index_plus_one = static_cast<std::uint32_t>(id >> 32);
+  if (index_plus_one == 0 || index_plus_one > slab_.size()) return;
+  const std::uint32_t index = index_plus_one - 1;
+  Node& node = slab_[index];
+  if (node.level == kFreeLevel || node.gen != static_cast<std::uint32_t>(id)) {
+    return;  // already fired, cancelled, or the slot was recycled
   }
+  unlink_node(index);
+  free_node(index);
 }
 
-void EventLoop::maybe_compact() {
-  // Heavy cancellation (e.g. ARQ timers under faults) can leave the heap
-  // dominated by dead entries; rebuild once they outnumber live ones 2:1.
-  if (queue_.size() < 64 || queue_.size() < 2 * callbacks_.size()) return;
-  std::vector<Entry> live;
-  live.reserve(callbacks_.size());
-  while (!queue_.empty()) {
-    if (callbacks_.contains(queue_.top().id)) live.push_back(queue_.top());
-    queue_.pop();
+std::optional<TimePoint> EventLoop::next_due() const {
+  for (int level = 0; level < kLevels; ++level) {
+    if (occupied_[level] == 0) continue;
+    const int slot = std::countr_zero(occupied_[level]);
+    // The lowest occupied level's first occupied slot contains the
+    // earliest pending deadline. At level 0 the whole slot shares one
+    // deadline; higher slots span a range and need a scan.
+    if (level == 0) return TimePoint(slab_[slots_[0][slot].head].when);
+    std::int64_t best = INT64_MAX;
+    for (std::uint32_t i = slots_[level][slot].head; i != kNil; i = slab_[i].next) {
+      if (slab_[i].when < best) best = slab_[i].when;
+    }
+    return TimePoint(best);
   }
-  queue_ = decltype(queue_)(std::greater<>{}, std::move(live));
-}
-
-std::optional<TimePoint> EventLoop::next_due() {
-  drop_cancelled_top();
-  if (queue_.empty()) return std::nullopt;
-  return queue_.top().at;
+  return std::nullopt;
 }
 
 void EventLoop::note_progress() {
   progress_->events.fetch_add(1, std::memory_order_relaxed);
-  progress_->sim_time_ns.store(now_.count(), std::memory_order_relaxed);
+  progress_->sim_time_ns.store(now_ns_, std::memory_order_relaxed);
   if (progress_->abort.load(std::memory_order_relaxed)) {
     throw LoopAborted("event loop aborted by supervisor (stall watchdog deadline)");
   }
 }
 
 bool EventLoop::pop_one(TimePoint limit) {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    const auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) {
-      queue_.pop();  // cancelled
-      continue;
+  for (;;) {
+    int level = -1;
+    for (int l = 0; l < kLevels; ++l) {
+      if (occupied_[l] != 0) {
+        level = l;
+        break;
+      }
     }
-    if (top.at > limit) return false;
-    queue_.pop();
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = top.at;
-    fn();
-    if (progress_ != nullptr) note_progress();
-    return true;
+    if (level < 0) return false;
+    const int slot = std::countr_zero(occupied_[level]);
+
+    if (level == 0) {
+      const std::uint32_t index = slots_[0][slot].head;
+      const std::int64_t due = slab_[index].when;
+      if (due > limit.count()) return false;
+      unlink_node(index);
+      // Detach the callback and recycle the node BEFORE invoking: the
+      // callback may schedule (growing the slab), cancel its own — now
+      // stale — TimerId, or re-enter the loop, and none of that may
+      // touch a node we still hold.
+      Callback fn = std::move(slab_[index].cb);
+      free_node(index);
+      now_ns_ = due;
+      ++events_processed_;
+      fn();
+      if (progress_ != nullptr) note_progress();
+      return true;
+    }
+
+    // The earliest pending deadline sits in this higher-level slot.
+    // Advance the reference time to the slot's base; that cascades its
+    // entries down a level and the loop retries from the top.
+    const int shift = kLevelBits * level;
+    const std::uint64_t base =
+        ((static_cast<std::uint64_t>(now_ns_) >> (shift + kLevelBits))
+         << (shift + kLevelBits)) |
+        (static_cast<std::uint64_t>(slot) << shift);
+    if (static_cast<std::int64_t>(base) > limit.count()) return false;
+    advance_to(static_cast<std::int64_t>(base));
   }
-  return false;
 }
 
 std::size_t EventLoop::run(std::size_t max_events) {
@@ -79,7 +221,8 @@ std::size_t EventLoop::run(std::size_t max_events) {
 std::size_t EventLoop::run_until(TimePoint until) {
   std::size_t processed = 0;
   while (pop_one(until)) ++processed;
-  if (now_ < until) now_ = until;
+  // Everything <= until has fired, so the wheel may advance even if idle.
+  if (until.count() > now_ns_) advance_to(until.count());
   return processed;
 }
 

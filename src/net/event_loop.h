@@ -1,19 +1,34 @@
 // Discrete-event scheduler driving the virtual clock.
 //
-// Events scheduled for the same instant run in FIFO order (a strictly
-// increasing sequence number breaks ties), which makes every simulation
-// fully deterministic.
+// Events scheduled for the same instant run in FIFO order, which makes
+// every simulation fully deterministic.
+//
+// Internals: a hierarchical timer wheel (11 levels x 64 slots, 6 bits per
+// level over the ns clock) over a slab of intrusive timer nodes. Each
+// pending timer lives in the doubly-linked list of exactly one slot —
+// level = position of the highest bit where the deadline differs from the
+// current time, slot = the deadline's 6-bit field at that level — and
+// per-level occupancy bitmaps find the next due slot with a ctz. That
+// makes schedule, cancel, and fire all O(1) amortized (firing cascades a
+// slot at most once per level crossing), with no allocation in steady
+// state: freed nodes recycle through a free list, callbacks live inline
+// in the node (net/inline_function.h), and TimerIds carry a generation
+// tag so a recycled node can never be cancelled through a stale handle.
+//
+// Determinism: slot lists are append-only FIFO, and cascading dumps a
+// slot in list order into strictly lower levels, so same-instant timers
+// always fire in schedule order — the exact (time, schedule-sequence)
+// order the previous binary-heap implementation produced.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
+#include "net/inline_function.h"
 #include "net/time.h"
 
 namespace gfwsim::net {
@@ -42,13 +57,17 @@ class LoopAborted : public std::runtime_error {
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  // Sized so the largest hot-path closure (segment delivery: a Segment
+  // plus the Network pointer) stays inline; anything bigger falls back to
+  // the heap transparently.
+  static constexpr std::size_t kInlineCallbackBytes = 96;
+  using Callback = InlineFunction<kInlineCallbackBytes>;
 
-  TimePoint now() const { return now_; }
+  TimePoint now() const { return TimePoint(now_ns_); }
 
   TimerId schedule_at(TimePoint when, Callback fn);
   TimerId schedule_after(Duration delay, Callback fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+    return schedule_at(TimePoint(now_ns_) + delay, std::move(fn));
   }
 
   // Cancels a pending timer; no-op if it already fired or was cancelled.
@@ -62,14 +81,18 @@ class EventLoop {
   // `until` even if idle. Returns the number of events processed.
   std::size_t run_until(TimePoint until);
 
-  // Live (not cancelled, not yet fired) timers. Cancelled entries may
-  // linger in the heap until popped or compacted, but never count here.
-  std::size_t pending() const { return callbacks_.size(); }
+  // Live (not cancelled, not yet fired) timers.
+  std::size_t pending() const { return live_; }
 
   // Timestamp of the earliest live timer; nullopt when nothing is
   // pending. Used by the teardown watchdog to detect overdue-but-stuck
   // work without running the loop further.
-  std::optional<TimePoint> next_due();
+  std::optional<TimePoint> next_due() const;
+
+  // Total events fired over this loop's lifetime (the engine-throughput
+  // numerator reported by the benches). Unlike LoopProgress this counts
+  // whether or not a supervisor is attached.
+  std::uint64_t events_processed() const { return events_processed_; }
 
   // Attaches (or detaches, with nullptr) the supervision heartbeat. The
   // LoopProgress must outlive the attachment.
@@ -82,25 +105,48 @@ class EventLoop {
   }
 
  private:
-  struct Entry {
-    TimePoint at;
-    TimerId id;
-    bool operator>(const Entry& other) const {
-      if (at != other.at) return at > other.at;
-      return id > other.id;
-    }
+  static constexpr int kLevelBits = 6;
+  static constexpr int kSlotsPerLevel = 1 << kLevelBits;        // 64
+  static constexpr std::uint64_t kSlotMask = kSlotsPerLevel - 1;
+  // 11 levels x 6 bits cover bit 62, the highest bit a positive ns
+  // TimePoint can set, so any schedulable deadline has a slot.
+  static constexpr int kLevels = 11;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint8_t kFreeLevel = 0xff;  // node is on the free list
+
+  struct Node {
+    std::int64_t when = 0;
+    std::uint32_t next = kNil;  // slab indices, stable across slab growth
+    std::uint32_t prev = kNil;
+    std::uint32_t gen = 0;      // bumped on free; stale TimerIds miss
+    std::uint8_t level = kFreeLevel;
+    std::uint8_t slot = 0;
+    Callback cb;
   };
 
+  struct SlotList {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  std::uint32_t alloc_node();
+  void free_node(std::uint32_t index);
+  void insert_node(std::uint32_t index);
+  void unlink_node(std::uint32_t index);
+  // Moves the wheel reference time to `t`. Precondition: now <= t <= every
+  // pending deadline. Cascades the landing slot of each crossed level.
+  void advance_to(std::int64_t t);
   bool pop_one(TimePoint limit);
-  void drop_cancelled_top();
-  void maybe_compact();
   void note_progress();
 
   LoopProgress* progress_ = nullptr;
-  TimePoint now_{0};
-  TimerId next_id_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_map<TimerId, Callback> callbacks_;
+  std::int64_t now_ns_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t occupied_[kLevels] = {};  // bit s set = slots_[level][s] non-empty
+  SlotList slots_[kLevels][kSlotsPerLevel];
+  std::vector<Node> slab_;
+  std::uint32_t free_head_ = kNil;
 };
 
 }  // namespace gfwsim::net

@@ -1,0 +1,106 @@
+// Move-only type-erased `void()` callable with small-buffer storage.
+//
+// The event loop fires millions of closures per simulated day; wrapping
+// each one in std::function costs a heap allocation whenever the capture
+// exceeds the library's tiny inline buffer (the delivery closure carries a
+// whole Segment, ~80 bytes). InlineFunction keeps any nothrow-movable
+// target up to `Capacity` bytes inside the object itself and only falls
+// back to the heap beyond that, so the steady-state dispatch path
+// allocates nothing.
+//
+// Ownership rules: the wrapper is move-only (timer nodes hand the callback
+// off exactly once, to the stack frame that invokes it); moving leaves the
+// source empty; invoking an empty InlineFunction is undefined (the loop
+// never stores empty callbacks).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gfwsim::net {
+
+template <std::size_t Capacity>
+class InlineFunction {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Capacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); };
+      manage_ = [](void* dst, void* src) noexcept {
+        if (src != nullptr) {
+          Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+          ::new (dst) Fn(std::move(*from));
+          from->~Fn();
+        } else {
+          std::launder(reinterpret_cast<Fn*>(dst))->~Fn();
+        }
+      };
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* p) { (**static_cast<Fn**>(p))(); };
+      manage_ = [](void* dst, void* src) noexcept {
+        if (src != nullptr) {
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+        } else {
+          delete *static_cast<Fn**>(dst);
+        }
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  using Invoke = void (*)(void*);
+  // manage(dst, src): src != nullptr moves src's target into dst (and ends
+  // src's target lifetime); src == nullptr destroys dst's target.
+  using Manage = void (*)(void*, void*) noexcept;
+
+  void steal(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(storage_, other.storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+}  // namespace gfwsim::net

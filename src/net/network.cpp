@@ -6,17 +6,11 @@ namespace gfwsim::net {
 
 namespace {
 
-std::pair<Ipv4, Ipv4> ordered(Ipv4 a, Ipv4 b) {
-  return a.value <= b.value ? std::make_pair(a, b) : std::make_pair(b, a);
-}
-
-// SplitMix64 finalizer; decorrelates per-path fault streams whose seeds
-// differ only in adjacent address bits.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
+// Symmetric (latency) pair packed into one table key.
+std::uint64_t ordered_key(Ipv4 a, Ipv4 b) {
+  return a.value <= b.value
+             ? (static_cast<std::uint64_t>(a.value) << 32) | b.value
+             : (static_cast<std::uint64_t>(b.value) << 32) | a.value;
 }
 
 }  // namespace
@@ -37,6 +31,13 @@ std::string Segment::flags_to_string() const {
 // ---- Connection ------------------------------------------------------------
 
 EventLoop& Connection::loop() { return net_->loop(); }
+
+Connection::~Connection() {
+  // Drop this connection's registry entry so the table never holds
+  // expired weak_ptrs (and the ephemeral-port usage count stays exact).
+  // Skipped when the Network died first.
+  if (!net_alive_.expired()) net_->connection_destroyed(*this);
+}
 
 void Connection::send(ByteSpan data) {
   if (!can_send() || data.empty()) return;
@@ -131,12 +132,12 @@ void Connection::arm_rto_timer() {
       return;
     }
     ++self->rto_retries_;
-    for (const auto& [seq, stored] : self->unacked_) {
+    self->unacked_.for_each([&self](std::uint32_t, const Segment& stored) {
       Segment copy = stored;
       copy.retransmission = true;
       ++self->retransmissions_;
       self->net_->transmit_segment(std::move(copy));
-    }
+    });
     self->arm_rto_timer();
   });
 }
@@ -175,7 +176,7 @@ void Connection::cancel_arq_timers() {
 }
 
 void Connection::handle_ack(std::uint32_t ack_seq) {
-  if (unacked_.erase(ack_seq) == 0) return;  // duplicate or stale ACK
+  if (!unacked_.erase(ack_seq)) return;  // duplicate or stale ACK
   if (unacked_.empty()) {
     rto_retries_ = 0;
     if (rto_timer_ != 0) {
@@ -271,23 +272,23 @@ std::shared_ptr<Connection> Host::connect(Endpoint remote, ConnectionCallbacks c
 // ---- Network ----------------------------------------------------------------
 
 Host& Network::add_host(Ipv4 addr) {
-  auto& slot = hosts_[addr];
-  if (!slot) slot = std::unique_ptr<Host>(new Host(this, addr));
-  return *slot;
+  auto [slot, inserted] = hosts_.try_emplace(addr.value);
+  if (inserted) *slot = std::unique_ptr<Host>(new Host(this, addr));
+  return **slot;
 }
 
 Host* Network::host(Ipv4 addr) {
-  const auto it = hosts_.find(addr);
-  return it == hosts_.end() ? nullptr : it->second.get();
+  auto* slot = hosts_.find(addr.value);
+  return slot == nullptr ? nullptr : slot->get();
 }
 
 void Network::set_latency(Ipv4 a, Ipv4 b, Duration latency) {
-  latency_overrides_[ordered(a, b)] = latency;
+  latency_overrides_.insert_or_assign(ordered_key(a, b), latency);
 }
 
 Duration Network::latency(Ipv4 a, Ipv4 b) const {
-  const auto it = latency_overrides_.find(ordered(a, b));
-  return it == latency_overrides_.end() ? default_latency_ : it->second;
+  const Duration* found = latency_overrides_.find(ordered_key(a, b));
+  return found == nullptr ? default_latency_ : *found;
 }
 
 void Network::remove_middlebox(Middlebox* box) {
@@ -300,65 +301,76 @@ void Network::set_default_faults(FaultProfile profile) {
 }
 
 void Network::set_faults(Ipv4 src, Ipv4 dst, FaultProfile profile) {
-  fault_overrides_[{src, dst}] = std::move(profile);
+  fault_overrides_.insert_or_assign(pack_directed(src, dst), std::move(profile));
   recompute_any_faults();
 }
 
 void Network::recompute_any_faults() {
   any_faults_ = default_faults_.enabled();
-  for (const auto& [path, profile] : fault_overrides_) {
-    if (any_faults_) break;
-    any_faults_ = profile.enabled();
-  }
+  if (any_faults_) return;
+  fault_overrides_.for_each([this](std::uint64_t, const FaultProfile& profile) {
+    any_faults_ = any_faults_ || profile.enabled();
+  });
 }
 
 const FaultProfile& Network::faults_for(Ipv4 src, Ipv4 dst) const {
-  const auto it = fault_overrides_.find({src, dst});
-  return it == fault_overrides_.end() ? default_faults_ : it->second;
+  const FaultProfile* found = fault_overrides_.find(pack_directed(src, dst));
+  return found == nullptr ? default_faults_ : *found;
 }
 
 crypto::Rng& Network::fault_rng(Ipv4 src, Ipv4 dst) {
-  const auto key = std::make_pair(src, dst);
-  auto it = fault_rngs_.find(key);
-  if (it == fault_rngs_.end()) {
+  const std::uint64_t key = pack_directed(src, dst);
+  auto [rng, inserted] = fault_rngs_.try_emplace(key);
+  if (inserted) {
     // The stream depends only on the fault seed and the directed pair of
     // addresses, never on creation order, so a path's fault pattern is
     // reproducible regardless of which other paths carry traffic.
-    const std::uint64_t path_seed =
-        mix64(fault_seed_ ^ ((std::uint64_t{src.value} << 32) | dst.value));
-    it = fault_rngs_.emplace(key, crypto::Rng(path_seed)).first;
+    rng->reseed(hash_mix64(fault_seed_ ^ key));
   }
-  return it->second;
+  return *rng;
 }
 
 std::shared_ptr<Connection> Network::find_connection(const Endpoint& local,
                                                      const Endpoint& remote) {
-  const auto it = connections_.find({local, remote});
-  if (it == connections_.end()) return nullptr;
-  auto conn = it->second.lock();
-  if (!conn) connections_.erase(it);
-  return conn;
+  auto* entry = connections_.find(flow_key(local, remote));
+  // Entries cannot be expired: a destroyed connection removes its own
+  // registration (~Connection), so a present entry always locks.
+  return entry == nullptr ? nullptr : entry->lock();
 }
 
-bool Network::local_port_in_use(Ipv4 addr, std::uint16_t port) {
-  // connections_ is ordered by (local, remote), so all entries for this
-  // local endpoint are contiguous; expired entries are garbage-collected
-  // on the way through.
-  const Endpoint local{addr, port};
-  auto it = connections_.lower_bound({local, Endpoint{}});
-  while (it != connections_.end() && it->first.first == local) {
-    if (!it->second.expired()) return true;
-    it = connections_.erase(it);
-  }
-  return false;
+bool Network::local_port_in_use(Ipv4 addr, std::uint16_t port) const {
+  const std::uint32_t* count = port_use_.find(pack_endpoint(Endpoint{addr, port}));
+  return count != nullptr && *count > 0;
 }
 
 void Network::register_connection(const std::shared_ptr<Connection>& conn) {
-  connections_[{conn->local_, conn->remote_}] = conn;
+  conn->net_alive_ = alive_;
+  if (connections_.insert_or_assign(flow_key(conn->local_, conn->remote_),
+                                    std::weak_ptr<Connection>(conn))) {
+    ++*port_use_.try_emplace(pack_endpoint(conn->local_)).first;
+  }
 }
 
 void Network::unregister_connection(const Connection& conn) {
-  connections_.erase({conn.local_, conn.remote_});
+  erase_registration(flow_key(conn.local_, conn.remote_), pack_endpoint(conn.local_));
+}
+
+void Network::connection_destroyed(const Connection& conn) {
+  const FlowKey key = flow_key(conn.local_, conn.remote_);
+  auto* entry = connections_.find(key);
+  // The entry may belong to a different connection that re-registered the
+  // same 4-tuple; only the dying connection's own (now expired) weak_ptr
+  // is removed.
+  if (entry != nullptr && entry->expired()) {
+    erase_registration(key, pack_endpoint(conn.local_));
+  }
+}
+
+void Network::erase_registration(const FlowKey& key, std::uint64_t packed_local) {
+  if (!connections_.erase(key)) return;
+  if (std::uint32_t* count = port_use_.find(packed_local)) {
+    if (--*count == 0) port_use_.erase(packed_local);
+  }
 }
 
 void Network::transmit(Connection& from, std::uint8_t flags, PayloadRef payload,
@@ -376,7 +388,7 @@ void Network::transmit(Connection& from, std::uint8_t flags, PayloadRef payload,
   segment.ack_seq = meta.ack_seq;
   segment.retransmission = meta.retransmission;
   if (from.arq_ && segment.seq != 0 && segment.is_data() && !meta.retransmission) {
-    from.unacked_.emplace(segment.seq, segment);  // retransmit buffer copy
+    from.unacked_.insert(segment.seq, segment);  // retransmit buffer copy
     from.arm_rto_timer();
   }
   transmit_segment(std::move(segment));
@@ -399,14 +411,20 @@ void Network::route_copy(Segment segment, bool duplicate) {
   }
 
   const Duration path_latency = latency(segment.src.addr, segment.dst.addr);
-  SegmentRecord record{segment, segment.sent_at + path_latency,
-                       verdict == Verdict::kDrop};
-  record.duplicate = duplicate;
+  // The tap record copies the whole segment (payload included), so it is
+  // only materialized when a tap is installed; the fields match what the
+  // tap always saw for each outcome.
+  const auto tap_drop = [&](DropCause cause) {
+    if (!tap_) return;
+    SegmentRecord record{segment, segment.sent_at + path_latency, true};
+    record.duplicate = duplicate;
+    record.cause = cause;
+    tap_(record);
+  };
 
   if (verdict == Verdict::kDrop) {
-    record.cause = DropCause::kMiddlebox;
     ++dropped_middlebox_;
-    if (tap_) tap_(record);
+    tap_drop(DropCause::kMiddlebox);
     return;
   }
 
@@ -419,18 +437,14 @@ void Network::route_copy(Segment segment, bool duplicate) {
     const FaultProfile& profile = faults_for(segment.src.addr, segment.dst.addr);
     if (profile.enabled()) {
       if (profile.down_at(segment.sent_at)) {
-        record.dropped = true;
-        record.cause = DropCause::kOutage;
         ++dropped_outage_;
-        if (tap_) tap_(record);
+        tap_drop(DropCause::kOutage);
         return;
       }
       crypto::Rng& rng = fault_rng(segment.src.addr, segment.dst.addr);
       if (profile.loss > 0.0 && rng.bernoulli(profile.loss)) {
-        record.dropped = true;
-        record.cause = DropCause::kLoss;
         ++dropped_loss_;
-        if (tap_) tap_(record);
+        tap_drop(DropCause::kLoss);
         return;
       }
       if (!duplicate && profile.duplicate > 0.0 && rng.bernoulli(profile.duplicate)) {
@@ -447,24 +461,32 @@ void Network::route_copy(Segment segment, bool duplicate) {
     }
   }
 
-  record.fault_delay = fault_delay;
-  record.arrive_at = segment.sent_at + path_latency + fault_delay;
-  if (tap_) tap_(record);
+  const TimePoint arrive_at = segment.sent_at + path_latency + fault_delay;
+  if (tap_) {
+    SegmentRecord record{segment, arrive_at, false};
+    record.duplicate = duplicate;
+    record.fault_delay = fault_delay;
+    tap_(record);
+  }
+
+  // The duplicate's wire copy is taken before the original moves into the
+  // delivery closure; it is byte-identical (same header fields, same
+  // sent_at) and re-traverses the middleboxes below — the GFW really does
+  // see the payload twice.
+  Segment dup_copy;
+  if (make_dup) dup_copy = segment;
 
   ++segments_in_flight_;
-  loop_.schedule_at(record.arrive_at, [this, seg = std::move(segment)] {
+  loop_.schedule_at(arrive_at, [this, seg = std::move(segment)] {
     --segments_in_flight_;
     ++segments_delivered_;
     deliver(seg);
   });
 
   if (make_dup) {
-    // The wire copy is byte-identical (same header fields, same sent_at)
-    // and re-traverses the middleboxes — the GFW really does see the
-    // payload twice. It may be lost or delayed independently but cannot
-    // duplicate again.
+    // It may be lost or delayed independently but cannot duplicate again.
     ++segments_duplicated_;
-    route_copy(record.segment, /*duplicate=*/true);
+    route_copy(std::move(dup_copy), /*duplicate=*/true);
   }
 }
 
@@ -498,14 +520,13 @@ std::string TeardownReport::describe() const {
 TeardownReport Network::teardown_report(Duration grace) {
   TeardownReport report;
   const TimePoint now = loop_.now();
-  for (const auto& [key, weak] : connections_) {
+  connections_.for_each([&](const FlowKey&, const std::weak_ptr<Connection>& weak) {
     const auto conn = weak.lock();
     if (!conn) {
-      // The owner dropped the connection after close(); the entry is
-      // pruned on the next lookup. A connection destroyed while still
-      // established shows up as the peer's leaked_established instead.
+      // Unreachable since ~Connection self-deregisters; counted anyway so
+      // a future registry bug shows up in the report rather than hiding.
       ++report.expired_registrations;
-      continue;
+      return;
     }
     switch (conn->state_) {
       case Connection::State::kConnecting:
@@ -526,7 +547,7 @@ TeardownReport Network::teardown_report(Duration grace) {
         ++report.stale_registrations;
         break;
     }
-  }
+  });
   report.pending_timers = loop_.pending();
   if (const auto due = loop_.next_due()) {
     report.timers_overdue = *due <= now;

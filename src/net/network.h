@@ -16,10 +16,17 @@
 // traffic, never on which other paths exist or when they first spoke.
 // With no enabled profile the fault layer draws nothing, stamps nothing,
 // and arms nothing: the network is bit-identical to the ideal mesh.
+//
+// Lookup tables: connections, latency overrides, fault profiles, and
+// fault streams all live in open-addressing hash tables (net/flat_hash.h)
+// keyed on packed integers — a routed segment resolves its connection,
+// latency, and faults in O(1) with no tree walks. Connections remove
+// their own registry entry on destruction, so the per-port usage count
+// that guards ephemeral-port reuse is exact and the registry never holds
+// expired entries.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -31,6 +38,7 @@
 #include "net/connection.h"
 #include "net/event_loop.h"
 #include "net/fault.h"
+#include "net/flat_hash.h"
 #include "net/segment.h"
 
 namespace gfwsim::net {
@@ -67,8 +75,9 @@ struct TeardownReport {
   std::size_t embryonic = 0;           // stuck in kConnecting
   std::size_t half_closed = 0;         // kFinSent, FIN unanswered
   std::size_t stale_registrations = 0;  // live object, but closed/reset while registered
-  std::size_t expired_registrations = 0;  // weak entry already destroyed (benign:
-                                          // the registry prunes these lazily)
+  std::size_t expired_registrations = 0;  // always 0 now that connections
+                                          // deregister on destruction; kept
+                                          // for checkpoint-format stability
   std::size_t pending_timers = 0;
   bool timers_overdue = false;       // a live timer was due at or before now
   std::size_t segments_in_flight = 0;  // scheduled deliveries not yet run
@@ -207,7 +216,28 @@ class Network {
   friend class Host;
   friend class Connection;
 
-  using ConnKey = std::pair<Endpoint, Endpoint>;  // (local, remote)
+  // Packed 4-tuple key: (local addr:port, remote addr:port), 48 bits per
+  // endpoint.
+  struct FlowKey {
+    std::uint64_t local = 0;
+    std::uint64_t remote = 0;
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::uint64_t operator()(const FlowKey& key) const {
+      return hash_mix64(key.local ^ (key.remote * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  static std::uint64_t pack_endpoint(const Endpoint& e) {
+    return (static_cast<std::uint64_t>(e.addr.value) << 16) | e.port;
+  }
+  static FlowKey flow_key(const Endpoint& local, const Endpoint& remote) {
+    return FlowKey{pack_endpoint(local), pack_endpoint(remote)};
+  }
+  static std::uint64_t pack_directed(Ipv4 src, Ipv4 dst) {
+    return (static_cast<std::uint64_t>(src.value) << 32) | dst.value;
+  }
 
   // Builds a segment from a connection's state and routes it. The payload
   // buffer is shared (not copied) by every downstream holder.
@@ -228,25 +258,36 @@ class Network {
   // True if any live connection on `addr` has local port `port` (any
   // remote); used to keep ephemeral-port allocation collision-free after
   // the range wraps in long campaigns.
-  bool local_port_in_use(Ipv4 addr, std::uint16_t port);
+  bool local_port_in_use(Ipv4 addr, std::uint16_t port) const;
   void register_connection(const std::shared_ptr<Connection>& conn);
   void unregister_connection(const Connection& conn);
+  // Called from ~Connection: removes the registry entry (and its port
+  // count) for a connection destroyed while still registered.
+  void connection_destroyed(const Connection& conn);
+  // Removes `key` from the registry, keeping the per-port count in step.
+  void erase_registration(const FlowKey& key, std::uint64_t packed_local);
   void send_rst_to(const Segment& offending);
 
   EventLoop& loop_;
   Duration default_latency_ = milliseconds(50);
-  std::map<std::pair<Ipv4, Ipv4>, Duration> latency_overrides_;
-  std::unordered_map<Ipv4, std::unique_ptr<Host>> hosts_;
-  std::map<ConnKey, std::weak_ptr<Connection>> connections_;
+  FlatHashMap<std::uint64_t, Duration> latency_overrides_;  // symmetric pair
+  FlatHashMap<std::uint64_t, std::unique_ptr<Host>> hosts_;  // by address
+  FlatHashMap<FlowKey, std::weak_ptr<Connection>, FlowKeyHash> connections_;
+  // Registered connections per packed local endpoint; exact because
+  // destroyed connections deregister themselves.
+  FlatHashMap<std::uint64_t, std::uint32_t> port_use_;
   std::vector<Middlebox*> middleboxes_;
   std::function<void(const SegmentRecord&)> tap_;
+  // Expires when this Network dies; lets ~Connection skip deregistration
+  // for connections that outlive their network.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 
   // Fault layer. fault_rngs_ is keyed by the *directed* pair — loss on
   // src->dst must not consume draws from dst->src.
   std::uint64_t fault_seed_ = 0;
   FaultProfile default_faults_;
-  std::map<std::pair<Ipv4, Ipv4>, FaultProfile> fault_overrides_;
-  std::map<std::pair<Ipv4, Ipv4>, crypto::Rng> fault_rngs_;
+  FlatHashMap<std::uint64_t, FaultProfile> fault_overrides_;  // directed pair
+  FlatHashMap<std::uint64_t, crypto::Rng> fault_rngs_;        // directed pair
   bool any_faults_ = false;
   ArqConfig arq_config_;
   std::optional<bool> arq_forced_;

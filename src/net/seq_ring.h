@@ -1,0 +1,105 @@
+// Sequence-ordered ring buffer for the ARQ retransmit queue.
+//
+// Connection::unacked_ was a std::map<seq, Segment>; every sent data
+// segment paid a tree insert and every ACK a tree erase. The ARQ
+// assigns sequence numbers from a per-connection counter, so live seqs
+// form a contiguous ascending window — exactly what a ring buffer indexes
+// in O(1): slot = seq - head_seq. ACKs arrive out of order (each data
+// segment is acked individually), so a mid-window erase marks the slot
+// dead and the head advances over dead slots lazily; iteration skips
+// them, preserving the strict seq order the RTO retransmit pass (and the
+// golden transcripts) depend on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gfwsim::net {
+
+template <typename T>
+class SeqRing {
+ public:
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  void clear() {
+    slots_.clear();
+    head_ = 0;
+    count_ = 0;
+    live_ = 0;
+  }
+
+  // Inserts `value` under `seq`. Seqs must be inserted in increasing
+  // order (the ARQ counter guarantees consecutive ones); a gap simply
+  // occupies dead slots.
+  void insert(std::uint32_t seq, T value) {
+    if (count_ == 0) head_seq_ = seq;
+    while (head_seq_ + count_ < seq) push_slot()->live = false;
+    Slot* slot = push_slot();
+    slot->live = true;
+    slot->value = std::move(value);
+    ++live_;
+  }
+
+  // Removes the entry for `seq`; false when absent (stale or duplicate
+  // ACK). Matches std::map::erase(key) != 0.
+  bool erase(std::uint32_t seq) {
+    if (count_ == 0 || seq - head_seq_ >= count_) return false;
+    Slot& slot = at(seq - head_seq_);
+    if (!slot.live) return false;
+    slot.live = false;
+    slot.value = T{};  // release held payload buffers promptly
+    --live_;
+    while (count_ > 0 && !at(0).live) {  // reclaim the dead prefix
+      head_ = (head_ + 1) & (slots_.size() - 1);
+      ++head_seq_;
+      --count_;
+    }
+    return true;
+  }
+
+  // Visits live entries in ascending seq order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const Slot& slot = at(i);
+      if (slot.live) f(static_cast<std::uint32_t>(head_seq_ + i), slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    T value{};
+    bool live = false;
+  };
+
+  Slot& at(std::size_t offset) { return slots_[(head_ + offset) & (slots_.size() - 1)]; }
+  const Slot& at(std::size_t offset) const {
+    return slots_[(head_ + offset) & (slots_.size() - 1)];
+  }
+
+  Slot* push_slot() {
+    if (count_ == slots_.size()) grow();
+    Slot& slot = at(count_);
+    ++count_;
+    return &slot;
+  }
+
+  void grow() {
+    const std::size_t new_capacity = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<Slot> bigger(new_capacity);
+    for (std::size_t i = 0; i < count_; ++i) bigger[i] = std::move(at(i));
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<Slot> slots_;  // power-of-two capacity
+  std::size_t head_ = 0;     // physical index of seq head_seq_
+  std::size_t count_ = 0;    // slots in the window, live or dead
+  std::size_t live_ = 0;
+  std::uint32_t head_seq_ = 0;
+};
+
+}  // namespace gfwsim::net

@@ -1,0 +1,172 @@
+// Timer-wheel edge cases: cancel storms across cascade boundaries,
+// same-instant FIFO under thousands of ties, TimerId generation reuse
+// after slab recycling, and the pending()/next_due() invariants.
+//
+// These guard the engine properties the ARQ fault machinery and the
+// supervision stack (stall watchdog, teardown report) lean on, so the
+// binary carries both the `faults` and `supervision` ctest labels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/event_loop.h"
+
+namespace gfwsim::net {
+namespace {
+
+// A 6-bit wheel level spans 64 units; deadlines straddling multiples of
+// 64, 64^2, ... land on different levels and must cascade before firing.
+constexpr std::int64_t kLevelSpan = 64;
+
+TEST(EventEngineEdge, CancelStormAcrossCascadeBoundary) {
+  EventLoop loop;
+  std::vector<TimerId> ids;
+  std::vector<int> fired;
+  // Deadlines straddle the level-1/level-2 boundary at 64^2 = 4096 so
+  // survivors cascade down a level between the cancels and the firing.
+  for (int i = 0; i < 2000; ++i) {
+    const TimePoint when{kLevelSpan * kLevelSpan - 1000 + i};
+    ids.push_back(loop.schedule_at(when, [&fired, i] { fired.push_back(i); }));
+  }
+  // Cancel every other timer, back to front.
+  for (int i = 1998; i >= 0; i -= 2) loop.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(loop.pending(), 1000u);
+
+  loop.run();
+  ASSERT_EQ(fired.size(), 1000u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], static_cast<int>(2 * i + 1)) << "cascade broke deadline order";
+  }
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventEngineEdge, CancelInsideCallbackDuringCascadeStorm) {
+  EventLoop loop;
+  std::vector<TimerId> ids(512);
+  int fired = 0;
+  // Every callback cancels its successor; half the timers must die
+  // unfired even as the wheel cascades the batch across levels.
+  for (int i = 0; i < 512; ++i) {
+    const TimePoint when{3 * kLevelSpan * kLevelSpan + 2 * i};
+    ids[static_cast<std::size_t>(i)] = loop.schedule_at(when, [&, i] {
+      ++fired;
+      if (i + 1 < 512) loop.cancel(ids[static_cast<std::size_t>(i) + 1]);
+    });
+  }
+  loop.run();
+  EXPECT_EQ(fired, 256);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventEngineEdge, ThousandsOfSameInstantTiesFireFifo) {
+  EventLoop loop;
+  constexpr int kTies = 5000;
+  const TimePoint instant{7 * kLevelSpan * kLevelSpan * kLevelSpan + 13};
+  std::vector<int> order;
+  order.reserve(kTies);
+  for (int i = 0; i < kTies; ++i) {
+    loop.schedule_at(instant, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(loop.run(), static_cast<std::size_t>(kTies));
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kTies));
+  for (int i = 0; i < kTies; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i) << "same-instant FIFO violated";
+  }
+  EXPECT_EQ(loop.now(), instant);
+}
+
+TEST(EventEngineEdge, StaleIdCannotCancelRecycledNode) {
+  EventLoop loop;
+  bool first_fired = false;
+  bool second_fired = false;
+  const TimerId first = loop.schedule_at(TimePoint{10}, [&] { first_fired = true; });
+  loop.run();
+  EXPECT_TRUE(first_fired);
+
+  // The freed node is recycled (LIFO free list) for the next timer; the
+  // stale id carries the old generation and must not touch it.
+  const TimerId second = loop.schedule_at(TimePoint{20}, [&] { second_fired = true; });
+  EXPECT_NE(first, second);
+  loop.cancel(first);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_TRUE(second_fired);
+
+  // Double-cancel and cancel-after-fire are no-ops too.
+  loop.cancel(second);
+  loop.cancel(second);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventEngineEdge, GenerationSurvivesHeavyRecycling) {
+  EventLoop loop;
+  // Recycle one slab slot many times; every retired id must stay dead.
+  std::vector<TimerId> retired;
+  for (int round = 0; round < 100; ++round) {
+    const TimerId id = loop.schedule_after(Duration(5), [] {});
+    loop.cancel(id);
+    retired.push_back(id);
+  }
+  int fired = 0;
+  const TimerId live = loop.schedule_after(Duration(5), [&fired] { ++fired; });
+  for (const TimerId id : retired) loop.cancel(id);  // all stale
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  (void)live;
+}
+
+TEST(EventEngineEdge, PendingAndNextDueTrackWheelState) {
+  EventLoop loop;
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_FALSE(loop.next_due().has_value());
+
+  // next_due must report the true minimum whichever level holds it.
+  const TimerId far = loop.schedule_at(TimePoint{kLevelSpan * kLevelSpan * 9}, [] {});
+  EXPECT_EQ(loop.next_due().value(), TimePoint{kLevelSpan * kLevelSpan * 9});
+  loop.schedule_at(TimePoint{kLevelSpan + 3}, [] {});
+  EXPECT_EQ(loop.next_due().value(), TimePoint{kLevelSpan + 3});
+  loop.schedule_at(TimePoint{2}, [] {});
+  EXPECT_EQ(loop.next_due().value(), TimePoint{2});
+  EXPECT_EQ(loop.pending(), 3u);
+
+  // Firing the near ones moves next_due back out to the far level.
+  loop.run_until(TimePoint{kLevelSpan * 2});
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_EQ(loop.next_due().value(), TimePoint{kLevelSpan * kLevelSpan * 9});
+
+  loop.cancel(far);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_FALSE(loop.next_due().has_value());
+
+  // run_until on an idle wheel still advances the clock.
+  loop.run_until(TimePoint{kLevelSpan * kLevelSpan * 10});
+  EXPECT_EQ(loop.now(), TimePoint{kLevelSpan * kLevelSpan * 10});
+  EXPECT_FALSE(loop.next_due().has_value());
+}
+
+TEST(EventEngineEdge, NextDueConstAndStableAcrossQueries) {
+  EventLoop loop;
+  loop.schedule_at(TimePoint{500}, [] {});
+  const EventLoop& const_loop = loop;  // next_due is const (teardown scan)
+  const auto first = const_loop.next_due();
+  const auto second = const_loop.next_due();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, TimePoint{500});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(loop.pending(), 1u);  // queries must not consume the timer
+}
+
+TEST(EventEngineEdge, EventsProcessedCountsFiredNotCancelled) {
+  EventLoop loop;
+  EXPECT_EQ(loop.events_processed(), 0u);
+  const TimerId doomed = loop.schedule_at(TimePoint{1}, [] {});
+  loop.schedule_at(TimePoint{2}, [] {});
+  loop.schedule_at(TimePoint{2}, [] {});
+  loop.cancel(doomed);
+  loop.run();
+  EXPECT_EQ(loop.events_processed(), 2u);
+}
+
+}  // namespace
+}  // namespace gfwsim::net
