@@ -7,6 +7,12 @@
 //   * blocks are by port or by whole IP, and only the server-to-client
 //     direction is dropped;
 //   * no recheck probes precede unblocking; servers return after a week+.
+//
+// The vantage-point fleet here is a REAL fleet: all 24 servers live in
+// one World behind one GFW (shared classifier, shared prober pool, one
+// per-endpoint block table) instead of the historical one-server-per-
+// shard clone trick, so blocks compete for the same human gate exactly
+// like the paper's servers did.
 #include "bench_common.h"
 
 using namespace gfwsim;
@@ -19,29 +25,38 @@ struct FleetResult {
   int by_port = 0;
 };
 
-// One shard per vantage-point server: the fleet is exactly the
-// embarrassingly parallel workload the sharded runner was built for, and
-// the before-run hook flips each world's sensitive-period switch.
+// The whole vantage-point fleet in ONE World: a single GFW watches all
+// `servers` endpoints, and the before-run hook flips its sensitive-period
+// switch. Blocked counts come from the per-server stats rows.
 FleetResult run_fleet(const bench::BenchOptions& options, int servers, bool sensitive,
                       std::uint64_t seed) {
   gfw::Scenario scenario = bench::standard_scenario(options.days > 0 ? options.days : 10);
   scenario.gfw.blocking.confirmation_threshold = 5.0;
   scenario.base_seed = options.seed != 0 ? options.seed : seed;
+  for (int i = 0; i < servers; ++i) {
+    gfw::ServerSpec spec;
+    spec.server = scenario.server;
+    spec.region = i % 2 == 0 ? "beijing" : "unicom";
+    scenario.fleet.push_back(spec);
+  }
 
-  gfw::ShardedRunner runner({static_cast<std::uint32_t>(servers), options.threads});
+  gfw::ShardedRunner runner({/*shards=*/1, options.threads});
   runner.set_before_run([sensitive](gfw::World& world, std::uint32_t) {
     world.gfw().blocking().set_sensitive_period(sensitive);
   });
   const gfw::CampaignResult result = runner.run(scenario);
 
   FleetResult fleet;
+  for (const gfw::ServerStats& server : result.fleet_totals()) {
+    if (server.blocks > 0) ++fleet.blocked;
+  }
   for (const auto& shard : result.shards) {
-    if (shard.blocking_history.empty()) continue;
-    ++fleet.blocked;
-    if (shard.blocking_history[0].port.has_value()) {
-      ++fleet.by_port;
-    } else {
-      ++fleet.by_ip;
+    for (const auto& entry : shard.blocking_history) {
+      if (entry.port.has_value()) {
+        ++fleet.by_port;
+      } else {
+        ++fleet.by_ip;
+      }
     }
   }
   return fleet;
@@ -56,7 +71,7 @@ int main(int argc, char** argv) {
 
   constexpr int kFleet = 24;
   std::cout << "Running a fleet of " << kFleet
-            << " probed OutlineVPN servers, normal period...\n";
+            << " probed OutlineVPN servers behind one GFW, normal period...\n";
   const FleetResult normal = run_fleet(options, kFleet, false, 0xB10C0);
   std::cout << "Running the same fleet during a sensitive period...\n";
   const FleetResult sensitive = run_fleet(options, kFleet, true, 0xB10C0);
@@ -80,49 +95,50 @@ int main(int argc, char** argv) {
   // "All three servers that got blocked were running ShadowsocksR or
   // Shadowsocks-python" — implementations without replay filters, which
   // hand the prober DATA confirmations. Model the GFW requiring strong
-  // (DATA-grade) evidence before the human gate is even consulted. These
-  // arms inspect live World state (evidence totals), so they run serially.
+  // (DATA-grade) evidence before the human gate is even consulted. The
+  // five implementations run side by side in ONE World, so they compete
+  // for the same prober pool and are judged by the same blocking module.
   std::cout << "\nMixed fleet under hypothesis 2 (confirmation requires DATA "
                "responses):\n";
-  struct FleetArm {
-    probesim::ServerSetup::Impl impl;
-    const char* cipher;
+  using Impl = probesim::ServerSetup::Impl;
+  gfw::Scenario scenario = bench::standard_scenario(10);
+  scenario.gfw.evidence_rst = 0.01;
+  scenario.gfw.evidence_fin = 0.01;
+  scenario.gfw.evidence_timeout = 0.0;
+  scenario.gfw.blocking.confirmation_threshold = 20.0;
+  scenario.gfw.blocking.block_probability = 0.9;
+  const std::vector<std::pair<Impl, const char*>> fleet_arms = {
+      {Impl::kLibevOld, "aes-256-ctr"},
+      {Impl::kLibevNew, "aes-256-gcm"},
+      {Impl::kOutline107, "chacha20-ietf-poly1305"},
+      {Impl::kSsr, "rc4-md5"},
+      {Impl::kSsPython, "aes-256-cfb"},
   };
-  const std::vector<FleetArm> fleet_arms = {
-      {probesim::ServerSetup::Impl::kLibevOld, "aes-256-ctr"},
-      {probesim::ServerSetup::Impl::kLibevNew, "aes-256-gcm"},
-      {probesim::ServerSetup::Impl::kOutline107, "chacha20-ietf-poly1305"},
-      {probesim::ServerSetup::Impl::kSsr, "aes-256-cfb"},
-      {probesim::ServerSetup::Impl::kSsPython, "aes-256-cfb"},
-  };
+  for (const auto& [impl, cipher] : fleet_arms) {
+    gfw::ServerSpec spec;
+    spec.server.impl = impl;
+    spec.server.cipher = cipher;
+    scenario.fleet.push_back(spec);
+  }
+  gfw::World world(scenario, options.seed != 0 ? options.seed : 0xB10C9);
+  world.run();
 
+  std::vector<std::size_t> data_confirmations(scenario.fleet.size(), 0);
+  for (const auto& record : world.log().records()) {
+    if (record.reaction == probesim::Reaction::kData &&
+        record.server_id < data_confirmations.size()) {
+      ++data_confirmations[record.server_id];
+    }
+  }
   analysis::TextTable fleet_table(
       {"implementation", "probes", "DATA confirmations", "evidence", "blocked"});
-  std::uint64_t fleet_seed = 0xB10C9;
-  for (const FleetArm& arm : fleet_arms) {
-    gfw::Scenario scenario = bench::standard_scenario(10);
-    scenario.server.impl = arm.impl;
-    scenario.server.cipher = arm.cipher;
-    // DATA-graded evidence: reactions that any non-proxy server could
-    // produce carry almost no weight.
-    scenario.gfw.evidence_rst = 0.01;
-    scenario.gfw.evidence_fin = 0.01;
-    scenario.gfw.evidence_timeout = 0.0;
-    scenario.gfw.blocking.confirmation_threshold = 20.0;
-    scenario.gfw.blocking.block_probability = 0.9;
-    gfw::World world(scenario, ++fleet_seed);
-    world.run();
-
-    int data_confirmations = 0;
-    for (const auto& record : world.log().records()) {
-      data_confirmations += record.reaction == probesim::Reaction::kData;
-    }
+  for (const gfw::ServerStats& server : world.server_stats()) {
     fleet_table.add_row(
-        {std::string(probesim::impl_name(arm.impl)),
-         std::to_string(world.log().size()), std::to_string(data_confirmations),
+        {server.impl, std::to_string(server.probes),
+         std::to_string(data_confirmations[server.server_id]),
          analysis::format_double(
-             world.gfw().blocking().evidence(world.server_endpoint()), 1),
-         world.gfw().blocking().history().empty() ? "no" : "YES"});
+             world.gfw().blocking().evidence(server.endpoint), 1),
+         server.blocks > 0 ? "YES" : "no"});
   }
   fleet_table.print(std::cout);
   report.metric(
@@ -134,15 +150,15 @@ int main(int argc, char** argv) {
 
   // --- Unidirectionality + unblock timing, one forced block ---------------
   std::cout << "\nForcing one block to inspect its mechanics:\n";
-  gfw::Scenario scenario = bench::standard_scenario(7);
-  scenario.gfw.blocking.block_probability = 1.0;
-  scenario.gfw.blocking.confirmation_threshold = 1.0;
-  scenario.gfw.blocking.block_by_ip_fraction = 0.0;
-  gfw::World world(scenario, 0xB10C7);
-  world.run();
+  gfw::Scenario forced = bench::standard_scenario(7);
+  forced.gfw.blocking.block_probability = 1.0;
+  forced.gfw.blocking.confirmation_threshold = 1.0;
+  forced.gfw.blocking.block_by_ip_fraction = 0.0;
+  gfw::World forced_world(forced, 0xB10C7);
+  forced_world.run();
 
-  const auto server = world.server_endpoint();
-  const bool blocked = world.gfw().blocking().is_blocked(server);
+  const auto server = forced_world.server_endpoint();
+  const bool blocked = forced_world.gfw().blocking().is_blocked(server);
   std::cout << "  server blocked: " << (blocked ? "yes" : "no") << "\n";
   if (blocked) {
     // Client -> server segments pass, server -> client dropped.
@@ -154,10 +170,10 @@ int main(int argc, char** argv) {
     report.metric(
         "drop direction", "only server-to-client is null-routed",
         std::string("client->server dropped: ") +
-            (world.gfw().blocking().should_drop(c2s) ? "yes" : "no") +
+            (forced_world.gfw().blocking().should_drop(c2s) ? "yes" : "no") +
             ", server->client dropped: " +
-            (world.gfw().blocking().should_drop(s2c) ? "yes" : "no"));
-    const auto& entry = world.gfw().blocking().history()[0];
+            (forced_world.gfw().blocking().should_drop(s2c) ? "yes" : "no"));
+    const auto& entry = forced_world.gfw().blocking().history()[0];
     report.metric(
         "unblock policy", "no recheck probes; unblocked after a week or more",
         "scheduled after " +

@@ -2,7 +2,7 @@
 // how fast campaigns run, which bounds how long the figure benches take.
 #include <benchmark/benchmark.h>
 
-#include "gfw/campaign.h"
+#include "gfw/world.h"
 #include "gfw/runner.h"
 #include "probesim/probesim.h"
 
@@ -57,12 +57,12 @@ BENCHMARK(BM_SingleProbeExchange);
 
 void BM_CampaignDay(benchmark::State& state) {
   for (auto _ : state) {
-    gfw::CampaignConfig config;
+    gfw::Scenario config;
     config.server.impl = probesim::ServerSetup::Impl::kOutline107;
     config.duration = net::hours(24);
     config.connection_interval = net::seconds(120);
     config.classifier_base_rate = 0.3;
-    gfw::Campaign campaign(config,
+    gfw::World campaign(config,
                            std::make_unique<client::BrowsingTraffic>(
                                client::BrowsingTraffic::paper_sites()),
                            0xDA4);

@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "analysis/report.h"
-#include "gfw/campaign.h"
+#include "gfw/world.h"
 
 using namespace gfwsim;
 
@@ -16,7 +16,7 @@ namespace {
 
 struct Arm {
   std::string name;
-  gfw::CampaignConfig config;
+  gfw::Scenario config;
   bool hardened_client = false;
 };
 
@@ -56,7 +56,7 @@ int main() {
     arm.config.classifier_base_rate = 0.30;
     arm.config.client.embed_timestamp = arm.hardened_client;
 
-    gfw::Campaign campaign(arm.config,
+    gfw::World campaign(arm.config,
                            std::make_unique<client::BrowsingTraffic>(
                                client::BrowsingTraffic::paper_sites()),
                            0xDEF);

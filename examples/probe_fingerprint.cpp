@@ -11,12 +11,12 @@
 #include "analysis/report.h"
 #include "analysis/stats.h"
 #include "analysis/tsval.h"
-#include "gfw/campaign.h"
+#include "gfw/world.h"
 
 using namespace gfwsim;
 
 int main() {
-  gfw::CampaignConfig config;
+  gfw::Scenario config;
   config.server.impl = probesim::ServerSetup::Impl::kOutline107;
   config.server.cipher = "chacha20-ietf-poly1305";
   config.duration = net::hours(24 * 14);
@@ -25,7 +25,7 @@ int main() {
 
   std::cout << "Running a 14-day simulated campaign (client in China -> "
             << probesim::impl_name(config.server.impl) << " abroad)...\n";
-  gfw::Campaign campaign(config,
+  gfw::World campaign(config,
                          std::make_unique<client::BrowsingTraffic>(
                              client::BrowsingTraffic::paper_sites()),
                          0xF1A9);

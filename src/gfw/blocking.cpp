@@ -6,6 +6,16 @@ BlockingModule::BlockingModule(net::EventLoop& loop, BlockingConfig config,
                                std::uint64_t seed)
     : loop_(loop), config_(config), rng_(seed) {}
 
+void BlockingModule::set_region(net::Endpoint server, std::string region) {
+  regions_[server] = std::move(region);
+}
+
+const std::string& BlockingModule::region_of(net::Endpoint server) const {
+  static const std::string kNoRegion;
+  const auto it = regions_.find(server);
+  return it == regions_.end() ? kNoRegion : it->second;
+}
+
 void BlockingModule::add_evidence(net::Endpoint server, double weight) {
   double& score = evidence_[server];
   score += weight;
@@ -13,8 +23,13 @@ void BlockingModule::add_evidence(net::Endpoint server, double weight) {
   if (decided_[server]) return;  // the human gate rolls once per server
   decided_[server] = true;
 
-  const double p =
+  double p =
       sensitive_ ? config_.sensitive_block_probability : config_.block_probability;
+  const auto policy = config_.region_policies.find(region_of(server));
+  if (policy != config_.region_policies.end()) {
+    p = sensitive_ ? policy->second.sensitive_block_probability
+                   : policy->second.block_probability;
+  }
   if (rng_.bernoulli(p)) install_block(server);
 }
 
@@ -30,7 +45,7 @@ void BlockingModule::install_block(net::Endpoint server) {
   active_[{server.addr, port_key}] = unblock_at;
   history_.push_back(BlockEntry{server.addr,
                                 whole_ip ? std::nullopt : std::make_optional(server.port),
-                                loop_.now(), unblock_at});
+                                loop_.now(), unblock_at, region_of(server)});
 
   // Unblocking is a timer, not a recheck: the paper observed no probes
   // preceding an unblock (section 6).

@@ -15,12 +15,22 @@
 
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "crypto/rng.h"
 #include "net/network.h"
 
 namespace gfwsim::gfw {
+
+// Region-specific human-factor gate. Ensafi et al. documented large
+// spatial inconsistencies in GFW enforcement; fleet campaigns express
+// them by tagging servers with a region whose policy overrides the
+// global gate probabilities.
+struct RegionPolicy {
+  double block_probability = 0.05;
+  double sensitive_block_probability = 0.60;
+};
 
 struct BlockingConfig {
   // Evidence score needed before the module even considers blocking.
@@ -35,6 +45,11 @@ struct BlockingConfig {
   // Unblock delay (no recheck); roughly "more than a week".
   net::Duration min_block_duration = net::hours(24 * 7);
   net::Duration max_block_duration = net::hours(24 * 21);
+  // Per-region overrides of the gate probabilities; a server whose
+  // registered region (set_region) has an entry here uses that policy.
+  // Empty (the default) keeps the global gate for everyone — and costs
+  // no extra RNG draws, so single-server transcripts are unchanged.
+  std::map<std::string, RegionPolicy> region_policies;
 };
 
 class BlockingModule {
@@ -49,6 +64,12 @@ class BlockingModule {
   // Politically sensitive period toggle (section 2.2's blocking waves).
   void set_sensitive_period(bool sensitive) { sensitive_ = sensitive; }
 
+  // Tags a server endpoint with a region for policy lookup and block
+  // attribution (fleet campaigns; see Gfw::register_server).
+  void set_region(net::Endpoint server, std::string region);
+  // "" for untagged servers.
+  const std::string& region_of(net::Endpoint server) const;
+
   // Called by the GFW middlebox for every segment: true = drop.
   bool should_drop(const net::Segment& segment) const;
 
@@ -57,6 +78,9 @@ class BlockingModule {
     std::optional<std::uint16_t> port;  // nullopt = whole IP
     net::TimePoint blocked_at{};
     net::TimePoint unblock_at{};
+    // Region of the server that triggered this block ("" outside fleet
+    // campaigns; journaled only in fleet checkpoint frames).
+    std::string region;
   };
 
   bool is_blocked(net::Endpoint server) const;
@@ -71,6 +95,7 @@ class BlockingModule {
   BlockingConfig config_;
   crypto::Rng rng_;
   bool sensitive_ = false;
+  std::map<net::Endpoint, std::string> regions_;
   std::map<net::Endpoint, double> evidence_;
   std::map<net::Endpoint, bool> decided_;  // gate rolled already
   // Active rules: key is (ip, port) with port 0 meaning the whole IP.

@@ -8,6 +8,7 @@ namespace {
 
 constexpr char kMagic[8] = {'G', 'F', 'W', 'C', 'K', 'P', 'T', '1'};
 constexpr std::uint32_t kShardFrame = 1;
+constexpr std::uint32_t kFleetShardFrame = 2;
 constexpr std::size_t kHeaderSize = 32;
 
 // ---- primitive writers ----------------------------------------------------
@@ -34,6 +35,11 @@ void put_u64(Bytes& out, std::uint64_t v) {
 void put_i64(Bytes& out, std::int64_t v) { put_u64(out, static_cast<std::uint64_t>(v)); }
 
 void put_i32(Bytes& out, std::int32_t v) { put_u32(out, static_cast<std::uint32_t>(v)); }
+
+void put_string(Bytes& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  append(out, ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
 
 // ---- primitive readers (bounds-checked) -----------------------------------
 
@@ -71,6 +77,13 @@ struct Cursor {
   }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data.data() + pos), n);
+    pos += n;
+    return s;
+  }
 };
 
 // ---- component codecs -----------------------------------------------------
@@ -103,15 +116,18 @@ net::TeardownReport get_teardown(Cursor& in) {
   return t;
 }
 
-void put_block_entry(Bytes& out, const BlockingModule::BlockEntry& e) {
+// `fleet` selects the kind-2 extensions (block region, probe server id,
+// per-server stats); kind-1 frames must keep their version-1 bytes.
+void put_block_entry(Bytes& out, const BlockingModule::BlockEntry& e, bool fleet) {
   put_u32(out, e.server_ip.value);
   put_u8(out, e.port.has_value() ? 1 : 0);
   put_u16(out, e.port.value_or(0));
   put_i64(out, e.blocked_at.count());
   put_i64(out, e.unblock_at.count());
+  if (fleet) put_string(out, e.region);
 }
 
-BlockingModule::BlockEntry get_block_entry(Cursor& in) {
+BlockingModule::BlockEntry get_block_entry(Cursor& in, bool fleet) {
   BlockingModule::BlockEntry e;
   e.server_ip = net::Ipv4(in.u32());
   const bool has_port = in.u8() != 0;
@@ -119,6 +135,7 @@ BlockingModule::BlockEntry get_block_entry(Cursor& in) {
   if (has_port) e.port = port;
   e.blocked_at = net::TimePoint(in.i64());
   e.unblock_at = net::TimePoint(in.i64());
+  if (fleet) e.region = in.str();
   return e;
 }
 
@@ -139,6 +156,34 @@ void put_probe_record(Bytes& out, const ProbeRecord& r) {
   put_i64(out, r.replay_delay.count());
   put_u8(out, r.is_first_replay_of_payload ? 1 : 0);
   put_u64(out, r.trigger_payload_hash);
+}
+
+void put_server_stats(Bytes& out, const ServerStats& s) {
+  put_u16(out, s.server_id);
+  put_u32(out, s.endpoint.addr.value);
+  put_u16(out, s.endpoint.port);
+  put_string(out, s.region);
+  put_string(out, s.impl);
+  put_string(out, s.cipher);
+  put_u64(out, s.connections_launched);
+  put_u64(out, s.payload_bytes);
+  put_u64(out, s.probes);
+  put_u64(out, s.blocks);
+}
+
+ServerStats get_server_stats(Cursor& in) {
+  ServerStats s;
+  s.server_id = in.u16();
+  s.endpoint.addr = net::Ipv4(in.u32());
+  s.endpoint.port = in.u16();
+  s.region = in.str();
+  s.impl = in.str();
+  s.cipher = in.str();
+  s.connections_launched = in.u64();
+  s.payload_bytes = in.u64();
+  s.probes = in.u64();
+  s.blocks = in.u64();
+  return s;
 }
 
 ProbeRecord get_probe_record(Cursor& in) {
@@ -238,12 +283,62 @@ std::uint64_t scenario_fingerprint(const Scenario& scenario) {
   h.mix(static_cast<std::uint64_t>(scenario.faults.outages.size()));
   h.mix(static_cast<std::uint64_t>(scenario.use_brdgrd));
   h.mix(scenario.base_seed);
+  // Fleet shape and per-server overrides. Mixed only when a fleet is
+  // declared, so every legacy scenario's fingerprint is unchanged; any
+  // change to the fleet (count, order, spec, or override) refuses to
+  // resume a stale journal.
+  if (!scenario.fleet.empty()) {
+    h.mix(static_cast<std::uint64_t>(0xF1EE7));  // fleet-mode marker
+    h.mix(static_cast<std::uint64_t>(scenario.fleet.size()));
+    for (const ServerSpec& spec : scenario.fleet) {
+      h.mix(static_cast<std::uint64_t>(spec.server.impl));
+      h.mix(spec.server.cipher);
+      h.mix(spec.server.password);
+      h.mix(static_cast<std::uint64_t>(spec.port));
+      h.mix(static_cast<std::uint64_t>(spec.ip.value));
+      h.mix(static_cast<std::uint64_t>(spec.inside_china));
+      h.mix(spec.region);
+      h.mix(static_cast<std::uint64_t>(spec.use_brdgrd));
+      // Optional overrides: presence is part of the shape (0 = inherit).
+      h.mix(spec.traffic
+                ? 1 + static_cast<std::uint64_t>(spec.traffic->kind)
+                : std::uint64_t{0});
+      if (spec.traffic) {
+        h.mix(static_cast<std::uint64_t>(spec.traffic->min_len));
+        h.mix(static_cast<std::uint64_t>(spec.traffic->max_len));
+        h.mix(spec.traffic->min_entropy);
+        h.mix(spec.traffic->max_entropy);
+      }
+      h.mix(spec.connection_interval
+                ? static_cast<std::uint64_t>(spec.connection_interval->count())
+                : ~std::uint64_t{0});
+      h.mix(spec.raw_traffic ? 1 + static_cast<std::uint64_t>(*spec.raw_traffic)
+                             : std::uint64_t{0});
+      h.mix(static_cast<std::uint64_t>(spec.client.has_value()));
+      h.mix(spec.latency ? static_cast<std::uint64_t>(spec.latency->count())
+                         : ~std::uint64_t{0});
+      h.mix(static_cast<std::uint64_t>(spec.faults.has_value()));
+      if (spec.faults) {
+        h.mix(spec.faults->loss);
+        h.mix(spec.faults->duplicate);
+        h.mix(spec.faults->reorder);
+        h.mix(static_cast<std::uint64_t>(spec.faults->jitter.count()));
+      }
+    }
+  }
   return h.state;
 }
 
 // ---- frame codec ----------------------------------------------------------
 
-Bytes serialize_shard(const ShardSummary& summary, const ProbeLog& log) {
+namespace {
+
+// Shared body of the kind-1 and kind-2 payloads. With fleet=false the
+// bytes are exactly format version 1 (golden-digest pinned); fleet=true
+// interleaves the server id per probe record and the region per block
+// entry, then appends the per-server stats rows.
+Bytes serialize_shard_impl(const ShardSummary& summary, const ProbeLog& log,
+                           bool fleet) {
   Bytes out;
   // Rough upfront sizing: fixed summary block + 64B per probe record.
   out.reserve(256 + 64 * log.size());
@@ -265,18 +360,27 @@ Bytes serialize_shard(const ShardSummary& summary, const ProbeLog& log) {
   put_u64(out, summary.probe_connect_retries);
   put_teardown(out, summary.teardown);
   put_u32(out, static_cast<std::uint32_t>(summary.blocking_history.size()));
-  for (const auto& entry : summary.blocking_history) put_block_entry(out, entry);
+  for (const auto& entry : summary.blocking_history) {
+    put_block_entry(out, entry, fleet);
+  }
   // log_offset is NOT serialized: the merge recomputes it, so a resumed
   // merge places restored slices exactly where an uninterrupted run did.
   // events_processed is NOT serialized either (a resumed shard reports 0):
   // it describes the run, not the simulation state, and adding it would
   // change the checkpoint format for a bench-only counter.
   put_u64(out, log.size());
-  for (const auto& record : log.records()) put_probe_record(out, record);
+  for (const auto& record : log.records()) {
+    put_probe_record(out, record);
+    if (fleet) put_u16(out, record.server_id);
+  }
+  if (fleet) {
+    put_u32(out, static_cast<std::uint32_t>(summary.servers.size()));
+    for (const ServerStats& server : summary.servers) put_server_stats(out, server);
+  }
   return out;
 }
 
-ShardCheckpoint parse_shard(ByteSpan payload) {
+ShardCheckpoint parse_shard_impl(ByteSpan payload, bool fleet) {
   Cursor in{payload, 0};
   ShardCheckpoint out;
   ShardSummary& s = out.summary;
@@ -300,18 +404,58 @@ ShardCheckpoint parse_shard(ByteSpan payload) {
   const std::uint32_t blocks = in.u32();
   s.blocking_history.reserve(blocks);
   for (std::uint32_t i = 0; i < blocks; ++i) {
-    s.blocking_history.push_back(get_block_entry(in));
+    s.blocking_history.push_back(get_block_entry(in, fleet));
   }
   const std::uint64_t probes = in.u64();
   std::vector<ProbeRecord> records;
   records.reserve(probes);
-  for (std::uint64_t i = 0; i < probes; ++i) records.push_back(get_probe_record(in));
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    ProbeRecord record = get_probe_record(in);
+    if (fleet) record.server_id = in.u16();
+    records.push_back(std::move(record));
+  }
   out.log.assign(std::move(records));
   s.probes = out.log.size();
+  if (fleet) {
+    const std::uint32_t servers = in.u32();
+    s.servers.reserve(servers);
+    for (std::uint32_t i = 0; i < servers; ++i) {
+      s.servers.push_back(get_server_stats(in));
+    }
+  }
   if (in.pos != payload.size()) {
     throw CheckpointError("checkpoint: trailing bytes inside shard frame");
   }
   return out;
+}
+
+}  // namespace
+
+Bytes serialize_shard(const ShardSummary& summary, const ProbeLog& log) {
+  return serialize_shard_impl(summary, log, /*fleet=*/false);
+}
+
+ShardCheckpoint parse_shard(ByteSpan payload) {
+  return parse_shard_impl(payload, /*fleet=*/false);
+}
+
+bool shard_has_fleet_data(const ShardSummary& summary, const ProbeLog& log) {
+  if (!summary.servers.empty()) return true;
+  for (const auto& entry : summary.blocking_history) {
+    if (!entry.region.empty()) return true;
+  }
+  for (const auto& record : log.records()) {
+    if (record.server_id != 0) return true;
+  }
+  return false;
+}
+
+Bytes serialize_shard_fleet(const ShardSummary& summary, const ProbeLog& log) {
+  return serialize_shard_impl(summary, log, /*fleet=*/true);
+}
+
+ShardCheckpoint parse_shard_fleet(ByteSpan payload) {
+  return parse_shard_impl(payload, /*fleet=*/true);
 }
 
 // ---- writer ---------------------------------------------------------------
@@ -356,10 +500,14 @@ CheckpointWriter::CheckpointWriter(const std::string& path,
 }
 
 void CheckpointWriter::append_shard(const ShardSummary& summary, const ProbeLog& log) {
-  const Bytes payload = serialize_shard(summary, log);
+  // Fleet shards need the extended frame; everything else stays on the
+  // version-1 frame so legacy journals remain byte-identical.
+  const bool fleet = shard_has_fleet_data(summary, log);
+  const Bytes payload =
+      fleet ? serialize_shard_fleet(summary, log) : serialize_shard(summary, log);
   Bytes frame;
   frame.reserve(12 + payload.size());
-  put_u32(frame, kShardFrame);
+  put_u32(frame, fleet ? kFleetShardFrame : kShardFrame);
   put_u64(frame, payload.size());
   append(frame, payload);
   out_.write(reinterpret_cast<const char*>(frame.data()),
@@ -401,8 +549,11 @@ Checkpoint load_checkpoint(const std::string& path) {
     const ByteSpan payload(data.data() + pos + 12,
                            static_cast<std::size_t>(payload_size));
     pos += 12 + static_cast<std::size_t>(payload_size);
-    if (kind != kShardFrame) continue;  // unknown frame kinds are skippable
-    ShardCheckpoint shard = parse_shard(payload);
+    if (kind != kShardFrame && kind != kFleetShardFrame) {
+      continue;  // unknown frame kinds are skippable
+    }
+    ShardCheckpoint shard = kind == kFleetShardFrame ? parse_shard_fleet(payload)
+                                                     : parse_shard(payload);
     out.shards.emplace(shard.summary.shard_index, std::move(shard));
   }
   return out;

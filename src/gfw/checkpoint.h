@@ -15,9 +15,16 @@
 //            scenario is rejected instead of silently merging apples
 //            with oranges
 //   then zero or more frames:
-//     u32 frame kind (1 = completed shard)
+//     u32 frame kind (1 = completed shard; 2 = completed FLEET shard:
+//         the kind-1 payload plus per-probe server ids, per-block region
+//         tags, and the shard's per-server stats rows)
 //     u64 payload size
-//     payload (serialize_shard format; see checkpoint.cpp)
+//     payload (serialize_shard / serialize_shard_fleet; see checkpoint.cpp)
+// Single-server shards are always written as kind-1 frames, so their
+// journals remain byte-identical to format version 1; only shards that
+// carry fleet data use kind 2 (readers that predate it skip unknown
+// kinds, and the scenario fingerprint gate already separates fleet from
+// non-fleet campaigns).
 // A torn tail frame (the process died mid-append) is detected by its
 // short payload and ignored: that shard simply reruns on resume.
 #pragma once
@@ -49,8 +56,10 @@ struct CheckpointHeader {
 
 // FNV-1a over the scenario fields that change what a shard computes
 // (server impl/cipher, traffic mode, duration, pacing, topology, fault
-// profile, classifier rate, seed). Two scenarios with equal fingerprints
-// produce interchangeable shards for checkpoint purposes.
+// profile, classifier rate, seed — and, when a fleet is declared, every
+// fleet entry's shape and overrides). Two scenarios with equal
+// fingerprints produce interchangeable shards for checkpoint purposes;
+// scenarios without a fleet hash exactly as they always did.
 std::uint64_t scenario_fingerprint(const Scenario& scenario);
 
 // One completed shard as restored from a checkpoint.
@@ -61,8 +70,17 @@ struct ShardCheckpoint {
 
 // Frame payload codec, exposed for the format-stability golden tests:
 // parse(serialize(x)) == x and serialize(parse(bytes)) == bytes.
+// serialize_shard emits the version-1 payload and silently omits fleet
+// data; the writer picks the fleet variant whenever a shard carries any.
 Bytes serialize_shard(const ShardSummary& summary, const ProbeLog& log);
 ShardCheckpoint parse_shard(ByteSpan payload);  // throws CheckpointError
+
+// Fleet frame payload codec (frame kind 2): the version-1 fields plus
+// each probe record's server id, each block entry's region, and the
+// summary's per-server stats rows.
+bool shard_has_fleet_data(const ShardSummary& summary, const ProbeLog& log);
+Bytes serialize_shard_fleet(const ShardSummary& summary, const ProbeLog& log);
+ShardCheckpoint parse_shard_fleet(ByteSpan payload);  // throws CheckpointError
 
 // Appends completed shards to the journal as they finish. In fresh mode
 // the file is truncated and a new header written; in append mode an

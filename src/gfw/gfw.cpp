@@ -103,6 +103,12 @@ net::Verdict Gfw::on_segment(const net::Segment& segment) {
   return net::Verdict::kPass;
 }
 
+void Gfw::register_server(net::Endpoint server, std::uint16_t server_id,
+                          const std::string& region) {
+  server_ids_[server] = server_id;
+  blocking_.set_region(server, region);
+}
+
 void Gfw::flag_connection(net::Endpoint server, ByteSpan first_payload) {
   ++flows_flagged_;
   ServerState& state = servers_[server];
@@ -166,6 +172,8 @@ void Gfw::launch_probe(net::Endpoint server, probesim::ProbeType type,
   ProbeRecord record;
   record.type = type;
   record.server = server;
+  const auto id_it = server_ids_.find(server);
+  if (id_it != server_ids_.end()) record.server_id = id_it->second;
 
   if (ProbeLog::is_replay(type)) {
     if (payload_index >= state.payloads.size()) return;  // store rotated out

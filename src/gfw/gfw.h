@@ -102,6 +102,13 @@ class Gfw : public net::Middlebox {
   // classifier's randomness). Copies the payload into the replay store.
   void flag_connection(net::Endpoint server, ByteSpan first_payload);
 
+  // Fleet campaigns: declares which server (by fleet id and region) owns
+  // an endpoint, so probe records carry the server id and the blocking
+  // module can apply per-region policy. Unregistered endpoints (every
+  // single-server campaign) keep id 0 and the global blocking policy.
+  void register_server(net::Endpoint server, std::uint16_t server_id,
+                       const std::string& region);
+
   const ProbeLog& log() const { return log_; }
   ProberPool& pool() { return pool_; }
   BlockingModule& blocking() { return blocking_; }
@@ -177,6 +184,7 @@ class Gfw : public net::Middlebox {
 
   std::map<std::pair<net::Endpoint, net::Endpoint>, FlowState> flows_;
   std::map<net::Endpoint, ServerState> servers_;
+  std::map<net::Endpoint, std::uint16_t> server_ids_;
   std::set<Bytes> replayed_payload_fingerprints_;
   std::size_t flows_inspected_ = 0;
   std::size_t flows_flagged_ = 0;

@@ -14,6 +14,9 @@ struct ProbeRecord {
   net::TimePoint sent_at{};
   probesim::ProbeType type = probesim::ProbeType::kNR2;
   net::Endpoint server;
+  // Fleet index of the probed server (Gfw::register_server); stays 0 in
+  // single-server campaigns, so legacy analyses are unaffected.
+  std::uint16_t server_id = 0;
 
   // Prober fingerprint (what the server-side pcap records).
   net::Ipv4 src_ip;

@@ -80,6 +80,7 @@ ProberPool::Identity ProberPool::acquire() {
   // independent of which address fronts it — the central-control tell.
   identity.tsval_process = static_cast<int>(rng_.weighted_index(tsval_weights_));
 
+  ++acquisitions_;
   ++probes_per_ip_[identity.ip];
   if (--entry.remaining_budget <= 0) {
     active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));

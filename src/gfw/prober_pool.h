@@ -81,6 +81,11 @@ class ProberPool {
   int asn_of(net::Ipv4 ip) const;
 
   std::size_t unique_addresses() const { return asn_by_ip_.size(); }
+  // Total acquire() calls — with one shared pool per GFW this counts
+  // probes across ALL servers of a fleet, making pool contention (hot
+  // addresses and budgets spent on one server starving another)
+  // observable to tests and benches.
+  std::size_t acquisitions() const { return acquisitions_; }
   const std::unordered_map<net::Ipv4, int>& probes_per_address() const {
     return probes_per_ip_;
   }
@@ -105,6 +110,7 @@ class ProberPool {
   std::vector<ActiveEntry> active_;
   std::unordered_map<net::Ipv4, int> asn_by_ip_;
   std::unordered_map<net::Ipv4, int> probes_per_ip_;
+  std::size_t acquisitions_ = 0;
 };
 
 }  // namespace gfwsim::gfw

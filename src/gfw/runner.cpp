@@ -81,6 +81,24 @@ std::string CampaignResult::teardown_failures() const {
   return out;
 }
 
+std::vector<ServerStats> CampaignResult::fleet_totals() const {
+  std::map<std::uint16_t, ServerStats> by_id;
+  for (const auto& shard : shards) {
+    for (const ServerStats& server : shard.servers) {
+      auto [it, inserted] = by_id.try_emplace(server.server_id, server);
+      if (inserted) continue;
+      it->second.connections_launched += server.connections_launched;
+      it->second.payload_bytes += server.payload_bytes;
+      it->second.probes += server.probes;
+      it->second.blocks += server.blocks;
+    }
+  }
+  std::vector<ServerStats> totals;
+  totals.reserve(by_id.size());
+  for (auto& [id, stats] : by_id) totals.push_back(std::move(stats));
+  return totals;
+}
+
 std::size_t CampaignResult::shards_quarantined() const {
   std::size_t n = 0;
   for (const auto& failure : failures) {
@@ -158,6 +176,7 @@ ShardedRunner::ShardOutcome ShardedRunner::run_one_shard(const Scenario& scenari
     summary.teardown = world->teardown_report();
     summary.probes = world->log().size();
     summary.blocking_history = world->gfw().blocking().history();
+    summary.servers = world->server_stats();
     out.log = world->log();
     out.ok = true;
   } catch (const net::LoopAborted& aborted) {

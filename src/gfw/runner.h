@@ -76,6 +76,11 @@ struct ShardSummary {
 
   // Blocking events observed by this shard's GFW.
   std::vector<BlockingModule::BlockEntry> blocking_history;
+
+  // Per-server rows (World::server_stats): one entry per fleet server,
+  // empty for single-server scenarios. Fleet shards are journaled with
+  // the extended checkpoint frame; legacy shards keep format version 1.
+  std::vector<ServerStats> servers;
 };
 
 // Shard-ordered merge of a whole campaign. `shards` holds the SURVIVING
@@ -102,6 +107,10 @@ struct CampaignResult {
   // "" when clean; otherwise one "shard N: <violations>" line per dirty
   // shard (net::TeardownReport::describe) for test failure messages.
   std::string teardown_failures() const;
+  // Per-server aggregation across surviving shards, by server id (fleet
+  // campaigns; empty when the scenario had no fleet). Counter fields sum;
+  // descriptive fields come from the first shard that saw the server.
+  std::vector<ServerStats> fleet_totals() const;
   // Shards excluded from the merge after exhausting retries.
   std::size_t shards_quarantined() const;
   // True iff every shard's results made it into the merge.

@@ -13,6 +13,9 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "client/ss_client.h"
 #include "client/traffic_spec.h"
@@ -21,6 +24,34 @@
 #include "probesim/probesim.h"
 
 namespace gfwsim::gfw {
+
+// One server of a heterogeneous fleet. Fields left at their defaults
+// inherit the scenario-wide settings, so a spec only states what differs
+// from the campaign baseline.
+struct ServerSpec {
+  probesim::ServerSetup server;
+  std::uint16_t port = 8388;
+  // 0.0.0.0 = the World assigns a deterministic address from its fleet
+  // numbering plan. Set explicitly to co-locate several servers on one
+  // address (exercises IP-level shared-fate blocking).
+  net::Ipv4 ip;
+  bool inside_china = false;
+  // Region tag consulted by the blocking module's per-region policies
+  // (BlockingConfig::region_policies); "" uses the global policy.
+  std::string region;
+  bool use_brdgrd = false;
+  defense::BrdgrdConfig brdgrd;
+
+  // Per-server overrides of the scenario-wide fields; nullopt = inherit.
+  std::optional<client::TrafficSpec> traffic;
+  std::optional<net::Duration> connection_interval;
+  std::optional<bool> raw_traffic;
+  std::optional<client::ClientConfig> client;
+  // Per-endpoint path shaping between this server and its own driver
+  // (on top of the mesh-wide defaults).
+  std::optional<net::Duration> latency;
+  std::optional<net::FaultProfile> faults;
+};
 
 struct Scenario {
   probesim::ServerSetup server;
@@ -82,6 +113,27 @@ struct Scenario {
     int fail_attempts = std::numeric_limits<int>::max();
   };
   DebugFailShard debug_fail_shard;
+
+  // Fleet mode: when non-empty, the World builds one server (each with
+  // its own client driver, optional brdgrd, and path overrides) per
+  // entry inside a single simulation with ONE shared GFW — shared prober
+  // pool, per-endpoint block table, per-region policy. The single-server
+  // fields above remain the campaign baseline that entries inherit from,
+  // and an EMPTY fleet is the degenerate case: the World then behaves
+  // exactly as before (bit-identical transcripts, golden-tested), which
+  // also equals a one-entry fleet of single_server_spec().
+  std::vector<ServerSpec> fleet;
+
+  // The legacy single-server fields expressed as a fleet entry; a fleet
+  // containing exactly this spec reproduces the scenario byte-for-byte.
+  ServerSpec single_server_spec() const {
+    ServerSpec spec;
+    spec.server = server;
+    spec.inside_china = server_inside_china;
+    spec.use_brdgrd = use_brdgrd;
+    spec.brdgrd = brdgrd;
+    return spec;
+  }
 
   // Base seed; shard i runs with shard_seed(base_seed, i) (gfw/runner.h).
   std::uint64_t base_seed = 0xCA4417A16;

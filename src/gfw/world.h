@@ -1,7 +1,14 @@
 // World: the owned simulation state for ONE campaign shard — event loop,
-// network, hosts, server under test (optionally behind brdgrd), GFW
-// middlebox, and the Shadowsocks client — built from a Scenario by the
-// constructor and driven by run()/run_for().
+// network, hosts, the server fleet under test (each server optionally
+// behind its own brdgrd, with its own client driver), GFW middlebox —
+// built from a Scenario by the constructor and driven by run()/run_for().
+//
+// A Scenario with an empty fleet is the historical single-server case
+// and is built as a fleet of one with bit-identical seeds, host order,
+// and RNG draws (golden-transcript tested). With a non-empty fleet, N
+// server rigs share ONE event loop, ONE Network, and ONE Gfw — shared
+// prober pool, per-endpoint block table, per-region policy — which is
+// what the paper's cross-implementation/cross-region results need.
 //
 // A World is fully self-contained: it shares no mutable state with other
 // Worlds, so independently-seeded Worlds can run on different threads
@@ -10,6 +17,8 @@
 
 #include <deque>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "client/ss_client.h"
 #include "client/traffic.h"
@@ -20,14 +29,32 @@
 
 namespace gfwsim::gfw {
 
+// Per-server statistics harvested from a fleet World. Single-server
+// scenarios report an empty vector, so legacy summaries, checkpoints,
+// and digests are untouched.
+struct ServerStats {
+  std::uint16_t server_id = 0;
+  net::Endpoint endpoint;
+  std::string region;
+  std::string impl;
+  std::string cipher;
+  std::size_t connections_launched = 0;
+  // Data bytes delivered to or from this endpoint (per-endpoint goodput
+  // split out of the shared network).
+  std::uint64_t payload_bytes = 0;
+  std::size_t probes = 0;  // GFW probes aimed at this server
+  std::size_t blocks = 0;  // block entries that match this endpoint
+};
+
 class World {
  public:
   // Builds the shard's simulation from the scenario; traffic comes from
-  // scenario.traffic.build(shard_index).
+  // scenario.traffic.build(shard_index) (or each fleet entry's override).
   World(const Scenario& scenario, std::uint64_t seed, std::uint32_t shard_index = 0);
 
   // Compatibility constructor (the historical Campaign signature): the
-  // caller supplies a ready-made traffic model instead of a spec.
+  // caller supplies a ready-made traffic model for the first server
+  // instead of a spec.
   World(Scenario scenario, std::unique_ptr<client::TrafficModel> traffic,
         std::uint64_t seed = 0xCA4417A16);
   ~World();
@@ -46,18 +73,43 @@ class World {
 
   Gfw& gfw() { return *gfw_; }
   const ProbeLog& log() const { return gfw_->log(); }
-  defense::Brdgrd* brdgrd() { return brdgrd_.get(); }
-  servers::ProxyServerBase& server() { return *server_; }
-  client::TrafficModel& traffic() { return *traffic_; }
   net::EventLoop& loop() { return loop_; }
   net::Network& network() { return net_; }
-  net::Endpoint server_endpoint() const { return server_endpoint_; }
   net::Endpoint control_endpoint() const { return control_endpoint_; }
   const Scenario& scenario() const { return scenario_; }
   std::uint32_t shard_index() const { return shard_index_; }
   std::uint64_t seed() const { return seed_; }
 
-  std::size_t connections_launched() const { return connections_launched_; }
+  // Single-server accessors; in a fleet they refer to server 0.
+  defense::Brdgrd* brdgrd() { return rigs_.front()->brdgrd.get(); }
+  servers::ProxyServerBase& server() { return *rigs_.front()->server; }
+  client::TrafficModel& traffic() { return *rigs_.front()->traffic; }
+  net::Endpoint server_endpoint() const { return rigs_.front()->endpoint; }
+
+  // Fleet accessors (single-server scenarios are a fleet of one).
+  std::size_t fleet_size() const { return rigs_.size(); }
+  servers::ProxyServerBase& server(std::size_t server_id) {
+    return *rigs_[server_id]->server;
+  }
+  defense::Brdgrd* brdgrd(std::size_t server_id) {
+    return rigs_[server_id]->brdgrd.get();
+  }
+  client::TrafficModel& traffic(std::size_t server_id) {
+    return *rigs_[server_id]->traffic;
+  }
+  net::Endpoint server_endpoint(std::size_t server_id) const {
+    return rigs_[server_id]->endpoint;
+  }
+  std::size_t connections_launched(std::size_t server_id) const {
+    return rigs_[server_id]->connections_launched;
+  }
+  // Per-server rows for the runner's merge: empty unless the scenario
+  // declared an explicit fleet (keeps single-server checkpoints at
+  // format version 1).
+  std::vector<ServerStats> server_stats();
+
+  // Across the whole fleet.
+  std::size_t connections_launched() const;
   // Segments that arrived at the control host (expected: zero probes —
   // the GFW does not proactively scan, section 4).
   std::size_t control_host_contacts() const { return control_contacts_; }
@@ -72,31 +124,50 @@ class World {
   void set_debug_attempt(int attempt) { debug_attempt_ = attempt; }
 
  private:
+  // One server of the fleet with its own driver-side state. rigs_[0] of
+  // a legacy scenario reproduces the historical single-server World
+  // exactly: same seeds, same host-creation order, same RNG stream.
+  struct ServerRig {
+    ServerRig(ServerSpec spec_, std::uint64_t driver_seed)
+        : spec(std::move(spec_)), rng(driver_seed) {}
+
+    ServerSpec spec;
+    net::Endpoint endpoint;
+    net::Host* client_host = nullptr;
+    std::unique_ptr<servers::ProxyServerBase> server;
+    std::unique_ptr<defense::Brdgrd> brdgrd;
+    std::unique_ptr<client::SsClient> client;
+    std::unique_ptr<client::TrafficModel> traffic;
+    crypto::Rng rng;  // drives pacing jitter + traffic draws
+    net::Duration connection_interval{};
+    bool raw_traffic = false;
+    std::size_t connections_launched = 0;
+    std::deque<std::shared_ptr<client::Fetch>> fetches;
+  };
+
   void build();
-  void launch_connection();
-  void pump_traffic();
+  // Per-rig component seed: rig 0 keeps the historical seed_ ^ salt (the
+  // bit-identity contract); later rigs branch via shard_seed so streams
+  // never collide.
+  std::uint64_t rig_seed(std::uint64_t salt, std::size_t index) const;
+  void launch_connection(ServerRig& rig);
+  void pump_traffic(std::size_t rig_index);
   void maybe_inject_failure();
 
   Scenario scenario_;
-  std::unique_ptr<client::TrafficModel> traffic_;
+  std::unique_ptr<client::TrafficModel> compat_traffic_;  // compat ctor only
   std::uint64_t seed_;
   std::uint32_t shard_index_ = 0;
-  crypto::Rng rng_;
 
   net::EventLoop loop_;
   net::Network net_{loop_};
   servers::SimulatedInternet internet_;
-  std::unique_ptr<servers::ProxyServerBase> server_;
-  std::unique_ptr<defense::Brdgrd> brdgrd_;
   std::unique_ptr<Gfw> gfw_;
-  std::unique_ptr<client::SsClient> client_;
+  std::vector<std::unique_ptr<ServerRig>> rigs_;
 
-  net::Endpoint server_endpoint_;
   net::Endpoint control_endpoint_;
   net::TimePoint traffic_until_{};
 
-  std::deque<std::shared_ptr<client::Fetch>> fetches_;
-  std::size_t connections_launched_ = 0;
   std::size_t control_contacts_ = 0;
   int debug_attempt_ = 0;
 };

@@ -517,6 +517,11 @@ std::string TeardownReport::describe() const {
   return out;
 }
 
+std::uint64_t Network::payload_bytes_for(Endpoint endpoint) const {
+  const std::uint64_t* bytes = endpoint_payload_bytes_.find(pack_endpoint(endpoint));
+  return bytes == nullptr ? 0 : *bytes;
+}
+
 TeardownReport Network::teardown_report(Duration grace) {
   TeardownReport report;
   const TimePoint now = loop_.now();
@@ -675,6 +680,11 @@ void Network::deliver(const Segment& segment) {
     }
     conn->bytes_received_ += segment.payload.size();
     payload_bytes_delivered_ += segment.payload.size();
+    if (endpoint_accounting_) {
+      const auto bytes = static_cast<std::uint64_t>(segment.payload.size());
+      *endpoint_payload_bytes_.try_emplace(pack_endpoint(segment.src)).first += bytes;
+      *endpoint_payload_bytes_.try_emplace(pack_endpoint(segment.dst)).first += bytes;
+    }
     if (conn->cb_.on_data) conn->cb_.on_data(segment.payload);
     // `conn` may have been closed by the callback; stop processing.
     return;

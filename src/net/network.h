@@ -206,6 +206,16 @@ class Network {
   // bench_throughput).
   std::uint64_t payload_bytes_delivered() const { return payload_bytes_delivered_; }
 
+  // Opt-in per-endpoint payload attribution for fleet worlds: when
+  // enabled, every delivered data byte is also credited to both the
+  // source and destination endpoint, so per-server goodput can be split
+  // out of one shared network. Off by default — single-server campaigns
+  // pay nothing for it.
+  void enable_endpoint_accounting() { endpoint_accounting_ = true; }
+  // Bytes delivered on connections where `endpoint` was either side
+  // (0 before enable_endpoint_accounting() or for unseen endpoints).
+  std::uint64_t payload_bytes_for(Endpoint endpoint) const;
+
   // Scans current state without running the loop (running it would
   // perturb the very behaviour under audit). `grace` must exceed the ARQ
   // idle timeout, else connections whose watchdog simply has not fired
@@ -302,6 +312,8 @@ class Network {
   std::size_t segments_in_flight_ = 0;
   std::size_t retransmissions_ = 0;
   std::uint64_t payload_bytes_delivered_ = 0;
+  bool endpoint_accounting_ = false;
+  FlatHashMap<std::uint64_t, std::uint64_t> endpoint_payload_bytes_;
 };
 
 }  // namespace gfwsim::net

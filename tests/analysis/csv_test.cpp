@@ -18,7 +18,13 @@ std::string slurp(const std::string& path) {
 }
 
 struct CsvFixture : ::testing::Test {
-  std::string dir = (std::filesystem::temp_directory_path() / "gfwsim_csv_test").string();
+  // Per-test directory: ctest runs each TEST as its own process, so a
+  // shared directory would let one test's TearDown race another's writes.
+  std::string dir =
+      (std::filesystem::temp_directory_path() /
+       (std::string("gfwsim_csv_test_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+          .string();
   void TearDown() override {
     std::error_code ec;
     std::filesystem::remove_all(dir, ec);

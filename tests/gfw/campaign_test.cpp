@@ -1,13 +1,13 @@
 // Integration tests of the full campaign harness.
 #include <gtest/gtest.h>
 
-#include "gfw/campaign.h"
+#include "gfw/world.h"
 
 namespace gfwsim::gfw {
 namespace {
 
-CampaignConfig small_campaign() {
-  CampaignConfig config;
+Scenario small_campaign() {
+  Scenario config;
   config.server.impl = probesim::ServerSetup::Impl::kOutline107;
   config.server.cipher = "chacha20-ietf-poly1305";
   config.duration = net::hours(24);
@@ -17,7 +17,7 @@ CampaignConfig small_campaign() {
 }
 
 TEST(Campaign, ShadowsocksTrafficDrawsProbes) {
-  Campaign campaign(small_campaign(),
+  World campaign(small_campaign(),
                     std::make_unique<client::BrowsingTraffic>(
                         client::BrowsingTraffic::paper_sites()),
                     0xAA01);
@@ -30,7 +30,7 @@ TEST(Campaign, ShadowsocksTrafficDrawsProbes) {
 }
 
 TEST(Campaign, OutlineServersGetStage2ProbeTypes) {
-  Campaign campaign(small_campaign(),
+  World campaign(small_campaign(),
                     std::make_unique<client::BrowsingTraffic>(
                         client::BrowsingTraffic::paper_sites()),
                     0xAA02);
@@ -48,10 +48,10 @@ TEST(Campaign, OutlineServersGetStage2ProbeTypes) {
 }
 
 TEST(Campaign, LibevServersStayInStage1) {
-  CampaignConfig config = small_campaign();
+  Scenario config = small_campaign();
   config.server.impl = probesim::ServerSetup::Impl::kLibevNew;
   config.server.cipher = "aes-256-gcm";
-  Campaign campaign(config,
+  World campaign(config,
                     std::make_unique<client::BrowsingTraffic>(
                         client::BrowsingTraffic::paper_sites()),
                     0xAA03);
@@ -68,9 +68,9 @@ TEST(Campaign, LibevServersStayInStage1) {
 TEST(Campaign, RawRandomTrafficAlsoTriggersProbes) {
   // The Table 4 insight: no real Shadowsocks needed; high-entropy random
   // payloads of the right lengths draw probes to a bare TCP sink.
-  CampaignConfig config = small_campaign();
+  Scenario config = small_campaign();
   config.raw_traffic = true;
-  Campaign campaign(config, std::make_unique<client::RandomDataTraffic>(
+  World campaign(config, std::make_unique<client::RandomDataTraffic>(
                                 client::RandomDataTraffic::exp1()),
                     0xAA04);
   campaign.run();
@@ -79,15 +79,15 @@ TEST(Campaign, RawRandomTrafficAlsoTriggersProbes) {
 
 TEST(Campaign, LowEntropyTrafficDrawsFewerProbes) {
   // Exp 1 vs Exp 2 of Table 4.
-  CampaignConfig config = small_campaign();
+  Scenario config = small_campaign();
   config.raw_traffic = true;
 
-  Campaign high_entropy(config, std::make_unique<client::RandomDataTraffic>(
+  World high_entropy(config, std::make_unique<client::RandomDataTraffic>(
                                     client::RandomDataTraffic::exp1()),
                         0xAA05);
   high_entropy.run();
 
-  Campaign low_entropy(config, std::make_unique<client::RandomDataTraffic>(
+  World low_entropy(config, std::make_unique<client::RandomDataTraffic>(
                                    client::RandomDataTraffic::exp2()),
                        0xAA05);
   low_entropy.run();
@@ -103,16 +103,16 @@ double campaign_probe_ratio(std::size_t guarded, std::size_t unguarded) {
 TEST(Campaign, BrdgrdSuppressesProbing) {
   // Figure 11 in miniature: with brdgrd clamping the first flight, the
   // classifier sees tiny first packets and probing collapses.
-  CampaignConfig config = small_campaign();
+  Scenario config = small_campaign();
   config.use_brdgrd = true;
-  Campaign guarded(config,
+  World guarded(config,
                    std::make_unique<client::BrowsingTraffic>(
                        client::BrowsingTraffic::paper_sites()),
                    0xAA06);
   guarded.run();
 
-  CampaignConfig vanilla = small_campaign();
-  Campaign unguarded(vanilla,
+  Scenario vanilla = small_campaign();
+  World unguarded(vanilla,
                      std::make_unique<client::BrowsingTraffic>(
                          client::BrowsingTraffic::paper_sites()),
                      0xAA06);
@@ -124,9 +124,9 @@ TEST(Campaign, BrdgrdSuppressesProbing) {
 
 TEST(Campaign, ServerInsideChinaIsProbedToo) {
   // Section 4.2: outside-to-inside connections trigger probing as well.
-  CampaignConfig config = small_campaign();
+  Scenario config = small_campaign();
   config.server_inside_china = true;
-  Campaign campaign(config,
+  World campaign(config,
                     std::make_unique<client::BrowsingTraffic>(
                         client::BrowsingTraffic::paper_sites()),
                     0xAA07);

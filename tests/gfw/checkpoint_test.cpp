@@ -244,6 +244,174 @@ TEST(Checkpoint, TornTailFrameIsIgnored) {
   std::remove(path.c_str());
 }
 
+// --- Fleet frames (kind 2) and the fleet fingerprint -------------------
+
+// The synthetic shard above, carrying every category of fleet data: probe
+// records with nonzero server ids, region-tagged block entries, and
+// per-server stats rows.
+gfw::ShardSummary make_fleet_summary() {
+  gfw::ShardSummary s = make_summary();
+  s.blocking_history[0].region = "beijing";
+  s.blocking_history[1].region = "unicom";
+  gfw::ServerStats a;
+  a.server_id = 0;
+  a.endpoint = {net::Ipv4(203, 0, 113, 10), 8388};
+  a.region = "beijing";
+  a.impl = "OutlineVPN v1.0.7";
+  a.cipher = "chacha20-ietf-poly1305";
+  a.connections_launched = 55;
+  a.payload_bytes = 987654321;
+  a.probes = 2;
+  a.blocks = 1;
+  gfw::ServerStats b;
+  b.server_id = 3;
+  b.endpoint = {net::Ipv4(203, 0, 114, 2), 8389};
+  b.region = "unicom";
+  b.impl = "Shadowsocks-python";
+  b.cipher = "aes-256-cfb";
+  b.connections_launched = 46;
+  b.payload_bytes = 11223344;
+  b.probes = 0;
+  b.blocks = 0;
+  s.servers = {a, b};
+  return s;
+}
+
+gfw::ProbeLog make_fleet_log() {
+  const gfw::ProbeLog base = make_log();
+  gfw::ProbeLog log;
+  for (gfw::ProbeRecord record : base.records()) {
+    record.server_id = log.size() == 0 ? 0 : 3;
+    log.add(record);
+  }
+  return log;
+}
+
+TEST(Checkpoint, FleetFrameRoundTripsByteIdentically) {
+  const gfw::ShardSummary summary = make_fleet_summary();
+  const gfw::ProbeLog log = make_fleet_log();
+  EXPECT_TRUE(gfw::shard_has_fleet_data(summary, log));
+  // The legacy synthetic shard carries none, so append_shard keeps
+  // writing it as a version-1 frame (the golden digest test pins those
+  // bytes exactly).
+  EXPECT_FALSE(gfw::shard_has_fleet_data(make_summary(), make_log()));
+
+  const Bytes bytes = gfw::serialize_shard_fleet(summary, log);
+  const gfw::ShardCheckpoint parsed = gfw::parse_shard_fleet(bytes);
+  const Bytes again = gfw::serialize_shard_fleet(parsed.summary, parsed.log);
+  EXPECT_EQ(bytes, again);  // serialize ∘ parse == identity on bytes
+
+  ASSERT_EQ(parsed.log.size(), 2u);
+  EXPECT_EQ(parsed.log.records()[0].server_id, 0u);
+  EXPECT_EQ(parsed.log.records()[1].server_id, 3u);
+  ASSERT_EQ(parsed.summary.blocking_history.size(), 2u);
+  EXPECT_EQ(parsed.summary.blocking_history[0].region, "beijing");
+  EXPECT_EQ(parsed.summary.blocking_history[1].region, "unicom");
+  ASSERT_EQ(parsed.summary.servers.size(), 2u);
+  EXPECT_EQ(parsed.summary.servers[0].cipher, "chacha20-ietf-poly1305");
+  EXPECT_EQ(parsed.summary.servers[1].server_id, 3u);
+  EXPECT_EQ(parsed.summary.servers[1].payload_bytes, 11223344u);
+}
+
+TEST(Checkpoint, FleetShardsJournalAndRestoreThroughTheFile) {
+  const std::string path = temp_path("fleet.ckpt");
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/false);
+    writer.append_shard(make_fleet_summary(), make_fleet_log());  // kind 2
+    gfw::ShardSummary legacy = make_summary();
+    legacy.shard_index = 0;
+    writer.append_shard(legacy, make_log());  // kind 1, same file
+  }
+  const gfw::Checkpoint loaded = gfw::load_checkpoint(path);
+  ASSERT_EQ(loaded.shards.size(), 2u);
+  const gfw::ShardCheckpoint& fleet = loaded.shards.at(3);
+  ASSERT_EQ(fleet.summary.servers.size(), 2u);
+  EXPECT_EQ(fleet.summary.servers[1].region, "unicom");
+  EXPECT_EQ(fleet.log.records()[1].server_id, 3u);
+  EXPECT_EQ(fleet.summary.blocking_history[0].region, "beijing");
+  const gfw::ShardCheckpoint& legacy = loaded.shards.at(0);
+  EXPECT_TRUE(legacy.summary.servers.empty());
+  EXPECT_EQ(legacy.log.records()[1].server_id, 0u);
+  std::remove(path.c_str());
+}
+
+gfw::Scenario small_fleet_scenario() {
+  gfw::Scenario scenario;
+  scenario.traffic = client::TrafficSpec::browsing();
+  scenario.duration = net::hours(1);
+  scenario.connection_interval = net::seconds(120);
+  scenario.classifier_base_rate = 0.25;
+  scenario.base_seed = 0xF1EE7CDE;
+  gfw::ServerSpec first;
+  first.server.impl = probesim::ServerSetup::Impl::kOutline107;
+  first.region = "beijing";
+  scenario.fleet.push_back(first);
+  gfw::ServerSpec second = first;
+  second.server.impl = probesim::ServerSetup::Impl::kLibevNew;
+  second.server.cipher = "aes-256-gcm";
+  second.region = "unicom";
+  scenario.fleet.push_back(second);
+  return scenario;
+}
+
+TEST(Checkpoint, FingerprintCoversFleetShape) {
+  const gfw::Scenario fleet = small_fleet_scenario();
+  // Deterministic, and sensitive to every fleet dimension: declaring a
+  // fleet at all, adding a server, and changing a server's cipher,
+  // region, port, or brdgrd flag each move the fingerprint.
+  EXPECT_EQ(gfw::scenario_fingerprint(fleet),
+            gfw::scenario_fingerprint(small_fleet_scenario()));
+
+  gfw::Scenario legacy = fleet;
+  legacy.fleet.clear();
+  EXPECT_NE(gfw::scenario_fingerprint(fleet), gfw::scenario_fingerprint(legacy));
+  gfw::Scenario one_entry = legacy;
+  one_entry.fleet.push_back(one_entry.single_server_spec());
+  EXPECT_NE(gfw::scenario_fingerprint(legacy),
+            gfw::scenario_fingerprint(one_entry));
+
+  gfw::Scenario grown = fleet;
+  grown.fleet.push_back(grown.fleet[0]);
+  EXPECT_NE(gfw::scenario_fingerprint(fleet), gfw::scenario_fingerprint(grown));
+  gfw::Scenario cipher = fleet;
+  cipher.fleet[0].server.cipher = "aes-256-cfb";
+  EXPECT_NE(gfw::scenario_fingerprint(fleet), gfw::scenario_fingerprint(cipher));
+  gfw::Scenario region = fleet;
+  region.fleet[1].region = "shanghai";
+  EXPECT_NE(gfw::scenario_fingerprint(fleet), gfw::scenario_fingerprint(region));
+  gfw::Scenario port = fleet;
+  port.fleet[1].port = 8390;
+  EXPECT_NE(gfw::scenario_fingerprint(fleet), gfw::scenario_fingerprint(port));
+  gfw::Scenario shielded = fleet;
+  shielded.fleet[0].use_brdgrd = true;
+  EXPECT_NE(gfw::scenario_fingerprint(fleet),
+            gfw::scenario_fingerprint(shielded));
+}
+
+TEST(Checkpoint, ResumeRefusesAChangedFleet) {
+  const std::string path = temp_path("fleet_resume.ckpt");
+  const gfw::Scenario scenario = small_fleet_scenario();
+  gfw::ShardedRunnerOptions options(/*shards=*/2, /*threads=*/1);
+  options.checkpoint_path = path;
+  {
+    gfw::ShardedRunner runner(options);
+    const gfw::CampaignResult result = runner.run(scenario);
+    ASSERT_EQ(result.shards.size(), 2u);
+  }
+  options.resume = true;
+  // Same legacy fields, different fleet: the journal must not be merged
+  // into the reshaped campaign.
+  gfw::Scenario changed = scenario;
+  changed.fleet[1].region = "shanghai";
+  EXPECT_THROW(gfw::ShardedRunner(options).run(changed), gfw::CheckpointError);
+  // The unchanged fleet resumes cleanly, entirely from the journal.
+  const gfw::CampaignResult resumed = gfw::ShardedRunner(options).run(scenario);
+  EXPECT_EQ(resumed.shards.size(), 2u);
+  ASSERT_EQ(resumed.shards[0].servers.size(), 2u);
+  EXPECT_EQ(resumed.shards[0].servers[1].region, "unicom");
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, AppendingAForeignCampaignIsRejected) {
   const std::string path = temp_path("foreign.ckpt");
   {

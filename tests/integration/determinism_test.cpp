@@ -5,19 +5,19 @@
 #include <sstream>
 
 #include "client/ss_client.h"
-#include "gfw/campaign.h"
+#include "gfw/world.h"
 #include "probesim/probesim.h"
 
 namespace gfwsim {
 namespace {
 
 std::string campaign_transcript(std::uint64_t seed) {
-  gfw::CampaignConfig config;
+  gfw::Scenario config;
   config.server.impl = probesim::ServerSetup::Impl::kOutline107;
   config.duration = net::hours(24);
   config.connection_interval = net::seconds(60);
   config.classifier_base_rate = 0.3;
-  gfw::Campaign campaign(config,
+  gfw::World campaign(config,
                          std::make_unique<client::BrowsingTraffic>(
                              client::BrowsingTraffic::paper_sites()),
                          seed);

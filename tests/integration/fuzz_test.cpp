@@ -3,7 +3,7 @@
 
 #include "client/ss_client.h"
 #include "probesim/probesim.h"
-#include "gfw/campaign.h"
+#include "gfw/world.h"
 #include "servers/upstream.h"
 
 namespace gfwsim {
@@ -99,12 +99,12 @@ TEST(GarbageStorm, ProberSimulatorHandlesEmptyAndHugePayloads) {
 }
 
 TEST(ResourceBounds, CampaignSessionsAndFlowsStayBounded) {
-  gfw::CampaignConfig config;
+  gfw::Scenario config;
   config.server.impl = ServerSetup::Impl::kOutline107;
   config.duration = net::hours(48);
   config.connection_interval = net::seconds(30);
   config.classifier_base_rate = 0.3;
-  gfw::Campaign campaign(config,
+  gfw::World campaign(config,
                          std::make_unique<client::BrowsingTraffic>(
                              client::BrowsingTraffic::paper_sites()),
                          0xF027);

@@ -92,7 +92,8 @@ struct Transcript {
   std::string probe_log_digest;
 };
 
-Transcript run_and_digest(unsigned threads) {
+Transcript run_and_digest(unsigned threads,
+                          const gfw::Scenario& scenario = faulty_scenario()) {
   gfw::ShardedRunner runner({kShards, threads});
 
   // Per-shard tap hashers, combined in shard order afterwards — the same
@@ -106,7 +107,7 @@ Transcript run_and_digest(unsigned threads) {
         [hash](const net::SegmentRecord& rec) { hash_record(*hash, rec); });
   });
 
-  const gfw::CampaignResult result = runner.run(faulty_scenario());
+  const gfw::CampaignResult result = runner.run(scenario);
 
   crypto::Sha1 tap_hash;
   for (const auto& shard_hash : hashers) {
@@ -127,6 +128,18 @@ Transcript run_and_digest(unsigned threads) {
 
 TEST(TranscriptEquivalence, MatchesSeedPathGoldenDigests) {
   const Transcript t = run_and_digest(/*threads=*/2);
+  EXPECT_EQ(t.tap_digest, kGoldenTapDigest);
+  EXPECT_EQ(t.probe_log_digest, kGoldenProbeLogDigest);
+}
+
+// The fleet back-compat contract: a Scenario whose fleet holds exactly
+// the single-server entry the legacy fields describe must replay the SAME
+// simulation — same seeds, same host order, same RNG draws — so its tap
+// and probe-log digests land on the very same goldens.
+TEST(TranscriptEquivalence, OneEntryFleetMatchesLegacyGoldenDigests) {
+  gfw::Scenario fleet = faulty_scenario();
+  fleet.fleet.push_back(fleet.single_server_spec());
+  const Transcript t = run_and_digest(/*threads=*/2, fleet);
   EXPECT_EQ(t.tap_digest, kGoldenTapDigest);
   EXPECT_EQ(t.probe_log_digest, kGoldenProbeLogDigest);
 }
