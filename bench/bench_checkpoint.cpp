@@ -8,7 +8,10 @@
 //   bench_checkpoint --checkpoint j.ckpt --resume   (finishes the rest)
 //   bench_checkpoint                                (uninterrupted ref)
 //
-// The resumed digest must equal the uninterrupted one.
+// The resumed digest must equal the uninterrupted one. With --workers N
+// the same campaign runs across forked worker processes, and
+// --worker-kill-after K SIGKILLs one of them mid-flight — CI's chaos job
+// asserts the digest STILL equals the undisturbed run's.
 #include <vector>
 
 #include "bench_common.h"
@@ -56,5 +59,7 @@ int main(int argc, char** argv) {
                 "identical across kill/resume and thread counts", digest);
   report.metric("shards quarantined", "0 (campaign complete)",
                 std::to_string(result.shards_quarantined()));
-  return result.complete() ? 0 : 1;
+  // Interrupted partial runs exit nonzero too: their digest covers only
+  // the merged prefix and must not be compared against a full run.
+  return result.complete() && !result.interrupted ? 0 : 1;
 }

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+
+#include "gfw/dist_runner.h"
 
 namespace gfwsim::bench {
 
@@ -28,7 +31,11 @@ namespace {
      << "  --checkpoint PATH  journal completed shards to PATH\n"
      << "  --resume           skip shards already in --checkpoint\n"
      << "  --shard-retries N  retries before quarantining a failing shard\n"
-     << "  --stall-timeout S  stall watchdog deadline in wall seconds (0=off)\n";
+     << "  --stall-timeout S  stall watchdog deadline in wall seconds (0=off)\n"
+     << "  --workers N   run shards across N forked worker processes\n"
+     << "                (crash/kill/stall containment; bit-identical merge)\n"
+     << "  --worker-kill-after K  chaos: SIGKILL one worker right after its\n"
+     << "                K-th shard start (requires --workers)\n";
   std::exit(exit_code);
 }
 
@@ -125,12 +132,47 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     } else if (std::strcmp(arg, "--stall-timeout") == 0) {
       options.stall_timeout_s = std::strtod(flag_value(argc, argv, i, argv0), nullptr);
       if (options.stall_timeout_s < 0.0) usage(argv0, 2);
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      options.workers = static_cast<unsigned>(
+          std::strtoul(flag_value(argc, argv, i, argv0), nullptr, 0));
+      if (options.workers == 0) usage(argv0, 2);
+    } else if (std::strcmp(arg, "--worker-kill-after") == 0) {
+      options.worker_kill_after = static_cast<int>(
+          std::strtol(flag_value(argc, argv, i, argv0), nullptr, 0));
+      if (options.worker_kill_after <= 0) usage(argv0, 2);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       usage(argv0, 2);
     }
   }
+  if (options.worker_kill_after > 0 && options.workers == 0) {
+    std::cerr << "--worker-kill-after requires --workers\n";
+    usage(argv0, 2);
+  }
+  install_interrupt_handlers();
   return options;
+}
+
+namespace {
+
+std::atomic<int> g_interrupt{0};
+
+extern "C" void bench_interrupt_handler(int sig) {
+  // First signal: graceful — runners stop claiming shards, in-flight
+  // ones finish and are journaled. Second signal: the operator means it.
+  if (g_interrupt.exchange(1, std::memory_order_relaxed) != 0) {
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
+}
+
+}  // namespace
+
+const std::atomic<int>* interrupt_flag() { return &g_interrupt; }
+
+void install_interrupt_handlers() {
+  std::signal(SIGTERM, bench_interrupt_handler);
+  std::signal(SIGINT, bench_interrupt_handler);
 }
 
 gfw::ShardedRunnerOptions runner_options(const BenchOptions& options) {
@@ -140,6 +182,7 @@ gfw::ShardedRunnerOptions runner_options(const BenchOptions& options) {
       static_cast<std::int64_t>(options.stall_timeout_s * 1000.0));
   out.checkpoint_path = options.checkpoint;
   out.resume = options.resume;
+  out.interrupt = interrupt_flag();
   return out;
 }
 
@@ -174,6 +217,22 @@ gfw::Scenario with_options(gfw::Scenario scenario, const BenchOptions& options,
 
 gfw::CampaignResult run_sharded(const gfw::Scenario& scenario,
                                 const BenchOptions& options) {
+  if (options.workers > 0) {
+    gfw::DistRunnerOptions dist;
+    dist.shards = options.shards;
+    dist.workers = options.workers;
+    dist.shard_retries = options.shard_retries;
+    dist.stall_timeout = std::chrono::milliseconds(
+        static_cast<std::int64_t>(options.stall_timeout_s * 1000.0));
+    // --checkpoint doubles as the slot-journal prefix; empty means a
+    // private temp dir (no resume across runs).
+    dist.journal_prefix = options.checkpoint;
+    dist.resume = options.resume;
+    dist.interrupt = interrupt_flag();
+    dist.chaos_kill_after_shards = options.worker_kill_after;
+    gfw::DistRunner runner(dist);
+    return runner.run(scenario);
+  }
   gfw::ShardedRunner runner(runner_options(options));
   return runner.run(scenario);
 }
@@ -186,16 +245,31 @@ gfw::CampaignResult run_standard_sharded(const BenchOptions& options,
 
 void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
                        const BenchOptions& options) {
-  const unsigned threads = std::min<unsigned>(
-      gfw::ShardedRunner(runner_options(options)).resolved_threads(),
-      static_cast<unsigned>(result.shards.size()));
-  os << "[" << result.shards.size() << " shard(s) x " << threads
-     << " thread(s): " << result.connections_launched() << " connections, "
-     << result.log.size() << " probes]\n";
+  if (options.workers > 0) {
+    os << "[" << result.shards.size() << " shard(s) x " << options.workers
+       << " worker process(es): " << result.connections_launched()
+       << " connections, " << result.log.size() << " probes]\n";
+  } else {
+    const unsigned threads = std::min<unsigned>(
+        gfw::ShardedRunner(runner_options(options)).resolved_threads(),
+        static_cast<unsigned>(result.shards.size()));
+    os << "[" << result.shards.size() << " shard(s) x " << threads
+       << " thread(s): " << result.connections_launched() << " connections, "
+       << result.log.size() << " probes]\n";
+  }
   // Supervision verdicts: quarantined shards are missing from the
   // numbers above, so say so loudly.
   for (const auto& failure : result.failures) {
     os << "  !! " << gfw::describe(failure) << "\n";
+  }
+  if (result.interrupted) {
+    os << "  !! interrupted: partial campaign (" << result.shards.size()
+       << " shard(s) merged)";
+    if (!options.checkpoint.empty()) {
+      os << "; rerun with --checkpoint " << options.checkpoint
+         << " --resume to continue";
+    }
+    os << "\n";
   }
 }
 

@@ -14,6 +14,7 @@
 // independent vantage points: each has its own server, GFW, and seed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iostream>
 #include <memory>
@@ -45,6 +46,13 @@ namespace gfwsim::bench {
 //   --shard-retries N  retries before quarantining a failing shard
 //   --stall-timeout S  wall-clock stall watchdog deadline in seconds
 //                      (0 = watchdog off)
+//   --workers N   run the campaign across N forked worker PROCESSES
+//                 (gfw/dist_runner.h) instead of a thread pool; crashes,
+//                 kills, and stalls of a worker are contained and the
+//                 merge stays bit-identical
+//   --worker-kill-after K  chaos: SIGKILL one worker right after its
+//                 K-th shard start (requires --workers); the campaign
+//                 must still complete with an identical digest
 struct BenchOptions {
   std::uint32_t shards = 4;
   unsigned threads = 0;    // 0 = hardware concurrency
@@ -65,13 +73,29 @@ struct BenchOptions {
   int shard_retries = 1;
   double stall_timeout_s = 0.0;
 
+  // Process isolation (gfw/dist_runner.h). 0 = threaded ShardedRunner;
+  // N > 0 scatters the shard range over N forked workers, with
+  // --checkpoint doubling as the slot-journal prefix.
+  unsigned workers = 0;
+  int worker_kill_after = 0;  // chaos kill trigger; 0 = no chaos
+
   bool faults_requested() const {
     return loss > 0.0 || dup > 0.0 || reorder > 0.0 || jitter_ms > 0.0;
   }
 };
 
-// Exits with usage on --help or a malformed flag.
+// Exits with usage on --help or a malformed flag. Also installs the
+// graceful SIGTERM/SIGINT handlers (install_interrupt_handlers below),
+// so every bench binary inherits resumable interruption for free.
 BenchOptions parse_bench_args(int argc, char** argv);
+
+// The flag the SIGTERM/SIGINT handlers set; runner options point their
+// `interrupt` member here. First signal: finish and journal in-flight
+// shards, then return a partial result with `interrupted` set. Second
+// signal: restore the default disposition and re-raise (the operator
+// insists).
+const std::atomic<int>* interrupt_flag();
+void install_interrupt_handlers();
 
 gfw::ShardedRunnerOptions runner_options(const BenchOptions& options);
 

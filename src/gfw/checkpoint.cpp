@@ -1,5 +1,6 @@
 #include "gfw/checkpoint.h"
 
+#include <array>
 #include <cstring>
 
 namespace gfwsim::gfw {
@@ -9,7 +10,34 @@ namespace {
 constexpr char kMagic[8] = {'G', 'F', 'W', 'C', 'K', 'P', 'T', '1'};
 constexpr std::uint32_t kShardFrame = 1;
 constexpr std::uint32_t kFleetShardFrame = 2;
+constexpr std::uint32_t kFailureFrame = 3;
 constexpr std::size_t kHeaderSize = 32;
+// Frame header: u32 kind + u64 payload size + u32 payload CRC-32.
+constexpr std::size_t kFrameHeaderSize = 16;
+
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the frame
+// integrity check that turns a mid-file bit flip into a structured
+// CheckpointError instead of whatever the codec would make of the
+// garbage.
+constexpr auto kCrcTable = [] {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+
+std::uint32_t crc32(ByteSpan data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    c = kCrcTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
 
 // ---- primitive writers ----------------------------------------------------
 
@@ -48,8 +76,21 @@ struct Cursor {
   std::size_t pos = 0;
 
   void need(std::size_t n) const {
-    if (pos + n > data.size()) {
+    if (n > data.size() - pos) {
       throw CheckpointError("checkpoint: truncated frame payload");
+    }
+  }
+  std::size_t remaining() const { return data.size() - pos; }
+  // Count-field sanity: a corrupt (or hostile) element count whose
+  // entries could not all fit in the remaining payload is rejected
+  // BEFORE any reserve()/loop, so a flipped length byte costs a
+  // CheckpointError, never a multi-gigabyte allocation.
+  void need_count(std::uint64_t count, std::size_t min_entry_size,
+                  const char* what) const {
+    if (count > remaining() / min_entry_size) {
+      throw CheckpointError(std::string("checkpoint: implausible ") + what +
+                            " count " + std::to_string(count) +
+                            " for remaining payload");
     }
   }
   std::uint8_t u8() {
@@ -401,12 +442,18 @@ ShardCheckpoint parse_shard_impl(ByteSpan payload, bool fleet) {
   s.retransmissions = in.u64();
   s.probe_connect_retries = in.u64();
   s.teardown = get_teardown(in);
+  // Minimum serialized entry sizes (strings counted at their 4-byte
+  // length prefix, i.e. empty), used to sanity-check count fields.
+  const std::size_t min_block = fleet ? 27 : 23;
+  const std::size_t min_probe = fleet ? 66 : 64;
   const std::uint32_t blocks = in.u32();
+  in.need_count(blocks, min_block, "block entry");
   s.blocking_history.reserve(blocks);
   for (std::uint32_t i = 0; i < blocks; ++i) {
     s.blocking_history.push_back(get_block_entry(in, fleet));
   }
   const std::uint64_t probes = in.u64();
+  in.need_count(probes, min_probe, "probe record");
   std::vector<ProbeRecord> records;
   records.reserve(probes);
   for (std::uint64_t i = 0; i < probes; ++i) {
@@ -418,6 +465,7 @@ ShardCheckpoint parse_shard_impl(ByteSpan payload, bool fleet) {
   s.probes = out.log.size();
   if (fleet) {
     const std::uint32_t servers = in.u32();
+    in.need_count(servers, 52, "server stats");
     s.servers.reserve(servers);
     for (std::uint32_t i = 0; i < servers; ++i) {
       s.servers.push_back(get_server_stats(in));
@@ -456,6 +504,49 @@ Bytes serialize_shard_fleet(const ShardSummary& summary, const ProbeLog& log) {
 
 ShardCheckpoint parse_shard_fleet(ByteSpan payload) {
   return parse_shard_impl(payload, /*fleet=*/true);
+}
+
+Bytes serialize_failure(const ShardFailure& failure) {
+  Bytes out;
+  out.reserve(128 + failure.what.size());
+  put_u32(out, failure.shard_index);
+  put_u64(out, failure.seed);
+  put_u8(out, static_cast<std::uint8_t>(failure.phase));
+  put_u8(out, static_cast<std::uint8_t>(failure.kind));
+  put_i32(out, failure.attempts);
+  put_u8(out, failure.quarantined ? 1 : 0);
+  put_u8(out, failure.nondeterministic ? 1 : 0);
+  put_string(out, failure.what);
+  put_teardown(out, failure.teardown);
+  return out;
+}
+
+ShardFailure parse_failure(ByteSpan payload) {
+  Cursor in{payload, 0};
+  ShardFailure f;
+  f.shard_index = in.u32();
+  f.seed = in.u64();
+  const std::uint8_t phase = in.u8();
+  if (phase > static_cast<std::uint8_t>(ShardPhase::kHarvest)) {
+    throw CheckpointError("checkpoint: failure frame has unknown phase " +
+                          std::to_string(phase));
+  }
+  f.phase = static_cast<ShardPhase>(phase);
+  const std::uint8_t kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(FailureKind::kExit)) {
+    throw CheckpointError("checkpoint: failure frame has unknown kind " +
+                          std::to_string(kind));
+  }
+  f.kind = static_cast<FailureKind>(kind);
+  f.attempts = in.i32();
+  f.quarantined = in.u8() != 0;
+  f.nondeterministic = in.u8() != 0;
+  f.what = in.str();
+  f.teardown = get_teardown(in);
+  if (in.pos != payload.size()) {
+    throw CheckpointError("checkpoint: trailing bytes inside failure frame");
+  }
+  return f;
 }
 
 // ---- writer ---------------------------------------------------------------
@@ -501,14 +592,26 @@ CheckpointWriter::CheckpointWriter(const std::string& path,
 
 void CheckpointWriter::append_shard(const ShardSummary& summary, const ProbeLog& log) {
   // Fleet shards need the extended frame; everything else stays on the
-  // version-1 frame so legacy journals remain byte-identical.
+  // version-1 payload so the golden digest keeps pinning those bytes.
   const bool fleet = shard_has_fleet_data(summary, log);
-  const Bytes payload =
-      fleet ? serialize_shard_fleet(summary, log) : serialize_shard(summary, log);
+  append_frame(fleet ? kFleetShardFrame : kShardFrame,
+               fleet ? serialize_shard_fleet(summary, log)
+                     : serialize_shard(summary, log));
+}
+
+void CheckpointWriter::append_failure(const ShardFailure& failure) {
+  append_frame(kFailureFrame, serialize_failure(failure));
+}
+
+void CheckpointWriter::append_frame(std::uint32_t kind, const Bytes& payload) {
+  // The whole frame is staged in one buffer and written with a single
+  // write() + flush, so a kill mid-append leaves at most one torn TAIL
+  // frame (which the loader drops) — never an interior hole.
   Bytes frame;
-  frame.reserve(12 + payload.size());
-  put_u32(frame, fleet ? kFleetShardFrame : kShardFrame);
+  frame.reserve(kFrameHeaderSize + payload.size());
+  put_u32(frame, kind);
   put_u64(frame, payload.size());
+  put_u32(frame, crc32(payload));
   append(frame, payload);
   out_.write(reinterpret_cast<const char*>(frame.data()),
              static_cast<std::streamsize>(frame.size()));
@@ -536,19 +639,37 @@ Checkpoint load_checkpoint(const std::string& path) {
   out.header = parse_header(data);
   std::size_t pos = kHeaderSize;
   while (pos < data.size()) {
-    if (data.size() - pos < 12) {
+    if (data.size() - pos < kFrameHeaderSize) {
       out.torn_tail_bytes = data.size() - pos;
       break;
     }
     const std::uint32_t kind = load_le32(data.data() + pos);
     const std::uint64_t payload_size = load_le64(data.data() + pos + 4);
-    if (data.size() - pos - 12 < payload_size) {
+    const std::uint32_t expected_crc = load_le32(data.data() + pos + 12);
+    // An insane length claim is corruption, not a torn tail: a torn tail
+    // can only make the file SHORTER than the length field promises, and
+    // tolerating arbitrary lengths would let one flipped bit swallow the
+    // rest of the journal as "torn".
+    if (payload_size > kMaxFramePayload) {
+      throw CheckpointError("checkpoint: frame at offset " + std::to_string(pos) +
+                            " claims implausible payload size " +
+                            std::to_string(payload_size));
+    }
+    if (data.size() - pos - kFrameHeaderSize < payload_size) {
       out.torn_tail_bytes = data.size() - pos;
       break;
     }
-    const ByteSpan payload(data.data() + pos + 12,
+    const ByteSpan payload(data.data() + pos + kFrameHeaderSize,
                            static_cast<std::size_t>(payload_size));
-    pos += 12 + static_cast<std::size_t>(payload_size);
+    pos += kFrameHeaderSize + static_cast<std::size_t>(payload_size);
+    if (crc32(payload) != expected_crc) {
+      throw CheckpointError("checkpoint: CRC mismatch in frame ending at offset " +
+                            std::to_string(pos) + " — journal is corrupt");
+    }
+    if (kind == kFailureFrame) {
+      out.failures.push_back(parse_failure(payload));
+      continue;
+    }
     if (kind != kShardFrame && kind != kFleetShardFrame) {
       continue;  // unknown frame kinds are skippable
     }

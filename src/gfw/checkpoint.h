@@ -8,7 +8,7 @@
 // File layout (all integers little-endian, fixed-width):
 //   header (32 bytes):
 //     0..7   magic "GFWCKPT1"
-//     8..11  format version (u32, currently 1)
+//     8..11  format version (u32, currently 2)
 //     12..15 shard count of the campaign (u32)
 //     16..23 scenario base seed (u64)
 //     24..31 scenario fingerprint (u64) — resuming under a different
@@ -17,16 +17,30 @@
 //   then zero or more frames:
 //     u32 frame kind (1 = completed shard; 2 = completed FLEET shard:
 //         the kind-1 payload plus per-probe server ids, per-block region
-//         tags, and the shard's per-server stats rows)
-//     u64 payload size
-//     payload (serialize_shard / serialize_shard_fleet; see checkpoint.cpp)
-// Single-server shards are always written as kind-1 frames, so their
-// journals remain byte-identical to format version 1; only shards that
-// carry fleet data use kind 2 (readers that predate it skip unknown
-// kinds, and the scenario fingerprint gate already separates fleet from
-// non-fleet campaigns).
+//         tags, and the shard's per-server stats rows; 3 = shard
+//         FAILURE: a quarantined or recovered ShardFailure, how a
+//         distributed worker ships its supervision verdicts back to the
+//         coordinator — gfw/dist_runner.h)
+//     u64 payload size (bounded by kMaxFramePayload; a larger claim is
+//         treated as corruption, not an allocation request)
+//     u32 CRC-32 (IEEE) of the payload
+//     payload (serialize_shard / serialize_shard_fleet /
+//              serialize_failure; see checkpoint.cpp)
+// Version 2 wrapped every frame in the length bound + CRC above so a
+// bit-flip anywhere in a frame body is a structured CheckpointError
+// instead of silently corrupt (or undefined) parsed state; the PAYLOAD
+// codecs are unchanged from version 1 (the kind-1 golden digest still
+// pins those bytes). Version-1 files are refused with a clear error —
+// journals are per-campaign scratch, not archives. Single-server shards
+// are always written as kind-1 frames; only shards that carry fleet data
+// use kind 2 (readers skip unknown kinds, and the scenario fingerprint
+// gate already separates fleet from non-fleet campaigns).
 // A torn tail frame (the process died mid-append) is detected by its
 // short payload and ignored: that shard simply reruns on resume.
+// Mid-file corruption that survives the framing checks (a payload byte
+// flip, an insane length, a CRC mismatch) throws CheckpointError — the
+// distributed coordinator responds by discarding the journal and
+// re-running its shards, never by merging suspect bytes.
 #pragma once
 
 #include <cstdint>
@@ -34,13 +48,19 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "crypto/bytes.h"
 #include "gfw/runner.h"
 
 namespace gfwsim::gfw {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+
+// Hard ceiling on a single frame's payload. Real frames are a few KB per
+// thousand probes; anything claiming more than this is a corrupt or
+// hostile length field and is rejected before any allocation happens.
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;  // 1 GiB
 
 class CheckpointError : public std::runtime_error {
  public:
@@ -82,6 +102,12 @@ bool shard_has_fleet_data(const ShardSummary& summary, const ProbeLog& log);
 Bytes serialize_shard_fleet(const ShardSummary& summary, const ProbeLog& log);
 ShardCheckpoint parse_shard_fleet(ByteSpan payload);  // throws CheckpointError
 
+// Failure frame payload codec (frame kind 3): one ShardFailure —
+// quarantine verdicts and recovered-failure records cross the worker
+// process boundary in the same journal as the results they annotate.
+Bytes serialize_failure(const ShardFailure& failure);
+ShardFailure parse_failure(ByteSpan payload);  // throws CheckpointError
+
 // Appends completed shards to the journal as they finish. In fresh mode
 // the file is truncated and a new header written; in append mode an
 // existing file's header must match `header` exactly (missing file:
@@ -93,8 +119,14 @@ class CheckpointWriter {
                    bool append);
 
   void append_shard(const ShardSummary& summary, const ProbeLog& log);
+  // Journals a supervision verdict (kind-3 frame): distributed workers
+  // record quarantines and recovered failures here so the coordinator's
+  // merge can surface them even after the worker process is gone.
+  void append_failure(const ShardFailure& failure);
 
  private:
+  void append_frame(std::uint32_t kind, const Bytes& payload);
+
   std::ofstream out_;
   std::string path_;
 };
@@ -102,6 +134,9 @@ class CheckpointWriter {
 struct Checkpoint {
   CheckpointHeader header;
   std::map<std::uint32_t, ShardCheckpoint> shards;  // by shard_index
+  // Kind-3 supervision verdicts, in file order (distributed workers
+  // append them; in-process journals have none).
+  std::vector<ShardFailure> failures;
   // Bytes of a torn tail frame that were ignored (0 on a clean file).
   std::size_t torn_tail_bytes = 0;
 };

@@ -1,0 +1,672 @@
+#include "gfw/dist_runner.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "gfw/checkpoint.h"
+
+namespace gfwsim::gfw {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---- heartbeat pipe protocol ----------------------------------------------
+//
+// Worker → coordinator, fixed 13-byte little-endian messages:
+//   u8 tag, u32 shard, u64 event counter.
+// 13 < PIPE_BUF, so each write is atomic even though the heartbeat
+// thread and the shard thread share the fd — messages never interleave.
+constexpr std::size_t kMsgSize = 13;
+constexpr std::uint8_t kMsgHeartbeat = 'H';   // liveness; events sampled
+constexpr std::uint8_t kMsgShardStart = 'S';  // shard = starting shard
+constexpr std::uint8_t kMsgShardDone = 'D';   // shard completed + journaled
+constexpr std::uint8_t kMsgShardFailed = 'F';  // shard quarantined in-worker
+constexpr std::uint32_t kNoShard = 0xFFFFFFFFu;
+
+// Worker exit codes the coordinator understands.
+constexpr int kExitOk = 0;           // range finished
+constexpr int kExitJournal = 2;      // could not open/write the slot journal
+constexpr int kExitInterrupted = 3;  // SIGTERM honored between shards
+
+void send_msg(int fd, std::uint8_t tag, std::uint32_t shard, std::uint64_t events) {
+  std::uint8_t buf[kMsgSize];
+  buf[0] = tag;
+  store_le32(buf + 1, shard);
+  store_le64(buf + 5, events);
+  // Best effort: if the coordinator is gone the default SIGPIPE
+  // disposition terminates the worker, which is exactly the orphan
+  // cleanup we want.
+  [[maybe_unused]] const ssize_t n = ::write(fd, buf, kMsgSize);
+}
+
+// ---- worker process --------------------------------------------------------
+
+// SIGTERM = graceful stop: finish (and journal) the in-flight shard,
+// then exit 3 instead of claiming the next one. A worker too wedged to
+// get here is exactly what the coordinator's SIGKILL rung is for.
+volatile std::sig_atomic_t g_worker_stop = 0;
+void worker_term_handler(int) { g_worker_stop = 1; }
+
+// Everything a worker needs, captured in coordinator memory immediately
+// before fork(): the child reads the fork-time snapshot, so the
+// scenario, hooks, and skip/attempt state need no serialization at all.
+struct WorkerConfig {
+  const Scenario* scenario = nullptr;
+  const ShardHook* before = nullptr;
+  const ShardHook* after = nullptr;
+  std::string journal_path;
+  CheckpointHeader header;
+  std::uint32_t range_lo = 0;
+  std::uint32_t range_hi = 0;
+  const std::vector<char>* done = nullptr;  // completed or quarantined
+  const std::vector<int>* attempts = nullptr;  // spent in dead processes
+  int max_attempts = 1;
+  int hb_fd = -1;
+  std::chrono::milliseconds heartbeat_interval{25};
+  std::chrono::milliseconds stall_timeout{0};
+};
+
+[[noreturn]] void worker_main(const WorkerConfig& cfg) {
+  std::signal(SIGTERM, worker_term_handler);
+  std::signal(SIGINT, SIG_IGN);   // the coordinator orchestrates interrupts
+  std::signal(SIGPIPE, SIG_DFL);  // die on heartbeat write if orphaned
+
+  int exit_code = kExitOk;
+  try {
+    // Append mode resumes a dead predecessor's journal: the header is
+    // validated and any torn tail frame from the death is truncated.
+    CheckpointWriter writer(cfg.journal_path, cfg.header, /*append=*/true);
+
+    // Same in-simulation stall semantics as the threaded runner; the
+    // coordinator's heartbeat deadline is the PROCESS-level layer above.
+    std::optional<StallWatchdog> watchdog;
+    if (cfg.stall_timeout.count() > 0) watchdog.emplace(cfg.stall_timeout);
+
+    net::LoopProgress progress;
+    std::atomic<std::uint32_t> current_shard{kNoShard};
+    std::atomic<bool> hb_stop{false};
+    std::thread heartbeat([&] {
+      while (!hb_stop.load(std::memory_order_relaxed)) {
+        send_msg(cfg.hb_fd, kMsgHeartbeat,
+                 current_shard.load(std::memory_order_relaxed),
+                 progress.events.load(std::memory_order_relaxed));
+        std::this_thread::sleep_for(cfg.heartbeat_interval);
+      }
+    });
+
+    for (std::uint32_t shard = cfg.range_lo; shard < cfg.range_hi; ++shard) {
+      if ((*cfg.done)[shard]) continue;
+      if (g_worker_stop != 0) {
+        exit_code = kExitInterrupted;
+        break;
+      }
+      current_shard.store(shard, std::memory_order_relaxed);
+      send_msg(cfg.hb_fd, kMsgShardStart, shard,
+               static_cast<std::uint64_t>((*cfg.attempts)[shard]));
+      ShardRun run = run_shard_supervised(
+          *cfg.scenario, shard, cfg.max_attempts,
+          /*attempt_base=*/(*cfg.attempts)[shard],
+          watchdog ? &*watchdog : nullptr, *cfg.before, *cfg.after, &progress);
+      if (run.failure) writer.append_failure(*run.failure);
+      if (run.completed) {
+        writer.append_shard(run.summary, run.log);
+        send_msg(cfg.hb_fd, kMsgShardDone, shard,
+                 progress.events.load(std::memory_order_relaxed));
+      } else {
+        send_msg(cfg.hb_fd, kMsgShardFailed, shard,
+                 progress.events.load(std::memory_order_relaxed));
+      }
+      current_shard.store(kNoShard, std::memory_order_relaxed);
+    }
+    if (g_worker_stop != 0) exit_code = kExitInterrupted;
+    hb_stop.store(true, std::memory_order_relaxed);
+    heartbeat.join();
+  } catch (...) {
+    // Journal trouble (unwritable path, corrupt predecessor file the
+    // coordinator failed to sanitize). The coordinator sees kExit and
+    // decides whether a respawn is worth it.
+    std::_Exit(kExitJournal);
+  }
+  // _Exit, not exit: a forked child must not run the parent's atexit
+  // chain or flush the parent's inherited stdio buffers.
+  std::_Exit(exit_code);
+}
+
+// ---- coordinator-side worker bookkeeping -----------------------------------
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int slot = -1;
+  int fd = -1;  // heartbeat pipe, read end (nonblocking)
+  std::uint32_t range_lo = 0;
+  std::uint32_t range_hi = 0;
+  std::uint32_t in_flight = kNoShard;
+  Clock::time_point last_msg;
+  bool term_sent = false;
+  Clock::time_point term_deadline;
+  bool stall_initiated = false;  // WE killed it for heartbeat silence
+  int shard_starts = 0;          // chaos trigger counter
+  std::vector<std::uint8_t> rxbuf;
+  bool alive = true;
+};
+
+std::string signal_text(int sig) {
+  const char* name = strsignal(sig);
+  return std::to_string(sig) + (name != nullptr ? std::string(" (") + name + ")" : "");
+}
+
+}  // namespace
+
+DistRunner::DistRunner(DistRunnerOptions options) : options_(std::move(options)) {}
+
+CampaignResult DistRunner::run(const Scenario& scenario) {
+  const std::uint32_t shards = std::max<std::uint32_t>(1, options_.shards);
+  const unsigned workers = std::max<unsigned>(
+      1, std::min<unsigned>(options_.workers, shards));
+  const int max_attempts = 1 + std::max(0, options_.shard_retries);
+  if (options_.chaos_kill_after_shards > 0 && options_.chaos_signal == SIGSTOP &&
+      options_.stall_timeout.count() <= 0) {
+    throw std::invalid_argument(
+        "DistRunner: SIGSTOP chaos needs stall_timeout > 0 — a stopped worker "
+        "is collected only by the heartbeat-deadline SIGKILL ladder");
+  }
+
+  const CheckpointHeader header{kCheckpointVersion, shards, scenario.base_seed,
+                                scenario_fingerprint(scenario)};
+
+  // Journal prefix: operator-provided prefixes persist (that is the
+  // resume story); an empty prefix gets a private temp dir torn down
+  // after the merge.
+  std::string prefix = options_.journal_prefix;
+  std::string tmpdir;
+  if (prefix.empty()) {
+    std::string templ = "/tmp/gfwdist.XXXXXX";
+    const char* env = std::getenv("TMPDIR");
+    if (env != nullptr && *env != '\0') {
+      templ = std::string(env) + "/gfwdist.XXXXXX";
+    }
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    if (mkdtemp(buf.data()) == nullptr) {
+      throw std::runtime_error("DistRunner: mkdtemp failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    tmpdir.assign(buf.data());
+    prefix = tmpdir + "/campaign";
+  }
+  const auto journal_path = [&](int slot) {
+    return prefix + ".worker" + std::to_string(slot);
+  };
+
+  // Shared campaign state. `done` doubles as the workers' skip set
+  // (completed OR quarantined); `completed` marks shards whose results
+  // are expected in a journal.
+  std::vector<char> done(shards, 0);
+  std::vector<char> completed(shards, 0);
+  std::vector<int> attempts(shards, 0);
+  // Process-level failure records (worker deaths); journal kind-3 frames
+  // are folded in at merge time and win ties.
+  std::map<std::uint32_t, ShardFailure> death_failures;
+
+  // Validate-or-delete one slot journal. A parseable journal marks its
+  // shards done; a corrupt one (CRC mismatch, implausible length, bad
+  // magic) is DELETED so its shards re-run — suspect bytes never merge.
+  // Returns false when the journal was removed or absent.
+  const auto sanitize_journal = [&](int slot) -> bool {
+    const std::string path = journal_path(slot);
+    if (!checkpoint_exists(path)) return false;
+    Checkpoint ck;
+    try {
+      ck = load_checkpoint(path);
+    } catch (const CheckpointError&) {
+      std::remove(path.c_str());
+      return false;
+    }
+    if (ck.header.shard_count != header.shard_count ||
+        ck.header.base_seed != header.base_seed ||
+        ck.header.scenario_fingerprint != header.scenario_fingerprint) {
+      throw CheckpointError(
+          "DistRunner: " + path +
+          " records a different campaign (shard count, base seed, or scenario "
+          "fingerprint mismatch) — refusing to resume from it");
+    }
+    for (const auto& [index, shard_checkpoint] : ck.shards) {
+      if (index >= shards) continue;
+      done[index] = 1;
+      completed[index] = 1;
+    }
+    for (const ShardFailure& f : ck.failures) {
+      if (f.shard_index >= shards) continue;
+      attempts[f.shard_index] = std::max(attempts[f.shard_index], f.attempts);
+      if (f.quarantined && !completed[f.shard_index]) done[f.shard_index] = 1;
+    }
+    return true;
+  };
+
+  for (unsigned slot = 0; slot < workers; ++slot) {
+    if (options_.resume) {
+      sanitize_journal(static_cast<int>(slot));
+    } else {
+      std::remove(journal_path(static_cast<int>(slot)).c_str());
+    }
+  }
+
+  // Best-effort persistence of a process-death verdict into the dead
+  // worker's own journal, so resumed runs keep the attempt count and the
+  // final merge surfaces the recovery even if this coordinator dies too.
+  const auto journal_death = [&](int slot, const ShardFailure& f) {
+    try {
+      CheckpointWriter w(journal_path(slot), header, /*append=*/true);
+      w.append_failure(f);
+    } catch (const CheckpointError&) {
+      // The in-memory record still reaches the merge.
+    }
+  };
+
+  const std::atomic<int>* interrupt = options_.interrupt;
+  bool interrupt_seen = false;
+  bool interrupt_sent = false;
+
+  const int chaos_slot =
+      options_.chaos_kill_after_shards <= 0
+          ? -1
+          : (options_.chaos_worker >= 0
+                 ? options_.chaos_worker % static_cast<int>(workers)
+                 : static_cast<int>(scenario.base_seed % workers));
+  bool chaos_fired = false;
+
+  const int respawn_limit =
+      options_.worker_respawn_limit > 0
+          ? options_.worker_respawn_limit
+          : static_cast<int>(shards) * max_attempts + static_cast<int>(workers);
+  int respawns_used = 0;
+
+  std::vector<WorkerProc> procs;
+  procs.reserve(workers * 2);
+
+  // Static contiguous scatter: worker w owns [w*S/W, (w+1)*S/W). Static
+  // ranges are what make the slot journal both spill file and
+  // checkpoint: every shard has exactly one home journal.
+  const auto range_lo = [&](unsigned slot) {
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(slot) * shards / workers);
+  };
+
+  const auto spawn = [&](int slot) {
+    // A replacement may be adopting a journal its predecessor tore or
+    // corrupted mid-write; validate it now. If the journal had to be
+    // deleted, un-complete the range's shards so they re-run (static
+    // ranges: every completed shard in this range lived in this file).
+    if (!sanitize_journal(slot) ) {
+      for (std::uint32_t s = range_lo(static_cast<unsigned>(slot));
+           s < range_lo(static_cast<unsigned>(slot) + 1); ++s) {
+        if (completed[s]) {
+          completed[s] = 0;
+          done[s] = 0;
+        }
+      }
+    }
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      throw std::runtime_error("DistRunner: pipe failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    WorkerConfig cfg;
+    cfg.scenario = &scenario;
+    cfg.before = &before_;
+    cfg.after = &after_;
+    cfg.journal_path = journal_path(slot);
+    cfg.header = header;
+    cfg.range_lo = range_lo(static_cast<unsigned>(slot));
+    cfg.range_hi = range_lo(static_cast<unsigned>(slot) + 1);
+    cfg.done = &done;
+    cfg.attempts = &attempts;
+    cfg.max_attempts = max_attempts;
+    cfg.hb_fd = fds[1];
+    cfg.heartbeat_interval = options_.heartbeat_interval;
+    cfg.stall_timeout = options_.stall_timeout;
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw std::runtime_error("DistRunner: fork failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      worker_main(cfg);  // noreturn; child sees the fork-time snapshot
+    }
+    ::close(fds[1]);
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+
+    WorkerProc proc;
+    proc.pid = pid;
+    proc.slot = slot;
+    proc.fd = fds[0];
+    proc.range_lo = cfg.range_lo;
+    proc.range_hi = cfg.range_hi;
+    proc.last_msg = Clock::now();
+    procs.push_back(std::move(proc));
+  };
+
+  const auto range_pending = [&](const WorkerProc& w) {
+    for (std::uint32_t s = w.range_lo; s < w.range_hi; ++s) {
+      if (!done[s]) return true;
+    }
+    return false;
+  };
+
+  // Attribute a worker death to its in-flight shard: the attempt that
+  // died counts against the shard's retry budget, and an exhausted
+  // budget quarantines the shard exactly like repeated throws do.
+  const auto attribute_death = [&](WorkerProc& w, FailureKind kind,
+                                   const std::string& what) {
+    if (w.in_flight == kNoShard) return;
+    const std::uint32_t shard = w.in_flight;
+    ++attempts[shard];  // the attempt that died with the process
+    ShardFailure f;
+    f.shard_index = shard;
+    f.seed = shard_seed(scenario.base_seed, shard);
+    f.phase = ShardPhase::kRun;
+    f.kind = kind;
+    f.what = what;
+    f.attempts = attempts[shard];
+    if (attempts[shard] >= max_attempts) {
+      f.quarantined = true;
+      done[shard] = 1;
+    }
+    death_failures[shard] = f;
+    journal_death(w.slot, f);
+  };
+
+  // Parse every complete 13-byte message sitting in a worker's buffer.
+  const auto drain_messages = [&](WorkerProc& w) {
+    std::size_t off = 0;
+    while (w.rxbuf.size() - off >= kMsgSize) {
+      const std::uint8_t* msg = w.rxbuf.data() + off;
+      off += kMsgSize;
+      const std::uint8_t tag = msg[0];
+      const std::uint32_t shard = load_le32(msg + 1);
+      switch (tag) {
+        case kMsgHeartbeat:
+          break;
+        case kMsgShardStart:
+          w.in_flight = shard;
+          ++w.shard_starts;
+          if (!chaos_fired && w.slot == chaos_slot &&
+              w.shard_starts >= options_.chaos_kill_after_shards) {
+            ::kill(w.pid, options_.chaos_signal);
+            chaos_fired = true;
+          }
+          break;
+        case kMsgShardDone:
+          if (shard < shards) {
+            done[shard] = 1;
+            completed[shard] = 1;
+            // A shard that burned attempts in dead processes and then
+            // completed is a RECOVERY: count the attempt that succeeded
+            // (journaled death frames only count the ones that died).
+            auto it = death_failures.find(shard);
+            if (it != death_failures.end()) {
+              it->second.attempts = attempts[shard] + 1;
+            }
+          }
+          w.in_flight = kNoShard;
+          break;
+        case kMsgShardFailed:
+          // Quarantined in-worker; the journal carries the kind-3 frame.
+          if (shard < shards) {
+            done[shard] = 1;
+            attempts[shard] = std::max(attempts[shard], max_attempts);
+          }
+          w.in_flight = kNoShard;
+          break;
+        default:
+          break;  // unknown tags are skippable, like unknown frame kinds
+      }
+    }
+    if (off > 0) w.rxbuf.erase(w.rxbuf.begin(), w.rxbuf.begin() + off);
+  };
+
+  const auto read_pipe = [&](WorkerProc& w) {
+    std::uint8_t buf[4096];
+    bool any = false;
+    for (;;) {
+      const ssize_t n = ::read(w.fd, buf, sizeof buf);
+      if (n > 0) {
+        w.rxbuf.insert(w.rxbuf.end(), buf, buf + n);
+        any = true;
+        continue;
+      }
+      break;  // 0 = EOF (worker gone), -1 = EAGAIN/EINTR
+    }
+    if (any) {
+      w.last_msg = Clock::now();
+      drain_messages(w);
+    }
+  };
+
+  const auto handle_death = [&](WorkerProc& w, int status) {
+    // Process everything the worker said before it died, THEN attribute:
+    // a 'D' that raced the death must clear in_flight first.
+    read_pipe(w);
+    ::close(w.fd);
+    w.fd = -1;
+    w.alive = false;
+
+    bool abnormal = false;
+    if (WIFSIGNALED(status)) {
+      const int sig = WTERMSIG(status);
+      if (w.stall_initiated) {
+        attribute_death(
+            w, FailureKind::kStall,
+            "worker heartbeat silent past the stall deadline; escalated "
+            "SIGTERM→SIGKILL, died on signal " + signal_text(sig));
+      } else {
+        attribute_death(w, FailureKind::kCrash,
+                        "worker killed by signal " + signal_text(sig));
+      }
+      abnormal = true;
+    } else if (WIFEXITED(status)) {
+      const int code = WEXITSTATUS(status);
+      if (code != kExitOk && code != kExitInterrupted) {
+        attribute_death(w, FailureKind::kExit,
+                        "worker exited with status " + std::to_string(code));
+        abnormal = true;
+      }
+    }
+    if (!abnormal || interrupt_seen) return;
+    if (!range_pending(w)) return;
+    if (respawns_used < respawn_limit) {
+      ++respawns_used;
+      spawn(w.slot);
+      return;
+    }
+    // Graceful degradation: out of respawn budget. Quarantine what is
+    // left of the range instead of forking forever.
+    for (std::uint32_t s = w.range_lo; s < w.range_hi; ++s) {
+      if (done[s]) continue;
+      ShardFailure f;
+      f.shard_index = s;
+      f.seed = shard_seed(scenario.base_seed, s);
+      f.phase = ShardPhase::kRun;
+      f.kind = FailureKind::kExit;
+      f.what = "worker respawn budget exhausted (" +
+               std::to_string(respawn_limit) + " respawns); shard abandoned";
+      f.attempts = std::max(1, attempts[s]);
+      f.quarantined = true;
+      done[s] = 1;
+      death_failures[s] = f;
+      journal_death(w.slot, f);
+    }
+  };
+
+  for (unsigned slot = 0; slot < workers; ++slot) spawn(static_cast<int>(slot));
+
+  // ---- supervision loop ----------------------------------------------------
+  std::vector<pollfd> pfds;
+  while (true) {
+    bool any_alive = false;
+    pfds.clear();
+    for (WorkerProc& w : procs) {
+      if (!w.alive) continue;
+      any_alive = true;
+      pfds.push_back(pollfd{w.fd, POLLIN, 0});
+    }
+    if (!any_alive) break;
+
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), /*timeout_ms=*/20);
+    for (WorkerProc& w : procs) {
+      if (w.alive) read_pipe(w);
+    }
+
+    const auto now = Clock::now();
+
+    // Operator interrupt: tell everyone once; workers finish their
+    // in-flight shard, journal it, and exit 3.
+    if (interrupt != nullptr &&
+        interrupt->load(std::memory_order_relaxed) != 0) {
+      interrupt_seen = true;
+      if (!interrupt_sent) {
+        for (WorkerProc& w : procs) {
+          if (w.alive) ::kill(w.pid, SIGTERM);
+        }
+        interrupt_sent = true;
+      }
+    }
+
+    // Heartbeat-deadline ladder: silence → SIGTERM → grace → SIGKILL.
+    // Message ARRIVAL is the liveness signal (a SIGSTOPped or D-state
+    // worker sends nothing at all; a busy worker's heartbeat thread
+    // keeps sending even between shards).
+    if (options_.stall_timeout.count() > 0) {
+      for (WorkerProc& w : procs) {
+        if (!w.alive) continue;
+        if (!w.term_sent) {
+          if (now - w.last_msg > options_.stall_timeout) {
+            w.stall_initiated = true;
+            w.term_sent = true;
+            w.term_deadline = now + options_.term_grace;
+            ::kill(w.pid, SIGTERM);
+          }
+        } else if (w.stall_initiated && now >= w.term_deadline) {
+          ::kill(w.pid, SIGKILL);  // takes down stopped processes too
+          w.term_deadline = now + options_.term_grace;
+        }
+      }
+    }
+
+    for (WorkerProc& w : procs) {
+      if (!w.alive) continue;
+      int status = 0;
+      const pid_t reaped = ::waitpid(w.pid, &status, WNOHANG);
+      if (reaped == w.pid) handle_death(w, status);
+    }
+  }
+
+  // ---- gather: load slot journals, fold failures, merge in shard order ----
+  std::map<std::uint32_t, ShardCheckpoint> gathered;
+  std::map<std::uint32_t, ShardFailure> failure_by_shard;
+  const auto fold_failure = [&](const ShardFailure& f) {
+    auto [it, inserted] = failure_by_shard.emplace(f.shard_index, f);
+    if (inserted) return;
+    ShardFailure& have = it->second;
+    // Quarantine verdicts dominate; otherwise the record that saw the
+    // most attempts is the freshest.
+    if (f.quarantined && !have.quarantined) {
+      have = f;
+    } else if (f.quarantined == have.quarantined && f.attempts > have.attempts) {
+      have = f;
+    }
+  };
+
+  for (unsigned slot = 0; slot < workers; ++slot) {
+    const std::string path = journal_path(static_cast<int>(slot));
+    if (!checkpoint_exists(path)) continue;
+    Checkpoint ck;
+    try {
+      ck = load_checkpoint(path);
+    } catch (const CheckpointError&) {
+      continue;  // defensive; sanitize passes make this unreachable
+    }
+    for (auto& [index, shard_checkpoint] : ck.shards) {
+      if (index >= shards) continue;
+      gathered.emplace(index, std::move(shard_checkpoint));
+    }
+    for (const ShardFailure& f : ck.failures) {
+      if (f.shard_index < shards) fold_failure(f);
+    }
+  }
+  for (const auto& [shard, f] : death_failures) fold_failure(f);
+
+  CampaignResult result;
+  result.interrupted = interrupt_seen;
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    const bool have = gathered.count(shard) > 0;
+    auto it = failure_by_shard.find(shard);
+    if (have && it != failure_by_shard.end() && it->second.quarantined) {
+      // The shard completed on some attempt after all: it recovered.
+      it->second.quarantined = false;
+      it->second.nondeterministic =
+          it->second.kind == FailureKind::kException ||
+          it->second.kind == FailureKind::kStall;
+    }
+    if (!have && !result.interrupted &&
+        (it == failure_by_shard.end() || !it->second.quarantined)) {
+      // No results, no quarantine verdict, and nobody interrupted us:
+      // account for the loss instead of silently shrinking the merge.
+      ShardFailure f;
+      f.shard_index = shard;
+      f.seed = shard_seed(scenario.base_seed, shard);
+      f.phase = ShardPhase::kRun;
+      f.kind = FailureKind::kExit;
+      f.what = "shard lost without a journal record";
+      f.attempts = std::max(1, attempts[shard]);
+      f.quarantined = true;
+      fold_failure(f);
+    }
+  }
+
+  std::size_t total = 0;
+  for (const auto& [index, shard_checkpoint] : gathered) {
+    total += shard_checkpoint.log.size();
+  }
+  result.log.reserve(total);
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    auto fit = failure_by_shard.find(shard);
+    if (fit != failure_by_shard.end()) result.failures.push_back(fit->second);
+    auto it = gathered.find(shard);
+    if (it == gathered.end()) continue;
+    it->second.summary.log_offset = result.log.size();
+    result.log.merge(it->second.log);
+    result.shards.push_back(std::move(it->second.summary));
+  }
+
+  if (!tmpdir.empty() && !options_.keep_journals) {
+    for (unsigned slot = 0; slot < workers; ++slot) {
+      std::remove(journal_path(static_cast<int>(slot)).c_str());
+    }
+    ::rmdir(tmpdir.c_str());
+  }
+  return result;
+}
+
+}  // namespace gfwsim::gfw

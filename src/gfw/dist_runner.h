@@ -1,0 +1,141 @@
+// DistRunner: process-isolated campaign execution.
+//
+// The threaded ShardedRunner contains exceptions and stalls, but a
+// worker that segfaults, gets OOM-killed, or wedges inside a syscall
+// takes the whole campaign with it. DistRunner scatters the shard range
+// across forked WORKER PROCESSES so the campaign survives anything the
+// OS can do to one of them, then gathers results through checkpoint
+// journals into the exact same shard-ordered, bit-identical merge.
+//
+// Topology (one coordinator, W workers, static ranges):
+//
+//   coordinator ──fork──▶ worker 0  owns shards [0, S/W)      journal .worker0
+//               ──fork──▶ worker 1  owns shards [S/W, 2S/W)   journal .worker1
+//               ──fork──▶ ...
+//
+//   * Workers inherit the Scenario by address space (fork, not exec) —
+//     no scenario serialization, bit-identical inputs by construction.
+//   * Each worker journals completed shards (and supervision verdicts)
+//     to its own slot file `<prefix>.worker<slot>` using the
+//     gfw/checkpoint.h format: the journal is simultaneously the result
+//     spill file and the crash-recovery checkpoint.
+//   * Each worker reports liveness over a heartbeat pipe (13-byte
+//     messages: tag, shard, event counter). Writes are < PIPE_BUF, so
+//     they are atomic even with the heartbeat thread and the shard
+//     thread sharing the fd.
+//
+// Failure ladder (coordinator side):
+//   1. heartbeat silence > stall_timeout  → SIGTERM the worker
+//   2. still alive after term_grace       → SIGKILL
+//   3. waitpid() reaps the death; the in-flight shard becomes a
+//      ShardFailure: kStall when the coordinator initiated the kill,
+//      kCrash when the worker died on a signal (segfault, OOM killer,
+//      external SIGKILL), kExit on a nonzero exit status.
+//   4. A replacement worker is forked for the same slot. It opens the
+//      dead worker's journal in append mode (torn tails from the death
+//      are truncated), skips every shard the coordinator knows is done
+//      or quarantined, and resumes with GLOBAL attempt numbering — the
+//      dead process's attempts count against the shard's retry budget,
+//      and a shard that keeps killing workers is quarantined just like
+//      a shard that keeps throwing.
+//   5. A journal the preload pass cannot parse (CheckpointError: CRC
+//      mismatch, insane length) is deleted and its shards re-run —
+//      corrupt bytes never reach the merge.
+//
+// Merge contract: identical to ShardedRunner. Completed shards are
+// loaded from the slot journals and merged IN SHARD ORDER with
+// log_offset recomputed, so for any (workers, kill schedule) the merged
+// ProbeLog and summaries are bit-identical to an undisturbed in-process
+// run over the surviving shards (tests/integration/dist_runner_test.cpp
+// pins this with SHA-1 digests under SIGKILL/SIGSTOP chaos).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <string>
+
+#include "gfw/runner.h"
+
+namespace gfwsim::gfw {
+
+struct DistRunnerOptions {
+  std::uint32_t shards = 8;
+  // Worker processes; clamped to `shards`. 1 still forks (the
+  // containment boundary is the point), it just doesn't parallelize.
+  unsigned workers = 2;
+
+  // Same-seed retry budget per shard (0 = quarantine on first failure).
+  // Attempts spent in dead worker processes count toward this budget.
+  int shard_retries = 1;
+
+  // How often each worker writes a heartbeat message.
+  std::chrono::milliseconds heartbeat_interval{25};
+  // Heartbeat silence deadline: a worker whose pipe has been quiet this
+  // long is presumed wedged or stopped and enters the SIGTERM→SIGKILL
+  // ladder. 0 disables the deadline (crashes are still contained —
+  // waitpid sees them without any timeout). Workers also arm an
+  // in-process StallWatchdog with this timeout, so an in-simulation
+  // stall is deadlined exactly as under the threaded runner.
+  std::chrono::milliseconds stall_timeout{0};
+  // Grace between SIGTERM and SIGKILL on the ladder.
+  std::chrono::milliseconds term_grace{500};
+
+  // Slot journals live at `<journal_prefix>.worker<slot>`. Empty: a
+  // private temp directory is created and removed after the merge.
+  // Non-empty (operator-provided): journals persist, and `resume`
+  // restores completed shards from them — the distributed analogue of
+  // ShardedRunnerOptions::{checkpoint_path, resume}.
+  std::string journal_prefix;
+  bool keep_journals = false;
+  bool resume = false;
+
+  // Graceful interrupt (same contract as ShardedRunnerOptions): when the
+  // pointee goes nonzero the coordinator SIGTERMs every worker; workers
+  // finish and journal their in-flight shard, the partial merge returns
+  // with `interrupted` set, and a resume rerun picks up from the
+  // journals.
+  const std::atomic<int>* interrupt = nullptr;
+
+  // Deterministic chaos injection (bench --worker-kill-after): after the
+  // chaos worker announces its Nth shard start, the coordinator sends it
+  // `chaos_signal`. Counting shard STARTS instead of wall time makes the
+  // kill site reproducible. 0 disables chaos.
+  int chaos_kill_after_shards = 0;
+  // SIGKILL models a crash/OOM kill; SIGSTOP models a wedged process
+  // (no heartbeats, not dead) and requires stall_timeout > 0 to ever be
+  // collected — the ladder's SIGKILL takes down stopped processes too.
+  int chaos_signal = SIGKILL;
+  // Which worker slot the chaos targets; -1 derives one from the
+  // scenario's base seed.
+  int chaos_worker = -1;
+
+  // Safety valve on replacement forks. 0 derives a generous default
+  // (every shard could burn its whole retry budget as a process death).
+  // When the budget runs out, remaining shards of the dead worker's
+  // range are quarantined instead of forking forever.
+  int worker_respawn_limit = 0;
+};
+
+class DistRunner : public Runner {
+ public:
+  explicit DistRunner(DistRunnerOptions options = {});
+
+  // Hooks execute in the WORKER process (see gfw::ShardHook): `before`
+  // toggles propagate into the shard's World, but state harvested by
+  // `after` into worker memory dies with the worker.
+  void set_before_run(ShardHook hook) { before_ = std::move(hook); }
+  void set_after_run(ShardHook hook) { after_ = std::move(hook); }
+
+  const DistRunnerOptions& options() const { return options_; }
+
+  CampaignResult run(const Scenario& scenario) override;
+
+ private:
+  DistRunnerOptions options_;
+  ShardHook before_;
+  ShardHook after_;
+};
+
+}  // namespace gfwsim::gfw

@@ -116,43 +116,56 @@ unsigned ShardedRunner::resolved_threads() const {
   return hw == 0 ? 1 : hw;
 }
 
+namespace {
+
 // One attempt at one shard, fully guarded: every exception (including
 // the stall watchdog's LoopAborted) is converted into a ShardFailure.
-struct ShardedRunner::ShardOutcome {
+struct ShardAttemptOutcome {
   bool ok = false;
   ShardSummary summary;
   ProbeLog log;
   ShardFailure failure;  // meaningful only when !ok
 };
 
-ShardedRunner::ShardOutcome ShardedRunner::run_one_shard(const Scenario& scenario,
-                                                         std::uint32_t shard,
-                                                         int attempt,
-                                                         StallWatchdog* watchdog) {
-  ShardOutcome out;
+// `attempt` is the GLOBAL attempt index (earlier processes' attempts
+// included), so World::set_debug_attempt sees the same numbering whether
+// retries happen in-thread or across a respawned worker process.
+ShardAttemptOutcome run_shard_attempt(const Scenario& scenario, std::uint32_t shard,
+                                      int attempt, StallWatchdog* watchdog,
+                                      const ShardHook& before, const ShardHook& after,
+                                      net::LoopProgress* external_progress) {
+  ShardAttemptOutcome out;
   out.failure.shard_index = shard;
   out.failure.seed = shard_seed(scenario.base_seed, shard);
   out.failure.attempts = attempt + 1;
 
   // Declared before the World so the loop's raw pointer to it can never
-  // dangle (locals destroy in reverse order).
-  net::LoopProgress progress;
+  // dangle (locals destroy in reverse order). An external progress (the
+  // distributed worker's shared heartbeat) takes precedence; its owner
+  // guarantees it outlives the attempt.
+  net::LoopProgress local_progress;
+  net::LoopProgress* progress =
+      external_progress != nullptr ? external_progress : &local_progress;
+  if (external_progress != nullptr) {
+    // A fresh attempt must not inherit the previous attempt's abort.
+    external_progress->abort.store(false, std::memory_order_relaxed);
+  }
   std::unique_ptr<World> world;
   ShardPhase phase = ShardPhase::kBuild;
   bool watched = false;
   try {
     world = std::make_unique<World>(scenario, out.failure.seed, shard);
     world->set_debug_attempt(attempt);
-    world->loop().set_progress(&progress);
+    world->loop().set_progress(progress);
     if (watchdog != nullptr) {
-      watchdog->watch(shard, &progress);
+      watchdog->watch(shard, progress);
       watched = true;
     }
-    if (before_) before_(*world, shard);
+    if (before) before(*world, shard);
     phase = ShardPhase::kRun;
     world->run();
     phase = ShardPhase::kHarvest;
-    if (after_) after_(*world, shard);
+    if (after) after(*world, shard);
 
     ShardSummary& summary = out.summary;
     summary.shard_index = shard;
@@ -203,6 +216,50 @@ ShardedRunner::ShardOutcome ShardedRunner::run_one_shard(const Scenario& scenari
   return out;
 }
 
+}  // namespace
+
+ShardRun run_shard_supervised(const Scenario& scenario, std::uint32_t shard,
+                              int max_attempts, int attempt_base,
+                              StallWatchdog* watchdog, const ShardHook& before,
+                              const ShardHook& after, net::LoopProgress* progress) {
+  ShardRun run;
+  std::optional<ShardFailure> first_failure;
+  for (int attempt = attempt_base; attempt < max_attempts; ++attempt) {
+    ShardAttemptOutcome outcome =
+        run_shard_attempt(scenario, shard, attempt, watchdog, before, after, progress);
+    if (outcome.ok) {
+      if (first_failure) {
+        // The identical seed succeeded on retry: the failure did not
+        // reproduce. Keep it on record, flagged, but merge the shard.
+        first_failure->nondeterministic = true;
+        first_failure->attempts = attempt + 1;
+        run.failure = std::move(first_failure);
+      }
+      run.summary = std::move(outcome.summary);
+      run.log = std::move(outcome.log);
+      run.completed = true;
+      return run;
+    }
+    if (!first_failure) {
+      first_failure = std::move(outcome.failure);
+    } else {
+      // Same (phase, kind, what) signature = the failure reproduced
+      // deterministically; anything else is evidence of a race.
+      if (first_failure->phase != outcome.failure.phase ||
+          first_failure->kind != outcome.failure.kind ||
+          first_failure->what != outcome.failure.what) {
+        first_failure->nondeterministic = true;
+      }
+      first_failure->attempts = attempt + 1;
+    }
+  }
+  if (first_failure) {
+    first_failure->quarantined = true;
+    run.failure = std::move(first_failure);
+  }
+  return run;
+}
+
 CampaignResult ShardedRunner::run(const Scenario& scenario) {
   const std::uint32_t shards = std::max<std::uint32_t>(1, options_.shards);
   const unsigned threads =
@@ -249,49 +306,31 @@ CampaignResult ShardedRunner::run(const Scenario& scenario) {
   StallWatchdog* watchdog_ptr = watchdog ? &*watchdog : nullptr;
 
   const int max_attempts = 1 + std::max(0, options_.shard_retries);
+  const std::atomic<int>* interrupt = options_.interrupt;
   std::atomic<std::uint32_t> next{0};
   const auto worker = [&] {
     for (;;) {
+      // Graceful interrupt: stop claiming new shards; the ones already
+      // running finish and are journaled, so a --resume rerun continues
+      // exactly where the operator's SIGTERM landed.
+      if (interrupt != nullptr && interrupt->load(std::memory_order_relaxed) != 0) {
+        return;
+      }
       const std::uint32_t shard = next.fetch_add(1, std::memory_order_relaxed);
       if (shard >= shards) return;
       if (completed[shard]) continue;  // restored from the checkpoint
 
-      std::optional<ShardFailure> first_failure;
-      for (int attempt = 0; attempt < max_attempts; ++attempt) {
-        ShardOutcome outcome = run_one_shard(scenario, shard, attempt, watchdog_ptr);
-        if (outcome.ok) {
-          if (first_failure) {
-            // The identical seed succeeded on retry: the failure did not
-            // reproduce. Keep it on record, flagged, but merge the shard.
-            first_failure->nondeterministic = true;
-            first_failure->attempts = attempt + 1;
-            failures[shard] = std::move(first_failure);
-          }
-          summaries[shard] = std::move(outcome.summary);
-          logs[shard] = std::move(outcome.log);
-          completed[shard] = 1;
-          if (writer) {
-            std::lock_guard<std::mutex> lock(writer_mu);
-            writer->append_shard(summaries[shard], logs[shard]);
-          }
-          break;
-        }
-        if (!first_failure) {
-          first_failure = std::move(outcome.failure);
-        } else {
-          // Same (phase, kind, what) signature = the failure reproduced
-          // deterministically; anything else is evidence of a race.
-          if (first_failure->phase != outcome.failure.phase ||
-              first_failure->kind != outcome.failure.kind ||
-              first_failure->what != outcome.failure.what) {
-            first_failure->nondeterministic = true;
-          }
-          first_failure->attempts = attempt + 1;
-        }
-      }
-      if (!completed[shard] && first_failure) {
-        first_failure->quarantined = true;
-        failures[shard] = std::move(first_failure);
+      ShardRun run = run_shard_supervised(scenario, shard, max_attempts,
+                                          /*attempt_base=*/0, watchdog_ptr, before_,
+                                          after_);
+      if (run.failure) failures[shard] = std::move(run.failure);
+      if (!run.completed) continue;
+      summaries[shard] = std::move(run.summary);
+      logs[shard] = std::move(run.log);
+      completed[shard] = 1;
+      if (writer) {
+        std::lock_guard<std::mutex> lock(writer_mu);
+        writer->append_shard(summaries[shard], logs[shard]);
       }
     }
   };
@@ -308,6 +347,8 @@ CampaignResult ShardedRunner::run(const Scenario& scenario) {
   // Shard-ordered merge over the survivors: identical regardless of
   // thread count, and identical to an uninterrupted run when resuming.
   CampaignResult result;
+  result.interrupted =
+      interrupt != nullptr && interrupt->load(std::memory_order_relaxed) != 0;
   std::size_t total = 0;
   for (std::uint32_t shard = 0; shard < shards; ++shard) {
     if (completed[shard]) total += logs[shard].size();

@@ -20,9 +20,11 @@
 // one.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -93,6 +95,11 @@ struct CampaignResult {
   // shards (retries exhausted, excluded from the merge) plus recovered
   // ones (a retry succeeded; flagged nondeterministic, results merged).
   std::vector<ShardFailure> failures;
+  // An operator interrupt (ShardedRunnerOptions::interrupt /
+  // DistRunnerOptions::interrupt) stopped the campaign early: the merge
+  // covers only the shards that finished before the signal. With a
+  // journal armed, a --resume rerun picks up exactly where this left off.
+  bool interrupted = false;
 
   std::size_t connections_launched() const;
   std::size_t control_contacts() const;
@@ -123,6 +130,45 @@ class Runner {
   virtual CampaignResult run(const Scenario& scenario) = 0;
 };
 
+// Hooks run on the worker (thread or process) that owns the shard.
+// `before` runs after World construction and before run() (runtime
+// toggles like BlockingModule::set_sensitive_period); `after` runs after
+// run() and before the World is destroyed (harvesting state the summary
+// does not carry). Hooks must only touch their own shard's World and any
+// per-shard slot indexed by the shard argument. NOTE: under the
+// process-isolated DistRunner, hooks execute in the WORKER process —
+// `before` toggles work, but state harvested by `after` into coordinator
+// memory never travels back.
+using ShardHook = std::function<void(World&, std::uint32_t shard)>;
+
+// One shard run to completion under the containment contract shared by
+// the threaded ShardedRunner and the process-isolated DistRunner worker
+// (gfw/dist_runner.h): up to `max_attempts - attempt_base` same-seed
+// attempts, each fully guarded (exceptions and stall aborts become
+// structured ShardFailures), with the deterministic-failure signature
+// comparison from gfw/supervisor.h.
+//
+// `attempt_base` counts attempts already spent on this shard in earlier
+// (dead) worker processes, so attempt numbering — and the
+// Scenario::debug_fail_shard fail_attempts window — stays global across
+// the process boundary. `progress`, when non-null, replaces the
+// attempt-local heartbeat so an external sampler (the worker's heartbeat
+// thread) can observe the running loop; it must outlive the call.
+struct ShardRun {
+  bool completed = false;
+  ShardSummary summary;  // meaningful only when completed
+  ProbeLog log;          // meaningful only when completed
+  // The first failure observed, if any attempt failed: quarantined when
+  // the attempt budget ran out (completed == false), otherwise a
+  // recovered failure flagged per the nondeterminism rules.
+  std::optional<ShardFailure> failure;
+};
+ShardRun run_shard_supervised(const Scenario& scenario, std::uint32_t shard,
+                              int max_attempts, int attempt_base,
+                              StallWatchdog* watchdog, const ShardHook& before,
+                              const ShardHook& after,
+                              net::LoopProgress* progress = nullptr);
+
 struct ShardedRunnerOptions {
   ShardedRunnerOptions() = default;
   // The historical (shards, threads) shorthand; supervision fields keep
@@ -148,17 +194,19 @@ struct ShardedRunnerOptions {
   // fingerprint — gfw/checkpoint.h).
   std::string checkpoint_path;
   bool resume = false;
+
+  // Graceful-interrupt hook: when non-null and set nonzero (by a
+  // SIGTERM/SIGINT handler — bench/bench_common.cpp), workers finish the
+  // shard they are on, journal it, and stop claiming new ones; run()
+  // returns a partial CampaignResult with `interrupted` set instead of
+  // the process dying mid-write. The pointee must outlive run().
+  const std::atomic<int>* interrupt = nullptr;
 };
 
 class ShardedRunner : public Runner {
  public:
-  // Hooks run on the worker thread that owns the shard. `before` runs
-  // after World construction and before run() (runtime toggles like
-  // BlockingModule::set_sensitive_period); `after` runs after run() and
-  // before the World is destroyed (harvesting state the summary does not
-  // carry). Hooks must only touch their own shard's World and any
-  // per-shard slot indexed by the shard argument.
-  using ShardHook = std::function<void(World&, std::uint32_t shard)>;
+  // Kept as a member alias for existing callers; see gfw::ShardHook.
+  using ShardHook = gfw::ShardHook;
 
   explicit ShardedRunner(ShardedRunnerOptions options = {});
 
@@ -172,11 +220,6 @@ class ShardedRunner : public Runner {
   CampaignResult run(const Scenario& scenario) override;
 
  private:
-  struct ShardOutcome;  // one attempt's result (runner.cpp)
-
-  ShardOutcome run_one_shard(const Scenario& scenario, std::uint32_t shard,
-                             int attempt, StallWatchdog* watchdog);
-
   ShardedRunnerOptions options_;
   ShardHook before_;
   ShardHook after_;

@@ -111,6 +111,13 @@ struct Scenario {
     // models a transient fault that the first retry clears, which the
     // runner flags as nondeterministic.
     int fail_attempts = std::numeric_limits<int>::max();
+    // true: instead of throwing, the injection point kills the WHOLE
+    // process with std::_Exit(57) — no unwinding, no flushes. Only the
+    // process-isolated DistRunner (gfw/dist_runner.h) can contain this;
+    // under the in-process runners it takes the campaign down, which is
+    // the point: it models a worker OOM-kill/segfault for the
+    // crash-containment tests. `stall` is ignored when set.
+    bool die = false;
   };
   DebugFailShard debug_fail_shard;
 

@@ -18,6 +18,8 @@ const char* failure_kind_name(FailureKind kind) {
   switch (kind) {
     case FailureKind::kException: return "exception";
     case FailureKind::kStall: return "stall";
+    case FailureKind::kCrash: return "crash";
+    case FailureKind::kExit: return "exit";
   }
   return "?";
 }

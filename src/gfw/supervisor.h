@@ -36,7 +36,15 @@ enum class ShardPhase {
 
 enum class FailureKind {
   kException,  // an exception escaped the shard
-  kStall,      // the stall watchdog deadlined the shard
+  kStall,      // the stall watchdog (or the distributed coordinator's
+               // heartbeat deadline) deadlined the shard
+  // Process-level kinds recorded by the distributed coordinator
+  // (gfw/dist_runner.h) when a whole worker process dies with this shard
+  // in flight. They carry no (phase, kind, what) signature comparison —
+  // an external SIGKILL or an OOM kill says nothing about determinism —
+  // so they never set `nondeterministic`.
+  kCrash,  // the worker died on a signal (segfault, SIGKILL, OOM kill)
+  kExit,   // the worker exited with a nonzero status
 };
 
 const char* shard_phase_name(ShardPhase phase);

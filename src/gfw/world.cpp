@@ -1,6 +1,7 @@
 #include "gfw/world.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 
@@ -191,6 +192,10 @@ void World::build() {
 void World::maybe_inject_failure() {
   const Scenario::DebugFailShard& dbg = scenario_.debug_fail_shard;
   if (debug_attempt_ >= dbg.fail_attempts) return;  // this retry succeeds
+  // Simulated worker death (OOM kill / segfault): no unwinding, no
+  // journal flush beyond frames already written — exit code 57 so the
+  // coordinator's death attribution is testable against a known status.
+  if (dbg.die) std::_Exit(57);
   if (!dbg.stall) {
     throw std::runtime_error("debug_fail_shard: injected crash in shard " +
                              std::to_string(shard_index_));

@@ -412,6 +412,192 @@ TEST(Checkpoint, ResumeRefusesAChangedFleet) {
   std::remove(path.c_str());
 }
 
+// --- Version-2 frames: CRC, failure verdicts, hostile input ------------
+
+// A fully-populated supervision verdict: every field non-default so the
+// golden digest pins the whole failure codec.
+gfw::ShardFailure make_failure() {
+  gfw::ShardFailure f;
+  f.shard_index = 6;
+  f.seed = 0x0123456789ABCDEFull;
+  f.phase = gfw::ShardPhase::kRun;
+  f.kind = gfw::FailureKind::kCrash;
+  f.what = "worker killed by signal 9 (SIGKILL)";
+  f.attempts = 2;
+  f.quarantined = true;
+  f.nondeterministic = false;
+  f.teardown.live_established = 1;
+  f.teardown.pending_timers = 4;
+  f.teardown.accounting_balanced = false;
+  return f;
+}
+
+TEST(Checkpoint, FailureFrameRoundTripsByteIdentically) {
+  const gfw::ShardFailure failure = make_failure();
+  const Bytes bytes = gfw::serialize_failure(failure);
+  const gfw::ShardFailure parsed = gfw::parse_failure(bytes);
+  EXPECT_EQ(gfw::serialize_failure(parsed), bytes);
+
+  EXPECT_EQ(parsed.shard_index, 6u);
+  EXPECT_EQ(parsed.seed, 0x0123456789ABCDEFull);
+  EXPECT_EQ(parsed.phase, gfw::ShardPhase::kRun);
+  EXPECT_EQ(parsed.kind, gfw::FailureKind::kCrash);
+  EXPECT_EQ(parsed.what, failure.what);
+  EXPECT_EQ(parsed.attempts, 2);
+  EXPECT_TRUE(parsed.quarantined);
+  EXPECT_FALSE(parsed.nondeterministic);
+  EXPECT_EQ(parsed.teardown.pending_timers, 4u);
+  EXPECT_FALSE(parsed.teardown.accounting_balanced);
+}
+
+TEST(Checkpoint, GoldenDigestsPinTheVersion2Codecs) {
+  // SHA-1 of the synthetic fleet frame and failure frame, captured when
+  // format version 2 was frozen. If either fails, the wire format
+  // changed: bump kCheckpointVersion and re-pin instead of silently
+  // breaking journals written by older workers.
+  const Bytes fleet = gfw::serialize_shard_fleet(make_fleet_summary(),
+                                                 make_fleet_log());
+  const auto fleet_digest = crypto::Sha1::hash(fleet);
+  EXPECT_EQ(hex_encode(ByteSpan(fleet_digest.data(), fleet_digest.size())),
+            "a2bf4c908c0405beeb6268a8695e643cd0ca8ec8");
+  const Bytes failure = gfw::serialize_failure(make_failure());
+  const auto failure_digest = crypto::Sha1::hash(failure);
+  EXPECT_EQ(hex_encode(ByteSpan(failure_digest.data(), failure_digest.size())),
+            "5b39c17e93e63a00cd39edfd58f078ae96eb8330");
+}
+
+TEST(Checkpoint, FailureVerdictsJournalAndRestoreThroughTheFile) {
+  // Supervision verdicts ride the same journal as results (kind-3
+  // frames), so a respawned worker — and the coordinator's merge — see
+  // quarantines from before the crash.
+  const std::string path = temp_path("verdicts.ckpt");
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/false);
+    writer.append_failure(make_failure());
+    writer.append_shard(make_summary(), make_log());
+    gfw::ShardFailure recovered = make_failure();
+    recovered.shard_index = 3;
+    recovered.kind = gfw::FailureKind::kException;
+    recovered.what = "debug_fail_shard";
+    recovered.quarantined = false;
+    recovered.nondeterministic = true;
+    writer.append_failure(recovered);
+  }
+  const gfw::Checkpoint loaded = gfw::load_checkpoint(path);
+  EXPECT_EQ(loaded.shards.size(), 1u);
+  ASSERT_EQ(loaded.failures.size(), 2u);
+  EXPECT_EQ(loaded.failures[0].shard_index, 6u);
+  EXPECT_TRUE(loaded.failures[0].quarantined);
+  EXPECT_EQ(loaded.failures[1].shard_index, 3u);
+  EXPECT_EQ(loaded.failures[1].kind, gfw::FailureKind::kException);
+  EXPECT_TRUE(loaded.failures[1].nondeterministic);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, InteriorCorruptionIsACheckpointErrorNotSilentData) {
+  // A bit flip in a frame payload must trip the CRC: returning silently
+  // corrupted shard data into a bit-identical merge would be far worse
+  // than failing the load.
+  const std::string path = temp_path("crc.ckpt");
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/false);
+    writer.append_shard(make_summary(), make_log());
+    writer.append_failure(make_failure());
+  }
+  const Bytes pristine = read_file(path);
+  Bytes data = pristine;
+  data[48] ^= 0x01;  // first payload byte of the first frame
+  write_file(path, data);
+  try {
+    gfw::load_checkpoint(path);
+    FAIL() << "corrupt payload loaded without error";
+  } catch (const gfw::CheckpointError& error) {
+    EXPECT_NE(std::string(error.what()).find("CRC"), std::string::npos);
+  }
+
+  // An implausible frame length is rejected up front, before any
+  // allocation in its image.
+  data = pristine;
+  data[32 + 4 + 5] = 0x7F;  // frame 1's u64 payload size, byte 5: ~87 TiB
+  write_file(path, data);
+  try {
+    gfw::load_checkpoint(path);
+    FAIL() << "implausible frame length loaded without error";
+  } catch (const gfw::CheckpointError& error) {
+    EXPECT_NE(std::string(error.what()).find("implausible"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BitFlipCorpusNeverEscapesTheStructuredError) {
+  // Hostile-input sweep: flip every bit of a journal holding all three
+  // frame kinds, then load. Every variant must either load (flips in
+  // torn-tail slack or skipped regions are legal) or throw
+  // CheckpointError — never any other exception, UB, or a crash. This is
+  // the contract that lets the DistRunner coordinator feed journals
+  // found on disk straight into the loader.
+  const std::string path = temp_path("bitflip.ckpt");
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/false);
+    writer.append_shard(make_summary(), make_log());
+    writer.append_shard(make_fleet_summary(), make_fleet_log());
+    writer.append_failure(make_failure());
+  }
+  const Bytes pristine = read_file(path);
+  ASSERT_GT(pristine.size(), 32u);
+
+  std::size_t loads_ok = 0, structured_errors = 0;
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = pristine;
+      mutated[byte] = static_cast<std::uint8_t>(mutated[byte] ^ (1u << bit));
+      write_file(path, mutated);
+      try {
+        (void)gfw::load_checkpoint(path);
+        ++loads_ok;
+      } catch (const gfw::CheckpointError&) {
+        ++structured_errors;
+      }
+      // Anything else escaping load_checkpoint aborts the test.
+    }
+  }
+  // Both outcomes must actually occur: flips that only truncate the tail
+  // load, flips in CRCs or the header throw.
+  EXPECT_GT(loads_ok, 0u);
+  EXPECT_GT(structured_errors, 0u);
+
+  // Truncation sweep: every prefix of the file loads or throws, too.
+  for (std::size_t len = 0; len < pristine.size(); ++len) {
+    write_file(path, ByteSpan(pristine.data(), len));
+    try {
+      (void)gfw::load_checkpoint(path);
+    } catch (const gfw::CheckpointError&) {
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, Version1FilesAreRejectedWithAClearMessage) {
+  // Version 2 added frame CRCs; a v1 file's frames would all fail the
+  // CRC check anyway, so the loader refuses up front with a message
+  // naming both versions instead of reporting phantom corruption.
+  const std::string path = temp_path("v1.ckpt");
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/false);
+    writer.append_shard(make_summary(), make_log());
+  }
+  Bytes data = read_file(path);
+  data[8] = 1;  // version field (little-endian u32 at offset 8)
+  write_file(path, data);
+  try {
+    gfw::load_checkpoint(path);
+    FAIL() << "version-1 file loaded as version 2";
+  } catch (const gfw::CheckpointError& error) {
+    EXPECT_NE(std::string(error.what()).find("version"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, AppendingAForeignCampaignIsRejected) {
   const std::string path = temp_path("foreign.ckpt");
   {

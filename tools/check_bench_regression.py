@@ -2,7 +2,7 @@
 """Compare a fresh bench JSON run against the committed baseline.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json
-           [--threshold 0.30] [--only SUBSTR]
+           [--threshold 0.30] [--only SUBSTR] [--write-baseline]
 
 Two input formats are auto-detected per file:
 
@@ -23,46 +23,104 @@ Two input formats are auto-detected per file:
 (case-insensitive); CI uses it to gate bench_throughput on its goodput
 rows without tripping on count-style metrics.
 
+``--write-baseline`` validates CURRENT and copies it over BASELINE
+instead of comparing — the supported way to refresh a baseline after an
+intentional perf change (no hand-editing JSON).
+
+Every input problem — missing file, non-JSON bytes, a JSON document with
+the wrong shape, non-numeric values — exits 2 with a one-line
+explanation, never a traceback.
+
 CI machines are noisy, so the default 30% only catches real
 regressions (the kernels in this repo moved ~10x, so even a partial
 revert trips it).
 
-Exit code 0 = within bounds, 1 = regression, 2 = usage/parse error.
+Exit code 0 = within bounds (or baseline written), 1 = regression,
+2 = usage/parse error.
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
+def fail(msg):
+    print(f"check_bench_regression: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load_entries(path):
-    """Returns {name: (value, higher_is_better, metric_label)}."""
+    """Returns {name: (value, higher_is_better, metric_label)}.
+
+    Exits 2 with a structured message on any malformed input: this
+    script gates CI, and a traceback reads as "the checker broke", not
+    "your baseline file is bad".
+    """
     try:
         with open(path) as f:
             doc = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"check_bench_regression: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
+    except OSError as e:
+        fail(f"cannot read {path}: {e.strerror or e}")
+    except ValueError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(f"{path}: expected a JSON object at top level, got "
+             f"{type(doc).__name__} (not a bench JSON file?)")
 
     out = {}
     if "metrics" in doc:
         # BenchReporter format: one file per bench, rows keyed by metric
         # name; only rows that carry a machine-readable value compare.
-        for row in doc["metrics"]:
+        rows = doc["metrics"]
+        if not isinstance(rows, list):
+            fail(f"{path}: \"metrics\" should be a list, got "
+                 f"{type(rows).__name__}")
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                fail(f"{path}: metrics[{i}] should be an object, got "
+                     f"{type(row).__name__}")
             if "value" not in row:
                 continue
-            out[row["metric"]] = (float(row["value"]), True, "value")
+            if "metric" not in row:
+                fail(f"{path}: metrics[{i}] has a \"value\" but no "
+                     f"\"metric\" name")
+            try:
+                value = float(row["value"])
+            except (TypeError, ValueError):
+                fail(f"{path}: metrics[{i}] (\"{row['metric']}\") has a "
+                     f"non-numeric value: {row['value']!r}")
+            out[row["metric"]] = (value, True, "value")
         return out
 
-    for bench in doc.get("benchmarks", []):
+    benches = doc.get("benchmarks")
+    if benches is None:
+        fail(f"{path}: neither a \"metrics\" nor a \"benchmarks\" list — "
+             "not a BenchReporter --json or google-benchmark output file")
+    if not isinstance(benches, list):
+        fail(f"{path}: \"benchmarks\" should be a list, got "
+             f"{type(benches).__name__}")
+    for i, bench in enumerate(benches):
+        if not isinstance(bench, dict):
+            fail(f"{path}: benchmarks[{i}] should be an object, got "
+                 f"{type(bench).__name__}")
         # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions).
         if bench.get("run_type") == "aggregate":
             continue
-        if "bytes_per_second" in bench:
-            out[bench["name"]] = (float(bench["bytes_per_second"]), True,
-                                  "bytes_per_second")
-        elif "real_time" in bench:
-            out[bench["name"]] = (float(bench["real_time"]), False, "real_time")
+        name = bench.get("name")
+        if not isinstance(name, str):
+            fail(f"{path}: benchmarks[{i}] has no \"name\" string")
+        for field, higher in (("bytes_per_second", True), ("real_time", False)):
+            if field not in bench:
+                continue
+            try:
+                value = float(bench[field])
+            except (TypeError, ValueError):
+                fail(f"{path}: benchmarks[{i}] (\"{name}\") has a "
+                     f"non-numeric {field}: {bench[field]!r}")
+            out[name] = (value, higher, field)
+            break
     return out
 
 
@@ -75,14 +133,28 @@ def main():
     parser.add_argument("--only", default="",
                         help="compare only entries whose name contains this "
                              "substring (case-insensitive)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="validate CURRENT and copy it over BASELINE "
+                             "instead of comparing")
     args = parser.parse_args()
+
+    if args.write_baseline:
+        entries = load_entries(args.current)
+        if not entries:
+            fail(f"refusing to write baseline: no comparable entries in "
+                 f"{args.current}")
+        try:
+            shutil.copyfile(args.current, args.baseline)
+        except OSError as e:
+            fail(f"cannot write baseline {args.baseline}: {e.strerror or e}")
+        print(f"baseline {args.baseline} updated from {args.current} "
+              f"({len(entries)} comparable entries)")
+        return
 
     baseline = load_entries(args.baseline)
     current = load_entries(args.current)
     if not baseline:
-        print(f"check_bench_regression: no comparable entries in {args.baseline}",
-              file=sys.stderr)
-        sys.exit(2)
+        fail(f"no comparable entries in {args.baseline}")
 
     failures = []
     compared = 0
@@ -97,7 +169,9 @@ def main():
         if cur_higher != higher_is_better or cur_metric != metric:
             print(f"  [skip] {name}: metric changed ({metric} -> {cur_metric})")
             continue
-        if b <= 0:
+        if b <= 0 or c <= 0:
+            print(f"  [skip] {name}: non-positive value "
+                  f"(baseline={b:.4g} current={c:.4g})")
             continue
         compared += 1
         ratio = c / b if higher_is_better else b / c
@@ -109,8 +183,7 @@ def main():
               f"({100.0 * (ratio - 1.0):+.1f}%)")
 
     if compared == 0:
-        print("check_bench_regression: nothing to compare", file=sys.stderr)
-        sys.exit(2)
+        fail("nothing to compare")
     if failures:
         print(f"{len(failures)} benchmark(s) regressed more than "
               f"{100 * args.threshold:.0f}%: {', '.join(failures)}")

@@ -1,0 +1,206 @@
+// gfw_worker: operator tool for distributed campaign journals.
+//
+// Two modes:
+//
+//   gfw_worker --describe PATH
+//     Inspect a GFWCKPT1 slot journal: header, completed shards,
+//     supervision verdicts (kind-3 frames), torn-tail bytes. A corrupt
+//     journal (CRC mismatch, implausible frame length) exits 2 with the
+//     structured error — the same verdict the DistRunner coordinator
+//     acts on by discarding the file.
+//
+//   gfw_worker --run --range LO:HI --journal PATH [--shards N]
+//              [--seed S] [--days D] [--shard-retries R]
+//     Manual scatter: run shards [LO, HI) of the standard campaign and
+//     append them to PATH. Naming the journals <prefix>.worker<slot>
+//     makes them gatherable by a resumed `bench_checkpoint --workers N
+//     --checkpoint <prefix> --resume` on the machine that merges.
+//     Re-running after a kill resumes from the journal (completed
+//     shards are skipped), mirroring the in-process DistRunner worker.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "gfw/checkpoint.h"
+#include "gfw/dist_runner.h"
+
+using namespace gfwsim;
+
+namespace {
+
+[[noreturn]] void usage(int exit_code) {
+  std::ostream& os = exit_code == 0 ? std::cout : std::cerr;
+  os << "usage: gfw_worker --describe PATH\n"
+     << "       gfw_worker --run --range LO:HI --journal PATH [--shards N]\n"
+     << "                  [--seed S] [--days D] [--shard-retries R]\n";
+  std::exit(exit_code);
+}
+
+int describe_journal(const std::string& path) {
+  if (!gfw::checkpoint_exists(path)) {
+    std::cerr << "gfw_worker: " << path << " does not exist or is empty\n";
+    return 2;
+  }
+  gfw::Checkpoint ck;
+  try {
+    ck = gfw::load_checkpoint(path);
+  } catch (const gfw::CheckpointError& error) {
+    std::cerr << "gfw_worker: " << path << ": " << error.what() << "\n";
+    return 2;
+  }
+  std::cout << path << ":\n"
+            << "  format version:       " << ck.header.version << "\n"
+            << "  campaign shard count: " << ck.header.shard_count << "\n"
+            << "  base seed:            0x" << std::hex << ck.header.base_seed
+            << std::dec << "\n"
+            << "  scenario fingerprint: 0x" << std::hex
+            << ck.header.scenario_fingerprint << std::dec << "\n"
+            << "  completed shards:     " << ck.shards.size() << "\n";
+  for (const auto& [index, shard] : ck.shards) {
+    std::cout << "    shard " << index << ": seed 0x" << std::hex
+              << shard.summary.seed << std::dec << ", "
+              << shard.summary.connections_launched << " connections, "
+              << shard.log.size() << " probes, "
+              << shard.summary.blocking_history.size() << " block(s)"
+              << (shard.summary.servers.empty()
+                      ? ""
+                      : ", " + std::to_string(shard.summary.servers.size()) +
+                            " fleet server row(s)")
+              << "\n";
+  }
+  if (!ck.failures.empty()) {
+    std::cout << "  supervision verdicts: " << ck.failures.size() << "\n";
+    for (const auto& failure : ck.failures) {
+      std::cout << "    " << gfw::describe(failure) << "\n";
+    }
+  }
+  if (ck.torn_tail_bytes > 0) {
+    std::cout << "  torn tail: " << ck.torn_tail_bytes
+              << " byte(s) of an unfinished frame (dropped on load; "
+                 "truncated on the next append)\n";
+  }
+  return 0;
+}
+
+bool parse_range(const std::string& arg, std::uint32_t& lo, std::uint32_t& hi) {
+  const auto colon = arg.find(':');
+  if (colon == std::string::npos) return false;
+  lo = static_cast<std::uint32_t>(std::strtoul(arg.substr(0, colon).c_str(), nullptr, 0));
+  hi = static_cast<std::uint32_t>(std::strtoul(arg.substr(colon + 1).c_str(), nullptr, 0));
+  return hi > lo;
+}
+
+int run_range(const std::string& journal, std::uint32_t lo, std::uint32_t hi,
+              std::uint32_t shards, std::uint64_t seed, int days, int retries) {
+  if (hi > shards) {
+    std::cerr << "gfw_worker: range " << lo << ":" << hi << " exceeds --shards "
+              << shards << "\n";
+    return 2;
+  }
+  gfw::Scenario scenario = bench::standard_scenario(days);
+  scenario.base_seed = seed;
+  const gfw::CheckpointHeader header{gfw::kCheckpointVersion, shards,
+                                     scenario.base_seed,
+                                     gfw::scenario_fingerprint(scenario)};
+  // Resume semantics match a respawned DistRunner worker: already
+  // journaled shards are skipped, a torn tail is truncated on open.
+  std::vector<char> done(shards, 0);
+  if (gfw::checkpoint_exists(journal)) {
+    try {
+      const gfw::Checkpoint existing = gfw::load_checkpoint(journal);
+      for (const auto& [index, shard] : existing.shards) {
+        if (index < shards) done[index] = 1;
+      }
+      for (const auto& failure : existing.failures) {
+        if (failure.quarantined && failure.shard_index < shards) {
+          done[failure.shard_index] = 1;
+        }
+      }
+    } catch (const gfw::CheckpointError& error) {
+      std::cerr << "gfw_worker: " << journal << ": " << error.what()
+                << " — delete it (or pick a fresh path) before rerunning\n";
+      return 2;
+    }
+  }
+  gfw::CheckpointWriter writer(journal, header, /*append=*/true);
+
+  const int max_attempts = 1 + std::max(0, retries);
+  bool all_ok = true;
+  for (std::uint32_t shard = lo; shard < hi; ++shard) {
+    if (done[shard]) {
+      std::cout << "shard " << shard << ": already journaled, skipping\n";
+      continue;
+    }
+    gfw::ShardRun run = gfw::run_shard_supervised(
+        scenario, shard, max_attempts, /*attempt_base=*/0,
+        /*watchdog=*/nullptr, /*before=*/{}, /*after=*/{});
+    if (run.failure) writer.append_failure(*run.failure);
+    if (run.completed) {
+      writer.append_shard(run.summary, run.log);
+      std::cout << "shard " << shard << ": "
+                << run.summary.connections_launched << " connections, "
+                << run.log.size() << " probes\n";
+    } else {
+      all_ok = false;
+      std::cout << "shard " << shard << ": "
+                << (run.failure ? gfw::describe(*run.failure) : "failed") << "\n";
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string describe_path;
+  bool run_mode = false;
+  std::string journal;
+  std::uint32_t lo = 0, hi = 0;
+  std::uint32_t shards = 8;
+  std::uint64_t seed = 0x0C4E;
+  int days = 3;
+  int retries = 1;
+
+  const auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(0);
+    } else if (std::strcmp(arg, "--describe") == 0) {
+      describe_path = value(i);
+    } else if (std::strcmp(arg, "--run") == 0) {
+      run_mode = true;
+    } else if (std::strcmp(arg, "--range") == 0) {
+      if (!parse_range(value(i), lo, hi)) usage(2);
+    } else if (std::strcmp(arg, "--journal") == 0) {
+      journal = value(i);
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      shards = static_cast<std::uint32_t>(std::strtoul(value(i), nullptr, 0));
+      if (shards == 0) usage(2);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      seed = std::strtoull(value(i), nullptr, 0);
+    } else if (std::strcmp(arg, "--days") == 0) {
+      days = static_cast<int>(std::strtol(value(i), nullptr, 0));
+      if (days <= 0) usage(2);
+    } else if (std::strcmp(arg, "--shard-retries") == 0) {
+      retries = static_cast<int>(std::strtol(value(i), nullptr, 0));
+      if (retries < 0) usage(2);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(2);
+    }
+  }
+
+  if (!describe_path.empty()) return describe_journal(describe_path);
+  if (run_mode) {
+    if (journal.empty() || hi <= lo) usage(2);
+    return run_range(journal, lo, hi, shards, seed, days, retries);
+  }
+  usage(2);
+}
