@@ -464,7 +464,12 @@ CampaignResult DistRunner::run(const Scenario& scenario) {
     }
   };
 
-  const auto handle_death = [&](WorkerProc& w, int status) {
+  // Takes an INDEX, not a reference: `spawn` below appends to `procs`,
+  // which can reallocate the vector, so no WorkerProc reference may be
+  // held across it. Everything the post-spawn path needs is copied out
+  // first, and `spawn` is only ever the tail call.
+  const auto handle_death = [&](std::size_t idx, int status) {
+    WorkerProc& w = procs[idx];
     // Process everything the worker said before it died, THEN attribute:
     // a 'D' that raced the death must clear in_flight first.
     read_pipe(w);
@@ -472,7 +477,7 @@ CampaignResult DistRunner::run(const Scenario& scenario) {
     w.fd = -1;
     w.alive = false;
 
-    bool abnormal = false;
+    bool respawnable = false;
     if (WIFSIGNALED(status)) {
       const int sig = WTERMSIG(status);
       if (w.stall_initiated) {
@@ -484,25 +489,36 @@ CampaignResult DistRunner::run(const Scenario& scenario) {
         attribute_death(w, FailureKind::kCrash,
                         "worker killed by signal " + signal_text(sig));
       }
-      abnormal = true;
+      respawnable = true;
     } else if (WIFEXITED(status)) {
       const int code = WEXITSTATUS(status);
       if (code != kExitOk && code != kExitInterrupted) {
         attribute_death(w, FailureKind::kExit,
                         "worker exited with status " + std::to_string(code));
-        abnormal = true;
+        respawnable = true;
+      } else if (!interrupt_seen) {
+        // A graceful exit nobody asked for: the stall ladder SIGTERMed a
+        // worker that then recovered, journaled its in-flight shard, and
+        // stopped between shards (exit 3) — or a worker stopped early
+        // for any other reason. Nothing failed, but the undone rest of
+        // its range must be re-run, not abandoned to a false "lost
+        // without a journal record" quarantine at merge time.
+        respawnable = true;
       }
     }
-    if (!abnormal || interrupt_seen) return;
+    if (!respawnable || interrupt_seen) return;
     if (!range_pending(w)) return;
+    const int slot = w.slot;
+    const std::uint32_t lo = w.range_lo;
+    const std::uint32_t hi = w.range_hi;
     if (respawns_used < respawn_limit) {
       ++respawns_used;
-      spawn(w.slot);
+      spawn(slot);  // may reallocate `procs`; `w` is dangling past here
       return;
     }
     // Graceful degradation: out of respawn budget. Quarantine what is
     // left of the range instead of forking forever.
-    for (std::uint32_t s = w.range_lo; s < w.range_hi; ++s) {
+    for (std::uint32_t s = lo; s < hi; ++s) {
       if (done[s]) continue;
       ShardFailure f;
       f.shard_index = s;
@@ -515,71 +531,113 @@ CampaignResult DistRunner::run(const Scenario& scenario) {
       f.quarantined = true;
       done[s] = 1;
       death_failures[s] = f;
-      journal_death(w.slot, f);
+      journal_death(slot, f);
     }
   };
 
-  for (unsigned slot = 0; slot < workers; ++slot) spawn(static_cast<int>(slot));
+  // Tear down the private temp dir (operator-provided prefixes persist;
+  // that is the resume story). Shared by the normal exit and the
+  // exception guard below.
+  const auto cleanup_tmpdir = [&]() {
+    if (tmpdir.empty() || options_.keep_journals) return;
+    for (unsigned slot = 0; slot < workers; ++slot) {
+      std::remove(journal_path(static_cast<int>(slot)).c_str());
+    }
+    ::rmdir(tmpdir.c_str());
+  };
 
-  // ---- supervision loop ----------------------------------------------------
-  std::vector<pollfd> pfds;
-  while (true) {
-    bool any_alive = false;
-    pfds.clear();
+  // Exception guard: a throw after the first fork (pipe/fork failure in
+  // a respawn, a campaign-mismatch CheckpointError from sanitize) must
+  // not strand live children. SIGKILL — not SIGTERM — so SIGSTOPped
+  // workers are collected too, then reap and release the pipe fds.
+  const auto abort_workers = [&]() noexcept {
     for (WorkerProc& w : procs) {
       if (!w.alive) continue;
-      any_alive = true;
-      pfds.push_back(pollfd{w.fd, POLLIN, 0});
-    }
-    if (!any_alive) break;
-
-    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), /*timeout_ms=*/20);
-    for (WorkerProc& w : procs) {
-      if (w.alive) read_pipe(w);
-    }
-
-    const auto now = Clock::now();
-
-    // Operator interrupt: tell everyone once; workers finish their
-    // in-flight shard, journal it, and exit 3.
-    if (interrupt != nullptr &&
-        interrupt->load(std::memory_order_relaxed) != 0) {
-      interrupt_seen = true;
-      if (!interrupt_sent) {
-        for (WorkerProc& w : procs) {
-          if (w.alive) ::kill(w.pid, SIGTERM);
-        }
-        interrupt_sent = true;
+      ::kill(w.pid, SIGKILL);
+      int status = 0;
+      while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
       }
+      if (w.fd >= 0) ::close(w.fd);
+      w.fd = -1;
+      w.alive = false;
+    }
+  };
+
+  try {
+    for (unsigned slot = 0; slot < workers; ++slot) {
+      spawn(static_cast<int>(slot));
     }
 
-    // Heartbeat-deadline ladder: silence → SIGTERM → grace → SIGKILL.
-    // Message ARRIVAL is the liveness signal (a SIGSTOPped or D-state
-    // worker sends nothing at all; a busy worker's heartbeat thread
-    // keeps sending even between shards).
-    if (options_.stall_timeout.count() > 0) {
+    // ---- supervision loop --------------------------------------------------
+    std::vector<pollfd> pfds;
+    std::vector<std::pair<std::size_t, int>> deaths;  // (index, status)
+    while (true) {
+      bool any_alive = false;
+      pfds.clear();
       for (WorkerProc& w : procs) {
         if (!w.alive) continue;
-        if (!w.term_sent) {
-          if (now - w.last_msg > options_.stall_timeout) {
-            w.stall_initiated = true;
-            w.term_sent = true;
-            w.term_deadline = now + options_.term_grace;
-            ::kill(w.pid, SIGTERM);
+        any_alive = true;
+        pfds.push_back(pollfd{w.fd, POLLIN, 0});
+      }
+      if (!any_alive) break;
+
+      ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), /*timeout_ms=*/20);
+      for (WorkerProc& w : procs) {
+        if (w.alive) read_pipe(w);
+      }
+
+      const auto now = Clock::now();
+
+      // Operator interrupt: tell everyone once; workers finish their
+      // in-flight shard, journal it, and exit 3.
+      if (interrupt != nullptr &&
+          interrupt->load(std::memory_order_relaxed) != 0) {
+        interrupt_seen = true;
+        if (!interrupt_sent) {
+          for (WorkerProc& w : procs) {
+            if (w.alive) ::kill(w.pid, SIGTERM);
           }
-        } else if (w.stall_initiated && now >= w.term_deadline) {
-          ::kill(w.pid, SIGKILL);  // takes down stopped processes too
-          w.term_deadline = now + options_.term_grace;
+          interrupt_sent = true;
         }
       }
-    }
 
-    for (WorkerProc& w : procs) {
-      if (!w.alive) continue;
-      int status = 0;
-      const pid_t reaped = ::waitpid(w.pid, &status, WNOHANG);
-      if (reaped == w.pid) handle_death(w, status);
+      // Heartbeat-deadline ladder: silence → SIGTERM → grace → SIGKILL.
+      // Message ARRIVAL is the liveness signal (a SIGSTOPped or D-state
+      // worker sends nothing at all; a busy worker's heartbeat thread
+      // keeps sending even between shards).
+      if (options_.stall_timeout.count() > 0) {
+        for (WorkerProc& w : procs) {
+          if (!w.alive) continue;
+          if (!w.term_sent) {
+            if (now - w.last_msg > options_.stall_timeout) {
+              w.stall_initiated = true;
+              w.term_sent = true;
+              w.term_deadline = now + options_.term_grace;
+              ::kill(w.pid, SIGTERM);
+            }
+          } else if (w.stall_initiated && now >= w.term_deadline) {
+            ::kill(w.pid, SIGKILL);  // takes down stopped processes too
+            w.term_deadline = now + options_.term_grace;
+          }
+        }
+      }
+
+      // Reap first, respawn after: handle_death → spawn appends to
+      // `procs`, which would invalidate any iterator a range-for held.
+      // Indices stay valid across push_back, references do not.
+      deaths.clear();
+      for (std::size_t i = 0; i < procs.size(); ++i) {
+        if (!procs[i].alive) continue;
+        int status = 0;
+        const pid_t reaped = ::waitpid(procs[i].pid, &status, WNOHANG);
+        if (reaped == procs[i].pid) deaths.emplace_back(i, status);
+      }
+      for (const auto& [idx, status] : deaths) handle_death(idx, status);
     }
+  } catch (...) {
+    abort_workers();
+    cleanup_tmpdir();
+    throw;
   }
 
   // ---- gather: load slot journals, fold failures, merge in shard order ----
@@ -660,12 +718,7 @@ CampaignResult DistRunner::run(const Scenario& scenario) {
     result.shards.push_back(std::move(it->second.summary));
   }
 
-  if (!tmpdir.empty() && !options_.keep_journals) {
-    for (unsigned slot = 0; slot < workers; ++slot) {
-      std::remove(journal_path(static_cast<int>(slot)).c_str());
-    }
-    ::rmdir(tmpdir.c_str());
-  }
+  cleanup_tmpdir();
   return result;
 }
 

@@ -37,7 +37,10 @@
 //      or quarantined, and resumes with GLOBAL attempt numbering — the
 //      dead process's attempts count against the shard's retry budget,
 //      and a shard that keeps killing workers is quarantined just like
-//      a shard that keeps throwing.
+//      a shard that keeps throwing. A worker that a ladder SIGTERM
+//      caught mid-shard but which recovered — journaled the shard and
+//      exited gracefully — is also replaced while range shards remain:
+//      nothing failed, but its undone shards must still run.
 //   5. A journal the preload pass cannot parse (CheckpointError: CRC
 //      mismatch, insane length) is deleted and its shards re-run —
 //      corrupt bytes never reach the merge.
@@ -121,6 +124,16 @@ struct DistRunnerOptions {
 class DistRunner : public Runner {
  public:
   explicit DistRunner(DistRunnerOptions options = {});
+
+  // CALLER CONTRACT: run() must be invoked from a process with no other
+  // live threads. Workers are fork()ed WITHOUT exec — that is what makes
+  // the Scenario free to inherit — so the children run non-async-signal-
+  // safe code (std::thread, heap allocation, iostream journaling) from a
+  // fork context. With a single-threaded parent this is well-defined;
+  // with concurrent threads in the parent a child can inherit a lock
+  // (e.g. malloc's) held mid-operation and deadlock or corrupt state.
+  // For use from threaded hosts, scatter via the tools/gfw_worker binary
+  // (fork+exec) instead.
 
   // Hooks execute in the WORKER process (see gfw::ShardHook): `before`
   // toggles propagate into the shard's World, but state harvested by

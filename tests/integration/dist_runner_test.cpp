@@ -184,6 +184,31 @@ TEST(DistRunner, StoppedWorkerIsDeadlinedViaTheSignalLadder) {
   EXPECT_GE(chaotic.failures[0].attempts, 2);
 }
 
+TEST(DistRunner, GracefullyExitingSigtermedWorkerIsReplacedNotAbandoned) {
+  const gfw::Scenario scenario = fleet_scenario();
+  const gfw::CampaignResult reference = in_process_reference(scenario);
+
+  // SIGTERM mid-shard models a ladder rung-1 target that RECOVERS: the
+  // handler only sets the stop flag, so the worker finishes and journals
+  // its in-flight shard, then exits with the graceful-interrupt code —
+  // leaving the rest of its static range undone. The campaign was never
+  // interrupted, so the coordinator must fork a replacement for the
+  // remainder instead of quarantining it as "lost without a journal
+  // record".
+  gfw::DistRunnerOptions options = dist_options();
+  options.chaos_kill_after_shards = 1;
+  options.chaos_signal = SIGTERM;
+  const gfw::CampaignResult chaotic = gfw::DistRunner(options).run(scenario);
+
+  EXPECT_TRUE(chaotic.complete());
+  EXPECT_FALSE(chaotic.interrupted);
+  ASSERT_EQ(chaotic.shards.size(), 8u);
+  // The SIGTERMed worker journaled its shard before exiting, so nothing
+  // actually failed — and the replacement's re-run merges undisturbed.
+  EXPECT_TRUE(chaotic.failures.empty());
+  EXPECT_EQ(campaign_digest(chaotic), campaign_digest(reference));
+}
+
 TEST(DistRunner, SigstopChaosWithoutAStallDeadlineIsRefused) {
   // Without a heartbeat deadline a stopped worker would hang the
   // campaign forever; the coordinator refuses the configuration rather
