@@ -8,11 +8,29 @@
 #include <cstring>
 #include <fstream>
 
+#include "crypto/cpu.h"
 #include "gfw/dist_runner.h"
 
 namespace gfwsim::bench {
 
 namespace {
+
+// "aes=simd ghash=simd chacha=simd poly1305=portable" — what the crypto
+// substrate dispatches to on this host/build, for run summaries and the
+// JSON mirror (perf baselines are only comparable within one tier
+// configuration).
+std::string kernel_tier_string() {
+  const crypto::KernelTiers tiers = crypto::active_kernel_tiers();
+  std::string out = "aes=";
+  out += crypto::tier_name(tiers.aes);
+  out += " ghash=";
+  out += crypto::tier_name(tiers.ghash);
+  out += " chacha=";
+  out += crypto::tier_name(tiers.chacha);
+  out += " poly1305=";
+  out += crypto::tier_name(tiers.poly1305);
+  return out;
+}
 
 [[noreturn]] void usage(const char* argv0, int exit_code) {
   std::ostream& os = exit_code == 0 ? std::cout : std::cerr;
@@ -257,6 +275,8 @@ void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
        << " thread(s): " << result.connections_launched() << " connections, "
        << result.log.size() << " probes]\n";
   }
+  os << "[cpu: " << crypto::cpu_feature_string() << "; kernels: "
+     << kernel_tier_string() << "]\n";
   // Supervision verdicts: quarantined shards are missing from the
   // numbers above, so say so loudly.
   for (const auto& failure : result.failures) {
@@ -303,7 +323,17 @@ BenchReporter::~BenchReporter() {
     std::cerr << "bench: cannot write --json file " << json_path_ << "\n";
     return;
   }
-  out << "{\n  \"bench\": " << json_quote(bench_) << ",\n  \"metrics\": [";
+  // The "cpu" object records the detected features and dispatched kernel
+  // tiers; regression tooling ignores unknown top-level keys, but humans
+  // comparing baselines need to know which tiers produced the numbers.
+  const crypto::KernelTiers tiers = crypto::active_kernel_tiers();
+  out << "{\n  \"bench\": " << json_quote(bench_) << ",\n  \"cpu\": {"
+      << "\"features\": " << json_quote(crypto::cpu_feature_string())
+      << ", \"aes\": " << json_quote(crypto::tier_name(tiers.aes))
+      << ", \"ghash\": " << json_quote(crypto::tier_name(tiers.ghash))
+      << ", \"chacha\": " << json_quote(crypto::tier_name(tiers.chacha))
+      << ", \"poly1305\": " << json_quote(crypto::tier_name(tiers.poly1305))
+      << "},\n  \"metrics\": [";
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const Row& row = rows_[i];
     out << (i == 0 ? "" : ",") << "\n    {\"metric\": " << json_quote(row.metric)

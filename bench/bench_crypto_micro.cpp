@@ -1,8 +1,20 @@
 // Microbenchmarks (google-benchmark) for the crypto substrate: the cost
 // of the primitives behind every simulated connection and probe.
+//
+// The BM_* benches below run whatever kernel tier the host dispatches
+// to (the production configuration). The custom main() additionally
+// registers BM_*Tier/<tier> arms for each AEAD kernel with the
+// kernel-tier cap pinned, so one run compares the reference,
+// portable-batched, and SIMD-batched tiers side by side; arms whose
+// tier would silently degrade (e.g. "simd" on a host without AES-NI)
+// are skipped rather than reported twice.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "crypto/aes.h"
 #include "crypto/chacha20_poly1305.h"
+#include "crypto/cpu.h"
 #include "crypto/entropy.h"
 #include "crypto/gcm.h"
 #include "crypto/hkdf.h"
@@ -143,6 +155,60 @@ void BM_ShannonEntropy(benchmark::State& state) {
 }
 BENCHMARK(BM_ShannonEntropy)->Arg(594)->Arg(16384);
 
+// ---- Per-tier arms --------------------------------------------------------
+
+// True when capping at `cap` actually lands on `cap` for the algorithm
+// (i.e. the tier exists on this host and build).
+bool tier_is_real(crypto::KernelTier cap, crypto::KernelTier (*dispatch)()) {
+  crypto::ScopedKernelTierCap pin(cap);
+  return dispatch() == cap;
+}
+
+template <typename Body>
+void register_tier_arms(const char* name, crypto::KernelTier (*dispatch)(),
+                        Body body) {
+  for (const crypto::KernelTier tier :
+       {crypto::KernelTier::kReference, crypto::KernelTier::kPortable,
+        crypto::KernelTier::kSimd}) {
+    if (!tier_is_real(tier, dispatch)) continue;
+    const std::string bench_name =
+        std::string(name) + "Tier/" + crypto::tier_name(tier);
+    benchmark::RegisterBenchmark(bench_name.c_str(),
+                                 [tier, body](benchmark::State& state) {
+                                   crypto::ScopedKernelTierCap pin(tier);
+                                   body(state);
+                                 })
+        ->Arg(1500)
+        ->Arg(16384);
+  }
+}
+
+void register_all_tier_arms() {
+  register_tier_arms("BM_AesGcmSeal", crypto::aes_dispatch_tier, BM_AesGcmSeal);
+  register_tier_arms("BM_AesGcmOpen", crypto::aes_dispatch_tier, BM_AesGcmOpen);
+  register_tier_arms("BM_AesCtr", crypto::aes_dispatch_tier, BM_AesCtr);
+  register_tier_arms("BM_Ghash", crypto::ghash_dispatch_tier, BM_Ghash);
+  register_tier_arms("BM_ChaChaPolySeal", crypto::chacha_dispatch_tier,
+                     BM_ChaChaPolySeal);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_all_tier_arms();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("cpu_features", crypto::cpu_feature_string());
+  {
+    const crypto::KernelTiers tiers = crypto::active_kernel_tiers();
+    benchmark::AddCustomContext(
+        "kernel_tiers",
+        std::string("aes=") + crypto::tier_name(tiers.aes) +
+            " ghash=" + crypto::tier_name(tiers.ghash) +
+            " chacha=" + crypto::tier_name(tiers.chacha) +
+            " poly1305=" + crypto::tier_name(tiers.poly1305));
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,34 +1,14 @@
 #include "crypto/aes.h"
 
-#if defined(__x86_64__) && defined(__GNUC__)
-#include <immintrin.h>
-#define GFWSIM_AESNI_PATH 1
+#include "crypto/cpu.h"
+
+#ifdef GFWSIM_HAVE_X86_SIMD
+#include "crypto/simd_kernels.h"
 #endif
 
 namespace gfwsim::crypto {
 
 namespace {
-
-#ifdef GFWSIM_AESNI_PATH
-// Hardware AES path: the byte round-key schedule produced by expand_key is
-// exactly what AESENC consumes, so the schedule is shared with the scalar
-// kernels. Compiled with a per-function target attribute and selected at
-// runtime, so the binary still runs (on the T-table path) without AES-NI.
-__attribute__((target("aes,sse2"))) void encrypt_block_aesni(const std::uint8_t* rk, int rounds,
-                                                             const std::uint8_t* in,
-                                                             std::uint8_t* out) {
-  const __m128i* k = reinterpret_cast<const __m128i*>(rk);
-  __m128i s = _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(in)),
-                            _mm_loadu_si128(k));
-  for (int r = 1; r < rounds; ++r) {
-    s = _mm_aesenc_si128(s, _mm_loadu_si128(k + r));
-  }
-  s = _mm_aesenclast_si128(s, _mm_loadu_si128(k + rounds));
-  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
-}
-
-const bool kHasAesni = __builtin_cpu_supports("aes");
-#endif
 
 constexpr std::uint8_t kSbox[256] = {
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
@@ -129,12 +109,46 @@ void Aes::expand_key(ByteSpan key) {
 }
 
 void Aes::encrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const {
-#ifdef GFWSIM_AESNI_PATH
-  if (kHasAesni) {
-    encrypt_block_aesni(round_keys_.data(), rounds_, in, out);
-    return;
-  }
+  switch (aes_dispatch_tier()) {
+#ifdef GFWSIM_HAVE_X86_SIMD
+    case KernelTier::kSimd:
+      simd::aes_encrypt_blocks(round_keys_.data(), rounds_, in, out, 1);
+      return;
 #endif
+    case KernelTier::kReference:
+      encrypt_block_reference(in, out);
+      return;
+    default:
+      encrypt_ttable(in, out);
+      return;
+  }
+}
+
+void Aes::encrypt_blocks(const std::uint8_t* in, std::uint8_t* out, std::size_t n) const {
+  switch (aes_dispatch_tier()) {
+#ifdef GFWSIM_HAVE_X86_SIMD
+    case KernelTier::kSimd:
+      simd::aes_encrypt_blocks(round_keys_.data(), rounds_, in, out, n);
+      return;
+#endif
+    case KernelTier::kReference:
+      for (std::size_t i = 0; i < n; ++i) {
+        encrypt_block_reference(in + kBlockSize * i, out + kBlockSize * i);
+      }
+      return;
+    default:
+      while (n >= 2) {
+        encrypt2_ttable(in, out);
+        in += 2 * kBlockSize;
+        out += 2 * kBlockSize;
+        n -= 2;
+      }
+      if (n > 0) encrypt_ttable(in, out);
+      return;
+  }
+}
+
+void Aes::encrypt_ttable(const std::uint8_t* in, std::uint8_t* out) const {
   const std::uint32_t* rk = round_keys_w_.data();
   std::uint32_t s0 = load_be32(in) ^ rk[0];
   std::uint32_t s1 = load_be32(in + 4) ^ rk[1];
@@ -169,6 +183,59 @@ void Aes::encrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlo
   store_be32(out + 4, sub(s1, s2, s3, s0) ^ rk[1]);
   store_be32(out + 8, sub(s2, s3, s0, s1) ^ rk[2]);
   store_be32(out + 12, sub(s3, s0, s1, s2) ^ rk[3]);
+}
+
+// Two T-table blocks per pass: the eight state words give the scalar
+// pipeline two independent lookup/xor chains to overlap, which the
+// single-block kernel's four-word dependency chain cannot.
+void Aes::encrypt2_ttable(const std::uint8_t* in, std::uint8_t* out) const {
+  const std::uint32_t* rk = round_keys_w_.data();
+  std::uint32_t a0 = load_be32(in) ^ rk[0];
+  std::uint32_t a1 = load_be32(in + 4) ^ rk[1];
+  std::uint32_t a2 = load_be32(in + 8) ^ rk[2];
+  std::uint32_t a3 = load_be32(in + 12) ^ rk[3];
+  std::uint32_t b0 = load_be32(in + 16) ^ rk[0];
+  std::uint32_t b1 = load_be32(in + 20) ^ rk[1];
+  std::uint32_t b2 = load_be32(in + 24) ^ rk[2];
+  std::uint32_t b3 = load_be32(in + 28) ^ rk[3];
+  rk += 4;
+
+  for (int round = 1; round < rounds_; ++round, rk += 4) {
+    const std::uint32_t ta0 = kTe.t0[a0 >> 24] ^ kTe.t1[(a1 >> 16) & 0xff] ^
+                              kTe.t2[(a2 >> 8) & 0xff] ^ kTe.t3[a3 & 0xff] ^ rk[0];
+    const std::uint32_t tb0 = kTe.t0[b0 >> 24] ^ kTe.t1[(b1 >> 16) & 0xff] ^
+                              kTe.t2[(b2 >> 8) & 0xff] ^ kTe.t3[b3 & 0xff] ^ rk[0];
+    const std::uint32_t ta1 = kTe.t0[a1 >> 24] ^ kTe.t1[(a2 >> 16) & 0xff] ^
+                              kTe.t2[(a3 >> 8) & 0xff] ^ kTe.t3[a0 & 0xff] ^ rk[1];
+    const std::uint32_t tb1 = kTe.t0[b1 >> 24] ^ kTe.t1[(b2 >> 16) & 0xff] ^
+                              kTe.t2[(b3 >> 8) & 0xff] ^ kTe.t3[b0 & 0xff] ^ rk[1];
+    const std::uint32_t ta2 = kTe.t0[a2 >> 24] ^ kTe.t1[(a3 >> 16) & 0xff] ^
+                              kTe.t2[(a0 >> 8) & 0xff] ^ kTe.t3[a1 & 0xff] ^ rk[2];
+    const std::uint32_t tb2 = kTe.t0[b2 >> 24] ^ kTe.t1[(b3 >> 16) & 0xff] ^
+                              kTe.t2[(b0 >> 8) & 0xff] ^ kTe.t3[b1 & 0xff] ^ rk[2];
+    const std::uint32_t ta3 = kTe.t0[a3 >> 24] ^ kTe.t1[(a0 >> 16) & 0xff] ^
+                              kTe.t2[(a1 >> 8) & 0xff] ^ kTe.t3[a2 & 0xff] ^ rk[3];
+    const std::uint32_t tb3 = kTe.t0[b3 >> 24] ^ kTe.t1[(b0 >> 16) & 0xff] ^
+                              kTe.t2[(b1 >> 8) & 0xff] ^ kTe.t3[b2 & 0xff] ^ rk[3];
+    a0 = ta0; a1 = ta1; a2 = ta2; a3 = ta3;
+    b0 = tb0; b1 = tb1; b2 = tb2; b3 = tb3;
+  }
+
+  const auto sub = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                      std::uint32_t d) {
+    return (static_cast<std::uint32_t>(kSbox[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(kSbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(kSbox[(c >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(kSbox[d & 0xff]);
+  };
+  store_be32(out, sub(a0, a1, a2, a3) ^ rk[0]);
+  store_be32(out + 4, sub(a1, a2, a3, a0) ^ rk[1]);
+  store_be32(out + 8, sub(a2, a3, a0, a1) ^ rk[2]);
+  store_be32(out + 12, sub(a3, a0, a1, a2) ^ rk[3]);
+  store_be32(out + 16, sub(b0, b1, b2, b3) ^ rk[0]);
+  store_be32(out + 20, sub(b1, b2, b3, b0) ^ rk[1]);
+  store_be32(out + 24, sub(b2, b3, b0, b1) ^ rk[2]);
+  store_be32(out + 28, sub(b3, b0, b1, b2) ^ rk[3]);
 }
 
 void Aes::encrypt_block_reference(const std::uint8_t in[kBlockSize],
@@ -232,24 +299,31 @@ void AesCtr::transform(ByteSpan data, std::uint8_t* out) {
     out[i] = data[i] ^ keystream_[used_++];
     ++i;
   }
-  // Whole blocks: encrypt the counter into a scratch block and xor as two
-  // 64-bit words, leaving keystream_/used_ untouched (fully consumed).
-  while (data.size() - i >= Aes::kBlockSize) {
-    std::uint8_t ks[Aes::kBlockSize];
-    aes_.encrypt_block(counter_.data(), ks);
-    for (int b = Aes::kBlockSize - 1; b >= 0; --b) {
-      if (++counter_[b] != 0) break;
+  // Whole blocks: materialize up to 8 counter blocks per pass into a
+  // stack scratch buffer, encrypt them in one batched call (8 interleaved
+  // AESENC chains on the SIMD tier), and xor word-wise, leaving
+  // keystream_/used_ untouched (fully consumed).
+  std::size_t whole = (data.size() - i) / Aes::kBlockSize;
+  while (whole > 0) {
+    const std::size_t n = whole < 8 ? whole : 8;
+    std::uint8_t ctrs[8 * Aes::kBlockSize];
+    for (std::size_t b = 0; b < n; ++b) {
+      std::memcpy(ctrs + Aes::kBlockSize * b, counter_.data(), Aes::kBlockSize);
+      for (int j = Aes::kBlockSize - 1; j >= 0; --j) {
+        if (++counter_[j] != 0) break;
+      }
     }
-    std::uint64_t d0, d1, k0, k1;
-    std::memcpy(&d0, data.data() + i, 8);
-    std::memcpy(&d1, data.data() + i + 8, 8);
-    std::memcpy(&k0, ks, 8);
-    std::memcpy(&k1, ks + 8, 8);
-    d0 ^= k0;
-    d1 ^= k1;
-    std::memcpy(out + i, &d0, 8);
-    std::memcpy(out + i + 8, &d1, 8);
-    i += Aes::kBlockSize;
+    std::uint8_t ks[8 * Aes::kBlockSize];
+    aes_.encrypt_blocks(ctrs, ks, n);
+    for (std::size_t w = 0; w < 2 * n; ++w) {
+      std::uint64_t d, k;
+      std::memcpy(&d, data.data() + i + 8 * w, 8);
+      std::memcpy(&k, ks + 8 * w, 8);
+      d ^= k;
+      std::memcpy(out + i + 8 * w, &d, 8);
+    }
+    i += Aes::kBlockSize * n;
+    whole -= n;
   }
   // Tail shorter than a block: fall back to the buffered keystream.
   while (i < data.size()) {

@@ -2,12 +2,14 @@
 //
 // Every AES mode Shadowsocks uses (CTR, CFB, GCM) needs only the forward
 // block transform, so the inverse cipher is deliberately not implemented.
-// encrypt_block() dispatches at runtime to an AES-NI kernel on x86-64
-// hosts that have it, falling back to a T-table kernel (four 1 KiB
-// constexpr tables fusing SubBytes/ShiftRows/MixColumns into four word
-// lookups per column per round); the original byte-oriented
-// implementation is kept compiled in behind encrypt_block_reference()
-// and cross-checked bit-for-bit by tests/crypto/kernels_test.cpp.
+// encrypt_block()/encrypt_blocks() dispatch through the kernel-tier
+// harness (crypto/cpu.h): the SIMD tier runs 8 interleaved AESENC chains
+// (aes_x86.cpp), the portable tier a T-table kernel (four 1 KiB constexpr
+// tables fusing SubBytes/ShiftRows/MixColumns into four word lookups per
+// column per round, batched two blocks at a time), and the reference tier
+// the original byte-oriented implementation behind
+// encrypt_block_reference(). All tiers are cross-checked bit-for-bit by
+// tests/crypto/kernels_test.cpp and wide_kernels_test.cpp.
 #pragma once
 
 #include <array>
@@ -34,6 +36,12 @@ class Aes {
     return out;
   }
 
+  // Encrypts n independent, contiguous 16-byte blocks. On the SIMD tier
+  // this runs 8 interleaved AESENC chains per pass; the portable tier
+  // interleaves two T-table blocks; the reference tier loops the
+  // byte-oriented kernel. All tiers produce identical bytes.
+  void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out, std::size_t n) const;
+
   // The retained byte-oriented kernel (SubBytes/ShiftRows/MixColumns as
   // written in FIPS 197); bit-identical to the T-table path.
   void encrypt_block_reference(const std::uint8_t in[kBlockSize],
@@ -49,6 +57,8 @@ class Aes {
 
  private:
   void expand_key(ByteSpan key);
+  void encrypt_ttable(const std::uint8_t* in, std::uint8_t* out) const;
+  void encrypt2_ttable(const std::uint8_t* in, std::uint8_t* out) const;
 
   // Round keys: (rounds_ + 1) * 16 bytes, plus the same schedule as
   // big-endian words for the T-table kernel.

@@ -1,5 +1,11 @@
 #include "crypto/chacha20.h"
 
+#include "crypto/cpu.h"
+
+#ifdef GFWSIM_HAVE_X86_SIMD
+#include "crypto/simd_kernels.h"
+#endif
+
 namespace gfwsim::crypto {
 
 namespace {
@@ -24,6 +30,46 @@ void core(const std::array<std::uint32_t, 16>& input, std::uint8_t out[64]) {
     quarter_round(x[3], x[4], x[9], x[14]);
   }
   for (int i = 0; i < 16; ++i) store_le32(out + 4 * i, x[i] + input[i]);
+}
+
+// Portable 4-way batch: four states interleaved as x[word][lane], so the
+// per-lane loop bodies give the scalar pipeline four independent
+// add/xor/rotate chains per quarter-round step (and auto-vectorize where
+// the compiler can). Counter words 12/13 are per-lane; everything else is
+// shared.
+void core4(const std::array<std::uint32_t, 16>& input, const std::uint32_t w12[4],
+           const std::uint32_t w13[4], std::uint8_t out[256]) {
+  std::uint32_t x[16][4];
+  for (int i = 0; i < 16; ++i) {
+    for (int l = 0; l < 4; ++l) x[i][l] = input[i];
+  }
+  for (int l = 0; l < 4; ++l) {
+    x[12][l] = w12[l];
+    x[13][l] = w13[l];
+  }
+#define GFWSIM_QR4(a, b, c, d)                                  \
+  for (int l = 0; l < 4; ++l) {                                 \
+    quarter_round(x[a][l], x[b][l], x[c][l], x[d][l]);          \
+  }
+  for (int round = 0; round < 10; ++round) {
+    GFWSIM_QR4(0, 4, 8, 12)
+    GFWSIM_QR4(1, 5, 9, 13)
+    GFWSIM_QR4(2, 6, 10, 14)
+    GFWSIM_QR4(3, 7, 11, 15)
+    GFWSIM_QR4(0, 5, 10, 15)
+    GFWSIM_QR4(1, 6, 11, 12)
+    GFWSIM_QR4(2, 7, 8, 13)
+    GFWSIM_QR4(3, 4, 9, 14)
+  }
+#undef GFWSIM_QR4
+  for (int l = 0; l < 4; ++l) {
+    for (int i = 0; i < 16; ++i) {
+      std::uint32_t base = input[i];
+      if (i == 12) base = w12[l];
+      if (i == 13) base = w13[l];
+      store_le32(out + 64 * l + 4 * i, x[i][l] + base);
+    }
+  }
 }
 
 constexpr std::uint32_t kSigma[4] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574};
@@ -62,12 +108,65 @@ void ChaCha20::refill() {
   used_ = 0;
 }
 
+void ChaCha20::blocks4(std::uint8_t out[256]) {
+  // Materialize the four consecutive counter values per lane; the IETF
+  // variant wraps its 32-bit counter word, the legacy variant carries
+  // into word 13, matching four sequential refill() increments.
+  std::uint32_t w12[4], w13[4];
+  if (ietf_) {
+    for (int l = 0; l < 4; ++l) {
+      w12[l] = state_[12] + static_cast<std::uint32_t>(l);
+      w13[l] = state_[13];
+    }
+    state_[12] += 4;
+  } else {
+    const std::uint64_t c =
+        (static_cast<std::uint64_t>(state_[13]) << 32) | state_[12];
+    for (int l = 0; l < 4; ++l) {
+      const std::uint64_t cl = c + static_cast<std::uint64_t>(l);
+      w12[l] = static_cast<std::uint32_t>(cl);
+      w13[l] = static_cast<std::uint32_t>(cl >> 32);
+    }
+    state_[12] = static_cast<std::uint32_t>(c + 4);
+    state_[13] = static_cast<std::uint32_t>((c + 4) >> 32);
+  }
+#ifdef GFWSIM_HAVE_X86_SIMD
+  if (chacha_dispatch_tier() == KernelTier::kSimd) {
+    if (cpu_features().avx2) {
+      simd::chacha20_blocks4_avx2(state_.data(), w12, w13, out);
+    } else {
+      simd::chacha20_blocks4_sse2(state_.data(), w12, w13, out);
+    }
+    return;
+  }
+#endif
+  core4(state_, w12, w13, out);
+}
+
 void ChaCha20::transform(ByteSpan data, std::uint8_t* out) {
   std::size_t i = 0;
   // Drain whatever is left of the current keystream block.
   while (i < data.size() && used_ < 64) {
     out[i] = data[i] ^ keystream_[used_++];
     ++i;
+  }
+  // 4-block batches: 256 bytes of keystream per pass (four interleaved
+  // states on the portable/SIMD tiers), consumed in the same order the
+  // per-block path would produce. The reference tier skips this and runs
+  // the single-state core below.
+  if (chacha_dispatch_tier() != KernelTier::kReference) {
+    while (data.size() - i >= 256) {
+      std::uint8_t ks[256];
+      blocks4(ks);
+      for (int w = 0; w < 32; ++w) {
+        std::uint64_t m, k;
+        std::memcpy(&m, data.data() + i + 8 * w, 8);
+        std::memcpy(&k, ks + 8 * w, 8);
+        m ^= k;
+        std::memcpy(out + i + 8 * w, &m, 8);
+      }
+      i += 256;
+    }
   }
   // Whole blocks: refill then XOR 64 bytes word-wise. The memcpy in/out of
   // the word locals compiles to plain loads/stores; keystream bytes are

@@ -39,6 +39,11 @@ class ChaCha20 {
 
  private:
   void refill();
+  // Generates four consecutive 64-byte keystream blocks and advances the
+  // counter by four, dispatched SIMD (4 states, one word per vector
+  // lane) vs portable (4-wide scalar interleave). Both are bit-identical
+  // to four sequential refills.
+  void blocks4(std::uint8_t out[256]);
 
   std::array<std::uint32_t, 16> state_{};
   std::array<std::uint8_t, 64> keystream_{};

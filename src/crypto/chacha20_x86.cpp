@@ -1,0 +1,105 @@
+// 4-way ChaCha20 kernels (x86-64): four interleaved states, one state
+// word per 32-bit lane of each of sixteen vector registers ("vertical"
+// layout). The quarter-round's add/xor/rotate chains for the four
+// blocks execute in lockstep, so the serial rotate latency of one block
+// overlaps the other three. The SSE2 variant rotates with shift+or;
+// the AVX2-dispatched variant uses pshufb for the byte-aligned 16/8
+// rotations (SSSE3 is implied by AVX2).
+#include "crypto/simd_kernels.h"
+
+#include <immintrin.h>
+
+namespace gfwsim::crypto::simd {
+
+namespace {
+
+#define GFWSIM_CHACHA4_BODY(ROTL16, ROTL12, ROTL8, ROTL7)                         \
+  __m128i x[16];                                                                  \
+  for (int i = 0; i < 16; ++i) x[i] = _mm_set1_epi32(static_cast<int>(state[i])); \
+  x[12] = _mm_setr_epi32(static_cast<int>(w12[0]), static_cast<int>(w12[1]),      \
+                         static_cast<int>(w12[2]), static_cast<int>(w12[3]));     \
+  x[13] = _mm_setr_epi32(static_cast<int>(w13[0]), static_cast<int>(w13[1]),      \
+                         static_cast<int>(w13[2]), static_cast<int>(w13[3]));     \
+  const __m128i in12 = x[12];                                                     \
+  const __m128i in13 = x[13];                                                     \
+  for (int round = 0; round < 10; ++round) {                                      \
+    QR(0, 4, 8, 12) QR(1, 5, 9, 13) QR(2, 6, 10, 14) QR(3, 7, 11, 15)            \
+    QR(0, 5, 10, 15) QR(1, 6, 11, 12) QR(2, 7, 8, 13) QR(3, 4, 9, 14)            \
+  }                                                                               \
+  for (int i = 0; i < 16; ++i) {                                                  \
+    __m128i base = _mm_set1_epi32(static_cast<int>(state[i]));                    \
+    if (i == 12) base = in12;                                                     \
+    if (i == 13) base = in13;                                                     \
+    x[i] = _mm_add_epi32(x[i], base);                                             \
+  }                                                                               \
+  /* Transpose lane-major: out block l = words x[0..15] lane l. */                \
+  for (int i = 0; i < 16; i += 4) {                                               \
+    const __m128i t0 = _mm_unpacklo_epi32(x[i], x[i + 1]);                        \
+    const __m128i t1 = _mm_unpacklo_epi32(x[i + 2], x[i + 3]);                    \
+    const __m128i t2 = _mm_unpackhi_epi32(x[i], x[i + 1]);                        \
+    const __m128i t3 = _mm_unpackhi_epi32(x[i + 2], x[i + 3]);                    \
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i * 4),                     \
+                     _mm_unpacklo_epi64(t0, t1));                                 \
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 64 + i * 4),                \
+                     _mm_unpackhi_epi64(t0, t1));                                 \
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 128 + i * 4),               \
+                     _mm_unpacklo_epi64(t2, t3));                                 \
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 192 + i * 4),               \
+                     _mm_unpackhi_epi64(t2, t3));                                 \
+  }
+
+__attribute__((target("sse2"))) void blocks4_sse2(const std::uint32_t state[16],
+                                                  const std::uint32_t w12[4],
+                                                  const std::uint32_t w13[4],
+                                                  std::uint8_t out[256]) {
+#define ROTL(v, n) _mm_or_si128(_mm_slli_epi32(v, n), _mm_srli_epi32(v, 32 - (n)))
+#define QR(a, b, c, d)                                        \
+  x[a] = _mm_add_epi32(x[a], x[b]);                           \
+  x[d] = ROTL(_mm_xor_si128(x[d], x[a]), 16);                 \
+  x[c] = _mm_add_epi32(x[c], x[d]);                           \
+  x[b] = ROTL(_mm_xor_si128(x[b], x[c]), 12);                 \
+  x[a] = _mm_add_epi32(x[a], x[b]);                           \
+  x[d] = ROTL(_mm_xor_si128(x[d], x[a]), 8);                  \
+  x[c] = _mm_add_epi32(x[c], x[d]);                           \
+  x[b] = ROTL(_mm_xor_si128(x[b], x[c]), 7);
+  GFWSIM_CHACHA4_BODY(, , , )
+#undef QR
+#undef ROTL
+}
+
+__attribute__((target("avx2"))) void blocks4_avx2(const std::uint32_t state[16],
+                                                  const std::uint32_t w12[4],
+                                                  const std::uint32_t w13[4],
+                                                  std::uint8_t out[256]) {
+  const __m128i rot16 = _mm_setr_epi8(2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
+  const __m128i rot8 = _mm_setr_epi8(3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14);
+#define ROTL(v, n) _mm_or_si128(_mm_slli_epi32(v, n), _mm_srli_epi32(v, 32 - (n)))
+#define QR(a, b, c, d)                                        \
+  x[a] = _mm_add_epi32(x[a], x[b]);                           \
+  x[d] = _mm_shuffle_epi8(_mm_xor_si128(x[d], x[a]), rot16);  \
+  x[c] = _mm_add_epi32(x[c], x[d]);                           \
+  x[b] = ROTL(_mm_xor_si128(x[b], x[c]), 12);                 \
+  x[a] = _mm_add_epi32(x[a], x[b]);                           \
+  x[d] = _mm_shuffle_epi8(_mm_xor_si128(x[d], x[a]), rot8);   \
+  x[c] = _mm_add_epi32(x[c], x[d]);                           \
+  x[b] = ROTL(_mm_xor_si128(x[b], x[c]), 7);
+  GFWSIM_CHACHA4_BODY(, , , )
+#undef QR
+#undef ROTL
+}
+
+#undef GFWSIM_CHACHA4_BODY
+
+}  // namespace
+
+void chacha20_blocks4_sse2(const std::uint32_t state[16], const std::uint32_t w12[4],
+                           const std::uint32_t w13[4], std::uint8_t out[256]) {
+  blocks4_sse2(state, w12, w13, out);
+}
+
+void chacha20_blocks4_avx2(const std::uint32_t state[16], const std::uint32_t w12[4],
+                           const std::uint32_t w13[4], std::uint8_t out[256]) {
+  blocks4_avx2(state, w12, w13, out);
+}
+
+}  // namespace gfwsim::crypto::simd

@@ -1,0 +1,98 @@
+// Runtime CPU-feature detection and kernel-tier dispatch for the crypto
+// substrate.
+//
+// Every hot AEAD primitive ships in up to three bit-identical tiers:
+//
+//   kReference  the retained byte-wise kernels (FIPS 197 AES rounds,
+//               bit-by-bit GF(2^128) multiply, single-block ChaCha core,
+//               per-block Poly1305) — slow, obviously-correct, always
+//               compiled in.
+//   kPortable   batched plain-C++ kernels: interleaved T-table AES,
+//               4-blocks-per-reduction GHASH on widened Shoup tables
+//               (H^1..H^4), 4-wide scalar-interleaved ChaCha20, and
+//               4-block Poly1305 with r^1..r^4 powers and deferred
+//               carries.
+//   kSimd       x86-64 kernels selected at runtime: 8-block interleaved
+//               AES-NI, PCLMUL 4-block aggregated GHASH, SSE2/AVX2
+//               4-way ChaCha20. Compiled only when the toolchain probe
+//               passes (GFWSIM_HAVE_X86_SIMD) and skipped entirely under
+//               -DGFW_FORCE_REF_CRYPTO=ON.
+//
+// Each algorithm dispatches to min(best tier its features allow,
+// kernel_tier_cap()). The cap defaults to kSimd; tests and the per-tier
+// bench arms lower it to pin a specific tier, and the forced-reference
+// CI build compiles with all SIMD tiers absent so the portable tiers
+// cannot bit-rot on machines where dispatch normally hides them.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace gfwsim::crypto {
+
+enum class KernelTier : int { kReference = 0, kPortable = 1, kSimd = 2 };
+
+const char* tier_name(KernelTier tier);
+
+struct CpuFeatures {
+  bool aesni = false;   // AES + SSE2 (the 8-block AESENC kernel)
+  bool pclmul = false;  // PCLMULQDQ + SSSE3 (aggregated GHASH folds)
+  bool sse2 = false;    // baseline for the 4-way ChaCha kernel
+  bool avx2 = false;    // pshufb-rotation ChaCha variant
+};
+
+// Detected once at startup; all-false when the SIMD kernels were not
+// compiled (non-x86 hosts or a forced-reference build).
+const CpuFeatures& cpu_features();
+
+// "aesni+pclmul+sse2+avx2", or "none". For bench summaries / JSON.
+std::string cpu_feature_string();
+
+namespace detail {
+extern std::atomic<int> g_tier_cap;
+}
+
+// Global ceiling on dispatch, for tests and per-tier bench arms. Takes
+// effect on the next transform/seal/open call (kernels re-read it per
+// call); not intended to change while crypto is running on other
+// threads.
+inline KernelTier kernel_tier_cap() {
+  return static_cast<KernelTier>(detail::g_tier_cap.load(std::memory_order_relaxed));
+}
+void set_kernel_tier_cap(KernelTier cap);
+
+// RAII pin for tests/benches: caps the tier, restores on destruction.
+class ScopedKernelTierCap {
+ public:
+  explicit ScopedKernelTierCap(KernelTier cap) : previous_(kernel_tier_cap()) {
+    set_kernel_tier_cap(cap);
+  }
+  ~ScopedKernelTierCap() { set_kernel_tier_cap(previous_); }
+  ScopedKernelTierCap(const ScopedKernelTierCap&) = delete;
+  ScopedKernelTierCap& operator=(const ScopedKernelTierCap&) = delete;
+
+ private:
+  KernelTier previous_;
+};
+
+// The tier each algorithm would dispatch to right now (features x cap).
+// Poly1305 has no SIMD tier; its batched portable kernel is the top.
+struct KernelTiers {
+  KernelTier aes = KernelTier::kReference;
+  KernelTier ghash = KernelTier::kReference;
+  KernelTier chacha = KernelTier::kReference;
+  KernelTier poly1305 = KernelTier::kReference;
+};
+KernelTiers active_kernel_tiers();
+
+// Per-algorithm dispatch helpers used by the kernels themselves.
+inline KernelTier cap_tier(KernelTier best) {
+  const KernelTier cap = kernel_tier_cap();
+  return best < cap ? best : cap;
+}
+KernelTier aes_dispatch_tier();
+KernelTier ghash_dispatch_tier();
+KernelTier chacha_dispatch_tier();
+KernelTier poly1305_dispatch_tier();
+
+}  // namespace gfwsim::crypto

@@ -1,5 +1,11 @@
 #include "crypto/gcm.h"
 
+#include "crypto/cpu.h"
+
+#ifdef GFWSIM_HAVE_X86_SIMD
+#include "crypto/simd_kernels.h"
+#endif
+
 namespace gfwsim::crypto {
 
 namespace {
@@ -85,9 +91,21 @@ AesGcm::AesGcm(ByteSpan key) : aes_(key) {
 
   const U128 h{load_be64(h_.data()), load_be64(h_.data() + 8)};
   fill_htable(htable_, h);
-  // H^2 = H * H via the table just built; its own table powers the
-  // two-blocks-per-round absorb loop.
-  fill_htable(htable2_, gmult(htable_, h));
+  // H^2..H^4 via the table just built; their own tables power the
+  // four-blocks-per-reduction absorb loop.
+  const U128 h2 = gmult(htable_, h);
+  fill_htable(htable2_, h2);
+  const U128 h3 = gmult(htable_, h2);
+  fill_htable(htable3_, h3);
+  const U128 h4 = gmult(htable_, h3);
+  fill_htable(htable4_, h4);
+#ifdef GFWSIM_HAVE_X86_SIMD
+  if (cpu_features().pclmul) {
+    const simd::GhashU128 hpow[4] = {
+        {h4.hi, h4.lo}, {h3.hi, h3.lo}, {h2.hi, h2.lo}, {h.hi, h.lo}};
+    simd::ghash_init(hpow, ghash_key_x86_);
+  }
+#endif
 }
 
 // Shoup 8-bit table: table[0x80] = H, table[0x40] = H*x, ..., table[1] =
@@ -154,11 +172,85 @@ AesGcm::U128 AesGcm::gmult_pair(const HTable& t2, U128 a, const HTable& t1, U128
   return {zahi ^ zbhi, zalo ^ zblo};
 }
 
+AesGcm::U128 AesGcm::gmult_quad(U128 a, U128 b, U128 c, U128 d) const {
+  std::uint8_t ai[16], bi[16], ci[16], di[16];
+  store_be64(ai, a.hi);
+  store_be64(ai + 8, a.lo);
+  store_be64(bi, b.hi);
+  store_be64(bi + 8, b.lo);
+  store_be64(ci, c.hi);
+  store_be64(ci + 8, c.lo);
+  store_be64(di, d.hi);
+  store_be64(di + 8, d.lo);
+
+  std::uint64_t zahi = htable4_[ai[15]].hi, zalo = htable4_[ai[15]].lo;
+  std::uint64_t zbhi = htable3_[bi[15]].hi, zblo = htable3_[bi[15]].lo;
+  std::uint64_t zchi = htable2_[ci[15]].hi, zclo = htable2_[ci[15]].lo;
+  std::uint64_t zdhi = htable_[di[15]].hi, zdlo = htable_[di[15]].lo;
+  for (int cnt = 14; cnt >= 0; --cnt) {
+    const unsigned rem_a = static_cast<unsigned>(zalo) & 0xff;
+    const unsigned rem_b = static_cast<unsigned>(zblo) & 0xff;
+    const unsigned rem_c = static_cast<unsigned>(zclo) & 0xff;
+    const unsigned rem_d = static_cast<unsigned>(zdlo) & 0xff;
+    zalo = (zahi << 56) | (zalo >> 8);
+    zblo = (zbhi << 56) | (zblo >> 8);
+    zclo = (zchi << 56) | (zclo >> 8);
+    zdlo = (zdhi << 56) | (zdlo >> 8);
+    zahi = (zahi >> 8) ^ (static_cast<std::uint64_t>(kRem8bit.v[rem_a]) << 48);
+    zbhi = (zbhi >> 8) ^ (static_cast<std::uint64_t>(kRem8bit.v[rem_b]) << 48);
+    zchi = (zchi >> 8) ^ (static_cast<std::uint64_t>(kRem8bit.v[rem_c]) << 48);
+    zdhi = (zdhi >> 8) ^ (static_cast<std::uint64_t>(kRem8bit.v[rem_d]) << 48);
+    zahi ^= htable4_[ai[cnt]].hi;
+    zalo ^= htable4_[ai[cnt]].lo;
+    zbhi ^= htable3_[bi[cnt]].hi;
+    zblo ^= htable3_[bi[cnt]].lo;
+    zchi ^= htable2_[ci[cnt]].hi;
+    zclo ^= htable2_[ci[cnt]].lo;
+    zdhi ^= htable_[di[cnt]].hi;
+    zdlo ^= htable_[di[cnt]].lo;
+  }
+  return {zahi ^ zbhi ^ zchi ^ zdhi, zalo ^ zblo ^ zclo ^ zdlo};
+}
+
+AesGcm::U128 AesGcm::fold4(U128 y, const std::uint8_t blocks[64]) const {
+#ifdef GFWSIM_HAVE_X86_SIMD
+  if (ghash_dispatch_tier() == KernelTier::kSimd) {
+    simd::ghash_fold4(y.hi, y.lo, blocks, ghash_key_x86_);
+    return y;
+  }
+#endif
+  const U128 a{y.hi ^ load_hi(blocks), y.lo ^ load_lo(blocks)};
+  const U128 b{load_hi(blocks + 16), load_lo(blocks + 16)};
+  const U128 c{load_hi(blocks + 32), load_lo(blocks + 32)};
+  const U128 d{load_hi(blocks + 48), load_lo(blocks + 48)};
+  return gmult_quad(a, b, c, d);
+}
+
 AesGcm::U128 AesGcm::absorb(U128 y, ByteSpan data) const {
   std::size_t offset = 0;
-  // Two blocks per round: Y'' = (Y ^ c1)*H^2 ^ c2*H. The regrouping is
-  // exactly ((Y ^ c1)*H ^ c2)*H, but the two multiplies have no data
-  // dependency on each other, so their serial reduction chains overlap.
+  if (ghash_dispatch_tier() == KernelTier::kReference) {
+    const std::uint64_t hhi = load_be64(h_.data());
+    const std::uint64_t hlo = load_be64(h_.data() + 8);
+    while (offset < data.size()) {
+      std::uint8_t block[16] = {};
+      const std::size_t take = std::min<std::size_t>(16, data.size() - offset);
+      std::memcpy(block, data.data() + offset, take);
+      y.hi ^= load_hi(block);
+      y.lo ^= load_lo(block);
+      gf_mul_reference(y.hi, y.lo, y.hi, y.lo, hhi, hlo);
+      offset += take;
+    }
+    return y;
+  }
+  // Four blocks per reduction: Y' = (Y ^ c1)*H^4 ^ c2*H^3 ^ c3*H^2 ^
+  // c4*H. The regrouping is exactly ((((Y ^ c1)*H ^ c2)*H ^ c3)*H ^
+  // c4)*H, but the four multiplies have no data dependency on each
+  // other, so their serial reduction chains overlap (and the SIMD tier
+  // amortizes one PCLMUL reduction over the whole 64 bytes).
+  while (data.size() - offset >= 64) {
+    y = fold4(y, data.data() + offset);
+    offset += 64;
+  }
   while (data.size() - offset >= 32) {
     const std::uint8_t* p = data.data() + offset;
     const U128 a{y.hi ^ load_hi(p), y.lo ^ load_lo(p)};
@@ -246,37 +338,65 @@ void AesGcm::gctr(Block counter, ByteSpan in, std::uint8_t* out) const {
 
 AesGcm::U128 AesGcm::gctr_ghash(Block counter, ByteSpan in, std::uint8_t* out,
                                 bool absorb_output, U128 y) const {
-  std::uint8_t ks0[16], ks1[16];
   std::size_t offset = 0;
-  // Two blocks per round so the GHASH update can use gmult_pair; the AES
-  // round-key/table loads for the next pair issue while the previous
-  // pair's multiply chains are still retiring.
-  while (in.size() - offset >= 32) {
-    aes_.encrypt_block(counter.data(), ks0);
-    inc32(counter);
-    aes_.encrypt_block(counter.data(), ks1);
-    inc32(counter);
-    const std::uint8_t* src = in.data() + offset;
-    std::uint8_t* dst = out + offset;
-    xor_block16(dst, src, ks0);
-    xor_block16(dst + 16, src + 16, ks1);
-    const std::uint8_t* h = absorb_output ? dst : src;
-    const U128 a{y.hi ^ load_hi(h), y.lo ^ load_lo(h)};
-    const U128 b{load_hi(h + 16), load_lo(h + 16)};
-    y = gmult_pair(htable2_, a, htable_, b);
-    offset += 32;
+  // Main loop: eight counter blocks per batched AES call (eight
+  // interleaved AESENC chains on the SIMD tier) and two aggregated
+  // four-block GHASH folds over the produced/consumed ciphertext. The
+  // AES batch for the next pass issues while the previous fold's
+  // reduction chain is still retiring. With the GHASH tier capped at
+  // reference this loop is skipped and the tail path below does the
+  // whole buffer per-block, matching that tier's semantics.
+  const bool ref_ghash = ghash_dispatch_tier() == KernelTier::kReference;
+  while (!ref_ghash && in.size() - offset >= 128) {
+    std::uint8_t ctrs[128];
+    for (int b = 0; b < 8; ++b) {
+      std::memcpy(ctrs + 16 * b, counter.data(), 16);
+      inc32(counter);
+    }
+    std::uint8_t ks[128];
+    aes_.encrypt_blocks(ctrs, ks, 8);
+    for (int w = 0; w < 16; ++w) {
+      std::uint64_t d, k;
+      std::memcpy(&d, in.data() + offset + 8 * w, 8);
+      std::memcpy(&k, ks + 8 * w, 8);
+      d ^= k;
+      std::memcpy(out + offset + 8 * w, &d, 8);
+    }
+    const std::uint8_t* h = absorb_output ? out + offset : in.data() + offset;
+    y = fold4(y, h);
+    y = fold4(y, h + 64);
+    offset += 128;
   }
+  // Tail: CTR the remaining bytes in batches of up to eight counter
+  // blocks, then fold the remaining ciphertext through absorb (which
+  // re-applies the per-chunk-size paths and the final zero-padding).
+  const std::size_t tail_start = offset;
   while (offset < in.size()) {
-    aes_.encrypt_block(counter.data(), ks0);
-    inc32(counter);
-    const std::size_t take = std::min<std::size_t>(16, in.size() - offset);
-    for (std::size_t i = 0; i < take; ++i) out[offset + i] = in[offset + i] ^ ks0[i];
-    std::uint8_t block[16] = {};
-    std::memcpy(block, (absorb_output ? out + offset : in.data() + offset), take);
-    y.hi ^= load_hi(block);
-    y.lo ^= load_lo(block);
-    y = gmult_table(y);
+    const std::size_t rem = in.size() - offset;
+    const std::size_t n = std::min<std::size_t>(8, (rem + 15) / 16);
+    std::uint8_t ctrs[128];
+    for (std::size_t b = 0; b < n; ++b) {
+      std::memcpy(ctrs + 16 * b, counter.data(), 16);
+      inc32(counter);
+    }
+    std::uint8_t ks[128];
+    aes_.encrypt_blocks(ctrs, ks, n);
+    const std::size_t take = std::min(rem, 16 * n);
+    std::size_t i = 0;
+    for (; i + 8 <= take; i += 8) {
+      std::uint64_t d, k;
+      std::memcpy(&d, in.data() + offset + i, 8);
+      std::memcpy(&k, ks + i, 8);
+      d ^= k;
+      std::memcpy(out + offset + i, &d, 8);
+    }
+    for (; i < take; ++i) out[offset + i] = in[offset + i] ^ ks[i];
     offset += take;
+  }
+  const std::size_t tail_len = in.size() - tail_start;
+  if (tail_len > 0) {
+    const std::uint8_t* h = absorb_output ? out + tail_start : in.data() + tail_start;
+    y = absorb(y, ByteSpan(h, tail_len));
   }
   return y;
 }

@@ -4,13 +4,18 @@
 // use a 12-byte nonce and 16-byte tag; seal/open below implement exactly
 // that profile (96-bit IV fast path, tag appended to the ciphertext).
 //
-// GHASH runs on a per-key 8-bit (Shoup) table precomputed once in the
-// constructor: 16 table lookups per block (one per input byte, with a
-// 256-entry constant reduction table folding the shifted-out byte)
-// instead of the reference kernel's 128 shift-and-conditional-xor steps.
-// The bit-wise reference multiply is kept compiled in behind
-// ghash_reference() and cross-checked against the table path by
-// tests/crypto/kernels_test.cpp; both are bit-identical by construction.
+// GHASH folds four blocks per reduction using powers H^1..H^4 of the
+// hash subkey: Y' = (Y ^ c1)*H^4 ^ c2*H^3 ^ c3*H^2 ^ c4*H, an exact
+// regrouping of the sequential definition, so every chunking and tier
+// produces identical bytes. The SIMD tier does the fold with PCLMUL
+// (gcm_x86.cpp); the portable tier walks four widened 8-bit Shoup
+// tables in one interleaved loop (16 lookups per block, with a
+// 256-entry constant reduction table folding the shifted-out byte);
+// the reference tier is the retained bit-by-bit GF(2^128) multiply
+// behind ghash_reference(). CTR keystream generation batches eight
+// counter blocks per Aes::encrypt_blocks call. All tiers are
+// cross-checked by tests/crypto/kernels_test.cpp and
+// wide_kernels_test.cpp.
 #pragma once
 
 #include <array>
@@ -55,9 +60,15 @@ class AesGcm {
   // (a * H^2) ^ (b * H) with the two table walks interleaved in one loop,
   // so their serial reduction chains execute in parallel.
   static U128 gmult_pair(const HTable& t2, U128 a, const HTable& t1, U128 b);
+  // a*H^4 ^ b*H^3 ^ c*H^2 ^ d*H with all four table walks interleaved.
+  U128 gmult_quad(U128 a, U128 b, U128 c, U128 d) const;
   U128 gmult_table(U128 x) const { return gmult(htable_, x); }
-  // Folds `data` into the GHASH accumulator (two blocks per round where
-  // possible, zero-padding the final partial block).
+  // One aggregated four-block fold, Y' = (Y ^ b0)*H^4 ^ b1*H^3 ^ b2*H^2
+  // ^ b3*H, dispatched PCLMUL vs interleaved-table. Callers guarantee the
+  // GHASH tier is above reference.
+  U128 fold4(U128 y, const std::uint8_t blocks[64]) const;
+  // Folds `data` into the GHASH accumulator (four blocks per reduction
+  // where possible, zero-padding the final partial block).
   U128 absorb(U128 y, ByteSpan data) const;
   void gctr(Block counter, ByteSpan in, std::uint8_t* out) const;
   // One pass of CTR + GHASH: transforms `in` into `out` with the counter
@@ -70,11 +81,16 @@ class AesGcm {
   Aes aes_;
   Block h_{};  // GHASH subkey: E(K, 0^128)
   // Shoup tables: htable_[i] = (i as 8-bit polynomial) * H, GCM bit
-  // order; htable2_ the same for H^2. The absorb loop folds two blocks
-  // per round — (Y ^ c1)*H^2 ^ c2*H — so the two serial multiply chains
-  // run in parallel.
+  // order; htable2_..htable4_ the same for H^2..H^4. The absorb loop
+  // folds four blocks per reduction — (Y ^ c1)*H^4 ^ c2*H^3 ^ c3*H^2 ^
+  // c4*H — so the four serial multiply chains run in parallel.
   HTable htable_{};
   HTable htable2_{};
+  HTable htable3_{};
+  HTable htable4_{};
+  // Bit-reflected {H^4..H^1} for the PCLMUL kernel (opaque; filled only
+  // when the host has PCLMUL, consumed only behind the same check).
+  std::uint8_t ghash_key_x86_[64] = {};
 };
 
 }  // namespace gfwsim::crypto

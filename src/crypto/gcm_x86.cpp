@@ -1,0 +1,124 @@
+// PCLMUL GHASH kernel (x86-64): four blocks per reduction with H^1..H^4
+// aggregation.
+//
+// GCM's GF(2^128) uses a bit-reflected element encoding (bit 0 of the
+// field element is the MSB of byte 0). Rather than carrying shifted
+// corrections through the multiply, both operands are fully
+// bit-reflected once on load — rev128(N) = nibble-bit-reverse of the
+// byte-swapped value, two pshufb lookups — after which multiplication
+// is the textbook LSB-first carry-less product and the reduction
+// modulo x^128 + x^7 + x^2 + x + 1 is two PCLMULs against the constant
+// 0x87 (fold the top 64-bit word down twice). The H powers are
+// reflected once per key in ghash_init, so per 64-byte fold the
+// reflection costs four pshufb pairs against sixteen PCLMULs.
+#include "crypto/simd_kernels.h"
+
+#include <immintrin.h>
+
+namespace gfwsim::crypto::simd {
+
+namespace {
+
+// Bit-reverse within each byte: rev128(N) for a register loaded from
+// the block's bytes (the load's little-endian order already supplies
+// the byte reversal).
+__attribute__((target("ssse3"))) inline __m128i bitrev_bytes(__m128i v) {
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  // rev4[n] = the 4-bit reversal of n; the *_hi table pre-shifts it
+  // into the high nibble.
+  const __m128i rev_lo = _mm_setr_epi8(0x00, 0x08, 0x04, 0x0c, 0x02, 0x0a, 0x06, 0x0e,
+                                       0x01, 0x09, 0x05, 0x0d, 0x03, 0x0b, 0x07, 0x0f);
+  const __m128i rev_hi = _mm_slli_epi16(rev_lo, 4);
+  const __m128i lo = _mm_and_si128(v, mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+  return _mm_or_si128(_mm_shuffle_epi8(rev_hi, lo), _mm_shuffle_epi8(rev_lo, hi));
+}
+
+// Schoolbook 128x128 carry-less multiply, XOR-accumulated into the
+// 256-bit [hi:lo] product sum.
+__attribute__((target("pclmul,ssse3"))) inline void clmul_acc(__m128i x, __m128i h,
+                                                              __m128i& acc_lo,
+                                                              __m128i& acc_hi) {
+  acc_lo = _mm_xor_si128(acc_lo, _mm_clmulepi64_si128(x, h, 0x00));
+  acc_hi = _mm_xor_si128(acc_hi, _mm_clmulepi64_si128(x, h, 0x11));
+  const __m128i mid = _mm_xor_si128(_mm_clmulepi64_si128(x, h, 0x10),
+                                    _mm_clmulepi64_si128(x, h, 0x01));
+  acc_lo = _mm_xor_si128(acc_lo, _mm_slli_si128(mid, 8));
+  acc_hi = _mm_xor_si128(acc_hi, _mm_srli_si128(mid, 8));
+}
+
+// Reduce the 256-bit product sum modulo x^128 + x^7 + x^2 + x + 1
+// (LSB-first orientation): fold word P3 into [P2:P1], then the updated
+// P2 into [P1:P0]. Word-at-a-time folds land entirely inside the next
+// two words, so no shifted-out bits need a third pass.
+__attribute__((target("pclmul,ssse3"))) inline __m128i reduce(__m128i lo, __m128i hi) {
+  const __m128i poly = _mm_set_epi64x(0, 0x87);
+  const __m128i t = _mm_clmulepi64_si128(hi, poly, 0x01);  // P3 * 0x87
+  hi = _mm_xor_si128(hi, _mm_srli_si128(t, 8));            // P2 ^= T_hi
+  lo = _mm_xor_si128(lo, _mm_slli_si128(t, 8));            // P1 ^= T_lo
+  const __m128i u = _mm_clmulepi64_si128(hi, poly, 0x00);  // P2' * 0x87
+  return _mm_xor_si128(lo, u);
+}
+
+__attribute__((target("pclmul,ssse3"))) void fold4_impl(std::uint64_t& yhi,
+                                                        std::uint64_t& ylo,
+                                                        const std::uint8_t blocks[64],
+                                                        const std::uint8_t key[64]) {
+  const __m128i* b = reinterpret_cast<const __m128i*>(blocks);
+  const __m128i* h = reinterpret_cast<const __m128i*>(key);
+
+  // y arrives as big-endian halves; materialize N = yhi:ylo in the
+  // register byte order a block load would produce, then reflect.
+  alignas(16) std::uint8_t ybuf[16];
+  for (int i = 0; i < 8; ++i) {
+    ybuf[i] = static_cast<std::uint8_t>(yhi >> (56 - 8 * i));
+    ybuf[8 + i] = static_cast<std::uint8_t>(ylo >> (56 - 8 * i));
+  }
+  const __m128i y = bitrev_bytes(_mm_load_si128(reinterpret_cast<const __m128i*>(ybuf)));
+
+  __m128i acc_lo = _mm_setzero_si128();
+  __m128i acc_hi = _mm_setzero_si128();
+  const __m128i x0 = _mm_xor_si128(bitrev_bytes(_mm_loadu_si128(b)), y);
+  clmul_acc(x0, _mm_loadu_si128(h), acc_lo, acc_hi);          // (y ^ b0) * H^4
+  clmul_acc(bitrev_bytes(_mm_loadu_si128(b + 1)), _mm_loadu_si128(h + 1), acc_lo, acc_hi);
+  clmul_acc(bitrev_bytes(_mm_loadu_si128(b + 2)), _mm_loadu_si128(h + 2), acc_lo, acc_hi);
+  clmul_acc(bitrev_bytes(_mm_loadu_si128(b + 3)), _mm_loadu_si128(h + 3), acc_lo, acc_hi);
+
+  const __m128i z = bitrev_bytes(reduce(acc_lo, acc_hi));
+  alignas(16) std::uint8_t zbuf[16];
+  _mm_store_si128(reinterpret_cast<__m128i*>(zbuf), z);
+  // zbuf now holds N_z's bytes in block order; reassemble the halves.
+  std::uint64_t rhi = 0, rlo = 0;
+  for (int i = 0; i < 8; ++i) {
+    rhi = (rhi << 8) | zbuf[i];
+    rlo = (rlo << 8) | zbuf[8 + i];
+  }
+  yhi = rhi;
+  ylo = rlo;
+}
+
+__attribute__((target("ssse3"))) void init_impl(const GhashU128 hpow[4],
+                                                std::uint8_t key_out[64]) {
+  for (int i = 0; i < 4; ++i) {
+    alignas(16) std::uint8_t buf[16];
+    for (int j = 0; j < 8; ++j) {
+      buf[j] = static_cast<std::uint8_t>(hpow[i].hi >> (56 - 8 * j));
+      buf[8 + j] = static_cast<std::uint8_t>(hpow[i].lo >> (56 - 8 * j));
+    }
+    const __m128i r = bitrev_bytes(_mm_load_si128(reinterpret_cast<const __m128i*>(buf)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(key_out + 16 * i), r);
+  }
+}
+
+}  // namespace
+
+void ghash_init(const GhashU128 hpow[4], std::uint8_t key_out[64]) {
+  init_impl(hpow, key_out);
+}
+
+void ghash_fold4(std::uint64_t& yhi, std::uint64_t& ylo, const std::uint8_t blocks[64],
+                 const std::uint8_t key[64]) {
+  fold4_impl(yhi, ylo, blocks, key);
+}
+
+}  // namespace gfwsim::crypto::simd

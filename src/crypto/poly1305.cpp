@@ -2,7 +2,42 @@
 
 #include <stdexcept>
 
+#include "crypto/cpu.h"
+
 namespace gfwsim::crypto {
+
+namespace {
+
+// out = a * b mod 2^130 - 5, both operands and the result as fully
+// carried 26-bit limbs. Same schoolbook + 5*b folding + carry chain as
+// the per-block multiply; used only to precompute the r powers.
+void mul_mod(const std::uint32_t a[5], const std::uint32_t b[5], std::uint32_t out[5]) {
+  const std::uint64_t r0 = b[0], r1 = b[1], r2 = b[2], r3 = b[3], r4 = b[4];
+  const std::uint64_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+  const std::uint64_t h0 = a[0], h1 = a[1], h2 = a[2], h3 = a[3], h4 = a[4];
+
+  std::uint64_t d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+  std::uint64_t d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+  std::uint64_t d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+  std::uint64_t d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+  std::uint64_t d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+  std::uint64_t c;
+  c = d0 >> 26; d0 &= 0x03ffffff; d1 += c;
+  c = d1 >> 26; d1 &= 0x03ffffff; d2 += c;
+  c = d2 >> 26; d2 &= 0x03ffffff; d3 += c;
+  c = d3 >> 26; d3 &= 0x03ffffff; d4 += c;
+  c = d4 >> 26; d4 &= 0x03ffffff; d0 += c * 5;
+  c = d0 >> 26; d0 &= 0x03ffffff; d1 += c;
+
+  out[0] = static_cast<std::uint32_t>(d0);
+  out[1] = static_cast<std::uint32_t>(d1);
+  out[2] = static_cast<std::uint32_t>(d2);
+  out[3] = static_cast<std::uint32_t>(d3);
+  out[4] = static_cast<std::uint32_t>(d4);
+}
+
+}  // namespace
 
 Poly1305::Poly1305(ByteSpan key) {
   if (key.size() != kKeySize) throw std::invalid_argument("Poly1305: key must be 32 bytes");
@@ -59,6 +94,63 @@ void Poly1305::process_block(const std::uint8_t block[16], std::uint8_t pad_bit)
   h_[4] = static_cast<std::uint32_t>(d4);
 }
 
+void Poly1305::compute_powers() {
+  mul_mod(r_, r_, r2_);
+  mul_mod(r2_, r_, r3_);
+  mul_mod(r3_, r_, r4_);
+  powers_ready_ = true;
+}
+
+void Poly1305::process_blocks4(const std::uint8_t* blocks) {
+  std::uint64_t m[4][5];
+  for (int k = 0; k < 4; ++k) {
+    const std::uint8_t* p = blocks + 16 * k;
+    const std::uint32_t t0 = load_le32(p);
+    const std::uint32_t t1 = load_le32(p + 4);
+    const std::uint32_t t2 = load_le32(p + 8);
+    const std::uint32_t t3 = load_le32(p + 12);
+    m[k][0] = t0 & 0x03ffffff;
+    m[k][1] = ((t0 >> 26) | (t1 << 6)) & 0x03ffffff;
+    m[k][2] = ((t1 >> 20) | (t2 << 12)) & 0x03ffffff;
+    m[k][3] = ((t2 >> 14) | (t3 << 18)) & 0x03ffffff;
+    m[k][4] = (t3 >> 8) | (1u << 24);
+  }
+  for (int j = 0; j < 5; ++j) m[0][j] += h_[j];
+
+  // d = (h+m0)*r^4 + m1*r^3 + m2*r^2 + m3*r with the carries of all
+  // four products deferred: each accumulator limb sums 20 terms bounded
+  // by 2^27 * (5 * 2^26) < 2^55.4, total < 2^59.8 — comfortably inside
+  // a u64 — before the one shared carry chain below.
+  std::uint64_t d0 = 0, d1 = 0, d2 = 0, d3 = 0, d4 = 0;
+  const std::uint32_t* pw[4] = {r4_, r3_, r2_, r_};
+  for (int k = 0; k < 4; ++k) {
+    const std::uint64_t r0 = pw[k][0], r1 = pw[k][1], r2 = pw[k][2], r3 = pw[k][3],
+                        r4 = pw[k][4];
+    const std::uint64_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+    const std::uint64_t h0 = m[k][0], h1 = m[k][1], h2 = m[k][2], h3 = m[k][3],
+                        h4 = m[k][4];
+    d0 += h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+    d1 += h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+    d2 += h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+    d3 += h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+    d4 += h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+  }
+
+  std::uint64_t c;
+  c = d0 >> 26; d0 &= 0x03ffffff; d1 += c;
+  c = d1 >> 26; d1 &= 0x03ffffff; d2 += c;
+  c = d2 >> 26; d2 &= 0x03ffffff; d3 += c;
+  c = d3 >> 26; d3 &= 0x03ffffff; d4 += c;
+  c = d4 >> 26; d4 &= 0x03ffffff; d0 += c * 5;
+  c = d0 >> 26; d0 &= 0x03ffffff; d1 += c;
+
+  h_[0] = static_cast<std::uint32_t>(d0);
+  h_[1] = static_cast<std::uint32_t>(d1);
+  h_[2] = static_cast<std::uint32_t>(d2);
+  h_[3] = static_cast<std::uint32_t>(d3);
+  h_[4] = static_cast<std::uint32_t>(d4);
+}
+
 void Poly1305::update(ByteSpan data) {
   std::size_t offset = 0;
   if (buffer_len_ > 0) {
@@ -69,6 +161,17 @@ void Poly1305::update(ByteSpan data) {
     if (buffer_len_ == 16) {
       process_block(buffer_, 1);
       buffer_len_ = 0;
+    }
+  }
+  // Batched path: four blocks per pass whenever at least 64 aligned-to-
+  // block bytes remain. Skipped when the kernel tier is capped at
+  // reference, which forces the original per-block loop below.
+  if (data.size() - offset >= 64 &&
+      poly1305_dispatch_tier() != KernelTier::kReference) {
+    if (!powers_ready_) compute_powers();
+    while (data.size() - offset >= 64) {
+      process_blocks4(data.data() + offset);
+      offset += 64;
     }
   }
   while (offset + 16 <= data.size()) {

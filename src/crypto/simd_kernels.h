@@ -1,0 +1,60 @@
+// Internal declarations of the x86-64 SIMD crypto kernels.
+//
+// The definitions live in aes_x86.cpp / gcm_x86.cpp / chacha20_x86.cpp,
+// which CMake adds to ss_crypto only when the toolchain probe passes
+// (GFWSIM_HAVE_X86_SIMD) and GFW_FORCE_REF_CRYPTO is off. Call sites in
+// the generic kernels are guarded by the same macro, and reachable only
+// when the matching cpu_features() bit is set, so every function here
+// may assume its ISA extension is present.
+//
+// All kernels are bit-identical to the reference tier by construction;
+// tests/crypto/wide_kernels_test.cpp cross-checks them at every lane
+// occupancy and tail length.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gfwsim::crypto::simd {
+
+// ---- AES-NI ---------------------------------------------------------------
+
+// Encrypts n independent 16-byte blocks (1 <= n <= 8) with the expanded
+// byte round-key schedule `rk`. n == 8 runs eight interleaved AESENC
+// chains, hiding the ~4-cycle instruction latency the single-block
+// kernel stalls on; smaller n uses a rolled loop (tail path).
+void aes_encrypt_blocks(const std::uint8_t* rk, int rounds, const std::uint8_t* in,
+                        std::uint8_t* out, std::size_t n);
+
+// ---- PCLMUL GHASH ---------------------------------------------------------
+
+struct GhashU128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
+
+// Precomputes the bit-reflected key material for ghash_fold4 from
+// {H^4, H^3, H^2, H^1} (GCM bit order, big-endian halves). key_out is
+// 64 bytes, opaque to the caller.
+void ghash_init(const GhashU128 hpow[4], std::uint8_t key_out[64]);
+
+// One aggregated reduction over four blocks:
+//   Y' = (Y ^ b0)*H^4 ^ b1*H^3 ^ b2*H^2 ^ b3*H
+// The four carry-less products are XOR-summed before a single
+// reduction, so the serial reduction chain amortizes over 64 bytes.
+void ghash_fold4(std::uint64_t& yhi, std::uint64_t& ylo, const std::uint8_t blocks[64],
+                 const std::uint8_t key[64]);
+
+// ---- ChaCha20 -------------------------------------------------------------
+
+// Four interleaved ChaCha20 states sharing words 0..11 and 14..15 of
+// `state`; per-lane counter words 12/13 come in via w12/w13 (the caller
+// materializes the 32-bit-wrap IETF vs 64-bit legacy increment). Writes
+// 4 x 64 bytes of keystream, lane-major.
+void chacha20_blocks4_sse2(const std::uint32_t state[16], const std::uint32_t w12[4],
+                           const std::uint32_t w13[4], std::uint8_t out[256]);
+// Same contract, pshufb rotations (dispatched when AVX2 is present).
+void chacha20_blocks4_avx2(const std::uint32_t state[16], const std::uint32_t w12[4],
+                           const std::uint32_t w13[4], std::uint8_t out[256]);
+
+}  // namespace gfwsim::crypto::simd

@@ -1,0 +1,326 @@
+// Edge-case sweeps for the batched wide kernels (PR: batched AES-NI/GCM
+// and 4-way ChaCha20/Poly1305 behind the tier-dispatch harness).
+//
+// Every test pins the kernel-tier cap (ScopedKernelTierCap) and checks
+// the portable-batched and SIMD tiers byte-for-byte against the
+// reference tier at every lane occupancy the batch loops can see
+// (1..8 AES blocks per aes_encrypt_blocks call, 1..4 ChaCha states per
+// 256-byte pass), every tail length 0..129 bytes, unaligned buffers,
+// in-place transforms, and counter wrap for both ChaCha variants. On
+// hosts without the SIMD extensions the kSimd cap degrades to the
+// portable tier, so the sweeps still pass (they just cross-check
+// portable against reference twice).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/aes.h"
+#include "crypto/bytes.h"
+#include "crypto/chacha20.h"
+#include "crypto/chacha20_poly1305.h"
+#include "crypto/cpu.h"
+#include "crypto/gcm.h"
+#include "crypto/poly1305.h"
+#include "crypto/rng.h"
+
+namespace gfwsim::crypto {
+namespace {
+
+constexpr KernelTier kCaps[] = {KernelTier::kReference, KernelTier::kPortable,
+                                KernelTier::kSimd};
+
+TEST(WideKernels, DispatchRespectsCap) {
+  for (const KernelTier cap : kCaps) {
+    ScopedKernelTierCap pin(cap);
+    const KernelTiers t = active_kernel_tiers();
+    EXPECT_LE(static_cast<int>(t.aes), static_cast<int>(cap));
+    EXPECT_LE(static_cast<int>(t.ghash), static_cast<int>(cap));
+    EXPECT_LE(static_cast<int>(t.chacha), static_cast<int>(cap));
+    EXPECT_LE(static_cast<int>(t.poly1305), static_cast<int>(cap));
+  }
+  EXPECT_FALSE(cpu_feature_string().empty());
+  EXPECT_STREQ(tier_name(KernelTier::kReference), "reference");
+}
+
+// ---- AES block batches ----------------------------------------------------
+
+// Every lane occupancy of aes_encrypt_blocks: 1..8 exercises the tail
+// kernel and the full 8-chain pass; 9..17 exercises the chunk-then-tail
+// split. Expected bytes come from the retained byte-wise kernel.
+TEST(WideKernels, AesEncryptBlocksAllLaneOccupancies) {
+  Rng rng(0x51bb7e01);
+  for (const std::size_t key_len : {16u, 24u, 32u}) {
+    const Aes aes(rng.bytes(key_len));
+    for (std::size_t n = 1; n <= 17; ++n) {
+      std::vector<std::uint8_t> in(16 * n), expected(16 * n);
+      rng.fill(in.data(), in.size());
+      for (std::size_t b = 0; b < n; ++b) {
+        aes.encrypt_block_reference(in.data() + 16 * b, expected.data() + 16 * b);
+      }
+      for (const KernelTier cap : kCaps) {
+        ScopedKernelTierCap pin(cap);
+        std::vector<std::uint8_t> out(16 * n, 0xa5);
+        aes.encrypt_blocks(in.data(), out.data(), n);
+        EXPECT_EQ(out, expected) << "key=" << key_len << " n=" << n
+                                 << " cap=" << tier_name(cap);
+      }
+    }
+  }
+}
+
+// Unaligned source/destination pointers through the batched kernel (the
+// SIMD tier must use unaligned loads/stores throughout).
+TEST(WideKernels, AesEncryptBlocksUnalignedBuffers) {
+  Rng rng(0x7d201c);
+  const Aes aes(rng.bytes(32));
+  std::vector<std::uint8_t> raw_in(16 * 8 + 1), raw_out(16 * 8 + 1);
+  for (std::size_t misalign = 0; misalign <= 1; ++misalign) {
+    std::uint8_t* in = raw_in.data() + misalign;
+    std::uint8_t* out = raw_out.data() + misalign;
+    rng.fill(in, 16 * 8);
+    std::vector<std::uint8_t> expected(16 * 8);
+    for (std::size_t b = 0; b < 8; ++b) {
+      aes.encrypt_block_reference(in + 16 * b, expected.data() + 16 * b);
+    }
+    for (const KernelTier cap : kCaps) {
+      ScopedKernelTierCap pin(cap);
+      aes.encrypt_blocks(in, out, 8);
+      EXPECT_EQ(0, std::memcmp(out, expected.data(), 16 * 8))
+          << "misalign=" << misalign << " cap=" << tier_name(cap);
+    }
+  }
+}
+
+// ---- AES-CTR --------------------------------------------------------------
+
+// All tail lengths 0..129 plus sizes that straddle the 8-block batch,
+// including a counter wrap across the whole 16-byte block. Also checks
+// in-place operation and split calls (drain path + batch path in one
+// stream).
+TEST(WideKernels, AesCtrAllTailLengthsAndWrap) {
+  Rng rng(0x3e91f2);
+  const Bytes key = rng.bytes(16);
+  // IV one block before full wrap, so an 8-block batch carries through
+  // every counter byte.
+  Bytes iv(16, 0xff);
+  iv[15] = 0xfe;
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 129; ++n) lengths.push_back(n);
+  for (const std::size_t n : {255u, 256u, 257u, 1024u}) lengths.push_back(n);
+  for (const std::size_t len : lengths) {
+    const Bytes data = rng.bytes(len);
+    AesCtr ref_ctr(key, iv);
+    Bytes expected(len);
+    {
+      ScopedKernelTierCap pin(KernelTier::kReference);
+      ref_ctr.transform(data, expected.data());
+    }
+    for (const KernelTier cap : kCaps) {
+      ScopedKernelTierCap pin(cap);
+      AesCtr ctr(key, iv);
+      Bytes out = ctr.transform(data);
+      EXPECT_EQ(out, expected) << "len=" << len << " cap=" << tier_name(cap);
+      // In-place, split at an odd boundary so the second call starts on
+      // the buffered-keystream drain path.
+      AesCtr ctr2(key, iv);
+      Bytes inplace = data;
+      const std::size_t cut = len / 3;
+      ctr2.transform(ByteSpan(inplace.data(), cut), inplace.data());
+      ctr2.transform(ByteSpan(inplace.data() + cut, len - cut), inplace.data() + cut);
+      EXPECT_EQ(inplace, expected) << "in-place len=" << len << " cap=" << tier_name(cap);
+    }
+  }
+}
+
+// ---- ChaCha20 -------------------------------------------------------------
+
+// Lane occupancies 1..4 of the 4-way batch (256-byte passes) plus every
+// tail length 0..129, for both the IETF and legacy variants, checked
+// against the reference tier. Includes in-place operation.
+TEST(WideKernels, ChaChaAllLaneOccupanciesAndTails) {
+  Rng rng(0xc4a0b1);
+  const Bytes key = rng.bytes(32);
+  for (const std::size_t nonce_len : {12u, 8u}) {
+    const Bytes nonce = rng.bytes(nonce_len);
+    std::vector<std::size_t> lengths;
+    for (std::size_t n = 0; n <= 129; ++n) lengths.push_back(n);
+    // 1..4 full states per batch pass, with and without spill.
+    for (const std::size_t n : {192u, 255u, 256u, 257u, 320u, 511u, 512u, 513u, 1024u}) {
+      lengths.push_back(n);
+    }
+    for (const std::size_t len : lengths) {
+      const Bytes data = rng.bytes(len);
+      Bytes expected(len);
+      {
+        ScopedKernelTierCap pin(KernelTier::kReference);
+        ChaCha20 ref(key, nonce);
+        ref.transform(data, expected.data());
+      }
+      for (const KernelTier cap : kCaps) {
+        ScopedKernelTierCap pin(cap);
+        ChaCha20 c(key, nonce);
+        Bytes out = c.transform(data);
+        EXPECT_EQ(out, expected) << "nonce=" << nonce_len << " len=" << len
+                                 << " cap=" << tier_name(cap);
+        ChaCha20 c2(key, nonce);
+        Bytes inplace = data;
+        const std::size_t cut = len % 67;
+        c2.transform(ByteSpan(inplace.data(), cut), inplace.data());
+        c2.transform(ByteSpan(inplace.data() + cut, len - cut), inplace.data() + cut);
+        EXPECT_EQ(inplace, expected)
+            << "in-place nonce=" << nonce_len << " len=" << len << " cap=" << tier_name(cap);
+      }
+    }
+  }
+}
+
+// Counter wrap inside a 4-block batch: the IETF variant wraps its 32-bit
+// counter word, the legacy variant carries into the high word. Start two
+// blocks before the wrap so the batch straddles it.
+TEST(WideKernels, ChaChaCounterWrapInsideBatch) {
+  Rng rng(0x9f113d);
+  const Bytes key = rng.bytes(32);
+  struct Case {
+    std::size_t nonce_len;
+    std::uint64_t initial;
+  };
+  const Case cases[] = {
+      {12, 0xfffffffeull},            // IETF: wraps word 12 mid-batch
+      {8, 0xfffffffffffffffeull},     // legacy: carries into word 13
+      {8, 0x00000000fffffffeull},     // legacy: low-word carry only
+  };
+  for (const Case& c : cases) {
+    const Bytes nonce = rng.bytes(c.nonce_len);
+    const Bytes data = rng.bytes(64 * 6 + 13);
+    Bytes expected(data.size());
+    {
+      ScopedKernelTierCap pin(KernelTier::kReference);
+      ChaCha20 ref(key, nonce, c.initial);
+      ref.transform(data, expected.data());
+    }
+    for (const KernelTier cap : kCaps) {
+      ScopedKernelTierCap pin(cap);
+      ChaCha20 cc(key, nonce, c.initial);
+      EXPECT_EQ(cc.transform(data), expected)
+          << "nonce=" << c.nonce_len << " ctr=" << c.initial << " cap=" << tier_name(cap);
+    }
+  }
+}
+
+// ---- Poly1305 -------------------------------------------------------------
+
+// Batched (4 blocks, deferred carries) vs per-block reference tags at
+// every length 0..129 plus multi-batch sizes, including split updates
+// that land mid-block so the batch path starts from the buffered state.
+TEST(WideKernels, Poly1305BatchAllTailLengths) {
+  Rng rng(0x77ac21);
+  const Bytes key = rng.bytes(32);
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 129; ++n) lengths.push_back(n);
+  for (const std::size_t n : {192u, 256u, 1024u, 1037u}) lengths.push_back(n);
+  for (const std::size_t len : lengths) {
+    const Bytes data = rng.bytes(len);
+    Poly1305::Tag expected;
+    {
+      ScopedKernelTierCap pin(KernelTier::kReference);
+      expected = Poly1305::mac(key, data);
+    }
+    for (const KernelTier cap : kCaps) {
+      ScopedKernelTierCap pin(cap);
+      EXPECT_EQ(Poly1305::mac(key, data), expected)
+          << "len=" << len << " cap=" << tier_name(cap);
+      Poly1305 p(key);
+      const std::size_t cut = len % 37;
+      p.update(ByteSpan(data.data(), cut));
+      p.update(ByteSpan(data.data() + cut, len - cut));
+      EXPECT_EQ(p.finish(), expected) << "split len=" << len << " cap=" << tier_name(cap);
+    }
+  }
+}
+
+// ---- GHASH / AES-GCM ------------------------------------------------------
+
+// ghash() (quad-fold table / PCLMUL tiers) against ghash_reference()
+// (bit-by-bit multiply) at every aad/ct length combination that crosses
+// the 64-, 32-, and 16-byte chunk paths.
+TEST(WideKernels, GhashAllChunkPaths) {
+  Rng rng(0x5eef3a);
+  const AesGcm gcm(rng.bytes(32));
+  for (std::size_t ct_len = 0; ct_len <= 129; ++ct_len) {
+    const Bytes aad = rng.bytes(ct_len % 23);
+    const Bytes ct = rng.bytes(ct_len);
+    const auto expected = gcm.ghash_reference(aad, ct);
+    for (const KernelTier cap : kCaps) {
+      ScopedKernelTierCap pin(cap);
+      EXPECT_EQ(gcm.ghash(aad, ct), expected)
+          << "ct_len=" << ct_len << " cap=" << tier_name(cap);
+    }
+  }
+}
+
+// Full seal/open across tiers: seal under each cap must produce the
+// reference tier's exact bytes, and open must round-trip and reject a
+// corrupted tag. Lengths cross the 128-byte fused loop, its 8-block CTR
+// tail, and partial final blocks.
+TEST(WideKernels, GcmSealOpenCrossTier) {
+  Rng rng(0x81d2c7);
+  for (const std::size_t key_len : {16u, 32u}) {
+    const AesGcm gcm(rng.bytes(key_len));
+    std::vector<std::size_t> lengths;
+    for (std::size_t n = 0; n <= 129; ++n) lengths.push_back(n);
+    for (const std::size_t n : {255u, 256u, 257u, 1024u, 1339u}) lengths.push_back(n);
+    for (const std::size_t len : lengths) {
+      const Bytes nonce = rng.bytes(AesGcm::kNonceSize);
+      const Bytes aad = rng.bytes(len % 19);
+      const Bytes pt = rng.bytes(len);
+      Bytes expected;
+      {
+        ScopedKernelTierCap pin(KernelTier::kReference);
+        expected = gcm.seal(nonce, pt, aad);
+      }
+      for (const KernelTier cap : kCaps) {
+        ScopedKernelTierCap pin(cap);
+        const Bytes sealed = gcm.seal(nonce, pt, aad);
+        ASSERT_EQ(sealed, expected) << "len=" << len << " key=" << key_len
+                                    << " cap=" << tier_name(cap);
+        const auto opened = gcm.open(nonce, sealed, aad);
+        ASSERT_TRUE(opened.has_value());
+        EXPECT_EQ(*opened, pt);
+        if (!sealed.empty()) {
+          Bytes bad = sealed;
+          bad.back() ^= 0x01;
+          EXPECT_FALSE(gcm.open(nonce, bad, aad).has_value());
+        }
+      }
+    }
+  }
+}
+
+// ChaCha20-Poly1305 AEAD across tiers (exercises the 4-way keystream and
+// the batched Poly1305 together through the RFC 8439 construction).
+TEST(WideKernels, ChaChaPolySealOpenCrossTier) {
+  Rng rng(0x2c6d90);
+  const ChaCha20Poly1305 aead(rng.bytes(32));
+  for (const std::size_t len : {0u, 1u, 63u, 64u, 65u, 129u, 256u, 257u, 1024u}) {
+    const Bytes nonce = rng.bytes(ChaCha20Poly1305::kNonceSize);
+    const Bytes aad = rng.bytes(len % 13);
+    const Bytes pt = rng.bytes(len);
+    Bytes expected;
+    {
+      ScopedKernelTierCap pin(KernelTier::kReference);
+      expected = aead.seal(nonce, pt, aad);
+    }
+    for (const KernelTier cap : kCaps) {
+      ScopedKernelTierCap pin(cap);
+      const Bytes sealed = aead.seal(nonce, pt, aad);
+      ASSERT_EQ(sealed, expected) << "len=" << len << " cap=" << tier_name(cap);
+      const auto opened = aead.open(nonce, sealed, aad);
+      ASSERT_TRUE(opened.has_value());
+      EXPECT_EQ(*opened, pt);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gfwsim::crypto
