@@ -53,7 +53,15 @@ std::string kernel_tier_string() {
      << "  --workers N   run shards across N forked worker processes\n"
      << "                (crash/kill/stall containment; bit-identical merge)\n"
      << "  --worker-kill-after K  chaos: SIGKILL one worker right after its\n"
-     << "                K-th shard start (requires --workers)\n";
+     << "                K-th shard start (requires --workers)\n"
+     << "  --mem-budget BYTES  per-shard metered-allocation budget\n"
+     << "                (k/m/g suffixes; 0 = off); a breach becomes a\n"
+     << "                structured kResource shard failure, not a crash\n"
+     << "  --probe-queue-cap N  bound concurrent in-flight GFW probes;\n"
+     << "                overflow is shed deterministically per server\n"
+     << "  --worker-rlimit-as BYTES  setrlimit(RLIMIT_AS) per forked worker\n"
+     << "                (requires --workers; k/m/g suffixes)\n"
+     << "  --worker-rlimit-cpu S     setrlimit(RLIMIT_CPU) per forked worker\n";
   std::exit(exit_code);
 }
 
@@ -66,6 +74,24 @@ double probability_flag(int argc, char** argv, int& i, const char* argv0) {
   const double value = std::strtod(flag_value(argc, argv, i, argv0), nullptr);
   if (value < 0.0 || value > 1.0) usage(argv0, 2);
   return value;
+}
+
+// Byte-size flag with optional k/m/g (binary) suffix: "64m" = 64 MiB.
+std::uint64_t size_flag(int argc, char** argv, int& i, const char* argv0) {
+  const char* text = flag_value(argc, argv, i, argv0);
+  char* end = nullptr;
+  const std::uint64_t base = std::strtoull(text, &end, 0);
+  if (end == text) usage(argv0, 2);
+  std::uint64_t scale = 1;
+  switch (*end) {
+    case '\0': break;
+    case 'k': case 'K': scale = 1ull << 10; ++end; break;
+    case 'm': case 'M': scale = 1ull << 20; ++end; break;
+    case 'g': case 'G': scale = 1ull << 30; ++end; break;
+    default: usage(argv0, 2);
+  }
+  if (*end != '\0') usage(argv0, 2);
+  return base * scale;
 }
 
 // Splits "--csv dir/name.csv" into CsvWriter's (directory, name) form.
@@ -158,6 +184,16 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       options.worker_kill_after = static_cast<int>(
           std::strtol(flag_value(argc, argv, i, argv0), nullptr, 0));
       if (options.worker_kill_after <= 0) usage(argv0, 2);
+    } else if (std::strcmp(arg, "--mem-budget") == 0) {
+      options.mem_budget = size_flag(argc, argv, i, argv0);
+    } else if (std::strcmp(arg, "--probe-queue-cap") == 0) {
+      options.probe_queue_cap = static_cast<std::size_t>(
+          std::strtoull(flag_value(argc, argv, i, argv0), nullptr, 0));
+    } else if (std::strcmp(arg, "--worker-rlimit-as") == 0) {
+      options.worker_rlimit_as = size_flag(argc, argv, i, argv0);
+    } else if (std::strcmp(arg, "--worker-rlimit-cpu") == 0) {
+      options.worker_rlimit_cpu = std::strtoull(
+          flag_value(argc, argv, i, argv0), nullptr, 0);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       usage(argv0, 2);
@@ -165,6 +201,11 @@ BenchOptions parse_bench_args(int argc, char** argv) {
   }
   if (options.worker_kill_after > 0 && options.workers == 0) {
     std::cerr << "--worker-kill-after requires --workers\n";
+    usage(argv0, 2);
+  }
+  if ((options.worker_rlimit_as != 0 || options.worker_rlimit_cpu != 0) &&
+      options.workers == 0) {
+    std::cerr << "--worker-rlimit-as/--worker-rlimit-cpu require --workers\n";
     usage(argv0, 2);
   }
   install_interrupt_handlers();
@@ -222,6 +263,14 @@ gfw::Scenario with_fault_options(gfw::Scenario scenario, const BenchOptions& opt
   if (options.jitter_ms > 0.0) {
     scenario.faults.jitter = net::from_seconds(options.jitter_ms / 1000.0);
   }
+  // Resource-governance knobs ride with the fault knobs: both zero by
+  // default, both provably inert until an operator arms them.
+  if (options.mem_budget != 0) {
+    scenario.resources.limits.total_bytes = options.mem_budget;
+  }
+  if (options.probe_queue_cap != 0) {
+    scenario.resources.probe_queue_cap = options.probe_queue_cap;
+  }
   return scenario;
 }
 
@@ -248,6 +297,8 @@ gfw::CampaignResult run_sharded(const gfw::Scenario& scenario,
     dist.resume = options.resume;
     dist.interrupt = interrupt_flag();
     dist.chaos_kill_after_shards = options.worker_kill_after;
+    dist.worker_rlimit_as = options.worker_rlimit_as;
+    dist.worker_rlimit_cpu = options.worker_rlimit_cpu;
     gfw::DistRunner runner(dist);
     return runner.run(scenario);
   }
@@ -277,6 +328,29 @@ void print_run_summary(std::ostream& os, const gfw::CampaignResult& result,
   }
   os << "[cpu: " << crypto::cpu_feature_string() << "; kernels: "
      << kernel_tier_string() << "]\n";
+  // Resource verdicts: shed/deferred probes, queue-overflow drops, peak
+  // metered bytes, and rlimit-attributed deaths — printed only when the
+  // governor (or a worker limit) actually did something.
+  const std::uint64_t shed = result.probes_shed();
+  const std::uint64_t deferred = result.probes_deferred();
+  const std::uint64_t queue_drops = result.queue_overflow_drops();
+  const std::uint64_t peak_bytes = result.peak_metered_bytes();
+  const std::size_t resource_failures = result.resource_failures();
+  if (shed != 0 || deferred != 0 || queue_drops != 0 || peak_bytes != 0 ||
+      resource_failures != 0) {
+    os << "[resources: " << shed << " probe(s) shed, " << deferred
+       << " deferred, " << queue_drops << " queue-overflow drop(s), peak "
+       << peak_bytes << " metered bytes, " << resource_failures
+       << " resource failure(s)]\n";
+  }
+  if (result.worker_heartbeats_dropped != 0 ||
+      result.worker_heartbeat_retries != 0 ||
+      result.worker_journal_retries != 0) {
+    os << "[worker io: " << result.worker_heartbeats_dropped
+       << " heartbeat(s) dropped, " << result.worker_heartbeat_retries
+       << " heartbeat write(s) retried, " << result.worker_journal_retries
+       << " journal open(s) retried]\n";
+  }
   // Supervision verdicts: quarantined shards are missing from the
   // numbers above, so say so loudly.
   for (const auto& failure : result.failures) {

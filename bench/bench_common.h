@@ -53,6 +53,16 @@ namespace gfwsim::bench {
 //   --worker-kill-after K  chaos: SIGKILL one worker right after its
 //                 K-th shard start (requires --workers); the campaign
 //                 must still complete with an identical digest
+//   --mem-budget BYTES  per-shard metered-allocation budget
+//                 (net/resources.h; accepts k/m/g suffixes, 0 = off).
+//                 A breach quarantines the shard as a kResource failure
+//                 instead of crashing the campaign
+//   --probe-queue-cap N  bound the GFW's concurrent in-flight probes;
+//                 overflow beyond the same-depth admission queue is shed
+//                 deterministically and reported per server
+//   --worker-rlimit-as BYTES   setrlimit(RLIMIT_AS) in each forked
+//                 worker (requires --workers; k/m/g suffixes)
+//   --worker-rlimit-cpu S      setrlimit(RLIMIT_CPU) seconds per worker
 struct BenchOptions {
   std::uint32_t shards = 4;
   unsigned threads = 0;    // 0 = hardware concurrency
@@ -78,6 +88,13 @@ struct BenchOptions {
   // --checkpoint doubling as the slot-journal prefix.
   unsigned workers = 0;
   int worker_kill_after = 0;  // chaos kill trigger; 0 = no chaos
+
+  // Resource governance (net/resources.h, Scenario::resources) and
+  // OS-level worker limits (gfw/dist_runner.h). All zero = inert.
+  std::uint64_t mem_budget = 0;       // per-shard metered bytes
+  std::size_t probe_queue_cap = 0;    // GFW in-flight probe bound
+  std::uint64_t worker_rlimit_as = 0;   // bytes; --workers only
+  std::uint64_t worker_rlimit_cpu = 0;  // seconds; --workers only
 
   bool faults_requested() const {
     return loss > 0.0 || dup > 0.0 || reorder > 0.0 || jitter_ms > 0.0;

@@ -11,6 +11,8 @@ constexpr char kMagic[8] = {'G', 'F', 'W', 'C', 'K', 'P', 'T', '1'};
 constexpr std::uint32_t kShardFrame = 1;
 constexpr std::uint32_t kFleetShardFrame = 2;
 constexpr std::uint32_t kFailureFrame = 3;
+constexpr std::uint32_t kResourceFrame = 4;
+constexpr std::uint32_t kWorkerIoFrame = 5;
 constexpr std::size_t kHeaderSize = 32;
 // Frame header: u32 kind + u64 payload size + u32 payload CRC-32.
 constexpr std::size_t kFrameHeaderSize = 16;
@@ -324,6 +326,19 @@ std::uint64_t scenario_fingerprint(const Scenario& scenario) {
   h.mix(static_cast<std::uint64_t>(scenario.faults.outages.size()));
   h.mix(static_cast<std::uint64_t>(scenario.use_brdgrd));
   h.mix(scenario.base_seed);
+  // Resource governance changes what shards compute (sheds, drops,
+  // injected exhaustion), so it is part of the campaign identity — but
+  // mixed ONLY when armed, keeping every disarmed scenario's fingerprint
+  // (and thus every existing journal) unchanged.
+  if (scenario.resources.enabled()) {
+    h.mix(static_cast<std::uint64_t>(0xB0D6E7));  // governor-mode marker
+    h.mix(scenario.resources.limits.total_bytes);
+    for (const std::uint64_t cap : scenario.resources.limits.unit_caps) h.mix(cap);
+    h.mix(scenario.resources.limits.fail_at_acquisition);
+    h.mix(scenario.resources.limits.fail_probability);
+    h.mix(static_cast<std::uint64_t>(scenario.resources.probe_queue_cap));
+    h.mix(static_cast<std::uint64_t>(scenario.resources.path_queue_cap));
+  }
   // Fleet shape and per-server overrides. Mixed only when a fleet is
   // declared, so every legacy scenario's fingerprint is unchanged; any
   // change to the fleet (count, order, spec, or override) refuses to
@@ -533,7 +548,7 @@ ShardFailure parse_failure(ByteSpan payload) {
   }
   f.phase = static_cast<ShardPhase>(phase);
   const std::uint8_t kind = in.u8();
-  if (kind > static_cast<std::uint8_t>(FailureKind::kExit)) {
+  if (kind > static_cast<std::uint8_t>(FailureKind::kResource)) {
     throw CheckpointError("checkpoint: failure frame has unknown kind " +
                           std::to_string(kind));
   }
@@ -547,6 +562,84 @@ ShardFailure parse_failure(ByteSpan payload) {
     throw CheckpointError("checkpoint: trailing bytes inside failure frame");
   }
   return f;
+}
+
+Bytes serialize_resources(std::uint32_t shard_index,
+                          const ShardResources& resources) {
+  Bytes out;
+  out.reserve(96 + 32 * resources.sheds.size());
+  put_u32(out, shard_index);
+  put_u64(out, resources.probes_shed);
+  put_u64(out, resources.probes_deferred);
+  put_u64(out, resources.queue_overflow_drops);
+  put_u64(out, resources.peak_metered_bytes);
+  put_u64(out, resources.acquisitions);
+  // Peak count is explicit so a reader built with more (or fewer)
+  // metered kinds still decodes the frame.
+  put_u32(out, static_cast<std::uint32_t>(net::kResourceKindCount));
+  for (const std::uint64_t peak : resources.peak_units) put_u64(out, peak);
+  put_u32(out, static_cast<std::uint32_t>(resources.sheds.size()));
+  for (const ShedRecord& shed : resources.sheds) {
+    put_u16(out, shed.server_id);
+    put_string(out, shed.region);
+    put_u64(out, shed.count);
+  }
+  return out;
+}
+
+ResourceFrame parse_resources(ByteSpan payload) {
+  Cursor in{payload, 0};
+  ResourceFrame out;
+  out.shard_index = in.u32();
+  out.resources.probes_shed = in.u64();
+  out.resources.probes_deferred = in.u64();
+  out.resources.queue_overflow_drops = in.u64();
+  out.resources.peak_metered_bytes = in.u64();
+  out.resources.acquisitions = in.u64();
+  const std::uint32_t peaks = in.u32();
+  in.need_count(peaks, 8, "resource peak");
+  for (std::uint32_t i = 0; i < peaks; ++i) {
+    const std::uint64_t peak = in.u64();
+    // Extra kinds from a newer writer are read and dropped.
+    if (i < net::kResourceKindCount) out.resources.peak_units[i] = peak;
+  }
+  const std::uint32_t sheds = in.u32();
+  in.need_count(sheds, 14, "shed record");  // u16 + empty string + u64
+  out.resources.sheds.reserve(sheds);
+  for (std::uint32_t i = 0; i < sheds; ++i) {
+    ShedRecord shed;
+    shed.server_id = in.u16();
+    shed.region = in.str();
+    shed.count = in.u64();
+    out.resources.sheds.push_back(std::move(shed));
+  }
+  if (in.pos != payload.size()) {
+    throw CheckpointError("checkpoint: trailing bytes inside resource frame");
+  }
+  return out;
+}
+
+Bytes serialize_worker_io(const WorkerIoStats& io) {
+  Bytes out;
+  out.reserve(28);
+  put_u32(out, io.worker_id);
+  put_u64(out, io.heartbeats_dropped);
+  put_u64(out, io.heartbeat_retries);
+  put_u64(out, io.journal_retries);
+  return out;
+}
+
+WorkerIoStats parse_worker_io(ByteSpan payload) {
+  Cursor in{payload, 0};
+  WorkerIoStats io;
+  io.worker_id = in.u32();
+  io.heartbeats_dropped = in.u64();
+  io.heartbeat_retries = in.u64();
+  io.journal_retries = in.u64();
+  if (in.pos != payload.size()) {
+    throw CheckpointError("checkpoint: trailing bytes inside worker-io frame");
+  }
+  return io;
 }
 
 // ---- writer ---------------------------------------------------------------
@@ -597,6 +690,18 @@ void CheckpointWriter::append_shard(const ShardSummary& summary, const ProbeLog&
   append_frame(fleet ? kFleetShardFrame : kShardFrame,
                fleet ? serialize_shard_fleet(summary, log)
                      : serialize_shard(summary, log));
+  // Resource verdicts ride in their own kind-4 frame, gated on any():
+  // disarmed campaigns append no extra bytes, so their journals stay
+  // byte-identical to pre-governor ones (and the kind-1 golden digest
+  // keeps pinning the shard payload).
+  if (summary.resources.any()) {
+    append_frame(kResourceFrame,
+                 serialize_resources(summary.shard_index, summary.resources));
+  }
+}
+
+void CheckpointWriter::append_worker_io(const WorkerIoStats& io) {
+  append_frame(kWorkerIoFrame, serialize_worker_io(io));
 }
 
 void CheckpointWriter::append_failure(const ShardFailure& failure) {
@@ -668,6 +773,22 @@ Checkpoint load_checkpoint(const std::string& path) {
     }
     if (kind == kFailureFrame) {
       out.failures.push_back(parse_failure(payload));
+      continue;
+    }
+    if (kind == kResourceFrame) {
+      // Attach to the shard it annotates (the writer emits it right
+      // after that shard's frame; an orphaned verdict — its shard frame
+      // torn or superseded by a duplicate — is dropped, matching the
+      // duplicate-shard first-occurrence rule).
+      ResourceFrame frame = parse_resources(payload);
+      auto it = out.shards.find(frame.shard_index);
+      if (it != out.shards.end() && !it->second.summary.resources.any()) {
+        it->second.summary.resources = std::move(frame.resources);
+      }
+      continue;
+    }
+    if (kind == kWorkerIoFrame) {
+      out.worker_io.push_back(parse_worker_io(payload));
       continue;
     }
     if (kind != kShardFrame && kind != kFleetShardFrame) {

@@ -20,7 +20,14 @@
 //         tags, and the shard's per-server stats rows; 3 = shard
 //         FAILURE: a quarantined or recovered ShardFailure, how a
 //         distributed worker ships its supervision verdicts back to the
-//         coordinator — gfw/dist_runner.h)
+//         coordinator — gfw/dist_runner.h; 4 = shard RESOURCE verdict:
+//         the ShardResources counters for one completed shard, written
+//         immediately after its kind-1/2 frame and ONLY when any counter
+//         is nonzero, so journals from resource-disarmed campaigns stay
+//         byte-identical to pre-governor ones; 5 = WORKER IO stats: a
+//         distributed worker's heartbeat/journal IO verdict — dropped
+//         heartbeats, retried writes — appended at worker exit, and only
+//         when nonzero)
 //     u64 payload size (bounded by kMaxFramePayload; a larger claim is
 //         treated as corruption, not an allocation request)
 //     u32 CRC-32 (IEEE) of the payload
@@ -108,6 +115,40 @@ ShardCheckpoint parse_shard_fleet(ByteSpan payload);  // throws CheckpointError
 Bytes serialize_failure(const ShardFailure& failure);
 ShardFailure parse_failure(ByteSpan payload);  // throws CheckpointError
 
+// Resource-verdict frame payload codec (frame kind 4): one completed
+// shard's ShardResources counters. Kept out of the kind-1/kind-2
+// payloads so the pinned golden digests never move; pre-governor readers
+// skip the unknown kind and lose only the (advisory) verdict.
+struct ResourceFrame {
+  std::uint32_t shard_index = 0;
+  ShardResources resources;
+};
+Bytes serialize_resources(std::uint32_t shard_index,
+                          const ShardResources& resources);
+ResourceFrame parse_resources(ByteSpan payload);  // throws CheckpointError
+
+// Worker IO-stats frame payload codec (frame kind 5): a distributed
+// worker's pipe/journal IO verdict, appended once at worker exit when
+// any counter is nonzero (gfw/dist_runner.cpp).
+struct WorkerIoStats {
+  std::uint32_t worker_id = 0;
+  // Heartbeat messages irrecoverably lost after the EINTR/partial-write
+  // retry loop gave up (the coordinator saw a stale heartbeat instead).
+  std::uint64_t heartbeats_dropped = 0;
+  // Heartbeat writes that needed at least one retry but went through.
+  std::uint64_t heartbeat_retries = 0;
+  // Journal/pipe opens retried with backoff under fd exhaustion
+  // (EMFILE/ENFILE) before succeeding.
+  std::uint64_t journal_retries = 0;
+
+  bool any() const {
+    return heartbeats_dropped != 0 || heartbeat_retries != 0 ||
+           journal_retries != 0;
+  }
+};
+Bytes serialize_worker_io(const WorkerIoStats& io);
+WorkerIoStats parse_worker_io(ByteSpan payload);  // throws CheckpointError
+
 // Appends completed shards to the journal as they finish. In fresh mode
 // the file is truncated and a new header written; in append mode an
 // existing file's header must match `header` exactly (missing file:
@@ -123,6 +164,9 @@ class CheckpointWriter {
   // record quarantines and recovered failures here so the coordinator's
   // merge can surface them even after the worker process is gone.
   void append_failure(const ShardFailure& failure);
+  // Journals a worker's IO verdict (kind-5 frame); callers gate on
+  // io.any() so clean runs add no bytes.
+  void append_worker_io(const WorkerIoStats& io);
 
  private:
   void append_frame(std::uint32_t kind, const Bytes& payload);
@@ -137,6 +181,9 @@ struct Checkpoint {
   // Kind-3 supervision verdicts, in file order (distributed workers
   // append them; in-process journals have none).
   std::vector<ShardFailure> failures;
+  // Kind-5 worker IO verdicts, in file order (distributed workers with
+  // degraded pipe/journal IO append them; clean runs have none).
+  std::vector<WorkerIoStats> worker_io;
   // Bytes of a torn tail frame that were ignored (0 on a clean file).
   std::size_t torn_tail_bytes = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -45,15 +46,58 @@ constexpr int kExitOk = 0;           // range finished
 constexpr int kExitJournal = 2;      // could not open/write the slot journal
 constexpr int kExitInterrupted = 3;  // SIGTERM honored between shards
 
-void send_msg(int fd, std::uint8_t tag, std::uint32_t shard, std::uint64_t events) {
+// Worker-local IO degradation counters, shared by the heartbeat thread
+// and the shard loop; snapshotted into a kind-5 journal frame at worker
+// exit (only when nonzero) so the coordinator and `gfw_worker --describe`
+// can surface degraded-pipe runs.
+struct WorkerIoCounters {
+  std::atomic<std::uint64_t> heartbeats_dropped{0};
+  std::atomic<std::uint64_t> heartbeat_retries{0};
+  std::atomic<std::uint64_t> journal_retries{0};
+};
+
+// Hardened heartbeat write: EINTR and partial writes retry (a signal —
+// SIGTERM from the stall ladder, SIGXCPU nearing an rlimit — landing
+// mid-write must not silently eat a liveness message), transient
+// kernel-side refusals (EAGAIN/ENOBUFS/ENOMEM) get a bounded spin, and
+// only then is the message counted as irrecoverably dropped. If the
+// coordinator is gone the default SIGPIPE disposition terminates the
+// worker, which is exactly the orphan cleanup we want.
+void send_msg(int fd, std::uint8_t tag, std::uint32_t shard, std::uint64_t events,
+              WorkerIoCounters* io = nullptr) {
   std::uint8_t buf[kMsgSize];
   buf[0] = tag;
   store_le32(buf + 1, shard);
   store_le64(buf + 5, events);
-  // Best effort: if the coordinator is gone the default SIGPIPE
-  // disposition terminates the worker, which is exactly the orphan
-  // cleanup we want.
-  [[maybe_unused]] const ssize_t n = ::write(fd, buf, kMsgSize);
+  std::size_t sent = 0;
+  bool retried = false;
+  int transient_spins = 0;
+  while (sent < kMsgSize) {
+    const ssize_t n = ::write(fd, buf + sent, kMsgSize - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      if (sent < kMsgSize) retried = true;  // partial: finish the message
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      retried = true;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
+                  errno == ENOMEM)) {
+      if (++transient_spins > 64) break;  // coordinator hopelessly behind
+      retried = true;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    break;  // EBADF and friends: nothing to retry against
+  }
+  if (io == nullptr) return;
+  if (sent < kMsgSize) {
+    io->heartbeats_dropped.fetch_add(1, std::memory_order_relaxed);
+  } else if (retried) {
+    io->heartbeat_retries.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 // ---- worker process --------------------------------------------------------
@@ -81,18 +125,69 @@ struct WorkerConfig {
   int hb_fd = -1;
   std::chrono::milliseconds heartbeat_interval{25};
   std::chrono::milliseconds stall_timeout{0};
+  // Slot index, recorded in the kind-5 worker-io frame.
+  std::uint32_t worker_id = 0;
+  // setrlimit values applied in the child (0 = inherit).
+  std::uint64_t rlimit_as = 0;
+  std::uint64_t rlimit_cpu = 0;
+  std::uint64_t rlimit_nofile = 0;
 };
+
+// Applies one rlimit in the freshly forked child. Best effort: lowering
+// is always allowed; an EPERM (raising over the hard limit without
+// privilege) keeps the inherited limit, which is the conservative
+// outcome.
+void apply_rlimit(int resource, std::uint64_t value) {
+  if (value == 0) return;
+  struct rlimit rl;
+  rl.rlim_cur = static_cast<rlim_t>(value);
+  rl.rlim_max = static_cast<rlim_t>(value);
+  if (::setrlimit(resource, &rl) != 0) {
+    // Retry with only the soft limit under the existing hard ceiling.
+    struct rlimit cur;
+    if (::getrlimit(resource, &cur) == 0) {
+      rl.rlim_max = cur.rlim_max;
+      if (rl.rlim_cur > cur.rlim_max) rl.rlim_cur = cur.rlim_max;
+      ::setrlimit(resource, &rl);
+    }
+  }
+}
 
 [[noreturn]] void worker_main(const WorkerConfig& cfg) {
   std::signal(SIGTERM, worker_term_handler);
   std::signal(SIGINT, SIG_IGN);   // the coordinator orchestrates interrupts
   std::signal(SIGPIPE, SIG_DFL);  // die on heartbeat write if orphaned
 
+  // OS-level budgets, applied before any journal or simulation work so
+  // every allocation this process makes is under them. Deaths they cause
+  // (SIGXCPU, OOM kill under RLIMIT_AS) are attributed kResource by the
+  // coordinator's waitpid ladder.
+  apply_rlimit(RLIMIT_AS, cfg.rlimit_as);
+  apply_rlimit(RLIMIT_CPU, cfg.rlimit_cpu);
+  apply_rlimit(RLIMIT_NOFILE, cfg.rlimit_nofile);
+
+  WorkerIoCounters io;
   int exit_code = kExitOk;
   try {
     // Append mode resumes a dead predecessor's journal: the header is
     // validated and any torn tail frame from the death is truncated.
-    CheckpointWriter writer(cfg.journal_path, cfg.header, /*append=*/true);
+    // Opening can lose a race for the last file descriptors (tight
+    // RLIMIT_NOFILE, a leaky sibling): retry with backoff instead of
+    // dying on the first EMFILE/ENFILE, counting each retry.
+    std::optional<CheckpointWriter> writer;
+    for (int attempt = 0;; ++attempt) {
+      errno = 0;
+      try {
+        writer.emplace(cfg.journal_path, cfg.header, /*append=*/true);
+        break;
+      } catch (const CheckpointError&) {
+        const bool fd_exhaustion =
+            errno == EMFILE || errno == ENFILE || errno == EINTR;
+        if (!fd_exhaustion || attempt >= 5) throw;
+        io.journal_retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+      }
+    }
 
     // Same in-simulation stall semantics as the threaded runner; the
     // coordinator's heartbeat deadline is the PROCESS-level layer above.
@@ -106,7 +201,7 @@ struct WorkerConfig {
       while (!hb_stop.load(std::memory_order_relaxed)) {
         send_msg(cfg.hb_fd, kMsgHeartbeat,
                  current_shard.load(std::memory_order_relaxed),
-                 progress.events.load(std::memory_order_relaxed));
+                 progress.events.load(std::memory_order_relaxed), &io);
         std::this_thread::sleep_for(cfg.heartbeat_interval);
       }
     });
@@ -119,25 +214,34 @@ struct WorkerConfig {
       }
       current_shard.store(shard, std::memory_order_relaxed);
       send_msg(cfg.hb_fd, kMsgShardStart, shard,
-               static_cast<std::uint64_t>((*cfg.attempts)[shard]));
+               static_cast<std::uint64_t>((*cfg.attempts)[shard]), &io);
       ShardRun run = run_shard_supervised(
           *cfg.scenario, shard, cfg.max_attempts,
           /*attempt_base=*/(*cfg.attempts)[shard],
           watchdog ? &*watchdog : nullptr, *cfg.before, *cfg.after, &progress);
-      if (run.failure) writer.append_failure(*run.failure);
+      if (run.failure) writer->append_failure(*run.failure);
       if (run.completed) {
-        writer.append_shard(run.summary, run.log);
+        writer->append_shard(run.summary, run.log);
         send_msg(cfg.hb_fd, kMsgShardDone, shard,
-                 progress.events.load(std::memory_order_relaxed));
+                 progress.events.load(std::memory_order_relaxed), &io);
       } else {
         send_msg(cfg.hb_fd, kMsgShardFailed, shard,
-                 progress.events.load(std::memory_order_relaxed));
+                 progress.events.load(std::memory_order_relaxed), &io);
       }
       current_shard.store(kNoShard, std::memory_order_relaxed);
     }
     if (g_worker_stop != 0) exit_code = kExitInterrupted;
     hb_stop.store(true, std::memory_order_relaxed);
     heartbeat.join();
+    // IO degradation verdict, journaled after the heartbeat thread has
+    // stopped touching the counters — and only when something actually
+    // degraded, so clean journals gain no bytes.
+    WorkerIoStats stats;
+    stats.worker_id = cfg.worker_id;
+    stats.heartbeats_dropped = io.heartbeats_dropped.load(std::memory_order_relaxed);
+    stats.heartbeat_retries = io.heartbeat_retries.load(std::memory_order_relaxed);
+    stats.journal_retries = io.journal_retries.load(std::memory_order_relaxed);
+    if (stats.any()) writer->append_worker_io(stats);
   } catch (...) {
     // Journal trouble (unwritable path, corrupt predecessor file the
     // coordinator failed to sanitize). The coordinator sees kExit and
@@ -323,10 +427,20 @@ CampaignResult DistRunner::run(const Scenario& scenario) {
         }
       }
     }
+    // Heartbeat pipe, with retry-with-backoff under fd exhaustion: a
+    // coordinator briefly out of descriptors (EMFILE/ENFILE — e.g. many
+    // dead workers' read ends not yet closed by a racing reap) should
+    // wait for the pressure to clear, not abort the campaign.
     int fds[2];
-    if (::pipe(fds) != 0) {
-      throw std::runtime_error("DistRunner: pipe failed: " +
-                               std::string(std::strerror(errno)));
+    for (int attempt = 0;; ++attempt) {
+      if (::pipe(fds) == 0) break;
+      const bool fd_exhaustion =
+          errno == EMFILE || errno == ENFILE || errno == EINTR;
+      if (!fd_exhaustion || attempt >= 5) {
+        throw std::runtime_error("DistRunner: pipe failed: " +
+                                 std::string(std::strerror(errno)));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
     }
     WorkerConfig cfg;
     cfg.scenario = &scenario;
@@ -342,6 +456,10 @@ CampaignResult DistRunner::run(const Scenario& scenario) {
     cfg.hb_fd = fds[1];
     cfg.heartbeat_interval = options_.heartbeat_interval;
     cfg.stall_timeout = options_.stall_timeout;
+    cfg.worker_id = static_cast<std::uint32_t>(slot);
+    cfg.rlimit_as = options_.worker_rlimit_as;
+    cfg.rlimit_cpu = options_.worker_rlimit_cpu;
+    cfg.rlimit_nofile = options_.worker_rlimit_nofile;
 
     const pid_t pid = ::fork();
     if (pid < 0) {
@@ -480,11 +598,25 @@ CampaignResult DistRunner::run(const Scenario& scenario) {
     bool respawnable = false;
     if (WIFSIGNALED(status)) {
       const int sig = WTERMSIG(status);
-      if (w.stall_initiated) {
+      // waitpid attribution of resource-limit deaths: SIGXCPU is the
+      // kernel's RLIMIT_CPU verdict regardless of who else wanted the
+      // worker dead, and an unexplained SIGKILL while RLIMIT_AS is
+      // configured is recorded as a probable OOM kill — kResource, not
+      // an anonymous kCrash, so the campaign verdict separates "out of
+      // budget" from genuine crashes.
+      if (sig == SIGXCPU) {
+        attribute_death(w, FailureKind::kResource,
+                        "worker exceeded RLIMIT_CPU (killed by SIGXCPU)");
+      } else if (w.stall_initiated) {
         attribute_death(
             w, FailureKind::kStall,
             "worker heartbeat silent past the stall deadline; escalated "
             "SIGTERM→SIGKILL, died on signal " + signal_text(sig));
+      } else if (sig == SIGKILL && options_.worker_rlimit_as != 0) {
+        attribute_death(
+            w, FailureKind::kResource,
+            "worker killed by SIGKILL with RLIMIT_AS configured (likely OOM "
+            "kill under the address-space budget)");
       } else {
         attribute_death(w, FailureKind::kCrash,
                         "worker killed by signal " + signal_text(sig));
@@ -643,6 +775,9 @@ CampaignResult DistRunner::run(const Scenario& scenario) {
   // ---- gather: load slot journals, fold failures, merge in shard order ----
   std::map<std::uint32_t, ShardCheckpoint> gathered;
   std::map<std::uint32_t, ShardFailure> failure_by_shard;
+  // [dropped heartbeats, heartbeat retries, journal retries] across all
+  // slot journals' kind-5 frames.
+  std::uint64_t result_worker_io[3] = {0, 0, 0};
   const auto fold_failure = [&](const ShardFailure& f) {
     auto [it, inserted] = failure_by_shard.emplace(f.shard_index, f);
     if (inserted) return;
@@ -672,11 +807,19 @@ CampaignResult DistRunner::run(const Scenario& scenario) {
     for (const ShardFailure& f : ck.failures) {
       if (f.shard_index < shards) fold_failure(f);
     }
+    for (const WorkerIoStats& io : ck.worker_io) {
+      result_worker_io[0] += io.heartbeats_dropped;
+      result_worker_io[1] += io.heartbeat_retries;
+      result_worker_io[2] += io.journal_retries;
+    }
   }
   for (const auto& [shard, f] : death_failures) fold_failure(f);
 
   CampaignResult result;
   result.interrupted = interrupt_seen;
+  result.worker_heartbeats_dropped = result_worker_io[0];
+  result.worker_heartbeat_retries = result_worker_io[1];
+  result.worker_journal_retries = result_worker_io[2];
   for (std::uint32_t shard = 0; shard < shards; ++shard) {
     const bool have = gathered.count(shard) > 0;
     auto it = failure_by_shard.find(shard);

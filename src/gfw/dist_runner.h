@@ -114,6 +114,17 @@ struct DistRunnerOptions {
   // scenario's base seed.
   int chaos_worker = -1;
 
+  // OS-level resource enforcement applied inside each worker child
+  // immediately after fork (setrlimit, both soft and hard limit; 0 =
+  // inherit the coordinator's limit, the default). Deaths under these
+  // limits are ATTRIBUTED by the coordinator: SIGXCPU becomes a
+  // FailureKind::kResource failure, and an unexplained SIGKILL while
+  // `worker_rlimit_as` is configured is recorded as kResource (likely
+  // OOM kill) instead of an anonymous kCrash.
+  std::uint64_t worker_rlimit_as = 0;      // bytes of address space
+  std::uint64_t worker_rlimit_cpu = 0;     // CPU seconds
+  std::uint64_t worker_rlimit_nofile = 0;  // open file descriptors
+
   // Safety valve on replacement forks. 0 derives a generous default
   // (every shard could burn its whole retry budget as a process death).
   // When the budget runs out, remaining shards of the dead worker's

@@ -167,6 +167,22 @@ void Gfw::launch_probe(net::Endpoint server, probesim::ProbeType type,
   using probesim::ProbeType;
   auto& loop = net_.loop();
 
+  // Bounded admission: at the in-flight cap the probe waits in a FIFO
+  // queue (re-launched from finalize_probe as slots free up); with the
+  // queue also full it is shed and tallied per server. Both outcomes are
+  // pure functions of the shard's own event sequence, so shed counts
+  // replay bit-identically for any thread or worker count.
+  if (config_.probe_queue_cap != 0 && in_flight_ >= config_.probe_queue_cap) {
+    if (admission_queue_.size() < config_.probe_queue_cap) {
+      admission_queue_.push_back(PendingProbe{server, type, payload_index});
+      ++probes_deferred_;
+    } else {
+      ++probes_shed_;
+      ++sheds_by_server_[server];
+    }
+    return;
+  }
+
   ServerState& state = servers_[server];
   Bytes payload;
   ProbeRecord record;
@@ -286,7 +302,36 @@ void Gfw::finalize_probe(const std::shared_ptr<ProbeAttempt>& attempt) {
     }
   }
   handle_probe_result(attempt->server, final_record);
+  // Probe-log records accumulate for the whole shard, so each one is
+  // metered (and never released) against the governor's budget.
+  if (governor_ != nullptr) {
+    governor_->acquire(net::ResourceKind::kProbeRecords);
+  }
   log_.add(std::move(final_record));
+  drain_admission_queue();
+}
+
+void Gfw::drain_admission_queue() {
+  while (!admission_queue_.empty() && in_flight_ < config_.probe_queue_cap) {
+    const PendingProbe next = admission_queue_.front();
+    admission_queue_.pop_front();
+    launch_probe(next.server, next.type, next.payload_index);
+  }
+}
+
+std::vector<Gfw::ProbeShed> Gfw::probe_sheds() const {
+  std::vector<ProbeShed> out;
+  out.reserve(sheds_by_server_.size());
+  for (const auto& [server, count] : sheds_by_server_) {
+    ProbeShed shed;
+    shed.server = server;
+    const auto id_it = server_ids_.find(server);
+    if (id_it != server_ids_.end()) shed.server_id = id_it->second;
+    shed.region = blocking_.region_of(server);
+    shed.count = count;
+    out.push_back(std::move(shed));
+  }
+  return out;
 }
 
 void Gfw::handle_probe_result(net::Endpoint server, const ProbeRecord& record) {

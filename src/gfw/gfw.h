@@ -20,10 +20,12 @@
 //      server->client direction by port or by IP.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "gfw/blocking.h"
 #include "gfw/classifier.h"
@@ -49,6 +51,14 @@ struct GfwConfig {
   // Ablation arm: when false, stage-2 probes are sent unconditionally
   // alongside stage 1 (contradicting the observed gating).
   bool enable_staging = true;
+
+  // Bounded probe admission (resource governance): caps concurrent
+  // in-flight probes. A probe launched at the cap waits in a bounded
+  // FIFO admission queue (depth = the same cap) and is re-launched as
+  // in-flight probes finalize; a probe arriving with the queue also full
+  // is shed deterministically and counted per server/region. 0 (the
+  // default) leaves admission unbounded and the queue machinery inert.
+  std::size_t probe_queue_cap = 0;
 
   // The GFW's own probe timeout ("usually less than 10 seconds").
   net::Duration probe_timeout = net::seconds(8);
@@ -122,6 +132,29 @@ class Gfw : public net::Middlebox {
   std::size_t probe_connect_retries() const { return probe_connect_retries_; }
   std::size_t servers_in_stage2() const;
 
+  // ---- Resource governance -------------------------------------------------
+
+  // Attaches the shard's resource governor: every probe-log record is
+  // metered as one kProbeRecords unit. Null (the default) meters
+  // nothing. The governor must outlive the attachment.
+  void set_governor(net::ResourceGovernor* governor) { governor_ = governor; }
+
+  // Shed-policy observability (all zero when probe_queue_cap is 0).
+  // One per-server shed tally, attributed like a probe record.
+  struct ProbeShed {
+    net::Endpoint server;
+    std::uint16_t server_id = 0;
+    std::string region;
+    std::uint64_t count = 0;
+  };
+  // Probes dropped because both the in-flight cap and the admission
+  // queue were full.
+  std::uint64_t probes_shed() const { return probes_shed_; }
+  // Probes that waited in the admission queue before launching.
+  std::uint64_t probes_deferred() const { return probes_deferred_; }
+  // Per-server shed tallies in deterministic endpoint order.
+  std::vector<ProbeShed> probe_sheds() const;
+
  private:
   struct FlowState {
     net::Endpoint initiator;
@@ -162,11 +195,21 @@ class Gfw : public net::Middlebox {
     bool responded_with_data = false;
   };
 
+  // A probe waiting for an in-flight slot (probe_queue_cap > 0 only).
+  struct PendingProbe {
+    net::Endpoint server;
+    probesim::ProbeType type;
+    std::size_t payload_index;
+  };
+
   void schedule_stage1(net::Endpoint server, std::size_t payload_index);
   void schedule_probe(net::Endpoint server, probesim::ProbeType type,
                       net::Duration delay, std::size_t payload_index);
   void launch_probe(net::Endpoint server, probesim::ProbeType type,
                     std::size_t payload_index);
+  // Re-launches queued probes while in-flight capacity allows (FIFO, so
+  // the drain order is a pure function of the shard's event sequence).
+  void drain_admission_queue();
   void start_probe_connection(const std::shared_ptr<ProbeAttempt>& attempt);
   void finalize_probe(const std::shared_ptr<ProbeAttempt>& attempt);
   void enter_stage2(net::Endpoint server);
@@ -190,6 +233,14 @@ class Gfw : public net::Middlebox {
   std::size_t flows_flagged_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t probe_connect_retries_ = 0;
+
+  // Resource governance (inert while governor_ is null and
+  // probe_queue_cap is 0).
+  net::ResourceGovernor* governor_ = nullptr;
+  std::deque<PendingProbe> admission_queue_;
+  std::uint64_t probes_shed_ = 0;
+  std::uint64_t probes_deferred_ = 0;
+  std::map<net::Endpoint, std::uint64_t> sheds_by_server_;
 };
 
 }  // namespace gfwsim::gfw

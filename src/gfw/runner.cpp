@@ -99,6 +99,40 @@ std::vector<ServerStats> CampaignResult::fleet_totals() const {
   return totals;
 }
 
+std::uint64_t CampaignResult::probes_shed() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards) n += shard.resources.probes_shed;
+  return n;
+}
+
+std::uint64_t CampaignResult::probes_deferred() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards) n += shard.resources.probes_deferred;
+  return n;
+}
+
+std::uint64_t CampaignResult::queue_overflow_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards) n += shard.resources.queue_overflow_drops;
+  return n;
+}
+
+std::uint64_t CampaignResult::peak_metered_bytes() const {
+  std::uint64_t peak = 0;
+  for (const auto& shard : shards) {
+    peak = std::max(peak, shard.resources.peak_metered_bytes);
+  }
+  return peak;
+}
+
+std::size_t CampaignResult::resource_failures() const {
+  std::size_t n = 0;
+  for (const auto& failure : failures) {
+    if (failure.kind == FailureKind::kResource) ++n;
+  }
+  return n;
+}
+
 std::size_t CampaignResult::shards_quarantined() const {
   std::size_t n = 0;
   for (const auto& failure : failures) {
@@ -190,12 +224,41 @@ ShardAttemptOutcome run_shard_attempt(const Scenario& scenario, std::uint32_t sh
     summary.probes = world->log().size();
     summary.blocking_history = world->gfw().blocking().history();
     summary.servers = world->server_stats();
+    // Resource verdict: all-zero (and skipped by the checkpoint writer)
+    // when Scenario::resources left the governor disarmed.
+    summary.resources.probes_shed = world->gfw().probes_shed();
+    summary.resources.probes_deferred = world->gfw().probes_deferred();
+    summary.resources.queue_overflow_drops =
+        world->network().segments_dropped_queue();
+    summary.resources.peak_metered_bytes = world->governor().peak_bytes();
+    summary.resources.acquisitions = world->governor().acquisitions();
+    for (std::size_t kind = 0; kind < net::kResourceKindCount; ++kind) {
+      summary.resources.peak_units[kind] =
+          world->governor().peak(static_cast<net::ResourceKind>(kind));
+    }
+    for (const Gfw::ProbeShed& shed : world->gfw().probe_sheds()) {
+      summary.resources.sheds.push_back(
+          ShedRecord{shed.server_id, shed.region, shed.count});
+    }
     out.log = world->log();
     out.ok = true;
   } catch (const net::LoopAborted& aborted) {
     out.failure.kind = FailureKind::kStall;
     out.failure.phase = phase;
     out.failure.what = aborted.what();
+  } catch (const net::ResourceExhausted& exhausted) {
+    // Governor budget breach or injected exhaustion: seed-deterministic,
+    // so the normal retry/signature comparison applies.
+    out.failure.kind = FailureKind::kResource;
+    out.failure.phase = phase;
+    out.failure.what = exhausted.what();
+  } catch (const std::bad_alloc&) {
+    // The allocator itself refused — RLIMIT_AS or a true OOM. Attributed
+    // as resource exhaustion rather than a generic exception so the
+    // campaign verdict separates "out of budget" from logic bugs.
+    out.failure.kind = FailureKind::kResource;
+    out.failure.phase = phase;
+    out.failure.what = "std::bad_alloc (allocation refused: RLIMIT_AS/OOM)";
   } catch (const std::exception& error) {
     out.failure.kind = FailureKind::kException;
     out.failure.phase = phase;

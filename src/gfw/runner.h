@@ -20,6 +20,7 @@
 // one.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -30,6 +31,7 @@
 
 #include "gfw/supervisor.h"
 #include "gfw/world.h"
+#include "net/resources.h"
 
 namespace gfwsim::gfw {
 
@@ -38,6 +40,43 @@ namespace gfwsim::gfw {
 // state, so distinct shards can never share a seed for a given base, and
 // the xoshiro256** generators they seed start in uncorrelated states.
 std::uint64_t shard_seed(std::uint64_t base_seed, std::uint32_t shard_index);
+
+// One server's probe-shed tally inside a ShardResources verdict: probes
+// the GFW's bounded admission queue refused outright because both the
+// in-flight window and the deferral queue were full.
+struct ShedRecord {
+  std::uint16_t server_id = 0;
+  std::string region;
+  std::uint64_t count = 0;
+};
+
+// Resource-governance verdict for one shard (net/resources.h +
+// Gfw admission queue + Network queue caps). All-zero whenever
+// Scenario::resources is disarmed, and journaled as its own checkpoint
+// frame (kind 4, written only when any() — see gfw/checkpoint.h) so the
+// pinned kind-1/kind-2 shard payloads stay byte-identical.
+struct ShardResources {
+  std::uint64_t probes_shed = 0;      // admission-queue overflow, dropped
+  std::uint64_t probes_deferred = 0;  // parked in the queue, later launched
+  std::uint64_t queue_overflow_drops = 0;  // DropCause::kQueueOverflow
+  std::uint64_t peak_metered_bytes = 0;    // governor peak_bytes()
+  std::uint64_t acquisitions = 0;          // governor acquisitions()
+  // Governor per-kind peaks, indexed by net::ResourceKind.
+  std::array<std::uint64_t, net::kResourceKindCount> peak_units{};
+  // Per-server shed breakdown, in server-id order.
+  std::vector<ShedRecord> sheds;
+
+  bool any() const {
+    if (probes_shed != 0 || probes_deferred != 0 || queue_overflow_drops != 0 ||
+        peak_metered_bytes != 0 || acquisitions != 0 || !sheds.empty()) {
+      return true;
+    }
+    for (std::uint64_t peak : peak_units) {
+      if (peak != 0) return true;
+    }
+    return false;
+  }
+};
 
 // What one finished shard contributes beyond its ProbeLog.
 struct ShardSummary {
@@ -83,6 +122,10 @@ struct ShardSummary {
   // empty for single-server scenarios. Fleet shards are journaled with
   // the extended checkpoint frame; legacy shards keep format version 1.
   std::vector<ServerStats> servers;
+
+  // Resource-governance verdict; all-zero (and absent from the journal)
+  // unless the scenario armed Scenario::resources.
+  ShardResources resources;
 };
 
 // Shard-ordered merge of a whole campaign. `shards` holds the SURVIVING
@@ -95,6 +138,12 @@ struct CampaignResult {
   // shards (retries exhausted, excluded from the merge) plus recovered
   // ones (a retry succeeded; flagged nondeterministic, results merged).
   std::vector<ShardFailure> failures;
+  // Worker IO degradation totals, summed from the kind-5 journal frames
+  // of a distributed run (gfw/checkpoint.h); always zero under the
+  // in-process runners and on clean distributed runs.
+  std::uint64_t worker_heartbeats_dropped = 0;
+  std::uint64_t worker_heartbeat_retries = 0;
+  std::uint64_t worker_journal_retries = 0;
   // An operator interrupt (ShardedRunnerOptions::interrupt /
   // DistRunnerOptions::interrupt) stopped the campaign early: the merge
   // covers only the shards that finished before the signal. With a
@@ -118,6 +167,17 @@ struct CampaignResult {
   // campaigns; empty when the scenario had no fleet). Counter fields sum;
   // descriptive fields come from the first shard that saw the server.
   std::vector<ServerStats> fleet_totals() const;
+  // Resource-governance rollups across surviving shards (all zero when
+  // Scenario::resources was disarmed).
+  std::uint64_t probes_shed() const;
+  std::uint64_t probes_deferred() const;
+  std::uint64_t queue_overflow_drops() const;
+  // Largest peak_metered_bytes across surviving shards (peaks are
+  // per-shard high-water marks, so the campaign verdict takes the max).
+  std::uint64_t peak_metered_bytes() const;
+  // Shards that failed with FailureKind::kResource (quarantined or
+  // recovered): budget breaches, injected exhaustion, rlimit deaths.
+  std::size_t resource_failures() const;
   // Shards excluded from the merge after exhausting retries.
   std::size_t shards_quarantined() const;
   // True iff every shard's results made it into the merge.

@@ -21,6 +21,7 @@
 #include "client/traffic_spec.h"
 #include "defense/brdgrd.h"
 #include "gfw/gfw.h"
+#include "net/resources.h"
 #include "probesim/probesim.h"
 
 namespace gfwsim::gfw {
@@ -71,6 +72,28 @@ struct Scenario {
   bool server_inside_china = false;
 
   GfwConfig gfw;  // is_domestic is filled in by the world factory
+
+  // Resource governance (net/resources.h): per-shard budgets on the
+  // metered hot allocators, deterministic exhaustion injection, bounded
+  // probe admission, and per-path delivery-queue caps. All zeros — the
+  // default — keep the governor provably inert: no metering, no RNG
+  // stream, bit-identical transcripts and checkpoints. Each shard's
+  // injection stream derives from its shard seed ^ 0xB0D6, so breaches
+  // replay identically for any thread or worker count.
+  struct ResourceConfig {
+    net::ResourceLimits limits;
+    // Concurrent in-flight probe cap + admission-queue depth
+    // (GfwConfig::probe_queue_cap); 0 = unbounded.
+    std::size_t probe_queue_cap = 0;
+    // Per-directed-path in-flight segment cap (Network::set_queue_cap);
+    // overflow drops count under DropCause::kQueueOverflow. 0 = off.
+    std::size_t path_queue_cap = 0;
+
+    bool enabled() const {
+      return limits.enabled() || probe_queue_cap != 0 || path_queue_cap != 0;
+    }
+  };
+  ResourceConfig resources;
 
   // Path impairment applied to every directed path of the mesh (all
   // zeros, the default, keeps the network ideal and the fault layer

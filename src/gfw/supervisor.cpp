@@ -20,6 +20,7 @@ const char* failure_kind_name(FailureKind kind) {
     case FailureKind::kStall: return "stall";
     case FailureKind::kCrash: return "crash";
     case FailureKind::kExit: return "exit";
+    case FailureKind::kResource: return "resource";
   }
   return "?";
 }

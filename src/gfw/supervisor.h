@@ -43,8 +43,17 @@ enum class FailureKind {
   // in flight. They carry no (phase, kind, what) signature comparison —
   // an external SIGKILL or an OOM kill says nothing about determinism —
   // so they never set `nondeterministic`.
-  kCrash,  // the worker died on a signal (segfault, SIGKILL, OOM kill)
+  kCrash,  // the worker died on a signal (segfault, unattributed SIGKILL)
   kExit,   // the worker exited with a nonzero status
+  // Resource exhaustion, attributed deterministically where possible: a
+  // ResourceGovernor budget breach or injected failure
+  // (net::ResourceExhausted), a std::bad_alloc (allocation refused under
+  // RLIMIT_AS or a true OOM), or a worker killed by SIGXCPU / OOM-killed
+  // under a configured RLIMIT_AS (waitpid attribution in the distributed
+  // coordinator). Governor breaches are seed-deterministic and follow the
+  // normal retry/signature rules; the process-level attributions, like
+  // kCrash/kExit, never set `nondeterministic`.
+  kResource,
 };
 
 const char* shard_phase_name(ShardPhase phase);

@@ -83,6 +83,19 @@ void World::build() {
   net_.set_default_faults(scenario_.faults);
   net_.set_arq(scenario_.arq);
 
+  // Resource governance. Armed only when the scenario configures it:
+  // the default all-zero ResourceConfig attaches nothing, meters
+  // nothing, and seeds no stream — the governed build is bit-identical
+  // to an ungoverned one (golden-transcript tested). The injection
+  // stream derives from the shard seed like the fault streams do.
+  if (scenario_.resources.enabled()) {
+    governor_.configure(scenario_.resources.limits,
+                        seed_ ^ net::ResourceGovernor::kSeedSalt);
+    loop_.set_governor(&governor_);
+    net_.set_governor(&governor_);
+    net_.set_queue_cap(scenario_.resources.path_queue_cap);
+  }
+
   internet_.add_site("www.wikipedia.org", servers::fixed_http_responder(4096));
   internet_.add_site("example.com", servers::fixed_http_responder(1024));
   internet_.add_site("gfw.report", servers::fixed_http_responder(2048));
@@ -151,7 +164,11 @@ void World::build() {
   GfwConfig gfw_config = scenario_.gfw;
   if (!gfw_config.is_domestic) gfw_config.is_domestic = default_is_domestic;
   gfw_config.classifier.base_rate = scenario_.classifier_base_rate;
+  if (scenario_.resources.probe_queue_cap != 0) {
+    gfw_config.probe_queue_cap = scenario_.resources.probe_queue_cap;
+  }
   gfw_ = std::make_unique<Gfw>(net_, std::move(gfw_config), seed_ ^ 0x6f3);
+  if (scenario_.resources.enabled()) gfw_->set_governor(&governor_);
   net_.add_middlebox(gfw_.get());
   if (explicit_fleet) {
     for (std::size_t i = 0; i < rigs_.size(); ++i) {

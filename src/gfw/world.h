@@ -118,6 +118,10 @@ class World {
   // tests assert `.clean()` after run(). Scans without running the loop.
   net::TeardownReport teardown_report() { return net_.teardown_report(); }
 
+  // The shard's resource governor (inert unless scenario.resources arms
+  // it); peaks/breaches are harvested into ShardSummary::resources.
+  const net::ResourceGovernor& governor() const { return governor_; }
+
   // Which retry attempt this World is (0 = first). Consulted by the
   // scenario's debug_fail_shard injection so tests can model transient
   // failures that a retry clears; set by ShardedRunner before run().
@@ -158,6 +162,11 @@ class World {
   std::unique_ptr<client::TrafficModel> compat_traffic_;  // compat ctor only
   std::uint64_t seed_;
   std::uint32_t shard_index_ = 0;
+
+  // Declared before the loop/network/GFW so it outlives them: teardown
+  // paths (timer frees, connection deregistration) release metered units
+  // through this governor while those members destruct.
+  net::ResourceGovernor governor_;
 
   net::EventLoop loop_;
   net::Network net_{loop_};

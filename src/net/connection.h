@@ -113,6 +113,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void handle_ack(std::uint32_t ack_seq);
   bool note_received_seq(std::uint32_t seq);  // false if a duplicate
   void fail();                                // on_timeout-style failure
+  // Returns `count` metered kArqEntries units to the network's resource
+  // governor (no-op without one); paired with the acquire at insert time.
+  void release_arq_entries(std::size_t count);
 
   Network* net_ = nullptr;
   // Expires when net_ is destroyed; guards the deregistration in

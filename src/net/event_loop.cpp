@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "net/resources.h"
+
 namespace gfwsim::net {
 
 namespace {
@@ -28,6 +30,7 @@ std::uint32_t EventLoop::alloc_node() {
 }
 
 void EventLoop::free_node(std::uint32_t index) {
+  if (governor_ != nullptr) governor_->release(ResourceKind::kTimerNodes);
   Node& node = slab_[index];
   node.cb.reset();
   ++node.gen;  // every outstanding TimerId for this slot goes stale
@@ -121,6 +124,9 @@ void EventLoop::advance_to(std::int64_t t) {
 TimerId EventLoop::schedule_at(TimePoint when, Callback fn) {
   std::int64_t at = when.count();
   if (at < now_ns_) at = now_ns_;  // never schedule into the past
+  // Metered before the node exists, so a budget breach leaves the slab
+  // and free list untouched (the matching release happens in free_node).
+  if (governor_ != nullptr) governor_->acquire(ResourceKind::kTimerNodes);
   const std::uint32_t index = alloc_node();
   Node& node = slab_[index];
   node.when = at;

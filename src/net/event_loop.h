@@ -33,6 +33,8 @@
 
 namespace gfwsim::net {
 
+class ResourceGovernor;
+
 using TimerId = std::uint64_t;
 
 // Shared-memory heartbeat between an EventLoop and a supervisor thread
@@ -97,6 +99,13 @@ class EventLoop {
   // Attaches (or detaches, with nullptr) the supervision heartbeat. The
   // LoopProgress must outlive the attachment.
   void set_progress(LoopProgress* progress) { progress_ = progress; }
+
+  // Attaches the shard's resource governor: every live timer node is
+  // metered as one kTimerNodes unit (net/resources.h), so a timer storm
+  // breaches the budget deterministically instead of growing the slab
+  // unbounded. Null (the default) meters nothing. The governor must
+  // outlive the attachment.
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
   // True once the attached watcher has asked this loop to stop; false
   // when no progress is attached. Long-running callbacks may poll this
   // to bail out cooperatively before the between-events check throws.
@@ -140,6 +149,7 @@ class EventLoop {
   void note_progress();
 
   LoopProgress* progress_ = nullptr;
+  ResourceGovernor* governor_ = nullptr;
   std::int64_t now_ns_ = 0;
   std::uint64_t events_processed_ = 0;
   std::size_t live_ = 0;

@@ -26,10 +26,11 @@ namespace gfwsim::net {
 // Why a segment never arrived (or how it was perturbed); recorded in the
 // tap's SegmentRecord and tallied per cause by the Network.
 enum class DropCause : std::uint8_t {
-  kNone = 0,       // delivered
-  kMiddlebox = 1,  // eaten on path (GFW null-routing)
-  kLoss = 2,       // random loss drawn from the fault profile
-  kOutage = 3,     // the link was down (scheduled outage or flap)
+  kNone = 0,           // delivered
+  kMiddlebox = 1,      // eaten on path (GFW null-routing)
+  kLoss = 2,           // random loss drawn from the fault profile
+  kOutage = 3,         // the link was down (scheduled outage or flap)
+  kQueueOverflow = 4,  // the path's in-flight queue cap was full
 };
 
 struct LinkOutage {

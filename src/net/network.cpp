@@ -36,7 +36,17 @@ Connection::~Connection() {
   // Drop this connection's registry entry so the table never holds
   // expired weak_ptrs (and the ephemeral-port usage count stays exact).
   // Skipped when the Network died first.
-  if (!net_alive_.expired()) net_->connection_destroyed(*this);
+  if (!net_alive_.expired()) {
+    release_arq_entries(unacked_.size());
+    net_->connection_destroyed(*this);
+  }
+}
+
+void Connection::release_arq_entries(std::size_t count) {
+  if (count == 0 || net_ == nullptr || net_alive_.expired()) return;
+  if (ResourceGovernor* governor = net_->governor()) {
+    governor->release(ResourceKind::kArqEntries, count);
+  }
 }
 
 void Connection::send(ByteSpan data) {
@@ -68,6 +78,7 @@ void Connection::close() {
         loop().cancel(rto_timer_);
         rto_timer_ = 0;
       }
+      release_arq_entries(unacked_.size());
       unacked_.clear();
       state_ = State::kFinSent;
       net_->transmit(*this, TcpFlag::kFin | TcpFlag::kAck, {});
@@ -177,6 +188,7 @@ void Connection::cancel_arq_timers() {
 
 void Connection::handle_ack(std::uint32_t ack_seq) {
   if (!unacked_.erase(ack_seq)) return;  // duplicate or stale ACK
+  release_arq_entries(1);
   if (unacked_.empty()) {
     rto_retries_ = 0;
     if (rto_timer_ != 0) {
@@ -347,6 +359,9 @@ void Network::register_connection(const std::shared_ptr<Connection>& conn) {
   conn->net_alive_ = alive_;
   if (connections_.insert_or_assign(flow_key(conn->local_, conn->remote_),
                                     std::weak_ptr<Connection>(conn))) {
+    // Each new registry entry is one metered map slot; the matching
+    // release happens in erase_registration.
+    if (governor_ != nullptr) governor_->acquire(ResourceKind::kMapSlots);
     ++*port_use_.try_emplace(pack_endpoint(conn->local_)).first;
   }
 }
@@ -368,6 +383,7 @@ void Network::connection_destroyed(const Connection& conn) {
 
 void Network::erase_registration(const FlowKey& key, std::uint64_t packed_local) {
   if (!connections_.erase(key)) return;
+  if (governor_ != nullptr) governor_->release(ResourceKind::kMapSlots);
   if (std::uint32_t* count = port_use_.find(packed_local)) {
     if (--*count == 0) port_use_.erase(packed_local);
   }
@@ -388,6 +404,7 @@ void Network::transmit(Connection& from, std::uint8_t flags, PayloadRef payload,
   segment.ack_seq = meta.ack_seq;
   segment.retransmission = meta.retransmission;
   if (from.arq_ && segment.seq != 0 && segment.is_data() && !meta.retransmission) {
+    if (governor_ != nullptr) governor_->acquire(ResourceKind::kArqEntries);
     from.unacked_.insert(segment.seq, segment);  // retransmit buffer copy
     from.arm_rto_timer();
   }
@@ -426,6 +443,20 @@ void Network::route_copy(Segment segment, bool duplicate) {
     ++dropped_middlebox_;
     tap_drop(DropCause::kMiddlebox);
     return;
+  }
+
+  // Per-path queue cap: a full path sheds the segment before the fault
+  // layer, so a capped path consumes no fault draws for shed traffic.
+  // With no cap configured the table is never touched.
+  std::uint64_t path_key = 0;
+  if (queue_cap_ != 0) {
+    path_key = pack_directed(segment.src.addr, segment.dst.addr);
+    const std::uint32_t* in_flight = path_in_flight_.find(path_key);
+    if (in_flight != nullptr && *in_flight >= queue_cap_) {
+      ++dropped_queue_;
+      tap_drop(DropCause::kQueueOverflow);
+      return;
+    }
   }
 
   // Fault layer. Draw order per surviving segment is fixed (loss, then
@@ -476,9 +507,24 @@ void Network::route_copy(Segment segment, bool duplicate) {
   Segment dup_copy;
   if (make_dup) dup_copy = segment;
 
+  // Metered as in-flight payload bytes until the delivery fires; a
+  // breach here aborts the shard before the delivery is scheduled.
+  if (governor_ != nullptr && segment.payload.size() != 0) {
+    governor_->acquire(ResourceKind::kPayloadBytes, segment.payload.size());
+  }
+  if (queue_cap_ != 0) ++*path_in_flight_.try_emplace(path_key).first;
   ++segments_in_flight_;
   loop_.schedule_at(arrive_at, [this, seg = std::move(segment)] {
     --segments_in_flight_;
+    if (queue_cap_ != 0) {
+      if (std::uint32_t* in_flight = path_in_flight_.find(
+              pack_directed(seg.src.addr, seg.dst.addr))) {
+        if (*in_flight > 0) --*in_flight;
+      }
+    }
+    if (governor_ != nullptr && seg.payload.size() != 0) {
+      governor_->release(ResourceKind::kPayloadBytes, seg.payload.size());
+    }
     ++segments_delivered_;
     deliver(seg);
   });

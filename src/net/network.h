@@ -39,6 +39,7 @@
 #include "net/event_loop.h"
 #include "net/fault.h"
 #include "net/flat_hash.h"
+#include "net/resources.h"
 #include "net/segment.h"
 
 namespace gfwsim::net {
@@ -178,6 +179,23 @@ class Network {
   const FaultProfile& faults_for(Ipv4 src, Ipv4 dst) const;
   bool faults_enabled() const { return any_faults_; }
 
+  // ---- Resource governance -------------------------------------------------
+
+  // Attaches the shard's resource governor (net/resources.h): in-flight
+  // payload bytes, connection-registry slots, and ARQ retransmit-buffer
+  // entries are metered against its budgets. Null (the default) meters
+  // nothing. The governor must outlive the attachment.
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+  ResourceGovernor* governor() const { return governor_; }
+
+  // Caps the number of segments simultaneously in flight on each
+  // directed (src, dst) path; a segment routed to a full path is dropped
+  // with DropCause::kQueueOverflow. 0 (the default) leaves every path
+  // unbounded and maintains no per-path state at all, so ungoverned runs
+  // are bit-identical to builds without the cap.
+  void set_queue_cap(std::size_t cap) { queue_cap_ = cap; }
+  std::size_t queue_cap() const { return queue_cap_; }
+
   // ARQ switches on automatically when any fault profile is enabled (an
   // impaired network without retransmission strands every endpoint);
   // force_arq overrides that coupling in either direction for tests.
@@ -191,11 +209,12 @@ class Network {
   std::size_t segments_transmitted() const { return segments_transmitted_; }
   // All causes; see the per-cause accessors for the split.
   std::size_t segments_dropped() const {
-    return dropped_middlebox_ + dropped_loss_ + dropped_outage_;
+    return dropped_middlebox_ + dropped_loss_ + dropped_outage_ + dropped_queue_;
   }
   std::size_t segments_dropped_middlebox() const { return dropped_middlebox_; }
   std::size_t segments_dropped_loss() const { return dropped_loss_; }
   std::size_t segments_dropped_outage() const { return dropped_outage_; }
+  std::size_t segments_dropped_queue() const { return dropped_queue_; }
   std::size_t segments_delivered() const { return segments_delivered_; }
   std::size_t segments_duplicated() const { return segments_duplicated_; }
   std::size_t segments_reordered() const { return segments_reordered_; }
@@ -302,11 +321,19 @@ class Network {
   ArqConfig arq_config_;
   std::optional<bool> arq_forced_;
 
+  // Resource governance: optional governor plus the per-path in-flight
+  // counts backing the queue cap (allocated lazily, and only when a cap
+  // is set — capless runs never touch the table).
+  ResourceGovernor* governor_ = nullptr;
+  std::size_t queue_cap_ = 0;
+  FlatHashMap<std::uint64_t, std::uint32_t> path_in_flight_;  // directed pair
+
   std::size_t segments_transmitted_ = 0;
   std::size_t segments_delivered_ = 0;
   std::size_t dropped_middlebox_ = 0;
   std::size_t dropped_loss_ = 0;
   std::size_t dropped_outage_ = 0;
+  std::size_t dropped_queue_ = 0;
   std::size_t segments_duplicated_ = 0;
   std::size_t segments_reordered_ = 0;
   std::size_t segments_in_flight_ = 0;

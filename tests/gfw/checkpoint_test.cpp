@@ -598,6 +598,233 @@ TEST(Checkpoint, Version1FilesAreRejectedWithAClearMessage) {
   std::remove(path.c_str());
 }
 
+// --- Resource-governance frames (kinds 3 with kResource, 4, 5) --------
+
+// A fully-populated resource verdict: every counter nonzero and two shed
+// records (one with a region, one without) so field drops move the bytes.
+gfw::ShardResources make_resources() {
+  gfw::ShardResources r;
+  r.probes_shed = 7;
+  r.probes_deferred = 11;
+  r.queue_overflow_drops = 23;
+  r.peak_metered_bytes = 1 << 20;
+  r.acquisitions = 4242;
+  for (std::size_t kind = 0; kind < net::kResourceKindCount; ++kind) {
+    r.peak_units[kind] = 100 + kind;
+  }
+  gfw::ShedRecord beijing;
+  beijing.server_id = 3;
+  beijing.region = "beijing";
+  beijing.count = 5;
+  r.sheds.push_back(beijing);
+  gfw::ShedRecord bare;
+  bare.server_id = 0;
+  bare.count = 2;
+  r.sheds.push_back(bare);
+  return r;
+}
+
+TEST(Checkpoint, ResourceFailureKindRoundTripsThroughTheVerdictFrame) {
+  // A budget breach is journaled as an ordinary kind-3 verdict with the
+  // new kResource kind — old journals' kinds are untouched, so the
+  // failure golden digest above still pins the codec.
+  gfw::ShardFailure failure = make_failure();
+  failure.kind = gfw::FailureKind::kResource;
+  failure.what = "resource budget exhausted: payload bytes";
+  const Bytes bytes = gfw::serialize_failure(failure);
+  const gfw::ShardFailure parsed = gfw::parse_failure(bytes);
+  EXPECT_EQ(gfw::serialize_failure(parsed), bytes);
+  EXPECT_EQ(parsed.kind, gfw::FailureKind::kResource);
+  EXPECT_EQ(parsed.what, failure.what);
+
+  const std::string path = temp_path("resource_failure.ckpt");
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/false);
+    writer.append_failure(failure);
+  }
+  const gfw::Checkpoint loaded = gfw::load_checkpoint(path);
+  ASSERT_EQ(loaded.failures.size(), 1u);
+  EXPECT_EQ(loaded.failures[0].kind, gfw::FailureKind::kResource);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, UnknownFailureKindIsAStructuredRejection) {
+  // A journal from a future writer with a failure kind this reader does
+  // not know must fail loudly (the verdict drives retry/quarantine
+  // decisions — guessing would be worse than refusing).
+  Bytes bytes = gfw::serialize_failure(make_failure());
+  // Layout: u32 shard_index, u64 seed, u8 phase, u8 kind.
+  const std::size_t kind_offset = 4 + 8 + 1;
+  bytes[kind_offset] =
+      static_cast<std::uint8_t>(gfw::FailureKind::kResource) + 1;
+  try {
+    gfw::parse_failure(bytes);
+    FAIL() << "unknown failure kind parsed without error";
+  } catch (const gfw::CheckpointError& error) {
+    EXPECT_NE(std::string(error.what()).find("unknown kind"),
+              std::string::npos);
+  }
+}
+
+TEST(Checkpoint, ResourceFrameRoundTripsByteIdentically) {
+  const gfw::ShardResources resources = make_resources();
+  EXPECT_TRUE(resources.any());
+  EXPECT_FALSE(gfw::ShardResources{}.any());
+
+  const Bytes bytes = gfw::serialize_resources(9, resources);
+  const gfw::ResourceFrame parsed = gfw::parse_resources(bytes);
+  EXPECT_EQ(gfw::serialize_resources(parsed.shard_index, parsed.resources),
+            bytes);  // serialize ∘ parse == identity on bytes
+
+  EXPECT_EQ(parsed.shard_index, 9u);
+  EXPECT_EQ(parsed.resources.probes_shed, 7u);
+  EXPECT_EQ(parsed.resources.probes_deferred, 11u);
+  EXPECT_EQ(parsed.resources.queue_overflow_drops, 23u);
+  EXPECT_EQ(parsed.resources.peak_metered_bytes, 1u << 20);
+  EXPECT_EQ(parsed.resources.acquisitions, 4242u);
+  EXPECT_EQ(parsed.resources.peak_units[net::kResourceKindCount - 1],
+            100u + net::kResourceKindCount - 1);
+  ASSERT_EQ(parsed.resources.sheds.size(), 2u);
+  EXPECT_EQ(parsed.resources.sheds[0].region, "beijing");
+  EXPECT_EQ(parsed.resources.sheds[0].count, 5u);
+  EXPECT_EQ(parsed.resources.sheds[1].server_id, 0u);
+  EXPECT_TRUE(parsed.resources.sheds[1].region.empty());
+}
+
+TEST(Checkpoint, WorkerIoFrameRoundTripsByteIdentically) {
+  gfw::WorkerIoStats io;
+  io.worker_id = 2;
+  io.heartbeats_dropped = 3;
+  io.heartbeat_retries = 19;
+  io.journal_retries = 1;
+  EXPECT_TRUE(io.any());
+  EXPECT_FALSE(gfw::WorkerIoStats{}.any());
+
+  const Bytes bytes = gfw::serialize_worker_io(io);
+  const gfw::WorkerIoStats parsed = gfw::parse_worker_io(bytes);
+  EXPECT_EQ(gfw::serialize_worker_io(parsed), bytes);
+  EXPECT_EQ(parsed.worker_id, 2u);
+  EXPECT_EQ(parsed.heartbeats_dropped, 3u);
+  EXPECT_EQ(parsed.heartbeat_retries, 19u);
+  EXPECT_EQ(parsed.journal_retries, 1u);
+}
+
+TEST(Checkpoint, ResourceVerdictsJournalAndReattachThroughTheFile) {
+  // A shard that shed probes under an armed governor gets a kind-4 frame
+  // right after its shard frame; load re-attaches it. A shard with a
+  // zero verdict writes no extra frame at all, so zero-budget journals
+  // stay byte-identical to pre-governor ones.
+  const std::string path_armed = temp_path("resources_armed.ckpt");
+  const std::string path_zero_a = temp_path("resources_zero_a.ckpt");
+  const std::string path_zero_b = temp_path("resources_zero_b.ckpt");
+  {
+    gfw::CheckpointWriter writer(path_armed, make_header(), /*append=*/false);
+    gfw::ShardSummary shed = make_summary();
+    shed.resources = make_resources();
+    writer.append_shard(shed, make_log());
+    gfw::ShardSummary quiet = make_summary();
+    quiet.shard_index = 0;
+    writer.append_shard(quiet, make_log());  // no kind-4 frame
+    writer.append_worker_io(gfw::WorkerIoStats{1, 0, 4, 1});
+  }
+  const gfw::Checkpoint loaded = gfw::load_checkpoint(path_armed);
+  ASSERT_EQ(loaded.shards.size(), 2u);
+  const gfw::ShardResources& attached = loaded.shards.at(3).summary.resources;
+  EXPECT_TRUE(attached.any());
+  EXPECT_EQ(attached.probes_shed, 7u);
+  ASSERT_EQ(attached.sheds.size(), 2u);
+  EXPECT_EQ(attached.sheds[0].region, "beijing");
+  EXPECT_FALSE(loaded.shards.at(0).summary.resources.any());
+  ASSERT_EQ(loaded.worker_io.size(), 1u);
+  EXPECT_EQ(loaded.worker_io[0].heartbeat_retries, 4u);
+
+  // Inertness at the byte level: writing the same shard with and without
+  // a (zero) resources field produces identical files.
+  {
+    gfw::CheckpointWriter writer(path_zero_a, make_header(), /*append=*/false);
+    writer.append_shard(make_summary(), make_log());
+  }
+  {
+    gfw::CheckpointWriter writer(path_zero_b, make_header(), /*append=*/false);
+    gfw::ShardSummary zeroed = make_summary();
+    zeroed.resources = gfw::ShardResources{};
+    writer.append_shard(zeroed, make_log());
+  }
+  EXPECT_EQ(read_file(path_zero_a), read_file(path_zero_b));
+  std::remove(path_armed.c_str());
+  std::remove(path_zero_a.c_str());
+  std::remove(path_zero_b.c_str());
+}
+
+TEST(Checkpoint, ResourceBitFlipCorpusNeverEscapesTheStructuredError) {
+  // Same hostile-input contract as the three original frame kinds, now
+  // over a journal that also carries kind-4 and kind-5 frames and a
+  // kResource verdict.
+  const std::string path = temp_path("resource_bitflip.ckpt");
+  {
+    gfw::CheckpointWriter writer(path, make_header(), /*append=*/false);
+    gfw::ShardSummary shed = make_summary();
+    shed.resources = make_resources();
+    writer.append_shard(shed, make_log());
+    gfw::ShardFailure breach = make_failure();
+    breach.kind = gfw::FailureKind::kResource;
+    writer.append_failure(breach);
+    writer.append_worker_io(gfw::WorkerIoStats{0, 1, 2, 3});
+  }
+  const Bytes pristine = read_file(path);
+  ASSERT_GT(pristine.size(), 32u);
+
+  std::size_t loads_ok = 0, structured_errors = 0;
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = pristine;
+      mutated[byte] = static_cast<std::uint8_t>(mutated[byte] ^ (1u << bit));
+      write_file(path, mutated);
+      try {
+        (void)gfw::load_checkpoint(path);
+        ++loads_ok;
+      } catch (const gfw::CheckpointError&) {
+        ++structured_errors;
+      }
+    }
+  }
+  EXPECT_GT(loads_ok, 0u);
+  EXPECT_GT(structured_errors, 0u);
+
+  for (std::size_t len = 0; len < pristine.size(); ++len) {
+    write_file(path, ByteSpan(pristine.data(), len));
+    try {
+      (void)gfw::load_checkpoint(path);
+    } catch (const gfw::CheckpointError&) {
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FingerprintCoversResourceBudgets) {
+  // Arming the governor reshapes the campaign, so a resumed journal from
+  // an unarmed run must not merge into a budgeted one (and vice versa).
+  // Disarmed budgets mix nothing: old fingerprints are preserved.
+  gfw::Scenario base = small_fleet_scenario();
+  gfw::Scenario zeroed = base;
+  zeroed.resources = gfw::Scenario::ResourceConfig{};
+  EXPECT_EQ(gfw::scenario_fingerprint(base), gfw::scenario_fingerprint(zeroed));
+
+  gfw::Scenario budgeted = base;
+  budgeted.resources.limits.total_bytes = 1 << 20;
+  EXPECT_NE(gfw::scenario_fingerprint(base),
+            gfw::scenario_fingerprint(budgeted));
+  gfw::Scenario capped = base;
+  capped.resources.probe_queue_cap = 4;
+  EXPECT_NE(gfw::scenario_fingerprint(base), gfw::scenario_fingerprint(capped));
+  EXPECT_NE(gfw::scenario_fingerprint(budgeted),
+            gfw::scenario_fingerprint(capped));
+  gfw::Scenario fail_at = budgeted;
+  fail_at.resources.limits.fail_at_acquisition = 1000;
+  EXPECT_NE(gfw::scenario_fingerprint(budgeted),
+            gfw::scenario_fingerprint(fail_at));
+}
+
 TEST(Checkpoint, AppendingAForeignCampaignIsRejected) {
   const std::string path = temp_path("foreign.ckpt");
   {

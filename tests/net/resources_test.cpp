@@ -1,0 +1,180 @@
+// ResourceGovernor semantics: inert when disarmed (a single branch, no
+// counters, no RNG), deterministic when armed. Budget breaches, unit
+// caps, and both injection modes (exact-Nth and probability-stream) must
+// be pure functions of the configured limits and seed — these are the
+// properties that let a campaign under exhaustion reproduce
+// bit-identically across thread and worker counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "net/resources.h"
+
+namespace gfwsim::net {
+namespace {
+
+TEST(ResourceGovernor, DisarmedGovernorMetersNothing) {
+  ResourceGovernor governor;
+  EXPECT_FALSE(governor.enabled());
+  // Default limits are all-zero and therefore disabled.
+  EXPECT_FALSE(ResourceLimits{}.enabled());
+
+  // A disarmed governor never counts, never peaks, never throws — even
+  // for absurd unit counts.
+  for (int i = 0; i < 1000; ++i) {
+    governor.acquire(ResourceKind::kPayloadBytes, 1u << 30);
+    governor.acquire(ResourceKind::kTimerNodes, 1u << 20);
+  }
+  EXPECT_EQ(governor.acquisitions(), 0u);
+  EXPECT_EQ(governor.bytes_in_use(), 0u);
+  EXPECT_EQ(governor.peak_bytes(), 0u);
+  EXPECT_EQ(governor.in_use(ResourceKind::kPayloadBytes), 0u);
+  EXPECT_EQ(governor.peak(ResourceKind::kTimerNodes), 0u);
+  EXPECT_EQ(governor.breaches(), 0u);
+}
+
+TEST(ResourceGovernor, AnyNonzeroLimitArmsTheConfig) {
+  ResourceLimits limits;
+  limits.total_bytes = 1;
+  EXPECT_TRUE(limits.enabled());
+  limits = ResourceLimits{};
+  limits.unit_caps[static_cast<std::size_t>(ResourceKind::kArqEntries)] = 1;
+  EXPECT_TRUE(limits.enabled());
+  limits = ResourceLimits{};
+  limits.fail_at_acquisition = 5;
+  EXPECT_TRUE(limits.enabled());
+  limits = ResourceLimits{};
+  limits.fail_probability = 0.5;
+  EXPECT_TRUE(limits.enabled());
+}
+
+TEST(ResourceGovernor, UnitBytesAreStableConstants) {
+  // These weights appear in checkpoint frames and operator output; they
+  // are frozen constants, not sizeof() values that drift with layout.
+  EXPECT_EQ(resource_unit_bytes(ResourceKind::kPayloadBytes), 1u);
+  EXPECT_GT(resource_unit_bytes(ResourceKind::kTimerNodes), 1u);
+  EXPECT_GT(resource_unit_bytes(ResourceKind::kMapSlots), 1u);
+  EXPECT_GT(resource_unit_bytes(ResourceKind::kArqEntries), 1u);
+  EXPECT_GT(resource_unit_bytes(ResourceKind::kProbeRecords), 1u);
+  for (std::size_t kind = 0; kind < kResourceKindCount; ++kind) {
+    EXPECT_NE(resource_kind_name(static_cast<ResourceKind>(kind)), nullptr);
+  }
+}
+
+TEST(ResourceGovernor, TotalBytesBudgetBreachesOnTheWeightedSum) {
+  ResourceLimits limits;
+  limits.total_bytes =
+      10 * resource_unit_bytes(ResourceKind::kTimerNodes);  // ten nodes
+  ResourceGovernor governor;
+  governor.configure(limits, /*seed=*/1);
+  EXPECT_TRUE(governor.enabled());
+
+  for (int i = 0; i < 10; ++i) governor.acquire(ResourceKind::kTimerNodes);
+  EXPECT_EQ(governor.in_use(ResourceKind::kTimerNodes), 10u);
+  EXPECT_EQ(governor.bytes_in_use(), limits.total_bytes);
+
+  try {
+    governor.acquire(ResourceKind::kTimerNodes);
+    FAIL() << "eleventh node acquired past a ten-node budget";
+  } catch (const ResourceExhausted& exhausted) {
+    EXPECT_EQ(exhausted.kind(), ResourceKind::kTimerNodes);
+  }
+  EXPECT_EQ(governor.breaches(), 1u);
+  // The breached units stay accounted, so unwind releases balance.
+  EXPECT_EQ(governor.in_use(ResourceKind::kTimerNodes), 11u);
+
+  // Releasing makes room again.
+  governor.release(ResourceKind::kTimerNodes, 5);
+  EXPECT_NO_THROW(governor.acquire(ResourceKind::kTimerNodes));
+}
+
+TEST(ResourceGovernor, PerKindUnitCapsBreachIndependently) {
+  ResourceLimits limits;
+  limits.unit_caps[static_cast<std::size_t>(ResourceKind::kMapSlots)] = 3;
+  ResourceGovernor governor;
+  governor.configure(limits, /*seed=*/1);
+
+  governor.acquire(ResourceKind::kMapSlots, 3);
+  // Other kinds are unlimited.
+  governor.acquire(ResourceKind::kPayloadBytes, 1u << 24);
+  EXPECT_THROW(governor.acquire(ResourceKind::kMapSlots), ResourceExhausted);
+}
+
+TEST(ResourceGovernor, FailAtBreachesExactlyTheNthAcquisition) {
+  ResourceLimits limits;
+  limits.fail_at_acquisition = 7;
+  ResourceGovernor governor;
+  governor.configure(limits, /*seed=*/0x5AA3D);
+
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NO_THROW(governor.acquire(ResourceKind::kPayloadBytes, 100));
+  }
+  EXPECT_THROW(governor.acquire(ResourceKind::kArqEntries), ResourceExhausted);
+  EXPECT_EQ(governor.acquisitions(), 7u);
+  EXPECT_EQ(governor.breaches(), 1u);
+}
+
+TEST(ResourceGovernor, ProbabilityStreamIsAPureFunctionOfTheSeed) {
+  // Two governors with the same seed breach on exactly the same
+  // acquisition index; a different seed moves the breach point. The
+  // stream is derived from seed ^ kSeedSalt, private to the governor.
+  const auto breach_index = [](std::uint64_t seed) -> std::uint64_t {
+    ResourceLimits limits;
+    limits.fail_probability = 0.01;
+    ResourceGovernor governor;
+    governor.configure(limits, seed);
+    for (std::uint64_t i = 1; i <= 100000; ++i) {
+      try {
+        governor.acquire(ResourceKind::kProbeRecords);
+      } catch (const ResourceExhausted&) {
+        return i;
+      }
+    }
+    return 0;
+  };
+  const std::uint64_t first = breach_index(0xDEADBEEF);
+  ASSERT_NE(first, 0u) << "p=0.01 never fired in 100k draws";
+  EXPECT_EQ(first, breach_index(0xDEADBEEF));
+  // Distinct seeds give distinct streams (with overwhelming probability
+  // for this pair; pinned here as a regression against stream reuse).
+  EXPECT_NE(first, breach_index(0xDEADBEEF ^ 1));
+}
+
+TEST(ResourceGovernor, ReleaseSaturatesAtZero) {
+  ResourceLimits limits;
+  limits.total_bytes = 1u << 20;
+  ResourceGovernor governor;
+  governor.configure(limits, /*seed=*/1);
+
+  governor.acquire(ResourceKind::kArqEntries, 2);
+  governor.release(ResourceKind::kArqEntries, 100);  // over-release
+  EXPECT_EQ(governor.in_use(ResourceKind::kArqEntries), 0u);
+  EXPECT_EQ(governor.bytes_in_use(), 0u);
+  // Peaks are monotone and survive the release.
+  EXPECT_EQ(governor.peak(ResourceKind::kArqEntries), 2u);
+  EXPECT_EQ(governor.peak_bytes(),
+            2 * resource_unit_bytes(ResourceKind::kArqEntries));
+}
+
+TEST(ResourceGovernor, PeaksAndAcquisitionsAccountEveryArmedCall) {
+  ResourceLimits limits;
+  limits.total_bytes = 1u << 30;
+  ResourceGovernor governor;
+  governor.configure(limits, /*seed=*/9);
+
+  governor.acquire(ResourceKind::kPayloadBytes, 1000);
+  governor.acquire(ResourceKind::kTimerNodes, 4);
+  governor.release(ResourceKind::kPayloadBytes, 1000);
+  governor.acquire(ResourceKind::kPayloadBytes, 500);
+
+  EXPECT_EQ(governor.acquisitions(), 3u);
+  EXPECT_EQ(governor.peak(ResourceKind::kPayloadBytes), 1000u);
+  EXPECT_EQ(governor.in_use(ResourceKind::kPayloadBytes), 500u);
+  const std::uint64_t node_bytes =
+      4 * resource_unit_bytes(ResourceKind::kTimerNodes);
+  EXPECT_EQ(governor.peak_bytes(), 1000u + node_bytes);
+  EXPECT_EQ(governor.bytes_in_use(), 500u + node_bytes);
+}
+
+}  // namespace
+}  // namespace gfwsim::net

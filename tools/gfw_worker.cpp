@@ -70,11 +70,37 @@ int describe_journal(const std::string& path) {
                       : ", " + std::to_string(shard.summary.servers.size()) +
                             " fleet server row(s)")
               << "\n";
+    // Resource verdict (kind-4 frame), present only when the shard ran
+    // under an armed governor and something was metered/shed/dropped.
+    const gfw::ShardResources& res = shard.summary.resources;
+    if (res.any()) {
+      std::cout << "      resources: peak " << res.peak_metered_bytes
+                << " metered bytes over " << res.acquisitions
+                << " acquisition(s), " << res.probes_shed << " probe(s) shed, "
+                << res.probes_deferred << " deferred, "
+                << res.queue_overflow_drops << " queue-overflow drop(s)\n";
+      for (const gfw::ShedRecord& s : res.sheds) {
+        std::cout << "        server " << s.server_id
+                  << (s.region.empty() ? "" : " [" + s.region + "]") << ": "
+                  << s.count << " probe(s) shed\n";
+      }
+    }
   }
   if (!ck.failures.empty()) {
     std::cout << "  supervision verdicts: " << ck.failures.size() << "\n";
     for (const auto& failure : ck.failures) {
       std::cout << "    " << gfw::describe(failure) << "\n";
+    }
+  }
+  // Worker IO verdicts (kind-5 frames): pipe/journal degradation the
+  // worker survived — including heartbeats it could not deliver at all.
+  if (!ck.worker_io.empty()) {
+    std::cout << "  worker io verdicts:   " << ck.worker_io.size() << "\n";
+    for (const gfw::WorkerIoStats& io : ck.worker_io) {
+      std::cout << "    worker " << io.worker_id << ": "
+                << io.heartbeats_dropped << " heartbeat(s) dropped, "
+                << io.heartbeat_retries << " heartbeat write(s) retried, "
+                << io.journal_retries << " journal open(s) retried\n";
     }
   }
   if (ck.torn_tail_bytes > 0) {
